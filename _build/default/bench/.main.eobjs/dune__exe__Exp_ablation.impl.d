@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Hashtbl List Printf Vnl_core Vnl_query Vnl_relation Vnl_util

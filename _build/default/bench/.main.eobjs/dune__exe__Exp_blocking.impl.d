@@ -1,0 +1,1 @@
+bench/exp_blocking.ml: List Vnl_util Vnl_workload

@@ -1,0 +1,1 @@
+bench/exp_figures.ml: Format List Option Printf String Vnl_core Vnl_query Vnl_relation Vnl_sql Vnl_util

@@ -1,0 +1,1 @@
+bench/exp_gc_rollback.ml: List Printf Vnl_core Vnl_query Vnl_relation Vnl_util Vnl_warehouse Vnl_workload

@@ -1,0 +1,1 @@
+bench/exp_indexing.ml: List Printf Vnl_core Vnl_query Vnl_relation Vnl_sql Vnl_storage Vnl_util Vnl_warehouse Vnl_workload

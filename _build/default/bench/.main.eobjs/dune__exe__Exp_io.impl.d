@@ -1,0 +1,1 @@
+bench/exp_io.ml: Array List Printf Vnl_core Vnl_query Vnl_relation Vnl_storage Vnl_txn Vnl_util

@@ -1,0 +1,1 @@
+bench/exp_scenarios.ml: List Printf Vnl_core Vnl_util Vnl_workload

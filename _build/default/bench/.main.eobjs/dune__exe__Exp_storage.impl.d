@@ -1,0 +1,1 @@
+bench/exp_storage.ml: List Printf Vnl_core Vnl_relation Vnl_util

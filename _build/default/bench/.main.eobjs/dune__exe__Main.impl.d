@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablation Exp_blocking Exp_expiry Exp_figures Exp_gc_rollback Exp_indexing Exp_io Exp_scenarios Exp_storage List Micro String Sys

@@ -1,0 +1,82 @@
+(* INDEX: 2VNL and indexing (§4.3).
+
+   The paper argues that (a) indexes on the non-updatable group-by
+   attributes of a summary table are unaffected by 2VNL, and (b) in the
+   query-rewrite implementation an index on an updatable attribute is
+   useless, because every reference to it is wrapped in a CASE expression
+   the optimizer cannot see through.  Both are measured here: access paths
+   chosen by the planner for rewritten queries, and the physical I/O of a
+   selective rewritten query with and without the group-by index. *)
+
+module Value = Vnl_relation.Value
+module Tuple = Vnl_relation.Tuple
+module Buffer_pool = Vnl_storage.Buffer_pool
+module Database = Vnl_query.Database
+module Table = Vnl_query.Table
+module Executor = Vnl_query.Executor
+module Twovnl = Vnl_core.Twovnl
+module Rewrite = Vnl_core.Rewrite
+module Sales_gen = Vnl_workload.Sales_gen
+module Xorshift = Vnl_util.Xorshift
+module T = Vnl_util.Ascii_table
+
+let build () =
+  let db = Database.create ~pool_capacity:16 () in
+  let wh = Twovnl.init db in
+  let view = Sales_gen.daily_sales_view ~with_count:false () in
+  let handle =
+    Twovnl.register_table wh ~name:"DailySales" (Vnl_warehouse.View_def.target_schema view)
+  in
+  let rng = Xorshift.create 21 in
+  let src = Vnl_warehouse.Source.create Sales_gen.sales_schema in
+  Vnl_warehouse.Source.apply src
+    (List.init 12_000 (fun i -> Vnl_warehouse.Delta.Insert (Sales_gen.gen_sale rng ~day:(i mod 60))));
+  Twovnl.load_initial wh "DailySales" (Vnl_warehouse.Source.compute_view src view);
+  (db, wh, handle)
+
+let sql_city =
+  "SELECT SUM(total_sales) FROM DailySales \
+   WHERE city = 'San Jose' AND date = DATE '1996-11-20'"
+
+let sql_sales = "SELECT city FROM DailySales WHERE total_sales = 500"
+
+let measure db f =
+  Database.drop_cache db;
+  Database.reset_io_stats db;
+  let r = f () in
+  ignore r;
+  (Database.io_stats db).Buffer_pool.misses
+
+let run () =
+  T.section "INDEX  Indexing under the 2VNL rewrite (§4.3)";
+  let db, wh, handle = build () in
+  let rewritten sql =
+    Rewrite.reader_select ~lookup:(Twovnl.lookup wh) (Vnl_sql.Parser.parse_select sql)
+  in
+  let explain sql = Executor.explain db ~params:[ ("sessionVN", Value.Int 1) ] (rewritten sql) in
+  let io sql =
+    measure db (fun () ->
+        Executor.query db ~params:[ ("sessionVN", Value.Int 1) ] (rewritten sql))
+  in
+  let groups = Table.tuple_count (Twovnl.table handle) in
+  Printf.printf "%d summary groups; rewritten analyst queries under a 16-frame pool.\n\n" groups;
+  let scan_path = explain sql_city and scan_io = io sql_city in
+  let scan_path_upd = explain sql_sales and scan_io_upd = io sql_sales in
+  Table.create_index (Twovnl.table handle) ~name:"idx_city" [ "city"; "date" ];
+  Table.create_index (Twovnl.table handle) ~name:"idx_total_sales" [ "total_sales" ];
+  let idx_path = explain sql_city and idx_io = io sql_city in
+  let idx_path_upd = explain sql_sales and idx_io_upd = io sql_sales in
+  T.print
+    ~header:[ "rewritten query"; "indexes"; "access path"; "physical reads" ]
+    [
+      [ "WHERE city+date = ... (group-by attrs)"; "none"; scan_path; string_of_int scan_io ];
+      [ "WHERE city+date = ... (group-by attrs)"; "idx_city"; idx_path; string_of_int idx_io ];
+      [ "WHERE total_sales = ... (updatable)"; "none"; scan_path_upd; string_of_int scan_io_upd ];
+      [ "WHERE total_sales = ... (updatable)"; "idx_total_sales"; idx_path_upd;
+        string_of_int idx_io_upd ];
+    ];
+  print_endline
+    "-> the group-by index keeps working through the rewrite (the predicate is\n\
+    \   untouched) and cuts the scan to a handful of page reads; the index on the\n\
+    \   updatable attribute is never chosen, because the rewrite wraps the\n\
+    \   attribute in CASE (exactly the §4.3 caveat)."

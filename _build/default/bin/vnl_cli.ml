@@ -1,0 +1,290 @@
+(* vnl: command-line interface to the 2VNL warehouse.
+
+   Subcommands:
+     vnl shell      interactive SQL shell over a demo DailySales warehouse,
+                    with reader sessions and on-line maintenance
+     vnl scenario   run a Figure 1 / Figure 2 operating-mode simulation
+     vnl blocking   run the concurrency-control blocking comparison
+     vnl expiry     evaluate the nVNL no-expiry formula for a workload *)
+
+module Value = Vnl_relation.Value
+module Executor = Vnl_query.Executor
+module Table = Vnl_query.Table
+module Twovnl = Vnl_core.Twovnl
+module Warehouse = Vnl_warehouse.Warehouse
+module Scenario = Vnl_workload.Scenario
+module Cc_sim = Vnl_workload.Cc_sim
+module Sales_gen = Vnl_workload.Sales_gen
+module Expiry = Vnl_core.Expiry
+module Stats = Vnl_util.Stats
+module T = Vnl_util.Ascii_table
+module Xorshift = Vnl_util.Xorshift
+
+(* ---------- vnl shell ---------- *)
+
+let shell_help =
+  {|Commands:
+  <SELECT ...>        session-consistent query over the views (2VNL rewrite)
+  .session            begin a fresh reader session (picks up latest version)
+  .state              show currentVN / maintenanceActive / session version
+  .maintain N         queue N random source changes and begin applying them
+                      in an open maintenance transaction
+  .commit             commit the open maintenance transaction
+  .abort              roll the open maintenance transaction back (no log)
+  .explain <SELECT>   show the rewritten query's access plan
+  .rewrite <SELECT>   show the rewritten SQL (Example 4.1 style)
+  .gc                 collect logically deleted tuples
+  .help               this message
+  .quit               exit|}
+
+let run_shell seed n =
+  let rng = Xorshift.create seed in
+  let wh = Warehouse.create ~n ~pool_capacity:256 [ Sales_gen.daily_sales_view () ] in
+  Warehouse.queue_changes wh ~view:"DailySales"
+    (Sales_gen.initial_load rng ~days:5 ~sales_per_day:120);
+  ignore (Warehouse.refresh wh);
+  let vnl = Warehouse.vnl wh in
+  let session = ref (Warehouse.begin_session wh) in
+  let txn : Twovnl.Txn.m option ref = ref None in
+  let day = ref 6 in
+  Printf.printf
+    "%dVNL warehouse shell -- DailySales loaded (%d groups), currentVN = %d\n\
+     Type .help for commands.\n"
+    n
+    (Table.tuple_count (Twovnl.table (Twovnl.handle_exn vnl "DailySales")))
+    (Twovnl.current_vn vnl);
+  let prompt () =
+    Printf.printf "vnl[s%d]> " (Twovnl.Session.vn !session);
+    flush stdout
+  in
+  let starts_with prefix s =
+    String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+  in
+  let strip prefix s =
+    String.trim (String.sub s (String.length prefix) (String.length s - String.length prefix))
+  in
+  let handle line =
+    let line = String.trim line in
+    if line = "" then true
+    else if line = ".quit" || line = ".exit" then false
+    else begin
+      (try
+         if line = ".help" then print_endline shell_help
+         else if line = ".session" then begin
+           Warehouse.end_session wh !session;
+           session := Warehouse.begin_session wh;
+           Printf.printf "new session at version %d\n" (Twovnl.Session.vn !session)
+         end
+         else if line = ".state" then
+           Printf.printf "currentVN=%d maintenanceActive=%b sessionVN=%d txn=%s\n"
+             (Twovnl.current_vn vnl)
+             (Vnl_core.Version_state.maintenance_active (Twovnl.version_state vnl))
+             (Twovnl.Session.vn !session)
+             (match !txn with Some m -> Printf.sprintf "open (vn %d)" (Twovnl.Txn.vn m) | None -> "none")
+         else if starts_with ".maintain" line then begin
+           let n = try int_of_string (strip ".maintain" line) with _ -> 50 in
+           let m =
+             match !txn with
+             | Some m -> m
+             | None ->
+               let m = Twovnl.Txn.begin_ vnl in
+               txn := Some m;
+               Printf.printf "maintenance transaction %d begun\n" (Twovnl.Txn.vn m);
+               m
+           in
+           let src = Warehouse.source wh "DailySales" in
+           let batch =
+             Sales_gen.gen_batch rng src ~day:!day ~inserts:(n * 7 / 10) ~updates:(n * 2 / 10)
+               ~deletes:(n / 10)
+           in
+           incr day;
+           Warehouse.queue_changes wh ~view:"DailySales" batch;
+           let pending = Warehouse.take_pending wh ~view:"DailySales" in
+           let o = Vnl_warehouse.Summary.apply_batch m (Warehouse.view wh "DailySales") pending in
+           Format.printf "applied: %a (uncommitted)@." Vnl_warehouse.Summary.pp_outcome o
+         end
+         else if line = ".commit" then (
+           match !txn with
+           | Some m ->
+             Twovnl.Txn.commit m;
+             txn := None;
+             Printf.printf "committed; currentVN = %d\n" (Twovnl.current_vn vnl)
+           | None -> print_endline "no open maintenance transaction")
+         else if line = ".abort" then (
+           match !txn with
+           | Some m ->
+             let reverted = Twovnl.Txn.abort m in
+             txn := None;
+             Printf.printf "aborted; %d tuples reverted without a log\n" reverted
+           | None -> print_endline "no open maintenance transaction")
+         else if starts_with ".explain" line then
+           let sql = strip ".explain" line in
+           print_endline
+             (Executor.explain (Warehouse.database wh)
+                ~params:[ ("sessionVN", Value.Int (Twovnl.Session.vn !session)) ]
+                (Vnl_core.Rewrite.reader_select ~lookup:(Twovnl.lookup vnl)
+                   (Vnl_sql.Parser.parse_select sql)))
+         else if starts_with ".rewrite" line then
+           print_endline
+             (Vnl_core.Rewrite.reader_sql ~lookup:(Twovnl.lookup vnl) (strip ".rewrite" line))
+         else if line = ".gc" then
+           Printf.printf "%d tuples reclaimed\n" (Warehouse.collect_garbage wh)
+         else if starts_with "." line then
+           Printf.printf "unknown command %s (try .help)\n" line
+         else Format.printf "%a@." Executor.pp_result (Warehouse.query wh !session line)
+       with
+      | Twovnl.Expired { session_vn; current_vn } ->
+        Printf.printf
+          "session expired (version %d, warehouse at %d): begin a new one with .session\n"
+          session_vn current_vn
+      | Vnl_sql.Parser.Parse_error msg -> Printf.printf "parse error: %s\n" msg
+      | Vnl_sql.Lexer.Lex_error (msg, pos) -> Printf.printf "lex error at %d: %s\n" pos msg
+      | Vnl_query.Eval.Eval_error msg | Executor.Query_error msg -> Printf.printf "error: %s\n" msg
+      | Invalid_argument msg | Failure msg -> Printf.printf "error: %s\n" msg);
+      true
+    end
+  in
+  let rec loop () =
+    prompt ();
+    match input_line stdin with
+    | line -> if handle line then loop ()
+    | exception End_of_file -> print_newline ()
+  in
+  loop ()
+
+(* ---------- vnl scenario ---------- *)
+
+let run_scenario mode days batch =
+  let cfg = { Scenario.default_config with Scenario.days; batch_per_day = batch } in
+  let cfg =
+    if mode = Scenario.Offline then
+      { cfg with Scenario.maintenance_start = 22 * 60; maintenance_len = 6 * 60 }
+    else cfg
+  in
+  let r = Scenario.run cfg mode in
+  Printf.printf "%s over %d days:\n\n" (Scenario.mode_name mode) days;
+  print_endline (Scenario.render_timeline r);
+  print_newline ();
+  T.print
+    ~header:[ "metric"; "value" ]
+    [
+      [ "sessions started"; string_of_int r.Scenario.sessions_started ];
+      [ "sessions completed"; string_of_int r.Scenario.sessions_completed ];
+      [ "sessions rejected/interrupted"; string_of_int r.Scenario.sessions_rejected ];
+      [ "sessions expired"; string_of_int r.Scenario.sessions_expired ];
+      [ "query pairs"; string_of_int (r.Scenario.queries_executed / 2) ];
+      [ "inconsistent pairs"; string_of_int r.Scenario.inconsistent_pairs ];
+      [ "availability"; T.fmt_pct (Scenario.availability r) ];
+      [ "final view matches sources"; string_of_bool r.Scenario.view_matches_source ];
+    ]
+
+(* ---------- vnl blocking ---------- *)
+
+let run_blocking readers writer_items =
+  let cfg = { Cc_sim.default_config with Cc_sim.readers; writer_items } in
+  T.print
+    ~header:
+      [ "scheme"; "reader mean"; "reader p99"; "blocked mean"; "writer span"; "commit wait";
+        "locks"; "deadlocks" ]
+    (List.map
+       (fun r ->
+         [
+           Cc_sim.scheme_name r.Cc_sim.scheme;
+           T.fmt_float r.Cc_sim.reader_latency.Stats.mean;
+           T.fmt_float r.Cc_sim.reader_latency.Stats.p99;
+           T.fmt_float r.Cc_sim.reader_blocked.Stats.mean;
+           string_of_int r.Cc_sim.writer_span;
+           string_of_int r.Cc_sim.writer_commit_wait;
+           string_of_int r.Cc_sim.lock_acquisitions;
+           string_of_int r.Cc_sim.deadlock_aborts;
+         ])
+       (Cc_sim.run_all cfg))
+
+(* ---------- vnl expiry ---------- *)
+
+let run_expiry gap txn_len session_len =
+  Printf.printf
+    "maintenance: %d-minute transactions with %d-minute gaps; sessions of %d minutes\n\n"
+    txn_len gap session_len;
+  T.print
+    ~header:[ "n"; "guaranteed no-expiry session (min)" ]
+    (List.map
+       (fun n ->
+         [ string_of_int n; string_of_int (Expiry.never_expire_bound ~n ~gap ~txn_len) ])
+       [ 2; 3; 4; 5 ]);
+  Printf.printf "\nsmallest n for %d-minute sessions: %d\n" session_len
+    (Expiry.versions_needed ~session_len ~gap ~txn_len)
+
+(* ---------- cmdliner wiring ---------- *)
+
+open Cmdliner
+
+let seed_term =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic workload seed.")
+
+let verbose_term =
+  let setup verbose =
+    if verbose then begin
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level (Some Logs.Debug)
+    end
+  in
+  Term.(const setup $ Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log 2VNL core events."))
+
+let shell_cmd =
+  let doc = "Interactive SQL shell over a demo 2VNL/nVNL warehouse." in
+  let n_term =
+    Arg.(value & opt int 2 & info [ "n" ] ~docv:"N" ~doc:"Versions per tuple (nVNL).")
+  in
+  Cmd.v (Cmd.info "shell" ~doc)
+    Term.(const (fun () seed n -> run_shell seed n) $ verbose_term $ seed_term $ n_term)
+
+let scenario_cmd =
+  let doc = "Run a warehouse operating-mode simulation (Figures 1-2)." in
+  let mode =
+    let parse = function
+      | "offline" -> Ok Scenario.Offline
+      | "dirty" -> Ok Scenario.Dirty
+      | s -> (
+        match int_of_string_opt s with
+        | Some n when n >= 2 -> Ok (Scenario.Online n)
+        | _ -> Error (`Msg "expected offline, dirty, or an integer n >= 2 (nVNL)"))
+    in
+    let print ppf m = Format.pp_print_string ppf (Scenario.mode_name m) in
+    Arg.conv (parse, print)
+  in
+  let mode_term =
+    Arg.(value & opt mode (Scenario.Online 2)
+         & info [ "mode" ] ~docv:"MODE" ~doc:"offline, dirty, or n (nVNL with n versions).")
+  in
+  let days = Arg.(value & opt int 3 & info [ "days" ] ~docv:"DAYS" ~doc:"Simulated days.") in
+  let batch =
+    Arg.(value & opt int 300 & info [ "batch" ] ~docv:"N" ~doc:"Source changes per day.")
+  in
+  Cmd.v (Cmd.info "scenario" ~doc) Term.(const run_scenario $ mode_term $ days $ batch)
+
+let blocking_cmd =
+  let doc = "Compare reader/writer blocking across CC schemes (S2PL, 2V2PL, MV2PL, 2VNL)." in
+  let readers =
+    Arg.(value & opt int 40 & info [ "readers" ] ~docv:"N" ~doc:"Concurrent reader transactions.")
+  in
+  let writer_items =
+    Arg.(value & opt int 60 & info [ "writer-items" ] ~docv:"N" ~doc:"Items the writer updates.")
+  in
+  Cmd.v (Cmd.info "blocking" ~doc) Term.(const run_blocking $ readers $ writer_items)
+
+let expiry_cmd =
+  let doc = "Evaluate the nVNL no-expiry guarantee for a maintenance pattern." in
+  let gap = Arg.(value & opt int 60 & info [ "gap" ] ~docv:"MIN" ~doc:"Gap between transactions.") in
+  let txn_len =
+    Arg.(value & opt int 1380 & info [ "txn-len" ] ~docv:"MIN" ~doc:"Maintenance duration.")
+  in
+  let session =
+    Arg.(value & opt int 100 & info [ "session" ] ~docv:"MIN" ~doc:"Target session length.")
+  in
+  Cmd.v (Cmd.info "expiry" ~doc) Term.(const run_expiry $ gap $ txn_len $ session)
+
+let () =
+  let doc = "2VNL on-line warehouse view maintenance (Quass & Widom, SIGMOD 1997)" in
+  let info = Cmd.info "vnl" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ shell_cmd; scenario_cmd; blocking_cmd; expiry_cmd ]))

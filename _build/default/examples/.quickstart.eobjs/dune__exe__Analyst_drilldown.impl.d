@@ -1,0 +1,1 @@
+examples/analyst_drilldown.ml: List Printf Vnl_core Vnl_query Vnl_relation Vnl_sql Vnl_util Vnl_warehouse Vnl_workload

@@ -1,0 +1,1 @@
+examples/analyst_drilldown.mli:

@@ -1,0 +1,1 @@
+examples/fixtures_schema.ml: Vnl_relation

@@ -1,0 +1,1 @@
+examples/multi_view.ml: Printf Vnl_core Vnl_query Vnl_relation Vnl_util Vnl_warehouse Vnl_workload

@@ -1,0 +1,1 @@
+examples/nvnl_tuning.ml: List Printf Vnl_core Vnl_util Vnl_workload

@@ -1,0 +1,1 @@
+examples/nvnl_tuning.mli:

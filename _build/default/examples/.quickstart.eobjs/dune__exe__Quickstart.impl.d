@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fixtures_schema Format Printf Vnl_core Vnl_query Vnl_relation

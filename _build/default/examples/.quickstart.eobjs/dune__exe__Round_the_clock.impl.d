@@ -1,0 +1,1 @@
+examples/round_the_clock.ml: Printf Vnl_util Vnl_workload

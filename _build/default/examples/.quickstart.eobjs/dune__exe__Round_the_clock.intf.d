@@ -1,0 +1,1 @@
+examples/round_the_clock.mli:

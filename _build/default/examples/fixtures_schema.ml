@@ -1,0 +1,20 @@
+(* Shared example schema: the paper's DailySales relation (Example 2.1). *)
+
+module Dtype = Vnl_relation.Dtype
+module Value = Vnl_relation.Value
+module Schema = Vnl_relation.Schema
+module Tuple = Vnl_relation.Tuple
+
+let daily_sales =
+  Schema.make
+    [
+      Schema.attr ~key:true "city" (Dtype.Str 20);
+      Schema.attr ~key:true "state" (Dtype.Str 2);
+      Schema.attr ~key:true "product_line" (Dtype.Str 12);
+      Schema.attr ~key:true "date" Dtype.Date;
+      Schema.attr ~updatable:true "total_sales" Dtype.Int;
+    ]
+
+let row city state pl m d y sales =
+  Tuple.make daily_sales
+    [ Value.Str city; Value.Str state; Value.Str pl; Value.date_of_mdy m d y; Value.Int sales ]

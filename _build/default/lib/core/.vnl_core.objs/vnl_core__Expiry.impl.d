@@ -1,0 +1,1 @@
+lib/core/expiry.ml: Format Printf

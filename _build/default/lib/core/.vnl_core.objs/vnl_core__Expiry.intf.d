@@ -1,0 +1,1 @@
+lib/core/expiry.mli: Format

@@ -1,0 +1,1 @@
+lib/core/gc.ml: List Op Schema_ext Vnl_query

@@ -1,0 +1,1 @@
+lib/core/gc.mli: Schema_ext Vnl_query Vnl_relation

@@ -1,0 +1,1 @@
+lib/core/maintenance.ml: List Op Printf Schema_ext Vnl_query Vnl_relation

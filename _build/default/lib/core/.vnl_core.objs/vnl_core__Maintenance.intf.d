@@ -1,0 +1,1 @@
+lib/core/maintenance.mli: Schema_ext Vnl_query Vnl_relation Vnl_storage

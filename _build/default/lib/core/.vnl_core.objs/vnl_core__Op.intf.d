@@ -1,0 +1,1 @@
+lib/core/op.mli: Format Vnl_relation

@@ -1,0 +1,1 @@
+lib/core/reader.ml: List Op Schema_ext Vnl_query Vnl_relation

@@ -1,0 +1,1 @@
+lib/core/reader.mli: Schema_ext Vnl_query Vnl_relation

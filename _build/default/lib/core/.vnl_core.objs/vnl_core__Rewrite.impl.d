@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: Array List Maintenance Option Printf Schema_ext String Vnl_query Vnl_relation Vnl_sql

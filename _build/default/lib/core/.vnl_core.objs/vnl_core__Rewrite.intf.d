@@ -1,0 +1,1 @@
+lib/core/rewrite.mli: Maintenance Schema_ext Vnl_query Vnl_sql Vnl_storage

@@ -1,0 +1,1 @@
+lib/core/rollback.ml: List Maintenance Op Schema_ext Vnl_query Vnl_relation

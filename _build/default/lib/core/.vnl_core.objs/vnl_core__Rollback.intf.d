@@ -1,0 +1,1 @@
+lib/core/rollback.mli: Schema_ext Vnl_query Vnl_storage

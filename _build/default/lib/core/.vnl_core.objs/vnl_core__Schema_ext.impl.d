@@ -1,0 +1,1 @@
+lib/core/schema_ext.ml: Array Hashtbl List Op Printf String Vnl_relation

@@ -1,0 +1,1 @@
+lib/core/schema_ext.mli: Op Vnl_relation

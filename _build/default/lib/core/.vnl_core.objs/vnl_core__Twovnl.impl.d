@@ -1,0 +1,1 @@
+lib/core/twovnl.ml: Gc Hashtbl List Logs Maintenance Option Printf Reader Rewrite Rollback Schema_ext String Version_state Vnl_query Vnl_relation Vnl_sql Vnl_storage Vnl_util

@@ -1,0 +1,1 @@
+lib/core/twovnl.mli: Maintenance Schema_ext Version_state Vnl_query Vnl_relation

@@ -1,0 +1,1 @@
+lib/core/version_state.ml: Printf Vnl_query Vnl_relation Vnl_storage

@@ -1,0 +1,1 @@
+lib/core/version_state.mli: Vnl_query

@@ -1,0 +1,21 @@
+let never_expire_bound ~n ~gap ~txn_len =
+  if n < 2 then invalid_arg "Expiry.never_expire_bound: n must be >= 2";
+  if gap < 0 || txn_len < 0 then invalid_arg "Expiry.never_expire_bound: negative duration";
+  ((n - 1) * (gap + txn_len)) - txn_len
+
+type policy = Fixed_schedule | Commit_when_quiescent | More_versions of int
+
+let policy_name = function
+  | Fixed_schedule -> "fixed-schedule"
+  | Commit_when_quiescent -> "commit-when-quiescent"
+  | More_versions n -> Printf.sprintf "%dVNL" n
+
+let pp_policy ppf p = Format.pp_print_string ppf (policy_name p)
+
+let versions_needed ~session_len ~gap ~txn_len =
+  let rec search n =
+    if n > 1_000_000 then invalid_arg "Expiry.versions_needed: unsatisfiable"
+    else if never_expire_bound ~n ~gap ~txn_len >= session_len then n
+    else search (n + 1)
+  in
+  search 2

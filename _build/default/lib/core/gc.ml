@@ -1,0 +1,16 @@
+module Table = Vnl_query.Table
+
+let collectable ext ~min_session_vn tuple =
+  match Schema_ext.operation ext ~slot:1 tuple with
+  | Op.Insert | Op.Update -> false
+  | Op.Delete -> (
+    match Schema_ext.tuple_vn ext ~slot:1 tuple with
+    | Some vn -> min_session_vn >= vn
+    | None -> false)
+
+let collect ext table ~min_session_vn =
+  let victims = ref [] in
+  Table.scan table (fun rid tuple ->
+      if collectable ext ~min_session_vn tuple then victims := rid :: !victims);
+  List.iter (fun rid -> Table.delete table rid) !victims;
+  List.length !victims

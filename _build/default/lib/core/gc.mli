@@ -1,0 +1,18 @@
+(** Garbage collection of logically deleted tuples (§7).
+
+    A tuple whose net operation is delete must stay in the relation while
+    any reader might still extract its pre-update version.  A session with
+    sessionVN = s needs a deleted tuple only when s < tupleVN (it reads a
+    pre-update version); once every active session has s >= tupleVN — and
+    every future session will, since sessionVN is drawn from currentVN —
+    the record can be physically removed. *)
+
+val collectable :
+  Schema_ext.t -> min_session_vn:int -> Vnl_relation.Tuple.t -> bool
+(** Is this extended tuple a logically deleted record no active session
+    (minimum sessionVN given) can still need? *)
+
+val collect : Schema_ext.t -> Vnl_query.Table.t -> min_session_vn:int -> int
+(** Physically delete every collectable tuple; returns how many were
+    reclaimed.  [min_session_vn] should be the smallest sessionVN among
+    active readers, or the current version when none are active. *)

@@ -1,0 +1,234 @@
+module Tuple = Vnl_relation.Tuple
+module Value = Vnl_relation.Value
+module Table = Vnl_query.Table
+
+type stats = {
+  mutable logical_inserts : int;
+  mutable logical_updates : int;
+  mutable logical_deletes : int;
+  mutable physical_inserts : int;
+  mutable physical_updates : int;
+  mutable physical_deletes : int;
+}
+
+let fresh_stats () =
+  {
+    logical_inserts = 0;
+    logical_updates = 0;
+    logical_deletes = 0;
+    physical_inserts = 0;
+    physical_updates = 0;
+    physical_deletes = 0;
+  }
+
+let count f = function Some s -> f s | None -> ()
+
+let push_back ext tuple =
+  let nslots = Schema_ext.slots ext in
+  if nslots = 1 then tuple
+  else begin
+    (* Move slot i into slot i+1, oldest first so nothing is clobbered. *)
+    let updates = ref [] in
+    for slot = nslots - 1 downto 1 do
+      let src_vn = Schema_ext.tuple_vn_index ext ~slot
+      and dst_vn = Schema_ext.tuple_vn_index ext ~slot:(slot + 1)
+      and src_op = Schema_ext.operation_index ext ~slot
+      and dst_op = Schema_ext.operation_index ext ~slot:(slot + 1) in
+      updates := (dst_vn, Tuple.get tuple src_vn) :: (dst_op, Tuple.get tuple src_op) :: !updates;
+      List.iter
+        (fun j ->
+          let src = Schema_ext.pre_index ext ~slot j
+          and dst = Schema_ext.pre_index ext ~slot:(slot + 1) j in
+          updates := (dst, Tuple.get tuple src) :: !updates)
+        (Schema_ext.updatable_base_indices ext)
+    done;
+    Tuple.set_many tuple !updates
+  end
+
+(* Inverse of push_back: slot_i <- slot_{i+1}, emptying the last slot.
+   Used to restore a tuple's pushed-back history (abort, and the
+   insert-over-delete-then-delete case below). *)
+let shift_forward ext tuple =
+  let updates = ref [] in
+  let nslots = Schema_ext.slots ext in
+  for slot = 1 to nslots - 1 do
+    let src_vn = Schema_ext.tuple_vn_index ext ~slot:(slot + 1)
+    and dst_vn = Schema_ext.tuple_vn_index ext ~slot
+    and src_op = Schema_ext.operation_index ext ~slot:(slot + 1)
+    and dst_op = Schema_ext.operation_index ext ~slot in
+    updates := (dst_vn, Tuple.get tuple src_vn) :: (dst_op, Tuple.get tuple src_op) :: !updates;
+    List.iter
+      (fun j ->
+        let src = Schema_ext.pre_index ext ~slot:(slot + 1) j
+        and dst = Schema_ext.pre_index ext ~slot j in
+        updates := (dst, Tuple.get tuple src) :: !updates)
+      (Schema_ext.updatable_base_indices ext)
+  done;
+  updates := (Schema_ext.tuple_vn_index ext ~slot:nslots, Value.Null) :: !updates;
+  updates := (Schema_ext.operation_index ext ~slot:nslots, Value.Null) :: !updates;
+  List.iter
+    (fun j -> updates := (Schema_ext.pre_index ext ~slot:nslots j, Value.Null) :: !updates)
+    (Schema_ext.updatable_base_indices ext);
+  Tuple.set_many tuple !updates
+
+let slot1_vn ext tuple =
+  match Schema_ext.tuple_vn ext ~slot:1 tuple with
+  | Some vn -> vn
+  | None -> invalid_arg "Maintenance: tuple without slot 1"
+
+(* Write slot 1 bookkeeping and optionally the pre-update values. *)
+let set_slot1 ext tuple ~vn ~op ~pre =
+  let updates =
+    ref
+      [
+        (Schema_ext.tuple_vn_index ext ~slot:1, Value.Int vn);
+        (Schema_ext.operation_index ext ~slot:1, Op.to_value op);
+      ]
+  in
+  (match pre with
+  | `Keep -> ()
+  | `Nulls ->
+    List.iter
+      (fun j -> updates := (Schema_ext.pre_index ext ~slot:1 j, Value.Null) :: !updates)
+      (Schema_ext.updatable_base_indices ext)
+  | `From_current ->
+    List.iter
+      (fun j ->
+        updates :=
+          (Schema_ext.pre_index ext ~slot:1 j, Tuple.get tuple (Schema_ext.base_index ext j))
+          :: !updates)
+      (Schema_ext.updatable_base_indices ext));
+  Tuple.set_many tuple !updates
+
+let set_current ext tuple assignments =
+  Tuple.set_many tuple
+    (List.map (fun (j, v) -> (Schema_ext.base_index ext j, v)) assignments)
+
+let check_updatable ext assignments =
+  let updatable = Schema_ext.updatable_base_indices ext in
+  List.iter
+    (fun (j, _) ->
+      if not (List.mem j updatable) then
+        invalid_arg (Printf.sprintf "Maintenance: base attribute %d is not updatable" j))
+    assignments
+
+let is_logically_live ext tuple =
+  match Schema_ext.operation ext ~slot:1 tuple with
+  | Op.Delete -> false
+  | Op.Insert | Op.Update -> true
+
+let apply_insert ?stats ?on_over_delete ext table ~vn base_tuple =
+  count (fun s -> s.logical_inserts <- s.logical_inserts + 1) stats;
+  let conflict =
+    if Vnl_query.Table.has_key table then
+      Table.find_by_key table (Tuple.key_of (Schema_ext.base ext) base_tuple)
+    else None
+  in
+  match conflict with
+  | None ->
+    (* Table 2, row 3: no conflicting tuple. *)
+    count (fun s -> s.physical_inserts <- s.physical_inserts + 1) stats;
+    Table.insert table (Schema_ext.fresh_insert ext ~vn base_tuple)
+  | Some (rid, existing) ->
+    let prev_op = Schema_ext.operation ext ~slot:1 existing in
+    let mv =
+      List.mapi (fun j v -> (j, v)) (Tuple.values base_tuple)
+    in
+    let tvn = slot1_vn ext existing in
+    if tvn < vn then begin
+      (* Table 2, row 1: conflict from an older transaction — only a
+         logically deleted tuple can collide. *)
+      Op.check_older_txn ~previous:prev_op Op.Insert;
+      (match on_over_delete with Some f -> f rid | None -> ());
+      let t = push_back ext existing in
+      let t = set_slot1 ext t ~vn ~op:Op.Insert ~pre:`Nulls in
+      let t = set_current ext t mv in
+      count (fun s -> s.physical_updates <- s.physical_updates + 1) stats;
+      Table.update_in_place table rid t;
+      rid
+    end
+    else begin
+      (* Table 2, row 2: conflict with this same transaction. *)
+      match Op.combine_same_txn ~previous:prev_op Op.Insert with
+      | `Becomes net ->
+        let t = set_slot1 ext existing ~vn ~op:net ~pre:`Keep in
+        let t = set_current ext t mv in
+        count (fun s -> s.physical_updates <- s.physical_updates + 1) stats;
+        Table.update_in_place table rid t;
+        rid
+      | `Physically_delete -> assert false (* insert never physically deletes *)
+    end
+
+let apply_update ?stats ext table ~vn rid assignments =
+  count (fun s -> s.logical_updates <- s.logical_updates + 1) stats;
+  check_updatable ext assignments;
+  match Table.get table rid with
+  | None -> invalid_arg "Maintenance.apply_update: no tuple at rid"
+  | Some existing ->
+    let prev_op = Schema_ext.operation ext ~slot:1 existing in
+    let tvn = slot1_vn ext existing in
+    if tvn < vn then begin
+      (* Table 3, row 1. *)
+      Op.check_older_txn ~previous:prev_op Op.Update;
+      let t = push_back ext existing in
+      let t = set_slot1 ext t ~vn ~op:Op.Update ~pre:`From_current in
+      let t = set_current ext t assignments in
+      count (fun s -> s.physical_updates <- s.physical_updates + 1) stats;
+      Table.update_in_place table rid t
+    end
+    else begin
+      (* Table 3, row 2: net effect keeps the existing operation. *)
+      match Op.combine_same_txn ~previous:prev_op Op.Update with
+      | `Becomes net ->
+        let t = set_slot1 ext existing ~vn ~op:net ~pre:`Keep in
+        let t = set_current ext t assignments in
+        count (fun s -> s.physical_updates <- s.physical_updates + 1) stats;
+        Table.update_in_place table rid t
+      | `Physically_delete -> assert false
+    end
+
+let apply_delete ?stats ?(was_insert_over_delete = fun _ -> false) ext table ~vn rid =
+  count (fun s -> s.logical_deletes <- s.logical_deletes + 1) stats;
+  match Table.get table rid with
+  | None -> invalid_arg "Maintenance.apply_delete: no tuple at rid"
+  | Some existing ->
+    let prev_op = Schema_ext.operation ext ~slot:1 existing in
+    let tvn = slot1_vn ext existing in
+    if tvn < vn then begin
+      (* Table 4, row 1: logical delete is a physical update preserving the
+         pre-update version. *)
+      Op.check_older_txn ~previous:prev_op Op.Delete;
+      let t = push_back ext existing in
+      let t = set_slot1 ext t ~vn ~op:Op.Delete ~pre:`From_current in
+      count (fun s -> s.physical_updates <- s.physical_updates + 1) stats;
+      Table.update_in_place table rid t
+    end
+    else begin
+      (* Table 4, row 2. *)
+      match Op.combine_same_txn ~previous:prev_op Op.Delete with
+      | `Physically_delete when not (was_insert_over_delete rid) ->
+        count (fun s -> s.physical_deletes <- s.physical_deletes + 1) stats;
+        Table.delete table rid
+      | `Physically_delete ->
+        (* Correction to Table 4 row 2: the same-transaction insert landed on
+           a logically deleted key (Table 2 row 1), so the record still
+           carries history older readers may need — physically deleting it
+           would lose that.  Restore the deleted state instead: shift the
+           pushed-back slots forward under nVNL; under plain 2VNL re-stamp
+           the tuple as deleted at vn - 1 (invisible to every non-expired
+           session, exactly like the committed delete it stands for). *)
+        count (fun s -> s.physical_updates <- s.physical_updates + 1) stats;
+        if Schema_ext.slots ext >= 2 && Schema_ext.tuple_vn ext ~slot:2 existing <> None then
+          Table.update_in_place table rid (shift_forward ext existing)
+        else
+          Table.update_in_place table rid
+            (Tuple.set_many existing
+               [
+                 (Schema_ext.tuple_vn_index ext ~slot:1, Value.Int (vn - 1));
+                 (Schema_ext.operation_index ext ~slot:1, Op.to_value Op.Delete);
+               ])
+      | `Becomes net ->
+        let t = set_slot1 ext existing ~vn ~op:net ~pre:`Keep in
+        count (fun s -> s.physical_updates <- s.physical_updates + 1) stats;
+        Table.update_in_place table rid t
+    end

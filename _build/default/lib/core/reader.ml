@@ -1,0 +1,80 @@
+module Tuple = Vnl_relation.Tuple
+
+exception Session_expired of { session_vn : int; tuple_vn : int }
+
+type case =
+  | Read_current
+  | Read_pre_update of int
+  | Ignore_tuple
+  | Expired of int
+
+let classify ext ~session_vn tuple =
+  match Schema_ext.tuple_vn ext ~slot:1 tuple with
+  | None -> invalid_arg "Reader.classify: tuple has no version slot 1"
+  | Some tvn1 ->
+    if session_vn >= tvn1 then Read_current
+    else begin
+      (* Find the least-recent occupied slot and the governing slot: the
+         occupied slot with the smallest tupleVN still greater than the
+         session. *)
+      let rec scan slot governing oldest_vn =
+        if slot > Schema_ext.slots ext then (governing, oldest_vn)
+        else
+          match Schema_ext.tuple_vn ext ~slot tuple with
+          | None -> (governing, oldest_vn)
+          | Some vn ->
+            let governing = if vn > session_vn then Some slot else governing in
+            scan (slot + 1) governing (Some (slot, vn))
+      in
+      let governing, oldest = scan 1 None None in
+      match (governing, oldest) with
+      | Some slot, Some (oldest_slot, oldest_vn) ->
+        if
+          oldest_slot = Schema_ext.slots ext
+          && session_vn < oldest_vn - 1
+        then Expired oldest_vn
+        else if slot = oldest_slot && session_vn < oldest_vn - 1 then
+          (* History is complete (unused slots remain): before its first
+             recorded operation the tuple simply did not exist. *)
+          Ignore_tuple
+        else Read_pre_update slot
+      | _ -> assert false (* slot 1 is occupied and tvn1 > session. *)
+    end
+
+let extract ext ~session_vn tuple =
+  match classify ext ~session_vn tuple with
+  | Expired tuple_vn -> raise (Session_expired { session_vn; tuple_vn })
+  | Ignore_tuple -> None
+  | Read_current -> (
+    match Schema_ext.operation ext ~slot:1 tuple with
+    | Op.Delete -> None
+    | Op.Insert | Op.Update ->
+      Some (Tuple.make (Schema_ext.base ext) (Schema_ext.current_values ext tuple)))
+  | Read_pre_update slot -> (
+    match Schema_ext.operation ext ~slot tuple with
+    | Op.Insert -> None
+    | Op.Update | Op.Delete ->
+      (* Pre-update values for updatable attributes; current values
+         elsewhere (non-updatable attributes cannot change). *)
+      let values =
+        List.mapi
+          (fun j current ->
+            if List.mem j (Schema_ext.updatable_base_indices ext) then
+              Tuple.get tuple (Schema_ext.pre_index ext ~slot j)
+            else current)
+          (Schema_ext.current_values ext tuple)
+      in
+      Some (Tuple.make (Schema_ext.base ext) values))
+
+let visible_relation ext ~session_vn table =
+  let acc = ref [] in
+  Vnl_query.Table.scan table (fun _rid tuple ->
+      match extract ext ~session_vn tuple with
+      | Some base -> acc := base :: !acc
+      | None -> ());
+  List.rev !acc
+
+let expired_by_state ~session_vn ~current_vn ~maintenance_active =
+  not
+    (session_vn = current_vn
+    || (session_vn = current_vn - 1 && not maintenance_active))

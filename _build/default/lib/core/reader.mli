@@ -1,0 +1,45 @@
+(** Reader-side version extraction (§3.2, Table 1; §5 for nVNL).
+
+    A reader with [sessionVN] = s must see the tuple version that includes
+    the effects of every maintenance transaction with maintenanceVN <= s and
+    no others.  Per tuple there are three cases:
+
+    + s >= tupleVN: read the current version;
+    + tupleVN{n-1} - 1 <= s < tupleVN: read the pre-update version of the
+      least slot whose tupleVN > s (for 2VNL this collapses to
+      s = tupleVN - 1);
+    + s < tupleVN{n-1} - 1 with every slot occupied: the session has
+      {e expired} — the needed version was pushed out.
+
+    Table 1 then interprets the governing slot's [operation]: a current
+    version with operation = delete is ignored, a pre-update version with
+    operation = insert is ignored, and pre-update reads take pre-update
+    values for updatable attributes and current values for the rest. *)
+
+exception Session_expired of { session_vn : int; tuple_vn : int }
+(** Raised by the per-tuple expiry check (the first detection mechanism of
+    §3.2); the coarse global check is {!val:expired_by_state}. *)
+
+type case =
+  | Read_current
+  | Read_pre_update of int  (** Governing slot (1-based). *)
+  | Ignore_tuple
+  | Expired of int  (** tupleVN{n-1} that proves expiry. *)
+
+val classify : Schema_ext.t -> session_vn:int -> Vnl_relation.Tuple.t -> case
+(** Pure case analysis, before the Table 1 operation filter. *)
+
+val extract :
+  Schema_ext.t -> session_vn:int -> Vnl_relation.Tuple.t -> Vnl_relation.Tuple.t option
+(** The base tuple this reader sees, or [None] if the tuple is invisible at
+    [session_vn].  Raises {!Session_expired} in the expired case. *)
+
+val visible_relation :
+  Schema_ext.t -> session_vn:int -> Vnl_query.Table.t -> Vnl_relation.Tuple.t list
+(** Extract every visible base tuple from an extended table, in scan
+    order. *)
+
+val expired_by_state : session_vn:int -> current_vn:int -> maintenance_active:bool -> bool
+(** The global pessimistic check of §4.1: the session is still valid iff
+    [sessionVN = currentVN], or [sessionVN = currentVN - 1] with no active
+    maintenance transaction. *)

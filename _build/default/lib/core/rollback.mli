@@ -1,0 +1,42 @@
+(** Rolling back a maintenance transaction without before-image logging
+    (§7).
+
+    Every tuple the transaction touched still carries its pre-update
+    version, so an abort can revert tuple state from the tuple itself:
+
+    - a fresh insert is physically deleted;
+    - an insert over a logically deleted tuple is re-marked deleted, with
+      its pre-update values restored from the pushed-back delete slot when
+      one exists (nVNL);
+    - an update or logical delete has its current values restored from the
+      slot-1 pre-update values.
+
+    Reverted tuples are stamped [tupleVN = vn - 1]: every session that is
+    valid while the aborting transaction runs (necessarily
+    [sessionVN = vn - 1], by the expiry rule) and every later session reads
+    the restored current version, and sessions governed by older slots are
+    untouched.  The single approximation, documented in DESIGN.md, is that
+    under plain 2VNL an insert-over-delete cannot recover the deleted
+    tuple's pre-delete values (they were nulled per Table 2 row 1) — those
+    are only needed by sessions that are already expired. *)
+
+val revert_tuple :
+  Schema_ext.t ->
+  Vnl_query.Table.t ->
+  vn:int ->
+  was_insert_over_delete:bool ->
+  Vnl_storage.Heap_file.rid ->
+  unit
+(** Revert one touched tuple.  No-op if the tuple's slot-1 version is not
+    [vn] (it was not actually modified by this transaction). *)
+
+val revert_all :
+  Schema_ext.t ->
+  Vnl_query.Table.t ->
+  vn:int ->
+  over_deleted:(Vnl_storage.Heap_file.rid -> bool) ->
+  int
+(** Scan the table and revert every tuple with slot-1 version [vn]; returns
+    the number reverted.  [over_deleted] tells apart fresh inserts from
+    inserts over deleted keys (in-memory transaction bookkeeping, not a
+    log). *)

@@ -1,0 +1,142 @@
+module Schema = Vnl_relation.Schema
+module Tuple = Vnl_relation.Tuple
+module Value = Vnl_relation.Value
+module Dtype = Vnl_relation.Dtype
+
+type t = {
+  base : Schema.t;
+  extended : Schema.t;
+  n : int;
+  updatable : int list;  (** Base positions of updatable attributes. *)
+  rank : (int, int) Hashtbl.t;  (** Base position -> rank among updatables. *)
+}
+
+let vn_name slot = if slot = 1 then "tupleVN" else Printf.sprintf "tupleVN%d" slot
+
+let op_name slot = if slot = 1 then "operation" else Printf.sprintf "operation%d" slot
+
+let pre_name_raw slot name =
+  if slot = 1 then "pre_" ^ name else Printf.sprintf "pre%d_%s" slot name
+
+let extend ?(n = 2) base =
+  if n < 2 then invalid_arg "Schema_ext.extend: n must be >= 2";
+  let base_attrs = Schema.attributes base in
+  List.iter
+    (fun a ->
+      let name = a.Schema.name in
+      if
+        String.equal name "tupleVN" || String.equal name "operation"
+        || (String.length name >= 4 && String.equal (String.sub name 0 4) "pre_")
+      then invalid_arg (Printf.sprintf "Schema_ext.extend: reserved attribute name %S" name))
+    base_attrs;
+  let updatable_attrs = List.filter (fun a -> a.Schema.updatable) base_attrs in
+  let slot_bookkeeping slot =
+    [ Schema.attr (vn_name slot) Dtype.Int; Schema.attr (op_name slot) (Dtype.Str 1) ]
+  in
+  let slot_pres slot =
+    List.map (fun a -> Schema.attr (pre_name_raw slot a.Schema.name) a.Schema.dtype) updatable_attrs
+  in
+  let later_slots =
+    List.concat_map
+      (fun slot -> slot_bookkeeping slot @ slot_pres slot)
+      (List.init (n - 2) (fun i -> i + 2))
+  in
+  let extended =
+    Schema.make (slot_bookkeeping 1 @ base_attrs @ slot_pres 1 @ later_slots)
+  in
+  let updatable = Schema.updatable_indices base in
+  let rank = Hashtbl.create 8 in
+  List.iteri (fun r j -> Hashtbl.add rank j r) updatable;
+  { base; extended; n; updatable; rank }
+
+let base t = t.base
+
+let extended t = t.extended
+
+let n t = t.n
+
+let slots t = t.n - 1
+
+let base_arity t = Schema.arity t.base
+
+let updatable_count t = List.length t.updatable
+
+let check_slot t slot =
+  if slot < 1 || slot > t.n - 1 then
+    invalid_arg (Printf.sprintf "Schema_ext: slot %d out of range 1..%d" slot (t.n - 1))
+
+let slot_start t slot =
+  (* Slot 1 bookkeeping sits at 0; later slots are appended after the base
+     attributes and slot 1's pre-update copies. *)
+  check_slot t slot;
+  let b = base_arity t and k = updatable_count t in
+  if slot = 1 then 0 else 2 + b + k + ((slot - 2) * (2 + k))
+
+let tuple_vn_index t ~slot = slot_start t slot
+
+let operation_index t ~slot = slot_start t slot + 1
+
+let base_index t j =
+  if j < 0 || j >= base_arity t then invalid_arg "Schema_ext.base_index: out of range";
+  2 + j
+
+let rank_of t j =
+  match Hashtbl.find_opt t.rank j with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Schema_ext: base attribute %d is not updatable" j)
+
+let pre_index t ~slot j =
+  check_slot t slot;
+  let r = rank_of t j in
+  if slot = 1 then 2 + base_arity t + r else slot_start t slot + 2 + r
+
+let updatable_base_indices t = t.updatable
+
+let tuple_vn t ~slot tuple =
+  match Tuple.get tuple (tuple_vn_index t ~slot) with
+  | Value.Int vn -> Some vn
+  | Value.Null -> None
+  | v -> invalid_arg (Printf.sprintf "Schema_ext.tuple_vn: corrupt value %s" (Value.to_string v))
+
+let operation t ~slot tuple =
+  match Tuple.get tuple (operation_index t ~slot) with
+  | Value.Null -> invalid_arg "Schema_ext.operation: unused slot"
+  | v -> Op.of_value v
+
+let fresh_insert t ~vn base_tuple =
+  let ext = t.extended in
+  let values =
+    Array.init (Schema.arity ext) (fun _ -> Value.Null)
+  in
+  values.(0) <- Value.Int vn;
+  values.(1) <- Op.to_value Op.Insert;
+  List.iteri (fun j v -> values.(base_index t j) <- v) (Tuple.values base_tuple);
+  Tuple.of_array ext values
+
+let current_values t tuple =
+  List.init (base_arity t) (fun j -> Tuple.get tuple (base_index t j))
+
+let base_key_of t tuple =
+  List.map (fun j -> Tuple.get tuple (base_index t j)) (Schema.key_indices t.base)
+
+let width_overhead t = Schema.width t.extended - Schema.width t.base
+
+let overhead_ratio t = float_of_int (width_overhead t) /. float_of_int (Schema.width t.base)
+
+let is_extended_attribute t name =
+  Schema.mem t.extended name && not (Schema.mem t.base name)
+
+let tuple_vn_name t ~slot =
+  check_slot t slot;
+  vn_name slot
+
+let operation_name t ~slot =
+  check_slot t slot;
+  op_name slot
+
+let pre_name t ~slot name =
+  check_slot t slot;
+  (match Schema.index_of_opt t.base name with
+  | Some j -> ignore (rank_of t j)
+  | None -> invalid_arg (Printf.sprintf "Schema_ext.pre_name: unknown attribute %S" name));
+  pre_name_raw slot name

@@ -1,0 +1,93 @@
+(** Schema extension for 2VNL and nVNL (§3.1, §5).
+
+    For a base relation with attributes A = {A1..Ab} of which U = {U1..Uk}
+    are updatable, the extended relation under nVNL is
+
+    {v tupleVN, operation, A1..Ab,
+      pre_U1..pre_Uk,                       (version slot 1)
+      tupleVN2, operation2, pre2_U1..pre2_Uk,   (slot 2)
+      ...
+      tupleVN{n-1}, operation{n-1}, pre{n-1}_U1..  (slot n-1) v}
+
+    With n = 2 this is exactly Figure 3's layout: [tupleVN] (4 bytes),
+    [operation] (1 byte), the base attributes, and one pre-update copy of
+    each updatable attribute.  Key attributes of the base schema remain the
+    unique key of the extended relation, which is what lets maintenance
+    detect the Table 2 key conflicts, and why indexes on the group-by
+    attributes survive unchanged (§4.3). *)
+
+type t
+
+val extend : ?n:int -> Vnl_relation.Schema.t -> t
+(** [extend ~n base] with [n >= 2] (default 2).  Raises [Invalid_argument]
+    if [base] already contains reserved names ([tupleVN], [operation],
+    [pre_*]). *)
+
+val base : t -> Vnl_relation.Schema.t
+
+val extended : t -> Vnl_relation.Schema.t
+
+val n : t -> int
+(** Number of logically available versions. *)
+
+val slots : t -> int
+(** [n - 1]: version slots physically stored per tuple. *)
+
+val base_arity : t -> int
+
+val updatable_count : t -> int
+
+val tuple_vn_index : t -> slot:int -> int
+(** Position of [tupleVN{slot}] in the extended schema; slots are 1-based
+    (slot 1 is the most recent). *)
+
+val operation_index : t -> slot:int -> int
+
+val pre_index : t -> slot:int -> int -> int
+(** [pre_index t ~slot j] is the position of the pre-update copy (in
+    [slot]) of base attribute [j]; raises [Invalid_argument] if base
+    attribute [j] is not updatable. *)
+
+val base_index : t -> int -> int
+(** Position of base attribute [j] in the extended schema. *)
+
+val updatable_base_indices : t -> int list
+(** Base positions of the updatable attributes. *)
+
+val tuple_vn : t -> slot:int -> Vnl_relation.Tuple.t -> int option
+(** The slot's version number, [None] when the slot is unused. *)
+
+val operation : t -> slot:int -> Vnl_relation.Tuple.t -> Op.t
+(** Raises [Invalid_argument] on an unused slot. *)
+
+val fresh_insert : t -> vn:int -> Vnl_relation.Tuple.t -> Vnl_relation.Tuple.t
+(** Extended tuple for a newly inserted base tuple: slot 1 = (vn, insert,
+    null pre-values), all other slots unused. *)
+
+val current_values : t -> Vnl_relation.Tuple.t -> Vnl_relation.Value.t list
+(** The base-attribute values of the extended tuple (the current version's
+    content). *)
+
+val base_key_of : t -> Vnl_relation.Tuple.t -> Vnl_relation.Value.t list
+(** Unique-key values of an extended tuple (positions translated from the
+    base schema). *)
+
+val width_overhead : t -> int
+(** Extra bytes per tuple versus the base schema. *)
+
+val overhead_ratio : t -> float
+(** [width_overhead / base width] — Figure 3 reports ~20% for
+    DailySales. *)
+
+val is_extended_attribute : t -> string -> bool
+(** Does the name denote one of the added bookkeeping attributes? *)
+
+val tuple_vn_name : t -> slot:int -> string
+(** Attribute name of the slot's version number: [tupleVN] for slot 1,
+    [tupleVN{i}] beyond. *)
+
+val operation_name : t -> slot:int -> string
+
+val pre_name : t -> slot:int -> string -> string
+(** Name of the pre-update copy of updatable base attribute [name] in
+    [slot]: [pre_name] for slot 1, [pre{slot}_name] beyond. *)

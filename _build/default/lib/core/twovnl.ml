@@ -1,0 +1,300 @@
+module Schema = Vnl_relation.Schema
+module Tuple = Vnl_relation.Tuple
+module Value = Vnl_relation.Value
+module Database = Vnl_query.Database
+module Table = Vnl_query.Table
+module Executor = Vnl_query.Executor
+module Heap_file = Vnl_storage.Heap_file
+
+let log_src = Logs.Src.create "vnl.core" ~doc:"2VNL warehouse events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type handle = { name : string; ext : Schema_ext.t; table : Table.t }
+
+type t = {
+  db : Database.t;
+  version : Version_state.t;
+  registry : (string, handle) Hashtbl.t;
+  mutable registry_order : string list;
+  sessions : (int, int) Hashtbl.t;  (** session id -> sessionVN *)
+  session_ids : Vnl_util.Ids.t;
+  mutable txn_active : bool;
+}
+
+exception Expired of { session_vn : int; current_vn : int }
+
+let make db version =
+  {
+    db;
+    version;
+    registry = Hashtbl.create 8;
+    registry_order = [];
+    sessions = Hashtbl.create 16;
+    session_ids = Vnl_util.Ids.create ();
+    txn_active = false;
+  }
+
+let init db = make db (Version_state.install db)
+
+let attach db = make db (Version_state.attach db)
+
+let database t = t.db
+
+let version_state t = t.version
+
+let current_vn t = Version_state.current_vn t.version
+
+let register_table t ?n ~name schema =
+  let ext = Schema_ext.extend ?n schema in
+  let table = Database.create_table t.db name (Schema_ext.extended ext) in
+  let h = { name; ext; table } in
+  Hashtbl.add t.registry name h;
+  t.registry_order <- name :: t.registry_order;
+  h
+
+let attach_table t ?n ~name base =
+  let ext = Schema_ext.extend ?n base in
+  let table = Database.table_exn t.db name in
+  if not (Schema.equal (Table.schema table) (Schema_ext.extended ext)) then
+    invalid_arg
+      (Printf.sprintf "Twovnl.attach_table: stored schema of %S does not match the extension"
+         name);
+  let h = { name; ext; table } in
+  Hashtbl.add t.registry name h;
+  t.registry_order <- name :: t.registry_order;
+  h
+
+
+let handle t name = Hashtbl.find_opt t.registry name
+
+let handle_exn t name =
+  match handle t name with
+  | Some h -> h
+  | None -> failwith (Printf.sprintf "Twovnl: table %S is not registered" name)
+
+let handles t = List.rev_map (fun name -> Hashtbl.find t.registry name) t.registry_order
+
+let handle_name h = h.name
+
+let ext h = h.ext
+
+let table h = h.table
+
+let lookup t name = Option.map (fun h -> h.ext) (handle t name)
+
+let load_initial t name tuples =
+  let h = handle_exn t name in
+  let vn = current_vn t in
+  List.iter
+    (fun base -> ignore (Table.insert h.table (Schema_ext.fresh_insert h.ext ~vn base)))
+    tuples
+
+let min_session_vn t =
+  Hashtbl.fold (fun _ vn acc -> min vn acc) t.sessions (current_vn t)
+
+let collect_garbage t =
+  let horizon = min_session_vn t in
+  let reclaimed =
+    List.fold_left
+      (fun acc h -> acc + Gc.collect h.ext h.table ~min_session_vn:horizon)
+      0 (handles t)
+  in
+  Log.debug (fun m -> m "gc at horizon %d reclaimed %d tuples" horizon reclaimed);
+  reclaimed
+
+(* §7 no-log crash recovery: an interrupted maintenance transaction's vn is
+   currentVN + 1; every touched tuple carries its pre-update version, so the
+   database state is repaired exactly like an abort — without any log. *)
+let recover t =
+  if not (Version_state.maintenance_active t.version) then 0
+  else begin
+    let vn = Version_state.current_vn t.version + 1 in
+    let reverted =
+      List.fold_left
+        (fun acc h ->
+          acc + Rollback.revert_all h.ext h.table ~vn ~over_deleted:(fun _ -> false))
+        0 (handles t)
+    in
+    Version_state.abort_maintenance t.version;
+    Log.info (fun m ->
+        m "crash recovery: reverted %d tuples of interrupted transaction %d" reverted vn);
+    reverted
+  end
+
+module Session = struct
+  type s = { id : int; vn : int; owner : t }
+
+  let begin_ t =
+    let vn = current_vn t in
+    let id = Vnl_util.Ids.next t.session_ids in
+    Hashtbl.replace t.sessions id vn;
+    Log.debug (fun m -> m "session %d begins at version %d" id vn);
+    { id; vn; owner = t }
+
+  let vn s = s.vn
+
+  let id s = s.id
+
+  (* Generalized §4.1 check: a session is valid while it has overlapped at
+     most n - 1 maintenance transactions, where n is the smallest version
+     count among registered tables (2 when none are registered).  For pure
+     2VNL this is exactly the paper's condition, and agrees with
+     [Rewrite.session_valid]. *)
+  let min_n t =
+    List.fold_left (fun acc h -> min acc (Schema_ext.n h.ext)) max_int (handles t)
+    |> fun n -> if n = max_int then 2 else n
+
+  let valid_for t s ~n =
+    let c = current_vn t in
+    let active = Version_state.maintenance_active t.version in
+    c - s.vn + (if active then 1 else 0) <= n - 1
+
+  let is_valid t s = valid_for t s ~n:(min_n t)
+
+  let end_ t s = Hashtbl.remove t.sessions s.id
+
+  let check_valid t s =
+    if not (is_valid t s) then begin
+      Log.info (fun m ->
+          m "session %d expired (version %d, currentVN %d)" s.id s.vn (current_vn t));
+      raise (Expired { session_vn = s.vn; current_vn = current_vn t })
+    end
+
+  let query t s src =
+    check_valid t s;
+    let select = Vnl_sql.Parser.parse_select src in
+    let rewritten = Rewrite.reader_select ~lookup:(lookup t) select in
+    Executor.query t.db ~params:[ ("sessionVN", Value.Int s.vn) ] rewritten
+
+  let read_table t s name =
+    let h = handle_exn t name in
+    if not (valid_for t s ~n:(Schema_ext.n h.ext)) then
+      raise (Expired { session_vn = s.vn; current_vn = current_vn t });
+    try Reader.visible_relation h.ext ~session_vn:s.vn h.table
+    with Reader.Session_expired _ ->
+      raise (Expired { session_vn = s.vn; current_vn = current_vn t })
+end
+
+module Txn = struct
+  type m = {
+    owner : t;
+    txn_vn : int;
+    txn_stats : Maintenance.stats;
+    mutable over_deleted : (string * Heap_file.rid) list;
+    mutable finished : bool;
+  }
+
+  let begin_ t =
+    let txn_vn = Version_state.begin_maintenance t.version in
+    t.txn_active <- true;
+    Log.info (fun m -> m "maintenance transaction %d begins" txn_vn);
+    { owner = t; txn_vn; txn_stats = Maintenance.fresh_stats (); over_deleted = []; finished = false }
+
+  let vn m = m.txn_vn
+
+  let stats m = m.txn_stats
+
+  let check_live m = if m.finished then invalid_arg "Twovnl.Txn: transaction already finished"
+
+  let sql m src =
+    check_live m;
+    let t = m.owner in
+    (* Record over-delete inserts per table for no-log rollback.  The
+       statement names a single table, so tag rids with it. *)
+    let table_of_stmt =
+      match Vnl_sql.Parser.parse src with
+      | Vnl_sql.Ast.Insert { table; _ } -> Some table
+      | Vnl_sql.Ast.Update _ | Vnl_sql.Ast.Delete _ | Vnl_sql.Ast.Select _ -> None
+    in
+    let on_over_delete rid =
+      match table_of_stmt with
+      | Some name -> m.over_deleted <- (name, rid) :: m.over_deleted
+      | None -> ()
+    in
+    let was_insert_over_delete rid =
+      List.exists (fun (_, r) -> Heap_file.rid_equal r rid) m.over_deleted
+    in
+    Rewrite.maintenance_sql ~stats:m.txn_stats ~on_over_delete ~was_insert_over_delete t.db
+      ~lookup:(lookup t) ~vn:m.txn_vn src
+
+  let insert m ~table:name values =
+    check_live m;
+    let t = m.owner in
+    let h = handle_exn t name in
+    let base = Tuple.make (Schema_ext.base h.ext) values in
+    let on_over_delete rid = m.over_deleted <- (name, rid) :: m.over_deleted in
+    ignore
+      (Maintenance.apply_insert ~stats:m.txn_stats ~on_over_delete h.ext h.table ~vn:m.txn_vn
+         base)
+
+  let live_by_key h key =
+    match Table.find_by_key h.table key with
+    | Some (rid, tuple) when Maintenance.is_logically_live h.ext tuple -> Some rid
+    | Some _ | None -> None
+
+  let read_current m ~table:name ~key =
+    check_live m;
+    let h = handle_exn m.owner name in
+    match Table.find_by_key h.table key with
+    | Some (_, tuple) when Maintenance.is_logically_live h.ext tuple ->
+      Some (Tuple.make (Schema_ext.base h.ext) (Schema_ext.current_values h.ext tuple))
+    | Some _ | None -> None
+
+  let update_by_key m ~table:name ~key ~set =
+    check_live m;
+    let h = handle_exn m.owner name in
+    match live_by_key h key with
+    | None -> false
+    | Some rid ->
+      let base = Schema_ext.base h.ext in
+      let assignments = List.map (fun (col, v) -> (Schema.index_of base col, v)) set in
+      Maintenance.apply_update ~stats:m.txn_stats h.ext h.table ~vn:m.txn_vn rid assignments;
+      true
+
+  let delete_by_key m ~table:name ~key =
+    check_live m;
+    let h = handle_exn m.owner name in
+    match live_by_key h key with
+    | None -> false
+    | Some rid ->
+      let was_insert_over_delete r =
+        List.exists
+          (fun (tn, r') -> String.equal tn name && Heap_file.rid_equal r' r)
+          m.over_deleted
+      in
+      Maintenance.apply_delete ~stats:m.txn_stats ~was_insert_over_delete h.ext h.table
+        ~vn:m.txn_vn rid;
+      true
+
+  let commit m =
+    check_live m;
+    m.finished <- true;
+    m.owner.txn_active <- false;
+    Version_state.commit_maintenance m.owner.version ~vn:m.txn_vn;
+    Log.info (fun m' ->
+        let s = m.txn_stats in
+        m' "maintenance transaction %d committed (%d ins / %d upd / %d del logical)" m.txn_vn
+          s.Maintenance.logical_inserts s.Maintenance.logical_updates
+          s.Maintenance.logical_deletes)
+
+  let abort m =
+    check_live m;
+    m.finished <- true;
+    let t = m.owner in
+    let reverted =
+      List.fold_left
+        (fun acc h ->
+          let over_deleted rid =
+            List.exists
+              (fun (name, r) -> String.equal name h.name && Heap_file.rid_equal r rid)
+              m.over_deleted
+          in
+          acc + Rollback.revert_all h.ext h.table ~vn:m.txn_vn ~over_deleted)
+        0 (handles t)
+    in
+    t.txn_active <- false;
+    Version_state.abort_maintenance t.version;
+    Log.info (fun m' -> m' "maintenance transaction %d aborted; %d tuples reverted" m.txn_vn reverted);
+    reverted
+end

@@ -1,0 +1,155 @@
+(** The 2VNL warehouse facade.
+
+    Ties together the Version relation, schema extension, reader sessions,
+    and maintenance transactions over one database.  A typical lifecycle:
+
+    {v
+  let wh = Twovnl.init db in
+  let _h = Twovnl.register_table wh ~name:"DailySales" daily_sales_schema in
+  Twovnl.load_initial wh "DailySales" initial_rows;
+  (* readers *)
+  let s = Twovnl.Session.begin_ wh in
+  let result = Twovnl.Session.query wh s "SELECT ... FROM DailySales ..." in
+  (* concurrent maintenance *)
+  let m = Twovnl.Txn.begin_ wh in
+  ignore (Twovnl.Txn.sql m "UPDATE DailySales SET ... WHERE ...");
+  Twovnl.Txn.commit m
+    v} *)
+
+type t
+
+type handle
+(** A registered, schema-extended relation. *)
+
+exception Expired of { session_vn : int; current_vn : int }
+(** Raised when a reader operation is attempted on an expired session; the
+    reader should begin a new session (§2.1). *)
+
+val init : Vnl_query.Database.t -> t
+(** Install the Version relation into [db] and return the facade. *)
+
+val attach : Vnl_query.Database.t -> t
+(** Re-attach to a reopened database (see {!Vnl_query.Database.reopen}):
+    finds the existing Version relation instead of installing one.  Follow
+    with {!attach_table} for each 2VNL relation and {!recover} to complete
+    §7-style no-log crash recovery. *)
+
+val database : t -> Vnl_query.Database.t
+
+val version_state : t -> Version_state.t
+
+val current_vn : t -> int
+
+val register_table : t -> ?n:int -> name:string -> Vnl_relation.Schema.t -> handle
+(** Create table [name] in the database with the nVNL-extended schema
+    (default n = 2). *)
+
+val attach_table : t -> ?n:int -> name:string -> Vnl_relation.Schema.t -> handle
+(** Register an {e existing} table (recovered from disk) as the nVNL
+    extension of the given base schema.  Raises [Invalid_argument] if the
+    stored schema does not equal the extension of [base] with this [n]. *)
+
+val recover : t -> int
+(** No-log crash recovery: if the Version relation says a maintenance
+    transaction was active at the crash, revert every tuple it touched from
+    the tuples' own pre-update versions (no log consulted) and clear the
+    flag; returns the number of tuples reverted.  Tuples whose slot-1
+    operation is insert are treated as fresh inserts and physically removed
+    — correct for every live session, see DESIGN.md §6. *)
+
+val handle : t -> string -> handle option
+
+val handle_exn : t -> string -> handle
+
+val handles : t -> handle list
+
+val handle_name : handle -> string
+
+val ext : handle -> Schema_ext.t
+
+val table : handle -> Vnl_query.Table.t
+
+val lookup : t -> string -> Schema_ext.t option
+(** The registry function the {!Rewrite} layer consumes. *)
+
+val load_initial : t -> string -> Vnl_relation.Tuple.t list -> unit
+(** Bulk-load base tuples as of the current version (outside any
+    maintenance transaction; used for initial warehouse population). *)
+
+val min_session_vn : t -> int
+(** Smallest sessionVN among active sessions, or [current_vn] when none —
+    the garbage-collection horizon. *)
+
+val collect_garbage : t -> int
+(** Run {!Gc.collect} over every registered table at the current horizon. *)
+
+module Session : sig
+  type s
+
+  val begin_ : t -> s
+  (** Snapshot [currentVN] as the session's version (§3). *)
+
+  val vn : s -> int
+
+  val id : s -> int
+
+  val is_valid : t -> s -> bool
+  (** The global expiry check, generalized per §5: valid while the session
+      has overlapped at most n - 1 maintenance transactions (n taken as the
+      smallest version count among registered tables; the paper's §4.1
+      condition when n = 2). *)
+
+  val end_ : t -> s -> unit
+
+  val query : t -> s -> string -> Vnl_query.Executor.result
+  (** Rewrite (per §4.1, generalized to any n) and execute a SELECT over
+      base-schema names with [:sessionVN] bound.  Raises {!Expired} if the
+      session is no longer valid. *)
+
+  val read_table : t -> s -> string -> Vnl_relation.Tuple.t list
+  (** Engine-level extraction (works for any n): all base tuples visible at
+      the session's version.  Raises {!Expired} on per-tuple expiry
+      detection. *)
+end
+
+module Txn : sig
+  type m
+
+  val begin_ : t -> m
+  (** Start the single maintenance transaction.  Raises [Invalid_argument]
+      if one is active. *)
+
+  val vn : m -> int
+
+  val stats : m -> Maintenance.stats
+
+  val sql : m -> string -> int
+  (** Execute a base-schema DML statement via the §4.2 cursor rewrite;
+      returns logical operations applied. *)
+
+  val insert : m -> table:string -> Vnl_relation.Value.t list -> unit
+
+  val read_current :
+    m -> table:string -> key:Vnl_relation.Value.t list -> Vnl_relation.Tuple.t option
+  (** Maintenance read: the latest (current) version of the live tuple with
+      this key, as a base tuple; [None] when absent or logically deleted.
+      Maintenance transactions always read the latest version (§3.3). *)
+
+  val update_by_key :
+    m ->
+    table:string ->
+    key:Vnl_relation.Value.t list ->
+    set:(string * Vnl_relation.Value.t) list ->
+    bool
+  (** Update the live tuple with this key; [false] when absent or
+      logically deleted. *)
+
+  val delete_by_key : m -> table:string -> key:Vnl_relation.Value.t list -> bool
+
+  val commit : m -> unit
+  (** Publish the new version (Version relation update, §4). *)
+
+  val abort : m -> int
+  (** No-log rollback (§7): revert every touched tuple; returns the number
+      reverted. *)
+end

@@ -1,0 +1,63 @@
+module Schema = Vnl_relation.Schema
+module Tuple = Vnl_relation.Tuple
+module Value = Vnl_relation.Value
+module Dtype = Vnl_relation.Dtype
+module Database = Vnl_query.Database
+module Table = Vnl_query.Table
+module Heap_file = Vnl_storage.Heap_file
+
+let table_name = "Version"
+
+let schema =
+  Schema.make
+    [ Schema.attr "currentVN" Dtype.Int; Schema.attr "maintenanceActive" Dtype.Bool ]
+
+type t = { table : Table.t; rid : Heap_file.rid }
+
+let install db =
+  let table = Database.create_table db table_name schema in
+  let rid = Table.insert table (Tuple.make schema [ Value.Int 1; Value.Bool false ]) in
+  { table; rid }
+
+let attach db =
+  match Database.table db table_name with
+  | None -> failwith "Version_state.attach: no Version relation"
+  | Some table -> (
+    match Table.to_list table with
+    | [ (rid, _) ] -> { table; rid }
+    | _ -> failwith "Version_state.attach: Version relation must hold exactly one tuple")
+
+let read t =
+  match Table.get t.table t.rid with
+  | Some tuple -> (
+    match (Tuple.get tuple 0, Tuple.get tuple 1) with
+    | Value.Int vn, Value.Bool active -> (vn, active)
+    | _ -> invalid_arg "Version_state: corrupt Version tuple")
+  | None -> invalid_arg "Version_state: Version tuple missing"
+
+let write t vn active =
+  Table.update_in_place t.table t.rid
+    (Tuple.make schema [ Value.Int vn; Value.Bool active ])
+
+let current_vn t = fst (read t)
+
+let maintenance_active t = snd (read t)
+
+let begin_maintenance t =
+  let vn, active = read t in
+  if active then invalid_arg "Version_state: a maintenance transaction is already active";
+  write t vn true;
+  vn + 1
+
+let commit_maintenance t ~vn =
+  let current, active = read t in
+  if not active then invalid_arg "Version_state: no active maintenance transaction";
+  if vn <> current + 1 then
+    invalid_arg
+      (Printf.sprintf "Version_state: commit vn %d does not follow currentVN %d" vn current);
+  write t vn false
+
+let abort_maintenance t =
+  let current, active = read t in
+  if not active then invalid_arg "Version_state: no active maintenance transaction";
+  write t current false

@@ -1,0 +1,41 @@
+(** The global Version relation (§4).
+
+    [currentVN] and [maintenanceActive] are stored in a single-tuple,
+    two-attribute relation inside the DBMS itself, read by readers and
+    updated by maintenance transactions — exactly the implementation the
+    paper prescribes for a query-rewrite deployment.  Following §4's
+    abort-visibility remark, the commit protocol updates [currentVN] only
+    {e after} the maintenance work is complete. *)
+
+type t
+
+val table_name : string
+(** ["Version"]. *)
+
+val install : Vnl_query.Database.t -> t
+(** Create the Version relation with [currentVN = 1],
+    [maintenanceActive = false].  Raises [Invalid_argument] if it already
+    exists. *)
+
+val attach : Vnl_query.Database.t -> t
+(** Re-attach to an existing Version relation (after {!Vnl_query.Database.reopen}).
+    Raises [Failure] when the relation or its single tuple is missing. *)
+
+val current_vn : t -> int
+(** Read [currentVN] from the stored tuple (a real table read). *)
+
+val maintenance_active : t -> bool
+
+val begin_maintenance : t -> int
+(** Set [maintenanceActive] and return the transaction's
+    [maintenanceVN = currentVN + 1].  Raises [Invalid_argument] if a
+    maintenance transaction is already active (the external protocol of
+    §2.2 admits one at a time). *)
+
+val commit_maintenance : t -> vn:int -> unit
+(** Publish [currentVN := vn] and clear [maintenanceActive].  Raises
+    [Invalid_argument] unless a maintenance transaction with this [vn] is
+    active. *)
+
+val abort_maintenance : t -> unit
+(** Clear [maintenanceActive] leaving [currentVN] unchanged. *)

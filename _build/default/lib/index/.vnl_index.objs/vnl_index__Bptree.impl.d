@@ -1,0 +1,1 @@
+lib/index/bptree.ml: Array List Printf Vnl_relation

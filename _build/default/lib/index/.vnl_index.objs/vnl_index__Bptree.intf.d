@@ -1,0 +1,1 @@
+lib/index/bptree.mli: Vnl_relation

@@ -1,0 +1,1 @@
+lib/query/catalog.ml: Buffer List Printf String Vnl_relation

@@ -1,0 +1,1 @@
+lib/query/catalog.mli: Vnl_relation

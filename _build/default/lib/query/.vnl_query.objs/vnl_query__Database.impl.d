@@ -1,0 +1,1 @@
+lib/query/database.ml: Buffer Bytes Catalog Hashtbl List Printf String Table Vnl_storage

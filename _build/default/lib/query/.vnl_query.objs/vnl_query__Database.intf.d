@@ -1,0 +1,1 @@
+lib/query/database.mli: Table Vnl_relation Vnl_storage

@@ -1,0 +1,1 @@
+lib/query/dml.ml: Array Database Eval List Printf Table Vnl_relation Vnl_sql

@@ -1,0 +1,1 @@
+lib/query/dml.mli: Database Eval Vnl_relation Vnl_sql Vnl_storage

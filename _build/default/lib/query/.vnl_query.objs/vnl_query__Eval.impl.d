@@ -1,0 +1,1 @@
+lib/query/eval.ml: Hashtbl List Printf String Vnl_relation Vnl_sql

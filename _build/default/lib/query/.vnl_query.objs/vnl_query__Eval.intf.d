@@ -1,0 +1,1 @@
+lib/query/eval.mli: Vnl_relation Vnl_sql

@@ -1,0 +1,1 @@
+lib/query/executor.ml: Array Database Eval Format Hashtbl List Map Option Printf String Table Vnl_relation Vnl_sql Vnl_util

@@ -1,0 +1,1 @@
+lib/query/executor.mli: Database Format Vnl_relation Vnl_sql

@@ -1,0 +1,1 @@
+lib/query/table.ml: List Option Printf Vnl_index Vnl_relation Vnl_storage

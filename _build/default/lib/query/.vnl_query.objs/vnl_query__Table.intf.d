@@ -1,0 +1,1 @@
+lib/query/table.mli: Vnl_relation Vnl_storage

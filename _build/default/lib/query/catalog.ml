@@ -1,0 +1,138 @@
+module Schema = Vnl_relation.Schema
+module Dtype = Vnl_relation.Dtype
+
+type entry = {
+  table : string;
+  schema : Schema.t;
+  pages : int list;
+  secondary : (string * string list) list;
+}
+
+exception Corrupt of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let dtype_to_string = function
+  | Dtype.Int -> "int"
+  | Dtype.Float -> "float"
+  | Dtype.Date -> "date"
+  | Dtype.Bool -> "bool"
+  | Dtype.Str n -> Printf.sprintf "str:%d" n
+
+let dtype_of_string s =
+  match s with
+  | "int" -> Dtype.Int
+  | "float" -> Dtype.Float
+  | "date" -> Dtype.Date
+  | "bool" -> Dtype.Bool
+  | _ ->
+    if String.length s > 4 && String.sub s 0 4 = "str:" then
+      match int_of_string_opt (String.sub s 4 (String.length s - 4)) with
+      | Some n when n > 0 -> Dtype.Str n
+      | _ -> fail "bad string width in %S" s
+    else fail "unknown dtype %S" s
+
+let serialize entries =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "vnl-catalog 1\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Printf.sprintf "table %s\n" e.table);
+      List.iter
+        (fun a ->
+          Buffer.add_string buf
+            (Printf.sprintf "attr %s|%s|%c%c\n" a.Schema.name (dtype_to_string a.Schema.dtype)
+               (if a.Schema.updatable then 'u' else '-')
+               (if a.Schema.key then 'k' else '-')))
+        (Schema.attributes e.schema);
+      Buffer.add_string buf
+        (Printf.sprintf "pages %s\n" (String.concat " " (List.map string_of_int e.pages)));
+      List.iter
+        (fun (iname, attrs) ->
+          Buffer.add_string buf (Printf.sprintf "index %s %s\n" iname (String.concat " " attrs)))
+        e.secondary;
+      Buffer.add_string buf "end\n")
+    entries;
+  Buffer.contents buf
+
+let parse text =
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' text)
+  in
+  match lines with
+  | [] -> fail "empty catalog"
+  | header :: rest ->
+    if String.trim header <> "vnl-catalog 1" then fail "bad catalog header %S" header;
+    let entries = ref [] in
+    let current = ref None in
+    let finish () =
+      match !current with
+      | None -> ()
+      | Some (table, attrs, pages, secondary) ->
+        if attrs = [] then fail "table %s has no attributes" table;
+        entries :=
+          {
+            table;
+            schema = Schema.make (List.rev attrs);
+            pages = List.rev pages;
+            secondary = List.rev secondary;
+          }
+          :: !entries;
+        current := None
+    in
+    List.iter
+      (fun line ->
+        let line = String.trim line in
+        match String.index_opt line ' ' with
+        | None ->
+          if line = "end" then finish ()
+          else if line = "pages" then begin
+            (* A table with no pages yet. *)
+            match !current with
+            | Some (t, attrs, _, sec) -> current := Some (t, attrs, [], sec)
+            | None -> fail "pages outside table"
+          end
+          else fail "unexpected line %S" line
+        | Some i -> (
+          let keyword = String.sub line 0 i in
+          let body = String.sub line (i + 1) (String.length line - i - 1) in
+          match keyword with
+          | "table" ->
+            finish ();
+            current := Some (body, [], [], [])
+          | "attr" -> (
+            match (!current, String.split_on_char '|' body) with
+            | Some (t, attrs, pages, sec), [ name; dtype; flags ] when String.length flags = 2 ->
+              let attr =
+                Schema.attr
+                  ~updatable:(flags.[0] = 'u')
+                  ~key:(flags.[1] = 'k')
+                  name (dtype_of_string dtype)
+              in
+              current := Some (t, attr :: attrs, pages, sec)
+            | Some _, _ -> fail "bad attr line %S" line
+            | None, _ -> fail "attr outside table")
+          | "pages" -> (
+            match !current with
+            | Some (t, attrs, _, sec) ->
+              let pages =
+                List.filter_map
+                  (fun s ->
+                    if s = "" then None
+                    else
+                      match int_of_string_opt s with
+                      | Some p -> Some p
+                      | None -> fail "bad page id %S" s)
+                  (String.split_on_char ' ' body)
+              in
+              current := Some (t, attrs, List.rev pages, sec)
+            | None -> fail "pages outside table")
+          | "index" -> (
+            match (!current, String.split_on_char ' ' body) with
+            | Some (t, attrs, pages, sec), iname :: iattrs when iattrs <> [] ->
+              current := Some (t, attrs, pages, (iname, iattrs) :: sec)
+            | _ -> fail "bad index line %S" line)
+          | _ -> fail "unknown keyword %S" keyword))
+      rest;
+    finish ();
+    List.rev !entries

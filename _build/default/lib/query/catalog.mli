@@ -1,0 +1,22 @@
+(** Catalog (de)serialization for database persistence.
+
+    A restartable database must be able to rediscover its tables from disk:
+    the catalog records, per table, the schema (with updatable/key flags —
+    the bits 2VNL semantics hang off), the heap pages in scan order, and the
+    secondary-index definitions.  The format is a line-oriented text format
+    chosen for debuggability; {!Database.save} stores it in reserved catalog
+    pages. *)
+
+type entry = {
+  table : string;
+  schema : Vnl_relation.Schema.t;
+  pages : int list;  (** Heap pages in scan order. *)
+  secondary : (string * string list) list;  (** Secondary indexes. *)
+}
+
+val serialize : entry list -> string
+
+exception Corrupt of string
+
+val parse : string -> entry list
+(** Raises {!Corrupt} on malformed input. *)

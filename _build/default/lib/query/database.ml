@@ -1,0 +1,129 @@
+module Buffer_pool = Vnl_storage.Buffer_pool
+module Disk = Vnl_storage.Disk
+
+type t = {
+  pool : Buffer_pool.t;
+  catalog : (string, Table.t) Hashtbl.t;
+  mutable order : string list;  (** Creation order, newest first. *)
+  mutable catalog_pages : int list;  (** Content pages of the saved catalog. *)
+}
+
+let create ?(page_size = 4096) ?(pool_capacity = 64) () =
+  let disk = Disk.create ~page_size () in
+  let pool = Buffer_pool.create ~capacity:pool_capacity disk in
+  (* Page 0 is the catalog header. *)
+  ignore (Buffer_pool.alloc_page pool);
+  { pool; catalog = Hashtbl.create 8; order = []; catalog_pages = [] }
+
+let pool t = t.pool
+
+let create_table t name schema =
+  if Hashtbl.mem t.catalog name then
+    invalid_arg (Printf.sprintf "Database.create_table: %S already exists" name);
+  let table = Table.create t.pool ~name schema in
+  Hashtbl.add t.catalog name table;
+  t.order <- name :: t.order;
+  table
+
+let table t name = Hashtbl.find_opt t.catalog name
+
+let table_exn t name =
+  match table t name with
+  | Some tbl -> tbl
+  | None -> failwith (Printf.sprintf "Database: no such table %S" name)
+
+let drop_table t name =
+  Hashtbl.remove t.catalog name;
+  t.order <- List.filter (fun n -> not (String.equal n name)) t.order
+
+let tables t = List.rev_map (fun name -> Hashtbl.find t.catalog name) t.order
+
+let io_stats t = Buffer_pool.stats t.pool
+
+let reset_io_stats t = Buffer_pool.reset_stats t.pool
+
+let drop_cache t = Buffer_pool.drop_cache t.pool
+
+
+(* ---------- persistence ---------- *)
+
+let magic = "VNLDB1"
+
+let disk t = Buffer_pool.disk t.pool
+
+let entries t =
+  List.map
+    (fun table ->
+      {
+        Catalog.table = Table.name table;
+        schema = Table.schema table;
+        pages = Vnl_storage.Heap_file.pages (Table.heap table);
+        secondary = Table.indexes table;
+      })
+    (tables t)
+
+let save t =
+  let text = Catalog.serialize (entries t) in
+  let page_size = Disk.page_size (disk t) in
+  let needed = (String.length text + page_size - 1) / page_size in
+  while List.length t.catalog_pages < needed do
+    t.catalog_pages <- t.catalog_pages @ [ Buffer_pool.alloc_page t.pool ]
+  done;
+  List.iteri
+    (fun i pid ->
+      Buffer_pool.with_page_mut t.pool pid (fun img ->
+          Bytes.fill img 0 page_size '\000';
+          let off = i * page_size in
+          if off < String.length text then begin
+            let len = min page_size (String.length text - off) in
+            Bytes.blit_string text off img 0 len
+          end))
+    t.catalog_pages;
+  (* Header page 0: magic, content length, content page ids. *)
+  Buffer_pool.with_page_mut t.pool 0 (fun img ->
+      Bytes.fill img 0 page_size '\000';
+      let header =
+        Printf.sprintf "%s %d %s\n" magic (String.length text)
+          (String.concat " " (List.map string_of_int t.catalog_pages))
+      in
+      if String.length header > page_size then failwith "Database.save: header overflow";
+      Bytes.blit_string header 0 img 0 (String.length header));
+  Buffer_pool.flush_all t.pool
+
+let reopen ?(pool_capacity = 64) disk0 =
+  let pool = Buffer_pool.create ~capacity:pool_capacity disk0 in
+  let page_size = Disk.page_size disk0 in
+  let header =
+    Buffer_pool.with_page pool 0 (fun img ->
+        let raw = Bytes.to_string img in
+        match String.index_opt raw '\n' with
+        | Some i -> String.sub raw 0 i
+        | None -> raise (Catalog.Corrupt "missing catalog header"))
+  in
+  let length, pages =
+    match String.split_on_char ' ' header with
+    | m :: len :: pids when m = magic -> (
+      match int_of_string_opt len with
+      | Some l -> (l, List.filter_map int_of_string_opt pids)
+      | None -> raise (Catalog.Corrupt "bad catalog length"))
+    | _ -> raise (Catalog.Corrupt "bad catalog magic")
+  in
+  let buf = Buffer.create length in
+  List.iter
+    (fun pid ->
+      Buffer_pool.with_page pool pid (fun img ->
+          let remaining = length - Buffer.length buf in
+          Buffer.add_subbytes buf img 0 (min page_size remaining)))
+    pages;
+  let entries = Catalog.parse (Buffer.contents buf) in
+  let t = { pool; catalog = Hashtbl.create 8; order = []; catalog_pages = pages } in
+  List.iter
+    (fun e ->
+      let table =
+        Table.attach pool ~name:e.Catalog.table e.Catalog.schema ~pages:e.Catalog.pages
+          ~secondary:e.Catalog.secondary
+      in
+      Hashtbl.add t.catalog e.Catalog.table table;
+      t.order <- e.Catalog.table :: t.order)
+    entries;
+  t

@@ -1,0 +1,42 @@
+(** A database: one buffer pool and a catalog of named tables. *)
+
+type t
+
+val create : ?page_size:int -> ?pool_capacity:int -> unit -> t
+(** Fresh database over a new simulated disk.  [page_size] defaults to 4096
+    bytes, [pool_capacity] to 64 frames. *)
+
+val pool : t -> Vnl_storage.Buffer_pool.t
+
+val create_table : t -> string -> Vnl_relation.Schema.t -> Table.t
+(** Raises [Invalid_argument] if the name is taken. *)
+
+val table : t -> string -> Table.t option
+
+val table_exn : t -> string -> Table.t
+(** Raises [Not_found] with the table name in a [Failure] message. *)
+
+val drop_table : t -> string -> unit
+
+val tables : t -> Table.t list
+(** In creation order. *)
+
+val io_stats : t -> Vnl_storage.Buffer_pool.stats
+
+val reset_io_stats : t -> unit
+
+val drop_cache : t -> unit
+(** Flush and empty the buffer pool so the next accesses are cold; used by
+    the I/O experiments. *)
+
+val save : t -> unit
+(** Persist the catalog (schemas, heap pages, index definitions) into
+    reserved catalog pages and flush every dirty page, making the disk
+    image self-describing. *)
+
+val disk : t -> Vnl_storage.Disk.t
+
+val reopen : ?pool_capacity:int -> Vnl_storage.Disk.t -> t
+(** Re-open a database from a disk image produced by {!save}: tables are
+    re-attached to their pages and all indexes rebuilt by scanning.  Raises
+    {!Catalog.Corrupt} if the image has no valid catalog. *)

@@ -1,0 +1,68 @@
+(** INSERT / UPDATE / DELETE execution.
+
+    Updates and deletes use the cursor approach of §4.2: matching rids are
+    collected first, then each tuple is revisited and modified individually,
+    which is exactly the shape the 2VNL maintenance rewrite needs for its
+    per-tuple physical-operation decisions. *)
+
+exception Dml_error of string
+
+type outcome = {
+  matched : int;  (** Tuples the statement's WHERE selected. *)
+  changed : int;  (** Tuples physically inserted / updated / deleted. *)
+}
+
+val insert :
+  Database.t ->
+  ?params:(string * Vnl_relation.Value.t) list ->
+  table:string ->
+  columns:string list option ->
+  Vnl_sql.Ast.expr list list ->
+  outcome
+(** Evaluate and insert the given rows.  Unnamed columns default to the
+    schema order; named columns may omit attributes, which become NULL.
+    Raises {!Table.Unique_violation} on key conflicts. *)
+
+val update :
+  Database.t ->
+  ?params:(string * Vnl_relation.Value.t) list ->
+  table:string ->
+  sets:(string * Vnl_sql.Ast.expr) list ->
+  Vnl_sql.Ast.expr option ->
+  outcome
+(** Set-oriented update: assignment right-hand sides see the {e old} tuple. *)
+
+val delete :
+  Database.t ->
+  ?params:(string * Vnl_relation.Value.t) list ->
+  table:string ->
+  Vnl_sql.Ast.expr option ->
+  outcome
+
+val execute :
+  Database.t ->
+  ?params:(string * Vnl_relation.Value.t) list ->
+  Vnl_sql.Ast.statement ->
+  outcome
+(** Dispatch a non-SELECT statement.  Raises {!Dml_error} on a SELECT. *)
+
+val execute_string :
+  Database.t -> ?params:(string * Vnl_relation.Value.t) list -> string -> outcome
+
+val select_rids :
+  Database.t ->
+  ?params:(string * Vnl_relation.Value.t) list ->
+  table:string ->
+  Vnl_sql.Ast.expr option ->
+  Vnl_storage.Heap_file.rid list
+(** The cursor primitive: rids of tuples currently matching [where], in scan
+    order.  Callers then re-fetch each tuple before acting, so mutations
+    during iteration are safe. *)
+
+val env_for_tuple :
+  ?params:(string * Vnl_relation.Value.t) list ->
+  Vnl_relation.Schema.t ->
+  Vnl_relation.Tuple.t ->
+  Eval.env
+(** Evaluation environment resolving unqualified columns against one
+    tuple. *)

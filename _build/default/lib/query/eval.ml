@@ -1,0 +1,138 @@
+module Value = Vnl_relation.Value
+module Ast = Vnl_sql.Ast
+
+exception Eval_error of string
+
+type env = {
+  resolve : string option -> string -> Value.t;
+  params : (string * Value.t) list;
+}
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
+
+let no_columns q name =
+  let q = match q with Some q -> q ^ "." | None -> "" in
+  fail "column %s%s not available in this context" q name
+
+(* Three-valued comparison: NULL operands yield NULL. *)
+let compare_op op a b =
+  if Value.is_null a || Value.is_null b then Value.Null
+  else
+    let c = Value.compare a b in
+    let holds =
+      match op with
+      | Ast.Eq -> c = 0
+      | Ast.Neq -> c <> 0
+      | Ast.Lt -> c < 0
+      | Ast.Le -> c <= 0
+      | Ast.Gt -> c > 0
+      | Ast.Ge -> c >= 0
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.And | Ast.Or -> assert false
+    in
+    Value.Bool holds
+
+(* Kleene three-valued AND/OR. *)
+let and3 a b =
+  match (a, b) with
+  | Value.Bool false, _ | _, Value.Bool false -> Value.Bool false
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.Bool true, Value.Bool true -> Value.Bool true
+  | _ -> fail "AND applied to non-boolean"
+
+let or3 a b =
+  match (a, b) with
+  | Value.Bool true, _ | _, Value.Bool true -> Value.Bool true
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.Bool false, Value.Bool false -> Value.Bool false
+  | _ -> fail "OR applied to non-boolean"
+
+let not3 = function
+  | Value.Bool b -> Value.Bool (not b)
+  | Value.Null -> Value.Null
+  | _ -> fail "NOT applied to non-boolean"
+
+(* SQL LIKE: % matches any run, _ any single character. *)
+let like_match pattern text =
+  let np = String.length pattern and nt = String.length text in
+  (* Memoized recursion over (pattern index, text index). *)
+  let memo = Hashtbl.create 16 in
+  let rec go pi ti =
+    match Hashtbl.find_opt memo (pi, ti) with
+    | Some r -> r
+    | None ->
+      let r =
+        if pi = np then ti = nt
+        else
+          match pattern.[pi] with
+          | '%' -> go (pi + 1) ti || (ti < nt && go pi (ti + 1))
+          | '_' -> ti < nt && go (pi + 1) (ti + 1)
+          | c -> ti < nt && text.[ti] = c && go (pi + 1) (ti + 1)
+      in
+      Hashtbl.add memo (pi, ti) r;
+      r
+  in
+  go 0 0
+
+let rec eval env (e : Ast.expr) =
+  match e with
+  | Ast.Lit v -> v
+  | Ast.Col (q, name) -> env.resolve q name
+  | Ast.Param p -> (
+    match List.assoc_opt p env.params with
+    | Some v -> v
+    | None -> fail "unbound parameter :%s" p)
+  | Ast.Binop (Ast.And, a, b) -> and3 (eval env a) (eval env b)
+  | Ast.Binop (Ast.Or, a, b) -> or3 (eval env a) (eval env b)
+  | Ast.Binop (((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op), a, b) ->
+    compare_op op (eval env a) (eval env b)
+  | Ast.Binop (Ast.Add, a, b) -> Value.add (eval env a) (eval env b)
+  | Ast.Binop (Ast.Sub, a, b) -> Value.sub (eval env a) (eval env b)
+  | Ast.Binop (Ast.Mul, a, b) -> Value.mul (eval env a) (eval env b)
+  | Ast.Binop (Ast.Div, a, b) -> (
+    let va = eval env a and vb = eval env b in
+    try Value.div va vb with Division_by_zero -> fail "division by zero")
+  | Ast.Unop (Ast.Not, e) -> not3 (eval env e)
+  | Ast.Unop (Ast.Neg, e) -> Value.neg (eval env e)
+  | Ast.Case (arms, default) ->
+    let rec arm = function
+      | [] -> ( match default with Some d -> eval env d | None -> Value.Null)
+      | (cond, value) :: rest ->
+        if truthy_value (eval env cond) then eval env value else arm rest
+    in
+    arm arms
+  | Ast.Agg _ -> fail "aggregate used outside of a grouped query"
+  | Ast.Is_null e -> Value.Bool (Value.is_null (eval env e))
+  | Ast.Is_not_null e -> Value.Bool (not (Value.is_null (eval env e)))
+  | Ast.In (e, candidates) ->
+    (* SQL semantics: TRUE on a match; otherwise NULL if the subject or any
+       candidate was NULL, else FALSE. *)
+    let subject = eval env e in
+    if Value.is_null subject then Value.Null
+    else
+      let rec scan saw_null = function
+        | [] -> if saw_null then Value.Null else Value.Bool false
+        | cand :: rest ->
+          let v = eval env cand in
+          if Value.is_null v then scan true rest
+          else if Value.compare subject v = 0 then Value.Bool true
+          else scan saw_null rest
+      in
+      scan false candidates
+  | Ast.Between (e, lo, hi) ->
+    and3
+      (compare_op Ast.Ge (eval env e) (eval env lo))
+      (compare_op Ast.Le (eval env e) (eval env hi))
+  | Ast.Like (e, pattern) -> (
+    match eval env e with
+    | Value.Null -> Value.Null
+    | Value.Str s -> Value.Bool (like_match pattern s)
+    | v -> fail "LIKE applied to non-string %s" (Value.to_string v))
+
+and truthy_value = function
+  | Value.Bool b -> b
+  | Value.Null -> false
+  | v -> fail "expected boolean predicate, got %s" (Value.to_string v)
+
+let truthy = truthy_value
+
+let eval_pred env e = truthy (eval env e)

@@ -1,0 +1,29 @@
+(** Scalar expression evaluation with SQL three-valued logic.
+
+    Comparisons involving NULL yield NULL; AND/OR follow Kleene logic; a
+    WHERE predicate holds only when it evaluates to true.  Named parameters
+    ([:sessionVN], [:maintenanceVN]) are resolved from a binding list — the
+    mechanism the 2VNL rewrite uses to inject version numbers (§4.1). *)
+
+exception Eval_error of string
+
+type env = {
+  resolve : string option -> string -> Vnl_relation.Value.t;
+      (** Column resolver given optional qualifier and name; should raise
+          {!Eval_error} for unknown columns. *)
+  params : (string * Vnl_relation.Value.t) list;
+}
+
+val no_columns : string option -> string -> Vnl_relation.Value.t
+(** Resolver for column-free contexts (e.g. INSERT VALUES); always raises. *)
+
+val eval : env -> Vnl_sql.Ast.expr -> Vnl_relation.Value.t
+(** Raises {!Eval_error} on aggregate nodes (the executor computes those),
+    unknown parameters, or type errors. *)
+
+val truthy : Vnl_relation.Value.t -> bool
+(** SQL predicate semantics: [Bool true] is true; [Bool false] and [Null]
+    are not.  Raises {!Eval_error} on non-boolean values. *)
+
+val eval_pred : env -> Vnl_sql.Ast.expr -> bool
+(** [truthy (eval env e)]. *)

@@ -1,0 +1,50 @@
+(** SELECT execution.
+
+    A straightforward evaluator: FROM (cross product over the named tables),
+    WHERE, GROUP BY with aggregates, HAVING, projection, DISTINCT, ORDER BY.
+    A minimal planner picks each table's access path from the equality
+    predicates in WHERE: a unique-key probe when the whole key is bound, the
+    longest covered secondary index otherwise, else a full scan — which is
+    what makes the §4.3 discussion observable: indexes on group-by
+    attributes keep working under the 2VNL rewrite, while a predicate
+    wrapped in the rewrite's CASE can no longer use one.  All data access
+    goes through the buffer pool, so access-path choices show up in the
+    physical I/O counters. *)
+
+exception Query_error of string
+
+type result = {
+  columns : string list;  (** Output column labels, in select-list order. *)
+  rows : Vnl_relation.Value.t list list;
+}
+
+val query :
+  Database.t ->
+  ?params:(string * Vnl_relation.Value.t) list ->
+  Vnl_sql.Ast.select ->
+  result
+(** Execute a SELECT.  Raises {!Query_error} (or {!Eval.Eval_error}) on
+    unknown tables/columns or malformed grouping. *)
+
+val query_string :
+  Database.t -> ?params:(string * Vnl_relation.Value.t) list -> string -> result
+(** Parse then {!query}. *)
+
+val sort_rows : result -> result
+(** Canonically sort the rows; handy for order-insensitive comparisons in
+    tests and experiment output. *)
+
+val result_equal : result -> result -> bool
+(** Equality on columns and row multisets (order-insensitive). *)
+
+val pp_result : Format.formatter -> result -> unit
+(** Render as an aligned text table. *)
+
+val explain :
+  Database.t -> ?params:(string * Vnl_relation.Value.t) list -> Vnl_sql.Ast.select -> string
+(** One line per FROM table describing the chosen access path (unique-key
+    probe, secondary-index scan, or full scan) without executing the
+    query. *)
+
+val explain_string :
+  Database.t -> ?params:(string * Vnl_relation.Value.t) list -> string -> string

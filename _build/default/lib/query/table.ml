@@ -1,0 +1,183 @@
+module Schema = Vnl_relation.Schema
+module Tuple = Vnl_relation.Tuple
+module Heap_file = Vnl_storage.Heap_file
+module Bptree = Vnl_index.Bptree
+
+exception Unique_violation of string
+
+(* Secondary indexes are non-unique: entries are keyed by the indexed
+   attribute values with the rid appended as a uniquifier, so equal
+   attribute values coexist and lookups are prefix range scans. *)
+type secondary = { attrs : string list; positions : int list; tree : unit Bptree.t }
+
+type t = {
+  name : string;
+  heap : Heap_file.t;
+  index : Heap_file.rid Bptree.t option;  (** Present iff the schema has a unique key. *)
+  mutable secondaries : (string * secondary) list;  (** Creation order. *)
+}
+
+let create pool ~name schema =
+  let heap = Heap_file.create pool schema in
+  let index = if Schema.has_unique_key schema then Some (Bptree.create ()) else None in
+  { name; heap; index; secondaries = [] }
+
+let attach_heap pool ~name heap secondary =
+  let schema = Vnl_storage.Heap_file.schema heap in
+  ignore pool;
+  let index =
+    if Schema.has_unique_key schema then begin
+      let tree = Bptree.create () in
+      Heap_file.scan heap (fun rid tuple -> Bptree.insert tree (Tuple.key_of schema tuple) rid);
+      Some tree
+    end
+    else None
+  in
+  let t = { name; heap; index; secondaries = [] } in
+  t, secondary
+
+let name t = t.name
+
+let schema t = Heap_file.schema t.heap
+
+let heap t = t.heap
+
+let has_key t = t.index <> None
+
+let key_of t tuple = Tuple.key_of (schema t) tuple
+
+let sec_entry_key sec tuple (rid : Heap_file.rid) =
+  Tuple.project tuple sec.positions
+  @ [ Vnl_relation.Value.Int rid.Heap_file.page; Vnl_relation.Value.Int rid.Heap_file.slot ]
+
+let sec_insert t tuple rid =
+  List.iter (fun (_, sec) -> Bptree.insert sec.tree (sec_entry_key sec tuple rid) ()) t.secondaries
+
+let sec_remove t tuple rid =
+  List.iter
+    (fun (_, sec) -> ignore (Bptree.remove sec.tree (sec_entry_key sec tuple rid)))
+    t.secondaries
+
+let insert t tuple =
+  (match t.index with
+  | Some index when Bptree.mem index (key_of t tuple) ->
+    raise (Unique_violation (Printf.sprintf "table %s: duplicate key" t.name))
+  | Some _ | None -> ());
+  let rid = Heap_file.insert t.heap tuple in
+  Option.iter (fun index -> Bptree.insert index (key_of t tuple) rid) t.index;
+  sec_insert t tuple rid;
+  rid
+
+let update_in_place t rid tuple =
+  let old = Heap_file.get t.heap rid in
+  (match (t.index, old) with
+  | Some index, Some old ->
+    let old_key = key_of t old and new_key = key_of t tuple in
+    if not (List.for_all2 Vnl_relation.Value.equal old_key new_key) then begin
+      if Bptree.mem index new_key then
+        raise (Unique_violation (Printf.sprintf "table %s: duplicate key" t.name));
+      ignore (Bptree.remove index old_key);
+      Bptree.insert index new_key rid
+    end
+  | (Some _ | None), _ -> ());
+  (match old with
+  | Some old ->
+    sec_remove t old rid;
+    sec_insert t tuple rid
+  | None -> ());
+  Heap_file.update_in_place t.heap rid tuple
+
+let delete t rid =
+  (match Heap_file.get t.heap rid with
+  | Some old ->
+    (match t.index with
+    | Some index -> ignore (Bptree.remove index (key_of t old))
+    | None -> ());
+    sec_remove t old rid
+  | None -> ());
+  Heap_file.delete t.heap rid
+
+let get t rid = Heap_file.get t.heap rid
+
+let find_by_key t key =
+  match t.index with
+  | None -> None
+  | Some index -> (
+    match Bptree.find index key with
+    | None -> None
+    | Some rid -> (
+      match Heap_file.get t.heap rid with
+      | Some tuple -> Some (rid, tuple)
+      | None -> None))
+
+let scan t f = Heap_file.scan t.heap f
+
+let to_list t = Heap_file.to_list t.heap
+
+let tuple_count t = Heap_file.tuple_count t.heap
+
+let page_count t = Heap_file.page_count t.heap
+
+let truncate t =
+  let rids = List.map fst (to_list t) in
+  List.iter (fun rid -> delete t rid) rids
+
+
+let create_index t ~name attrs =
+  if attrs = [] then invalid_arg "Table.create_index: empty attribute list";
+  if List.mem_assoc name t.secondaries then
+    invalid_arg (Printf.sprintf "Table.create_index: %S already exists" name);
+  let s = schema t in
+  let positions =
+    List.map
+      (fun attr ->
+        match Schema.index_of_opt s attr with
+        | Some i -> i
+        | None -> invalid_arg (Printf.sprintf "Table.create_index: unknown attribute %S" attr))
+      attrs
+  in
+  let sec = { attrs; positions; tree = Bptree.create () } in
+  Heap_file.scan t.heap (fun rid tuple -> Bptree.insert sec.tree (sec_entry_key sec tuple rid) ());
+  t.secondaries <- t.secondaries @ [ (name, sec) ]
+
+let drop_index t name = t.secondaries <- List.remove_assoc name t.secondaries
+
+let indexes t = List.map (fun (name, sec) -> (name, sec.attrs)) t.secondaries
+
+let index_lookup t ~name values =
+  let sec =
+    match List.assoc_opt name t.secondaries with
+    | Some sec -> sec
+    | None -> raise Not_found
+  in
+  if List.length values <> List.length sec.positions then
+    invalid_arg "Table.index_lookup: arity mismatch";
+  let lo = values @ [ Vnl_relation.Value.Int min_int; Vnl_relation.Value.Int min_int ] in
+  let hi = values @ [ Vnl_relation.Value.Int max_int; Vnl_relation.Value.Int max_int ] in
+  let acc = ref [] in
+  Bptree.range sec.tree ~lo ~hi (fun key () ->
+      match List.rev key with
+      | Vnl_relation.Value.Int slot :: Vnl_relation.Value.Int page :: _ ->
+        acc := { Heap_file.page; slot } :: !acc
+      | _ -> ());
+  List.rev !acc
+
+let index_covering t bound_attrs =
+  let covered sec = List.for_all (fun a -> List.mem a bound_attrs) sec.attrs in
+  (* Prefer the most selective (longest attribute list) covered index. *)
+  List.fold_left
+    (fun best (name, sec) ->
+      if covered sec then
+        match best with
+        | Some (_, n) when n >= List.length sec.attrs -> best
+        | _ -> Some (name, List.length sec.attrs)
+      else best)
+    None t.secondaries
+  |> Option.map fst
+
+
+let attach pool ~name schema ~pages ~secondary =
+  let heap = Heap_file.attach pool schema ~pages in
+  let t, secondary = attach_heap pool ~name heap secondary in
+  List.iter (fun (iname, attrs) -> create_index t ~name:iname attrs) secondary;
+  t

@@ -1,0 +1,79 @@
+(** Tables: a heap file plus a unique-key B+-tree kept in sync.
+
+    The key index serves the maintenance transaction's per-operation key
+    probes (the conflicting-tuple test of Table 2 and the §4.2 cursor
+    selections).  Relations without key attributes simply have no index and
+    no uniqueness enforcement, matching the paper's "tuples that do not have
+    unique keys" case. *)
+
+type t
+
+exception Unique_violation of string
+(** Raised on inserting a duplicate key; message names the table. *)
+
+val create : Vnl_storage.Buffer_pool.t -> name:string -> Vnl_relation.Schema.t -> t
+
+val attach :
+  Vnl_storage.Buffer_pool.t ->
+  name:string ->
+  Vnl_relation.Schema.t ->
+  pages:int list ->
+  secondary:(string * string list) list ->
+  t
+(** Re-open a table over existing heap pages after a restart: the unique-key
+    index and the listed secondary indexes are rebuilt by scanning. *)
+
+val name : t -> string
+
+val schema : t -> Vnl_relation.Schema.t
+
+val heap : t -> Vnl_storage.Heap_file.t
+
+val has_key : t -> bool
+
+val insert : t -> Vnl_relation.Tuple.t -> Vnl_storage.Heap_file.rid
+(** Raises {!Unique_violation} when the table has a unique key and an equal
+    key is already present. *)
+
+val update_in_place : t -> Vnl_storage.Heap_file.rid -> Vnl_relation.Tuple.t -> unit
+(** Overwrite the record; if the key values changed the index entry is
+    moved (2VNL itself never changes keys, but the engine supports it). *)
+
+val delete : t -> Vnl_storage.Heap_file.rid -> unit
+
+val get : t -> Vnl_storage.Heap_file.rid -> Vnl_relation.Tuple.t option
+
+val find_by_key :
+  t -> Vnl_relation.Value.t list -> (Vnl_storage.Heap_file.rid * Vnl_relation.Tuple.t) option
+(** Index probe; [None] for keyless tables or absent keys. *)
+
+val scan : t -> (Vnl_storage.Heap_file.rid -> Vnl_relation.Tuple.t -> unit) -> unit
+
+val to_list : t -> (Vnl_storage.Heap_file.rid * Vnl_relation.Tuple.t) list
+
+val tuple_count : t -> int
+
+val page_count : t -> int
+
+val truncate : t -> unit
+(** Remove every tuple (used by tests and scenario resets). *)
+
+val create_index : t -> name:string -> string list -> unit
+(** [create_index t ~name attrs] builds and maintains a secondary
+    (non-unique) B+-tree index on the given attributes; existing tuples are
+    indexed immediately.  Raises [Invalid_argument] on unknown attributes,
+    an empty list, or a duplicate index name. *)
+
+val drop_index : t -> string -> unit
+
+val indexes : t -> (string * string list) list
+(** Secondary indexes as (name, attributes), in creation order. *)
+
+val index_lookup :
+  t -> name:string -> Vnl_relation.Value.t list -> Vnl_storage.Heap_file.rid list
+(** Rids of tuples whose indexed attributes equal the given values, in key
+    order.  Raises [Not_found] for unknown index names. *)
+
+val index_covering : t -> string list -> string option
+(** Name of a secondary index whose attribute list is a subset of the given
+    equality-bound attributes (the planner's lookup), if any. *)

@@ -1,0 +1,1 @@
+lib/relation/dtype.ml: Format

@@ -1,0 +1,1 @@
+lib/relation/schema.ml: Array Dtype Format Hashtbl List Printf String

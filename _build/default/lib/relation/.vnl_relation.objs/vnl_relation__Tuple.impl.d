@@ -1,0 +1,1 @@
+lib/relation/tuple.ml: Array Bytes Dtype Format List Printf Schema Value

@@ -1,0 +1,1 @@
+lib/relation/value.ml: Buffer Bytes Dtype Float Format Hashtbl Int32 Int64 Printf Stdlib String

@@ -1,0 +1,23 @@
+type t = Int | Float | Str of int | Date | Bool
+
+let width = function
+  | Int -> 4
+  | Float -> 8
+  | Str n -> n
+  | Date -> 4
+  | Bool -> 1
+
+let equal a b =
+  match (a, b) with
+  | Int, Int | Float, Float | Date, Date | Bool, Bool -> true
+  | Str n, Str m -> n = m
+  | (Int | Float | Str _ | Date | Bool), _ -> false
+
+let pp ppf = function
+  | Int -> Format.pp_print_string ppf "INT"
+  | Float -> Format.pp_print_string ppf "FLOAT"
+  | Str n -> Format.fprintf ppf "CHAR(%d)" n
+  | Date -> Format.pp_print_string ppf "DATE"
+  | Bool -> Format.pp_print_string ppf "BOOL"
+
+let to_string t = Format.asprintf "%a" pp t

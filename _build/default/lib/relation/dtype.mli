@@ -1,0 +1,23 @@
+(** Attribute data types with fixed physical byte widths.
+
+    Widths follow the paper's Figure 3 layout (integers and dates are 4
+    bytes, strings are fixed-width CHAR(n)); the schema-extension storage
+    overhead experiment depends on this arithmetic. *)
+
+type t =
+  | Int  (** 32-bit integer, 4 bytes. *)
+  | Float  (** 64-bit float, 8 bytes. *)
+  | Str of int  (** Fixed-width string CHAR(n), n bytes. *)
+  | Date  (** Calendar date encoded as yyyymmdd, 4 bytes. *)
+  | Bool  (** Boolean, 1 byte. *)
+
+val width : t -> int
+(** Physical width in bytes of a value of this type (nulls are encoded
+    in-band with a sentinel, so width is unconditional). *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** SQL-ish rendering: [INT], [FLOAT], [CHAR(n)], [DATE], [BOOL]. *)
+
+val to_string : t -> string

@@ -1,0 +1,66 @@
+type attribute = { name : string; dtype : Dtype.t; updatable : bool; key : bool }
+
+type t = { attrs : attribute array; positions : (string, int) Hashtbl.t }
+
+let attr ?(updatable = false) ?(key = false) name dtype = { name; dtype; updatable; key }
+
+let make attrs =
+  if attrs = [] then invalid_arg "Schema.make: empty attribute list";
+  let arr = Array.of_list attrs in
+  let positions = Hashtbl.create (Array.length arr) in
+  Array.iteri
+    (fun i a ->
+      if Hashtbl.mem positions a.name then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate attribute %S" a.name);
+      if a.key && a.updatable then
+        invalid_arg (Printf.sprintf "Schema.make: key attribute %S cannot be updatable" a.name);
+      Hashtbl.add positions a.name i)
+    arr;
+  { attrs = arr; positions }
+
+let arity t = Array.length t.attrs
+
+let attribute t i = t.attrs.(i)
+
+let attributes t = Array.to_list t.attrs
+
+let index_of_opt t name = Hashtbl.find_opt t.positions name
+
+let index_of t name =
+  match index_of_opt t name with Some i -> i | None -> raise Not_found
+
+let mem t name = Hashtbl.mem t.positions name
+
+let names t = Array.to_list (Array.map (fun a -> a.name) t.attrs)
+
+let width t = Array.fold_left (fun acc a -> acc + Dtype.width a.dtype) 0 t.attrs
+
+let indices_where pred t =
+  let rec loop i acc =
+    if i < 0 then acc else loop (i - 1) (if pred t.attrs.(i) then i :: acc else acc)
+  in
+  loop (Array.length t.attrs - 1) []
+
+let key_indices = indices_where (fun a -> a.key)
+
+let updatable_indices = indices_where (fun a -> a.updatable)
+
+let has_unique_key t = key_indices t <> []
+
+let pp_attribute ppf a =
+  Format.fprintf ppf "%s : %a%s%s" a.name Dtype.pp a.dtype
+    (if a.key then " [key]" else "")
+    (if a.updatable then " [upd]" else "")
+
+let pp ppf t =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    pp_attribute ppf (attributes t)
+
+let equal a b =
+  arity a = arity b
+  && List.for_all2
+       (fun x y ->
+         String.equal x.name y.name && Dtype.equal x.dtype y.dtype
+         && x.updatable = y.updatable && x.key = y.key)
+       (attributes a) (attributes b)

@@ -1,0 +1,88 @@
+type t = Value.t array
+
+let check schema values =
+  if Array.length values <> Schema.arity schema then
+    invalid_arg
+      (Printf.sprintf "Tuple.make: arity mismatch (got %d, schema has %d)"
+         (Array.length values) (Schema.arity schema));
+  Array.iteri
+    (fun i v ->
+      let a = Schema.attribute schema i in
+      if not (Value.matches a.Schema.dtype v) then
+        invalid_arg
+          (Printf.sprintf "Tuple.make: value %s does not match attribute %s : %s"
+             (Value.to_string v) a.Schema.name
+             (Dtype.to_string a.Schema.dtype)))
+    values
+
+let of_array schema values =
+  let arr = Array.copy values in
+  check schema arr;
+  arr
+
+let make schema values = of_array schema (Array.of_list values)
+
+let arity = Array.length
+
+let get t i = t.(i)
+
+let get_by_name schema t name = t.(Schema.index_of schema name)
+
+let set t i v =
+  let t' = Array.copy t in
+  t'.(i) <- v;
+  t'
+
+let set_many t updates =
+  let t' = Array.copy t in
+  List.iter (fun (i, v) -> t'.(i) <- v) updates;
+  t'
+
+let values = Array.to_list
+
+let project t positions = List.map (fun i -> t.(i)) positions
+
+let key_of schema t = project t (Schema.key_indices schema)
+
+let equal a b = Array.length a = Array.length b && Array.for_all2 Value.equal a b
+
+let compare a b =
+  let rec loop i =
+    if i >= Array.length a && i >= Array.length b then 0
+    else if i >= Array.length a then -1
+    else if i >= Array.length b then 1
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+let encode schema t =
+  let buf = Bytes.create (Schema.width schema) in
+  let off = ref 0 in
+  Array.iteri
+    (fun i v ->
+      let dt = (Schema.attribute schema i).Schema.dtype in
+      let cell = Value.encode dt v in
+      Bytes.blit cell 0 buf !off (Bytes.length cell);
+      off := !off + Dtype.width dt)
+    t;
+  buf
+
+let decode schema buf =
+  let off = ref 0 in
+  Array.init (Schema.arity schema) (fun i ->
+      let dt = (Schema.attribute schema i).Schema.dtype in
+      let v = Value.decode dt buf !off in
+      off := !off + Dtype.width dt;
+      v)
+
+let pp schema ppf t =
+  ignore schema;
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Value.pp)
+    (values t)
+
+let to_strings t = List.map Value.to_string (values t)

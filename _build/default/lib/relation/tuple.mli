@@ -1,0 +1,53 @@
+(** Tuples: schema-typed value vectors with fixed-width physical encoding.
+
+    Physical encoding is what heap pages store; the in-place update
+    requirement of §4 is satisfiable because encoded width depends only on
+    the schema, never on the values. *)
+
+type t
+(** An immutable tuple.  Updates produce new tuples; the heap file overwrites
+    the physical record in place. *)
+
+val make : Schema.t -> Value.t list -> t
+(** Build a tuple; raises [Invalid_argument] on arity or type mismatch. *)
+
+val of_array : Schema.t -> Value.t array -> t
+(** Like [make] from an array; the array is copied. *)
+
+val arity : t -> int
+
+val get : t -> int -> Value.t
+
+val get_by_name : Schema.t -> t -> string -> Value.t
+(** Raises [Not_found] for unknown attribute names. *)
+
+val set : t -> int -> Value.t -> t
+(** Functional single-position update (no type re-check; callers are the
+    typed layers above). *)
+
+val set_many : t -> (int * Value.t) list -> t
+
+val values : t -> Value.t list
+
+val project : t -> int list -> Value.t list
+(** Extract the values at the given positions, in the given order. *)
+
+val key_of : Schema.t -> t -> Value.t list
+(** The tuple's unique-key values (empty list when the schema has none). *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Lexicographic by position using {!Value.compare}. *)
+
+val encode : Schema.t -> t -> bytes
+(** Fixed-width physical record of exactly [Schema.width] bytes. *)
+
+val decode : Schema.t -> bytes -> t
+(** Inverse of [encode]; reads from offset 0. *)
+
+val pp : Schema.t -> Format.formatter -> t -> unit
+(** Render as [(v1, v2, ...)] with paper-style value formatting. *)
+
+val to_strings : t -> string list
+(** One rendered cell per attribute, for table output. *)

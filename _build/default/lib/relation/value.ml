@@ -1,0 +1,144 @@
+type t = Int of int | Float of float | Str of string | Date of int | Bool of bool | Null
+
+let is_null = function Null -> true | Int _ | Float _ | Str _ | Date _ | Bool _ -> false
+
+let matches dt v =
+  match (dt, v) with
+  | _, Null -> true
+  | Dtype.Int, Int _ -> true
+  | Dtype.Float, Float _ -> true
+  | Dtype.Str n, Str s -> String.length s <= n
+  | Dtype.Date, Date _ -> true
+  | Dtype.Bool, Bool _ -> true
+  | (Dtype.Int | Dtype.Float | Dtype.Str _ | Dtype.Date | Dtype.Bool), _ -> false
+
+let type_rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 3
+  | Date _ -> 4
+  | Str _ -> 5
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Str x, Str y -> Stdlib.compare x y
+  | Date x, Date y -> Stdlib.compare x y
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Int x, Float y -> Stdlib.compare (float_of_int x) y
+  | Float x, Int y -> Stdlib.compare x (float_of_int y)
+  | _ -> Stdlib.compare (type_rank a) (type_rank b)
+
+let equal a b = compare a b = 0
+
+let arith f_int f_float a b =
+  match (a, b) with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> Int (f_int x y)
+  | Float x, Float y -> Float (f_float x y)
+  | Int x, Float y -> Float (f_float (float_of_int x) y)
+  | Float x, Int y -> Float (f_float x (float_of_int y))
+  | _ -> invalid_arg "Value: arithmetic on non-numeric value"
+
+let add = arith ( + ) ( +. )
+let sub = arith ( - ) ( -. )
+let mul = arith ( * ) ( *. )
+let div = arith ( / ) ( /. )
+
+let neg = function
+  | Null -> Null
+  | Int x -> Int (-x)
+  | Float x -> Float (-.x)
+  | _ -> invalid_arg "Value.neg: non-numeric value"
+
+let to_float = function
+  | Int x -> float_of_int x
+  | Float x -> x
+  | Null -> 0.0
+  | Str _ | Date _ | Bool _ -> invalid_arg "Value.to_float: non-numeric value"
+
+let date_of_mdy m d y =
+  let y = if y < 100 then 1900 + y else y in
+  Date ((y * 10000) + (m * 100) + d)
+
+let pp_grouped_int ppf n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Format.pp_print_string ppf (Buffer.contents buf)
+
+let pp ppf = function
+  | Int n -> pp_grouped_int ppf n
+  | Float f -> Format.fprintf ppf "%.2f" f
+  | Str s -> Format.pp_print_string ppf s
+  | Date d ->
+    let y = d / 10000 and m = d / 100 mod 100 and day = d mod 100 in
+    Format.fprintf ppf "%02d/%02d/%02d" m day (y mod 100)
+  | Bool b -> Format.pp_print_bool ppf b
+  | Null -> Format.pp_print_string ppf "null"
+
+let to_string v = Format.asprintf "%a" pp v
+
+(* Null sentinels per type: chosen outside the range workloads generate. *)
+let int_null = Int32.min_int
+let date_null = Int32.min_int
+
+let set_i32 buf off v =
+  Bytes.set_int32_le buf off v
+
+let encode dt v =
+  if not (matches dt v) then
+    invalid_arg
+      (Printf.sprintf "Value.encode: %s does not match %s" (to_string v) (Dtype.to_string dt));
+  let w = Dtype.width dt in
+  let buf = Bytes.make w '\000' in
+  (match (dt, v) with
+  | Dtype.Int, Int n -> set_i32 buf 0 (Int32.of_int n)
+  | Dtype.Int, Null -> set_i32 buf 0 int_null
+  | Dtype.Float, Float f -> Bytes.set_int64_le buf 0 (Int64.bits_of_float f)
+  | Dtype.Float, Null -> Bytes.set_int64_le buf 0 (Int64.bits_of_float nan)
+  | Dtype.Str _, Str s -> Bytes.blit_string s 0 buf 0 (String.length s)
+  | Dtype.Str _, Null -> Bytes.fill buf 0 w '\xff'
+  | Dtype.Date, Date d -> set_i32 buf 0 (Int32.of_int d)
+  | Dtype.Date, Null -> set_i32 buf 0 date_null
+  | Dtype.Bool, Bool b -> Bytes.set buf 0 (if b then '\001' else '\000')
+  | Dtype.Bool, Null -> Bytes.set buf 0 '\002'
+  | _ -> assert false);
+  buf
+
+let decode dt buf off =
+  match dt with
+  | Dtype.Int ->
+    let n = Bytes.get_int32_le buf off in
+    if Int32.equal n int_null then Null else Int (Int32.to_int n)
+  | Dtype.Float ->
+    let f = Int64.float_of_bits (Bytes.get_int64_le buf off) in
+    if Float.is_nan f then Null else Float f
+  | Dtype.Str n ->
+    let raw = Bytes.sub_string buf off n in
+    if n > 0 && raw.[0] = '\xff' then Null
+    else
+      let stop = try String.index raw '\000' with Not_found -> n in
+      Str (String.sub raw 0 stop)
+  | Dtype.Date ->
+    let n = Bytes.get_int32_le buf off in
+    if Int32.equal n date_null then Null else Date (Int32.to_int n)
+  | Dtype.Bool -> (
+    match Bytes.get buf off with '\000' -> Bool false | '\001' -> Bool true | _ -> Null)
+
+let hash = function
+  | Null -> 17
+  | Int n -> Hashtbl.hash n
+  | Float f -> Hashtbl.hash f
+  | Str s -> Hashtbl.hash s
+  | Date d -> Hashtbl.hash (d + 7919)
+  | Bool b -> if b then 3 else 5

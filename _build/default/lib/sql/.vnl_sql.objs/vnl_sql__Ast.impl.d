@@ -1,0 +1,1 @@
+lib/sql/ast.ml: List Option String Vnl_relation

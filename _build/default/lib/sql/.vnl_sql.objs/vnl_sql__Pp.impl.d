@@ -1,0 +1,1 @@
+lib/sql/pp.ml: Ast Format List Option String Vnl_relation

@@ -1,0 +1,1 @@
+lib/sql/pp.mli: Ast Format

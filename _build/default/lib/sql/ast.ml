@@ -1,0 +1,142 @@
+type binop = Add | Sub | Mul | Div | Eq | Neq | Lt | Le | Gt | Ge | And | Or
+
+type unop = Not | Neg
+
+type agg = Sum | Count | Min | Max | Avg
+
+type expr =
+  | Lit of Vnl_relation.Value.t
+  | Col of string option * string
+  | Param of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Case of (expr * expr) list * expr option
+  | Agg of agg * expr option
+  | Is_null of expr
+  | Is_not_null of expr
+  | In of expr * expr list
+  | Between of expr * expr * expr
+  | Like of expr * string
+
+type select_item = Star | Item of expr * string option
+
+type order_dir = Asc | Desc
+
+type select = {
+  distinct : bool;
+  items : select_item list;
+  from : (string * string option) list;
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  order_by : (expr * order_dir) list;
+  limit : (int * int) option;
+}
+
+type statement =
+  | Select of select
+  | Insert of { table : string; columns : string list option; rows : expr list list }
+  | Update of { table : string; sets : (string * expr) list; where : expr option }
+  | Delete of { table : string; where : expr option }
+
+let select_all table =
+  {
+    distinct = false;
+    items = [ Star ];
+    from = [ (table, None) ];
+    where = None;
+    group_by = [];
+    having = None;
+    order_by = [];
+    limit = None;
+  }
+
+let rec has_aggregate = function
+  | Agg _ -> true
+  | Lit _ | Col _ | Param _ -> false
+  | Binop (_, a, b) -> has_aggregate a || has_aggregate b
+  | Unop (_, e) | Is_null e | Is_not_null e -> has_aggregate e
+  | Case (arms, default) ->
+    List.exists (fun (c, e) -> has_aggregate c || has_aggregate e) arms
+    || (match default with Some e -> has_aggregate e | None -> false)
+  | In (e, es) -> has_aggregate e || List.exists has_aggregate es
+  | Between (e, lo, hi) -> has_aggregate e || has_aggregate lo || has_aggregate hi
+  | Like (e, _) -> has_aggregate e
+
+let rec map_columns f = function
+  | Col (q, name) -> f q name
+  | (Lit _ | Param _) as e -> e
+  | Binop (op, a, b) -> Binop (op, map_columns f a, map_columns f b)
+  | Unop (op, e) -> Unop (op, map_columns f e)
+  | Case (arms, default) ->
+    Case
+      ( List.map (fun (c, e) -> (map_columns f c, map_columns f e)) arms,
+        Option.map (map_columns f) default )
+  | Agg (a, e) -> Agg (a, Option.map (map_columns f) e)
+  | Is_null e -> Is_null (map_columns f e)
+  | Is_not_null e -> Is_not_null (map_columns f e)
+  | In (e, es) -> In (map_columns f e, List.map (map_columns f) es)
+  | Between (e, lo, hi) -> Between (map_columns f e, map_columns f lo, map_columns f hi)
+  | Like (e, pat) -> Like (map_columns f e, pat)
+
+let columns_of expr =
+  let acc = ref [] in
+  let rec go = function
+    | Col (q, name) -> acc := (q, name) :: !acc
+    | Lit _ | Param _ -> ()
+    | Binop (_, a, b) ->
+      go a;
+      go b
+    | Unop (_, e) | Is_null e | Is_not_null e -> go e
+    | Case (arms, default) ->
+      List.iter
+        (fun (c, e) ->
+          go c;
+          go e)
+        arms;
+      Option.iter go default
+    | Agg (_, e) -> Option.iter go e
+    | In (e, es) ->
+      go e;
+      List.iter go es
+    | Between (e, lo, hi) ->
+      go e;
+      go lo;
+      go hi
+    | Like (e, _) -> go e
+  in
+  go expr;
+  List.rev !acc
+
+let conj where extra = match where with None -> extra | Some w -> Binop (And, w, extra)
+
+let rec equal_expr a b =
+  match (a, b) with
+  | Lit x, Lit y -> Vnl_relation.Value.equal x y
+  | Col (qx, nx), Col (qy, ny) -> qx = qy && String.equal nx ny
+  | Param x, Param y -> String.equal x y
+  | Binop (opx, ax, bx), Binop (opy, ay, by) -> opx = opy && equal_expr ax ay && equal_expr bx by
+  | Unop (opx, x), Unop (opy, y) -> opx = opy && equal_expr x y
+  | Case (armsx, dx), Case (armsy, dy) ->
+    List.length armsx = List.length armsy
+    && List.for_all2 (fun (cx, ex) (cy, ey) -> equal_expr cx cy && equal_expr ex ey) armsx armsy
+    && (match (dx, dy) with
+       | None, None -> true
+       | Some x, Some y -> equal_expr x y
+       | _ -> false)
+  | Agg (ax, ex), Agg (ay, ey) -> (
+    ax = ay
+    &&
+    match (ex, ey) with
+    | None, None -> true
+    | Some x, Some y -> equal_expr x y
+    | _ -> false)
+  | Is_null x, Is_null y | Is_not_null x, Is_not_null y -> equal_expr x y
+  | In (x, xs), In (y, ys) ->
+    equal_expr x y && List.length xs = List.length ys && List.for_all2 equal_expr xs ys
+  | Between (x, a, b), Between (y, c, d) -> equal_expr x y && equal_expr a c && equal_expr b d
+  | Like (x, p), Like (y, q) -> equal_expr x y && String.equal p q
+  | ( ( Lit _ | Col _ | Param _ | Binop _ | Unop _ | Case _ | Agg _ | Is_null _
+      | Is_not_null _ | In _ | Between _ | Like _ ),
+      _ ) ->
+    false

@@ -1,0 +1,84 @@
+(** Abstract syntax for the SQL subset.
+
+    The subset covers what the paper's query-rewrite approach needs:
+    single-block SELECT with aggregates, GROUP BY and CASE expressions
+    (Example 4.1); INSERT/UPDATE/DELETE for maintenance statements
+    (Examples 4.2-4.4); named parameters like [:sessionVN] for the version
+    placeholders the rewrite introduces. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop = Not | Neg
+
+type agg = Sum | Count | Min | Max | Avg
+
+type expr =
+  | Lit of Vnl_relation.Value.t
+  | Col of string option * string  (** Optional table qualifier, column name. *)
+  | Param of string  (** Named parameter [:name]. *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Case of (expr * expr) list * expr option
+      (** [CASE WHEN c1 THEN e1 ... \[ELSE e\] END]; missing ELSE is NULL. *)
+  | Agg of agg * expr option  (** [None] only for COUNT star. *)
+  | Is_null of expr
+  | Is_not_null of expr
+  | In of expr * expr list  (** [e IN (e1, ..., ek)]. *)
+  | Between of expr * expr * expr  (** [e BETWEEN lo AND hi]. *)
+  | Like of expr * string  (** [e LIKE 'pattern'] with [%] and [_]. *)
+
+type select_item =
+  | Star
+  | Item of expr * string option  (** Expression with optional [AS] alias. *)
+
+type order_dir = Asc | Desc
+
+type select = {
+  distinct : bool;
+  items : select_item list;
+  from : (string * string option) list;  (** Table name, optional alias. *)
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  order_by : (expr * order_dir) list;
+  limit : (int * int) option;  (** [LIMIT n \[OFFSET m\]] as (n, m). *)
+}
+
+type statement =
+  | Select of select
+  | Insert of { table : string; columns : string list option; rows : expr list list }
+  | Update of { table : string; sets : (string * expr) list; where : expr option }
+  | Delete of { table : string; where : expr option }
+
+val select_all : string -> select
+(** [SELECT * FROM table]. *)
+
+val has_aggregate : expr -> bool
+(** Does the expression contain an [Agg] node? *)
+
+val map_columns : (string option -> string -> expr) -> expr -> expr
+(** [map_columns f e] replaces every [Col (q, name)] node by [f q name];
+    this is the workhorse of the 2VNL reader rewrite, which substitutes CASE
+    expressions for updatable attribute references. *)
+
+val columns_of : expr -> (string option * string) list
+(** All column references in the expression, left to right, with
+    duplicates. *)
+
+val conj : expr option -> expr -> expr
+(** [conj where extra] is [extra] when [where] is [None], otherwise
+    [where AND extra]; used to attach the rewrite's visibility predicate. *)
+
+val equal_expr : expr -> expr -> bool

@@ -1,0 +1,124 @@
+type token =
+  | IDENT of string
+  | KEYWORD of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | PARAM of string
+  | SYMBOL of string
+  | EOF
+
+exception Lex_error of string * int
+
+let keywords =
+  [
+    "SELECT"; "DISTINCT"; "FROM"; "WHERE"; "GROUP"; "BY"; "HAVING"; "ORDER";
+    "ASC"; "DESC"; "INSERT"; "INTO"; "VALUES"; "UPDATE"; "SET"; "DELETE";
+    "AND"; "OR"; "NOT"; "AS"; "CASE"; "WHEN"; "THEN"; "ELSE"; "END"; "IS";
+    "NULL"; "SUM"; "COUNT"; "MIN"; "MAX"; "AVG"; "DATE"; "TRUE"; "FALSE";
+    "IN"; "BETWEEN"; "LIKE"; "LIMIT"; "OFFSET";
+  ]
+
+let keyword_set = List.fold_left (fun s k -> k :: s) [] keywords
+
+let is_keyword s = List.mem (String.uppercase_ascii s) keyword_set
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let rec skip_ws i =
+    if i < n && (src.[i] = ' ' || src.[i] = '\t' || src.[i] = '\n' || src.[i] = '\r') then
+      skip_ws (i + 1)
+    else i
+  in
+  let rec lex i =
+    let i = skip_ws i in
+    if i >= n then emit EOF
+    else
+      let c = src.[i] in
+      if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char src.[!j] do
+          incr j
+        done;
+        let word = String.sub src i (!j - i) in
+        if is_keyword word then emit (KEYWORD (String.uppercase_ascii word))
+        else emit (IDENT word);
+        lex !j
+      end
+      else if is_digit c then begin
+        let j = ref i in
+        while !j < n && is_digit src.[!j] do
+          incr j
+        done;
+        if !j < n && src.[!j] = '.' && !j + 1 < n && is_digit src.[!j + 1] then begin
+          incr j;
+          while !j < n && is_digit src.[!j] do
+            incr j
+          done;
+          emit (FLOAT (float_of_string (String.sub src i (!j - i))))
+        end
+        else emit (INT (int_of_string (String.sub src i (!j - i))));
+        lex !j
+      end
+      else if c = '\'' then begin
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then raise (Lex_error ("unterminated string literal", i))
+          else if src.[j] = '\'' then
+            if j + 1 < n && src.[j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              str (j + 2)
+            end
+            else j + 1
+          else begin
+            Buffer.add_char buf src.[j];
+            str (j + 1)
+          end
+        in
+        let j = str (i + 1) in
+        emit (STRING (Buffer.contents buf));
+        lex j
+      end
+      else if c = ':' then begin
+        let j = ref (i + 1) in
+        if !j >= n || not (is_ident_start src.[!j]) then
+          raise (Lex_error ("expected parameter name after ':'", i));
+        while !j < n && is_ident_char src.[!j] do
+          incr j
+        done;
+        emit (PARAM (String.sub src (i + 1) (!j - i - 1)));
+        lex !j
+      end
+      else
+        let two = if i + 1 < n then String.sub src i 2 else "" in
+        match two with
+        | "<=" | ">=" | "<>" | "!=" ->
+          emit (SYMBOL (if two = "!=" then "<>" else two));
+          lex (i + 2)
+        | _ -> (
+          match c with
+          | '(' | ')' | ',' | '*' | '+' | '-' | '/' | '=' | '<' | '>' | '.' | ';' ->
+            emit (SYMBOL (String.make 1 c));
+            lex (i + 1)
+          | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, i)))
+  in
+  lex 0;
+  List.rev !tokens
+
+let pp_token ppf = function
+  | IDENT s -> Format.fprintf ppf "IDENT(%s)" s
+  | KEYWORD s -> Format.fprintf ppf "KW(%s)" s
+  | INT n -> Format.fprintf ppf "INT(%d)" n
+  | FLOAT f -> Format.fprintf ppf "FLOAT(%g)" f
+  | STRING s -> Format.fprintf ppf "STR(%s)" s
+  | PARAM s -> Format.fprintf ppf "PARAM(:%s)" s
+  | SYMBOL s -> Format.fprintf ppf "SYM(%s)" s
+  | EOF -> Format.pp_print_string ppf "EOF"

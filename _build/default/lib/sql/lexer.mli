@@ -1,0 +1,23 @@
+(** Hand-written SQL lexer. *)
+
+type token =
+  | IDENT of string  (** Identifier, original case preserved. *)
+  | KEYWORD of string  (** Reserved word, upper-cased. *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string  (** Single-quoted, with [''] escaping. *)
+  | PARAM of string  (** [:name]. *)
+  | SYMBOL of string  (** Punctuation and operators, e.g. ["<="], [","]. *)
+  | EOF
+
+exception Lex_error of string * int
+(** Message and byte position. *)
+
+val tokenize : string -> token list
+(** Lex an entire statement; always ends with [EOF].
+    Raises {!Lex_error} on malformed input. *)
+
+val keywords : string list
+(** The reserved words recognized as [KEYWORD]. *)
+
+val pp_token : Format.formatter -> token -> unit

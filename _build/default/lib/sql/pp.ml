@@ -1,0 +1,132 @@
+module Value = Vnl_relation.Value
+open Ast
+
+let binop_text = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "AND"
+  | Or -> "OR"
+
+let agg_text = function Sum -> "SUM" | Count -> "COUNT" | Min -> "MIN" | Max -> "MAX" | Avg -> "AVG"
+
+(* Precedence levels for minimal parenthesization. *)
+let level = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Neq | Lt | Le | Gt | Ge -> 4
+  | Add | Sub -> 5
+  | Mul | Div -> 6
+
+let lit ppf = function
+  | Value.Str s ->
+    let escaped = String.concat "''" (String.split_on_char '\'' s) in
+    Format.fprintf ppf "'%s'" escaped
+  | Value.Date d ->
+    let y = d / 10000 and m = d / 100 mod 100 and day = d mod 100 in
+    Format.fprintf ppf "DATE '%04d-%02d-%02d'" y m day
+  | Value.Int n -> Format.fprintf ppf "%d" n
+  | Value.Float f -> Format.fprintf ppf "%g" f
+  | Value.Bool b -> Format.pp_print_string ppf (if b then "TRUE" else "FALSE")
+  | Value.Null -> Format.pp_print_string ppf "NULL"
+
+let rec pp_expr ctx ppf e =
+  match e with
+  | Lit v -> lit ppf v
+  | Col (None, name) -> Format.pp_print_string ppf name
+  | Col (Some q, name) -> Format.fprintf ppf "%s.%s" q name
+  | Param p -> Format.fprintf ppf ":%s" p
+  | Binop (op, a, b) ->
+    let me = level op in
+    let body ppf () =
+      Format.fprintf ppf "%a %s %a" (pp_expr me) a (binop_text op) (pp_expr (me + 1)) b
+    in
+    if me < ctx then Format.fprintf ppf "(%a)" body () else body ppf ()
+  | Unop (Not, e) -> Format.fprintf ppf "NOT %a" (pp_expr 3) e
+  | Unop (Neg, e) -> Format.fprintf ppf "-%a" (pp_expr 7) e
+  | Case (arms, default) ->
+    Format.pp_print_string ppf "CASE";
+    List.iter
+      (fun (c, v) -> Format.fprintf ppf " WHEN %a THEN %a" (pp_expr 0) c (pp_expr 0) v)
+      arms;
+    Option.iter (fun d -> Format.fprintf ppf " ELSE %a" (pp_expr 0) d) default;
+    Format.pp_print_string ppf " END"
+  | Agg (a, None) -> Format.fprintf ppf "%s(*)" (agg_text a)
+  | Agg (a, Some e) -> Format.fprintf ppf "%s(%a)" (agg_text a) (pp_expr 0) e
+  | Is_null e -> Format.fprintf ppf "%a IS NULL" (pp_expr 4) e
+  | Is_not_null e -> Format.fprintf ppf "%a IS NOT NULL" (pp_expr 4) e
+  | In (e, es) ->
+    Format.fprintf ppf "%a IN (%a)" (pp_expr 5) e
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (pp_expr 0))
+      es
+  | Between (e, lo, hi) ->
+    (* BETWEEN bounds stop at additive precedence, so AND is unambiguous. *)
+    Format.fprintf ppf "%a BETWEEN %a AND %a" (pp_expr 5) e (pp_expr 5) lo (pp_expr 5) hi
+  | Like (e, pat) ->
+    let escaped = String.concat "''" (String.split_on_char '\'' pat) in
+    Format.fprintf ppf "%a LIKE '%s'" (pp_expr 5) e escaped
+
+let expr ppf e = pp_expr 0 ppf e
+
+let comma_sep pp ppf xs =
+  Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp ppf xs
+
+let select_item ppf = function
+  | Star -> Format.pp_print_string ppf "*"
+  | Item (e, None) -> expr ppf e
+  | Item (e, Some alias) -> Format.fprintf ppf "%a AS %s" expr e alias
+
+let table_ref ppf = function
+  | name, None -> Format.pp_print_string ppf name
+  | name, Some alias -> Format.fprintf ppf "%s %s" name alias
+
+let select ppf (s : select) =
+  Format.fprintf ppf "SELECT %s%a FROM %a"
+    (if s.distinct then "DISTINCT " else "")
+    (comma_sep select_item) s.items (comma_sep table_ref) s.from;
+  Option.iter (fun w -> Format.fprintf ppf " WHERE %a" expr w) s.where;
+  (match s.group_by with
+  | [] -> ()
+  | gs -> Format.fprintf ppf " GROUP BY %a" (comma_sep expr) gs);
+  Option.iter (fun h -> Format.fprintf ppf " HAVING %a" expr h) s.having;
+  (match s.order_by with
+  | [] -> ()
+  | os ->
+    let one ppf (e, dir) =
+      Format.fprintf ppf "%a%s" expr e (match dir with Asc -> "" | Desc -> " DESC")
+    in
+    Format.fprintf ppf " ORDER BY %a" (comma_sep one) os);
+  match s.limit with
+  | None -> ()
+  | Some (n, 0) -> Format.fprintf ppf " LIMIT %d" n
+  | Some (n, m) -> Format.fprintf ppf " LIMIT %d OFFSET %d" n m
+
+let statement ppf = function
+  | Select s -> select ppf s
+  | Insert { table; columns; rows } ->
+    Format.fprintf ppf "INSERT INTO %s" table;
+    Option.iter
+      (fun cols -> Format.fprintf ppf " (%a)" (comma_sep Format.pp_print_string) cols)
+      columns;
+    let row ppf vs = Format.fprintf ppf "(%a)" (comma_sep expr) vs in
+    Format.fprintf ppf " VALUES %a" (comma_sep row) rows
+  | Update { table; sets; where } ->
+    let assignment ppf (col, e) = Format.fprintf ppf "%s = %a" col expr e in
+    Format.fprintf ppf "UPDATE %s SET %a" table (comma_sep assignment) sets;
+    Option.iter (fun w -> Format.fprintf ppf " WHERE %a" expr w) where
+  | Delete { table; where } ->
+    Format.fprintf ppf "DELETE FROM %s" table;
+    Option.iter (fun w -> Format.fprintf ppf " WHERE %a" expr w) where
+
+let expr_to_string e = Format.asprintf "%a" expr e
+
+let statement_to_string s = Format.asprintf "%a" statement s

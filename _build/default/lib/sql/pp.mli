@@ -1,0 +1,15 @@
+(** SQL pretty-printer.
+
+    Renders ASTs back to SQL text so the query-rewrite layer can display
+    rewritten statements exactly as the paper's Example 4.1 does.  Output
+    round-trips through {!Parser.parse}. *)
+
+val expr : Format.formatter -> Ast.expr -> unit
+
+val statement : Format.formatter -> Ast.statement -> unit
+
+val select : Format.formatter -> Ast.select -> unit
+
+val expr_to_string : Ast.expr -> string
+
+val statement_to_string : Ast.statement -> string

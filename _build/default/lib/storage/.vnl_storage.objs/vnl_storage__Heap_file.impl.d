@@ -1,0 +1,1 @@
+lib/storage/heap_file.ml: Buffer_pool Disk Format Int Latch List Page Set Vnl_relation

@@ -1,0 +1,121 @@
+type frame = { pid : int; image : bytes; mutable dirty : bool; mutable last_used : int }
+
+type stats = {
+  logical_reads : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  physical_writes : int;
+}
+
+type t = {
+  disk : Disk.t;
+  capacity : int;
+  frames : (int, frame) Hashtbl.t;
+  mutable tick : int;
+  mutable logical_reads : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable physical_writes : int;
+}
+
+let create ?(capacity = 64) disk =
+  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity must be >= 1";
+  {
+    disk;
+    capacity;
+    frames = Hashtbl.create capacity;
+    tick = 0;
+    logical_reads = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    physical_writes = 0;
+  }
+
+let disk t = t.disk
+
+let touch t frame =
+  t.tick <- t.tick + 1;
+  frame.last_used <- t.tick
+
+let write_back t frame =
+  if frame.dirty then begin
+    Disk.write t.disk frame.pid frame.image;
+    t.physical_writes <- t.physical_writes + 1;
+    frame.dirty <- false
+  end
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun _ frame acc ->
+        match acc with
+        | None -> Some frame
+        | Some best -> if frame.last_used < best.last_used then Some frame else acc)
+      t.frames None
+  in
+  match victim with
+  | None -> ()
+  | Some frame ->
+    write_back t frame;
+    Hashtbl.remove t.frames frame.pid;
+    t.evictions <- t.evictions + 1
+
+let load t pid =
+  t.logical_reads <- t.logical_reads + 1;
+  match Hashtbl.find_opt t.frames pid with
+  | Some frame ->
+    t.hits <- t.hits + 1;
+    touch t frame;
+    frame
+  | None ->
+    t.misses <- t.misses + 1;
+    if Hashtbl.length t.frames >= t.capacity then evict_lru t;
+    let frame = { pid; image = Disk.read t.disk pid; dirty = false; last_used = 0 } in
+    touch t frame;
+    Hashtbl.add t.frames pid frame;
+    frame
+
+let alloc_page t =
+  let pid = Disk.alloc t.disk in
+  if Hashtbl.length t.frames >= t.capacity then evict_lru t;
+  let frame = { pid; image = Bytes.make (Disk.page_size t.disk) '\000'; dirty = false; last_used = 0 } in
+  touch t frame;
+  Hashtbl.add t.frames pid frame;
+  pid
+
+let with_page t pid f = f (load t pid).image
+
+let with_page_mut t pid f =
+  let frame = load t pid in
+  frame.dirty <- true;
+  f frame.image
+
+let flush_all t = Hashtbl.iter (fun _ frame -> write_back t frame) t.frames
+
+let stats t =
+  {
+    logical_reads = t.logical_reads;
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    physical_writes = t.physical_writes;
+  }
+
+let reset_stats t =
+  t.logical_reads <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0;
+  t.physical_writes <- 0;
+  Disk.reset_stats t.disk
+
+let drop_cache t =
+  flush_all t;
+  Hashtbl.reset t.frames
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf "logical=%d hits=%d misses=%d evictions=%d phys_writes=%d"
+    s.logical_reads s.hits s.misses s.evictions s.physical_writes

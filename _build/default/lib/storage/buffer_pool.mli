@@ -1,0 +1,50 @@
+(** LRU buffer pool over a {!Disk}.
+
+    All page access goes through [with_page]/[with_page_mut]; misses cost a
+    physical read, dirty evictions and [flush_all] cost physical writes.
+    The I/O experiment compares algorithms by the physical counters gathered
+    here, mirroring how the paper frames MV2PL's version-pool penalty
+    (§6). *)
+
+type t
+
+type stats = {
+  logical_reads : int;  (** Page requests served (hits + misses). *)
+  hits : int;
+  misses : int;  (** Each miss is one physical read. *)
+  evictions : int;
+  physical_writes : int;  (** Dirty evictions plus explicit flushes. *)
+}
+
+val create : ?capacity:int -> Disk.t -> t
+(** [capacity] is the frame count, default 64. *)
+
+val disk : t -> Disk.t
+
+val alloc_page : t -> int
+(** Allocate a fresh zeroed page on the underlying disk and cache it;
+    returns the page id. *)
+
+val with_page : t -> int -> (bytes -> 'a) -> 'a
+(** [with_page t pid f] pins the page, applies [f] to the frame bytes for
+    read-only use, and unpins.  The frame must not be mutated or retained
+    past the call. *)
+
+val with_page_mut : t -> int -> (bytes -> 'a) -> 'a
+(** Like [with_page] but marks the frame dirty; mutations through [f] reach
+    disk on eviction or flush. *)
+
+val flush_all : t -> unit
+(** Write every dirty frame back to disk. *)
+
+val stats : t -> stats
+
+val reset_stats : t -> unit
+(** Zero the pool counters and the underlying disk counters (cached pages
+    stay resident; experiments that want a cold cache should also call
+    [drop_cache]). *)
+
+val drop_cache : t -> unit
+(** Flush dirty frames and empty the pool, so subsequent reads are cold. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,58 @@
+type stats = { reads : int; writes : int; allocations : int }
+
+type t = {
+  page_size : int;
+  mutable pages : bytes array;
+  mutable used : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable allocations : int;
+}
+
+let create ?(page_size = 4096) () =
+  { page_size; pages = Array.make 16 Bytes.empty; used = 0; reads = 0; writes = 0; allocations = 0 }
+
+let page_size t = t.page_size
+
+let page_count t = t.used
+
+let ensure_capacity t =
+  if t.used >= Array.length t.pages then begin
+    let bigger = Array.make (2 * Array.length t.pages) Bytes.empty in
+    Array.blit t.pages 0 bigger 0 t.used;
+    t.pages <- bigger
+  end
+
+let alloc t =
+  ensure_capacity t;
+  let pid = t.used in
+  t.pages.(pid) <- Bytes.make t.page_size '\000';
+  t.used <- t.used + 1;
+  t.allocations <- t.allocations + 1;
+  pid
+
+let check t pid =
+  if pid < 0 || pid >= t.used then
+    invalid_arg (Printf.sprintf "Disk: page %d not allocated (have %d)" pid t.used)
+
+let read t pid =
+  check t pid;
+  t.reads <- t.reads + 1;
+  Bytes.copy t.pages.(pid)
+
+let write t pid img =
+  check t pid;
+  if Bytes.length img <> t.page_size then
+    invalid_arg "Disk.write: image size mismatch";
+  t.writes <- t.writes + 1;
+  t.pages.(pid) <- Bytes.copy img
+
+let stats t = { reads = t.reads; writes = t.writes; allocations = t.allocations }
+
+let reset_stats t =
+  t.reads <- 0;
+  t.writes <- 0;
+  t.allocations <- 0
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf "reads=%d writes=%d allocs=%d" s.reads s.writes s.allocations

@@ -1,0 +1,37 @@
+(** Simulated disk.
+
+    A disk is an in-memory array of fixed-size page images with physical I/O
+    counters.  The paper's §6 cost comparison between 2VNL and MV2PL is
+    framed in terms of the number of I/Os readers and the maintenance
+    transaction incur; these counters (surfaced through the buffer pool) are
+    what the IO experiment reports. *)
+
+type t
+
+type stats = { reads : int; writes : int; allocations : int }
+
+val create : ?page_size:int -> unit -> t
+(** [create ()] makes an empty disk; [page_size] defaults to 4096 bytes. *)
+
+val page_size : t -> int
+
+val page_count : t -> int
+(** Number of allocated pages. *)
+
+val alloc : t -> int
+(** Allocate a zeroed page; returns its page id. *)
+
+val read : t -> int -> bytes
+(** [read t pid] returns a copy of the page image and counts one physical
+    read.  Raises [Invalid_argument] on unallocated ids. *)
+
+val write : t -> int -> bytes -> unit
+(** [write t pid img] replaces the page image (copied) and counts one
+    physical write.  [img] must be exactly [page_size] bytes. *)
+
+val stats : t -> stats
+
+val reset_stats : t -> unit
+(** Zero the counters; page contents are untouched. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,140 @@
+module Tuple = Vnl_relation.Tuple
+module Schema = Vnl_relation.Schema
+module Iset = Set.Make (Int)
+
+type rid = { page : int; slot : int }
+
+type t = {
+  pool : Buffer_pool.t;
+  schema : Schema.t;
+  layout : Page.layout;
+  mutable pages : int list;  (** All pages, newest first. *)
+  mutable free : Iset.t;  (** Pages with at least one free slot. *)
+  mutable count : int;
+  latch : Latch.t;
+}
+
+let create pool schema =
+  let layout =
+    Page.layout ~page_size:(Disk.page_size (Buffer_pool.disk pool))
+      ~record_width:(Schema.width schema)
+  in
+  { pool; schema; layout; pages = []; free = Iset.empty; count = 0; latch = Latch.create "heap" }
+
+let schema t = t.schema
+
+let record_width t = t.layout.Page.record_width
+
+let tuples_per_page t = t.layout.Page.slots
+
+let alloc_page t =
+  let pid = Buffer_pool.alloc_page t.pool in
+  Buffer_pool.with_page_mut t.pool pid (fun img -> Page.init t.layout img);
+  t.pages <- pid :: t.pages;
+  t.free <- Iset.add pid t.free;
+  pid
+
+let rec free_slot_location t =
+  match Iset.min_elt_opt t.free with
+  | None ->
+    let pid = alloc_page t in
+    (pid, 0)
+  | Some pid -> (
+    match Buffer_pool.with_page t.pool pid (fun img -> Page.first_free_slot t.layout img) with
+    | Some slot -> (pid, slot)
+    | None ->
+      (* Stale free-set entry: the page filled up. *)
+      t.free <- Iset.remove pid t.free;
+      free_slot_location t)
+
+let insert t tuple =
+  let pid, slot = free_slot_location t in
+  let record = Tuple.encode t.schema tuple in
+  Latch.with_latch t.latch (fun () ->
+      Buffer_pool.with_page_mut t.pool pid (fun img ->
+          Page.write_slot t.layout img slot record;
+          if Page.first_free_slot t.layout img = None then t.free <- Iset.remove pid t.free));
+  t.count <- t.count + 1;
+  { page = pid; slot }
+
+let get t rid =
+  Buffer_pool.with_page t.pool rid.page (fun img ->
+      if Page.slot_used t.layout img rid.slot then
+        Some (Tuple.decode t.schema (Page.read_slot t.layout img rid.slot))
+      else None)
+
+let update_in_place t rid tuple =
+  let record = Tuple.encode t.schema tuple in
+  Latch.with_latch t.latch (fun () ->
+      Buffer_pool.with_page_mut t.pool rid.page (fun img ->
+          if not (Page.slot_used t.layout img rid.slot) then
+            invalid_arg "Heap_file.update_in_place: free slot";
+          Page.write_slot t.layout img rid.slot record))
+
+let delete t rid =
+  Latch.with_latch t.latch (fun () ->
+      Buffer_pool.with_page_mut t.pool rid.page (fun img ->
+          if not (Page.slot_used t.layout img rid.slot) then
+            invalid_arg "Heap_file.delete: slot already free";
+          Page.clear_slot t.layout img rid.slot));
+  t.free <- Iset.add rid.page t.free;
+  t.count <- t.count - 1
+
+let delete_then_insert t rid tuple =
+  delete t rid;
+  insert t tuple
+
+let scan t f =
+  List.iter
+    (fun pid ->
+      (* Snapshot the page's live slots first so [f] may modify the page. *)
+      let live =
+        Buffer_pool.with_page t.pool pid (fun img ->
+            let acc = ref [] in
+            Page.iter_used t.layout img (fun slot record -> acc := (slot, record) :: !acc);
+            List.rev !acc)
+      in
+      List.iter (fun (slot, record) -> f { page = pid; slot } (Tuple.decode t.schema record)) live)
+    (List.rev t.pages)
+
+let fold t ~init ~f =
+  let acc = ref init in
+  scan t (fun rid tuple -> acc := f !acc rid tuple);
+  !acc
+
+exception Found of rid * Tuple.t
+
+let find t pred =
+  try
+    scan t (fun rid tuple -> if pred tuple then raise (Found (rid, tuple)));
+    None
+  with Found (rid, tuple) -> Some (rid, tuple)
+
+let to_list t = List.rev (fold t ~init:[] ~f:(fun acc rid tuple -> (rid, tuple) :: acc))
+
+let tuple_count t = t.count
+
+let page_count t = List.length t.pages
+
+let latch_acquisitions t = Latch.acquisitions t.latch
+
+let rid_equal a b = a.page = b.page && a.slot = b.slot
+
+let pp_rid ppf rid = Format.fprintf ppf "(%d,%d)" rid.page rid.slot
+
+let buffer_pool t = t.pool
+
+let pages t = List.rev t.pages
+
+let attach pool schema ~pages =
+  let t = create pool schema in
+  t.pages <- List.rev pages;
+  List.iter
+    (fun pid ->
+      let used =
+        Buffer_pool.with_page pool pid (fun img -> Page.used_count t.layout img)
+      in
+      t.count <- t.count + used;
+      if used < t.layout.Page.slots then t.free <- Iset.add pid t.free)
+    pages;
+  t

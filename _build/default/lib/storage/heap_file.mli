@@ -1,0 +1,73 @@
+(** Heap files: unordered tuple storage with in-place update.
+
+    A heap file stores fixed-width encoded tuples of one schema across
+    slotted pages obtained from a buffer pool.  Physical updates overwrite
+    the record in its slot ({!update_in_place}), satisfying the paper's §4
+    requirement that "the new state of the tuple replaces the old tuple on
+    the page"; the delete-then-insert fallback the paper warns about is
+    provided for completeness and ablation. *)
+
+type t
+
+type rid = { page : int; slot : int }
+(** Record identifier: page id and slot number. *)
+
+val create : Buffer_pool.t -> Vnl_relation.Schema.t -> t
+
+val schema : t -> Vnl_relation.Schema.t
+
+val record_width : t -> int
+(** Physical bytes per tuple. *)
+
+val tuples_per_page : t -> int
+
+val insert : t -> Vnl_relation.Tuple.t -> rid
+(** Store a tuple in the first free slot, allocating a page if needed. *)
+
+val get : t -> rid -> Vnl_relation.Tuple.t option
+(** [None] if the slot is free (e.g. after {!delete}). *)
+
+val update_in_place : t -> rid -> Vnl_relation.Tuple.t -> unit
+(** Overwrite the record under a short-duration latch.  Raises
+    [Invalid_argument] if the slot is free. *)
+
+val delete : t -> rid -> unit
+(** Physically remove the tuple.  Raises [Invalid_argument] if the slot is
+    already free. *)
+
+val delete_then_insert : t -> rid -> Vnl_relation.Tuple.t -> rid
+(** The update strategy for engines without in-place update: physically
+    delete and re-insert, possibly at a different rid. *)
+
+val scan : t -> (rid -> Vnl_relation.Tuple.t -> unit) -> unit
+(** Visit every live tuple in page/slot order. *)
+
+val fold : t -> init:'a -> f:('a -> rid -> Vnl_relation.Tuple.t -> 'a) -> 'a
+
+val find : t -> (Vnl_relation.Tuple.t -> bool) -> (rid * Vnl_relation.Tuple.t) option
+(** First live tuple satisfying the predicate, in scan order. *)
+
+val to_list : t -> (rid * Vnl_relation.Tuple.t) list
+
+val tuple_count : t -> int
+
+val page_count : t -> int
+
+val latch_acquisitions : t -> int
+(** Tuple-modification latch traffic, for the latching report. *)
+
+val rid_equal : rid -> rid -> bool
+
+val pp_rid : Format.formatter -> rid -> unit
+
+val buffer_pool : t -> Buffer_pool.t
+(** The pool this file performs its I/O through. *)
+
+val pages : t -> int list
+(** Page ids in scan (allocation) order; what a catalog must persist to
+    re-attach the file after a restart. *)
+
+val attach : Buffer_pool.t -> Vnl_relation.Schema.t -> pages:int list -> t
+(** Re-open a heap file over existing pages (in scan order): occupancy and
+    free-space tracking are rebuilt by scanning the pages.  The page images
+    must have been written by a heap file of the same schema. *)

@@ -1,0 +1,26 @@
+type t = { name : string; mutable held : bool; mutable acquisitions : int }
+
+let create name = { name; held = false; acquisitions = 0 }
+
+let acquire t =
+  if t.held then failwith (Printf.sprintf "Latch %s: re-entrant acquire" t.name);
+  t.held <- true;
+  t.acquisitions <- t.acquisitions + 1
+
+let release t =
+  if not t.held then failwith (Printf.sprintf "Latch %s: release while free" t.name);
+  t.held <- false
+
+let with_latch t f =
+  acquire t;
+  match f () with
+  | result ->
+    release t;
+    result
+  | exception e ->
+    release t;
+    raise e
+
+let held t = t.held
+
+let acquisitions t = t.acquisitions

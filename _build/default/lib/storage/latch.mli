@@ -1,0 +1,27 @@
+(** Short-duration latches.
+
+    §4 of the paper requires that while a tuple is being modified a latch
+    keeps readers from seeing a partly-modified record, released as soon as
+    the modification completes (not at commit).  Execution here is
+    deterministic and cooperative, so a latch cannot actually be contended;
+    the module enforces the {e discipline} (no re-entry, release exactly
+    once) and counts acquisitions so experiments can report latch traffic. *)
+
+type t
+
+val create : string -> t
+(** [create name] labels the latch for error messages. *)
+
+val acquire : t -> unit
+(** Raises [Failure] if already held — a latch-discipline bug. *)
+
+val release : t -> unit
+(** Raises [Failure] if not held. *)
+
+val with_latch : t -> (unit -> 'a) -> 'a
+(** Acquire, run, release (also on exception). *)
+
+val held : t -> bool
+
+val acquisitions : t -> int
+(** Total number of successful acquisitions. *)

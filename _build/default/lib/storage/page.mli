@@ -1,0 +1,42 @@
+(** Slotted page layout for fixed-width records.
+
+    Because every attribute type has a fixed physical width
+    (see {!Vnl_relation.Dtype}), each heap file stores records of one fixed
+    width; a page is a small header, a one-byte-per-slot occupancy map, and a
+    dense record area.  Fixed widths are what make the paper's required
+    {e in-place} physical updates always possible (§4). *)
+
+type layout = private {
+  page_size : int;
+  record_width : int;
+  slots : int;  (** Records that fit on one page. *)
+  flags_offset : int;
+  records_offset : int;
+}
+
+val layout : page_size:int -> record_width:int -> layout
+(** Compute the layout.  Raises [Invalid_argument] if even one record does
+    not fit on a page. *)
+
+val init : layout -> bytes -> unit
+(** Format a fresh page image: all slots free. *)
+
+val slot_used : layout -> bytes -> int -> bool
+
+val read_slot : layout -> bytes -> int -> bytes
+(** Copy of the record bytes in a used slot. *)
+
+val write_slot : layout -> bytes -> int -> bytes -> unit
+(** Store record bytes into a slot and mark it used (an insert or an
+    in-place update).  Record must be exactly [record_width] bytes. *)
+
+val clear_slot : layout -> bytes -> int -> unit
+(** Mark a slot free. *)
+
+val first_free_slot : layout -> bytes -> int option
+
+val used_count : layout -> bytes -> int
+
+val iter_used : layout -> bytes -> (int -> bytes -> unit) -> unit
+(** [iter_used l page f] applies [f slot record] to every used slot in slot
+    order. *)

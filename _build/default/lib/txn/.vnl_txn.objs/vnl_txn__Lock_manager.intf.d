@@ -1,0 +1,1 @@
+lib/txn/lock_manager.mli:

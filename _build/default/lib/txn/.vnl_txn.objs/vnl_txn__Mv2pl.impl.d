@@ -1,0 +1,1 @@
+lib/txn/mv2pl.ml: Hashtbl List Option Printf Version_pool Vnl_query Vnl_relation Vnl_storage

@@ -1,0 +1,1 @@
+lib/txn/mv2pl.mli: Vnl_query Vnl_relation Vnl_storage

@@ -1,0 +1,1 @@
+lib/txn/two_v2pl.ml: Int List Printf Set

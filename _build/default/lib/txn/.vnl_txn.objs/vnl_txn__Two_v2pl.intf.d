@@ -1,0 +1,1 @@
+lib/txn/two_v2pl.mli:

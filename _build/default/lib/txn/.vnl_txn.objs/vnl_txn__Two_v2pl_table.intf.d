@@ -1,0 +1,1 @@
+lib/txn/two_v2pl_table.mli: Vnl_query Vnl_relation Vnl_storage

@@ -1,0 +1,1 @@
+lib/txn/version_pool.ml: Array Hashtbl List Vnl_relation Vnl_storage

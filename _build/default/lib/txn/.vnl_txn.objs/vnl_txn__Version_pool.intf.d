@@ -1,0 +1,1 @@
+lib/txn/version_pool.mli: Vnl_relation Vnl_storage

@@ -1,0 +1,161 @@
+type mode = S | X
+
+type request = { txn : int; mode : mode }
+
+type entry = {
+  mutable holders : request list;  (** Compatible set currently granted. *)
+  mutable queue : request list;  (** FIFO, head is next candidate. *)
+}
+
+type t = {
+  items : (int, entry) Hashtbl.t;
+  waiting_on : (int, int) Hashtbl.t;  (** txn -> item it waits on. *)
+  mutable acquisitions : int;
+}
+
+let create () = { items = Hashtbl.create 64; waiting_on = Hashtbl.create 16; acquisitions = 0 }
+
+let entry t item =
+  match Hashtbl.find_opt t.items item with
+  | Some e -> e
+  | None ->
+    let e = { holders = []; queue = [] } in
+    Hashtbl.add t.items item e;
+    e
+
+let compatible a b = match (a, b) with S, S -> true | S, X | X, S | X, X -> false
+
+let mode_leq a b = match (a, b) with S, S | S, X | X, X -> true | X, S -> false
+
+let holder_mode e txn =
+  List.fold_left
+    (fun acc r ->
+      if r.txn <> txn then acc
+      else match acc with Some X -> Some X | _ -> Some r.mode)
+    None e.holders
+
+let grantable e req =
+  List.for_all (fun h -> h.txn = req.txn || compatible h.mode req.mode) e.holders
+
+let acquire t ~txn ~item mode =
+  let e = entry t item in
+  match holder_mode e txn with
+  | Some held when mode_leq mode held -> `Granted
+  | held -> (
+    let req = { txn; mode } in
+    let upgrade_ok =
+      match held with
+      | Some S -> List.for_all (fun h -> h.txn = txn) e.holders
+      | Some X -> true
+      | None -> false
+    in
+    if (upgrade_ok && mode = X) || (held = None && e.queue = [] && grantable e req) then begin
+      e.holders <- req :: List.filter (fun h -> h.txn <> txn) e.holders;
+      t.acquisitions <- t.acquisitions + 1;
+      `Granted
+    end
+    else begin
+      e.queue <- e.queue @ [ req ];
+      Hashtbl.replace t.waiting_on txn item;
+      `Blocked
+    end)
+
+(* Grant queued requests in FIFO order while compatible. *)
+let promote t item e =
+  let granted = ref [] in
+  let rec loop () =
+    match e.queue with
+    | [] -> ()
+    | req :: rest ->
+      if grantable e req then begin
+        e.queue <- rest;
+        e.holders <- req :: List.filter (fun h -> h.txn <> req.txn) e.holders;
+        t.acquisitions <- t.acquisitions + 1;
+        Hashtbl.remove t.waiting_on req.txn;
+        granted := req.txn :: !granted;
+        loop ()
+      end
+  in
+  loop ();
+  ignore item;
+  List.rev !granted
+
+let release_all t ~txn =
+  Hashtbl.remove t.waiting_on txn;
+  let newly = ref [] in
+  Hashtbl.iter
+    (fun item e ->
+      let had = List.exists (fun h -> h.txn = txn) e.holders in
+      e.holders <- List.filter (fun h -> h.txn <> txn) e.holders;
+      e.queue <- List.filter (fun r -> r.txn <> txn) e.queue;
+      if had || e.holders = [] then newly := promote t item e @ !newly)
+    t.items;
+  List.sort_uniq compare !newly
+
+let holds t ~txn ~item =
+  match Hashtbl.find_opt t.items item with None -> None | Some e -> holder_mode e txn
+
+let is_waiting t ~txn = Hashtbl.mem t.waiting_on txn
+
+let blocked_on t ~txn = Hashtbl.find_opt t.waiting_on txn
+
+(* Waits-for edges: a queued request waits for every incompatible holder and
+   every incompatible request queued ahead of it. *)
+let wait_edges t =
+  Hashtbl.fold
+    (fun _item e acc ->
+      let rec over_queue ahead acc = function
+        | [] -> acc
+        | req :: rest ->
+          let holder_targets =
+            List.filter_map
+              (fun h ->
+                if h.txn <> req.txn && not (compatible h.mode req.mode) then Some (req.txn, h.txn)
+                else None)
+              e.holders
+          in
+          let ahead_targets =
+            List.filter_map
+              (fun a ->
+                if a.txn <> req.txn && not (compatible a.mode req.mode) then Some (req.txn, a.txn)
+                else None)
+              ahead
+          in
+          over_queue (ahead @ [ req ]) (holder_targets @ ahead_targets @ acc) rest
+      in
+      over_queue [] acc e.queue)
+    t.items []
+
+let find_deadlock t =
+  let edges = wait_edges t in
+  let adj = Hashtbl.create 16 in
+  List.iter
+    (fun (a, b) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt adj a) in
+      Hashtbl.replace adj a (b :: cur))
+    edges;
+  (* DFS with a path stack to recover the cycle. *)
+  let visited = Hashtbl.create 16 in
+  let result = ref None in
+  let rec dfs path node =
+    if !result <> None then ()
+    else if List.mem node path then begin
+      let rec cut = function
+        | [] -> []
+        | x :: rest -> if x = node then [ x ] else x :: cut rest
+      in
+      result := Some (List.rev (cut path))
+    end
+    else if not (Hashtbl.mem visited node) then begin
+      Hashtbl.add visited node ();
+      List.iter (dfs (node :: path)) (Option.value ~default:[] (Hashtbl.find_opt adj node));
+      (* Allow re-exploration from other roots only via the path check. *)
+      ()
+    end
+  in
+  Hashtbl.iter (fun node _ -> if !result = None then dfs [] node) adj;
+  !result
+
+let lock_count t = Hashtbl.fold (fun _ e acc -> acc + List.length e.holders) t.items 0
+
+let acquisitions t = t.acquisitions

@@ -1,0 +1,163 @@
+module Tuple = Vnl_relation.Tuple
+module Heap_file = Vnl_storage.Heap_file
+module Table = Vnl_query.Table
+
+type meta = { created_vn : int; mutable current_vn : int; mutable deleted_vn : int option }
+
+type t = {
+  table : Table.t;
+  pool : Version_pool.t;
+  meta : (Heap_file.rid, meta) Hashtbl.t;
+  snapshots : (int, int) Hashtbl.t;  (** Active snapshot -> reader count. *)
+  mutable current : int;
+  mutable writer : int option;
+}
+
+let create table =
+  let heap = Table.heap table in
+  {
+    table;
+    pool = Version_pool.create (Heap_file.buffer_pool heap) (Table.schema table);
+    meta = Hashtbl.create 256;
+    snapshots = Hashtbl.create 16;
+    current = 1;
+    writer = None;
+  }
+
+let table t = t.table
+
+let current_vn t = t.current
+
+let meta_of t rid =
+  match Hashtbl.find_opt t.meta rid with
+  | Some m -> m
+  | None ->
+    (* Tuples loaded outside the writer API predate all snapshots. *)
+    let m = { created_vn = 0; current_vn = 0; deleted_vn = None } in
+    Hashtbl.add t.meta rid m;
+    m
+
+let begin_snapshot t =
+  let s = t.current in
+  let count = Option.value ~default:0 (Hashtbl.find_opt t.snapshots s) in
+  Hashtbl.replace t.snapshots s (count + 1);
+  s
+
+let reader_finished t ~snapshot =
+  match Hashtbl.find_opt t.snapshots snapshot with
+  | Some 1 -> Hashtbl.remove t.snapshots snapshot
+  | Some n -> Hashtbl.replace t.snapshots snapshot (n - 1)
+  | None -> ()
+
+let writer_vn t =
+  match t.writer with
+  | Some w -> w
+  | None -> invalid_arg "Mv2pl: no active writer"
+
+let begin_writer t =
+  (match t.writer with
+  | Some w -> invalid_arg (Printf.sprintf "Mv2pl: writer %d still active" w)
+  | None -> ());
+  let w = t.current + 1 in
+  t.writer <- Some w;
+  w
+
+let writer_insert t tuple =
+  let w = writer_vn t in
+  let rid = Table.insert t.table tuple in
+  Hashtbl.replace t.meta rid { created_vn = w; current_vn = w; deleted_vn = None };
+  rid
+
+let pool_key (rid : Heap_file.rid) =
+  { Version_pool.page = rid.Heap_file.page; slot = rid.Heap_file.slot }
+
+let writer_update t rid tuple =
+  let w = writer_vn t in
+  let m = meta_of t rid in
+  if m.deleted_vn <> None then invalid_arg "Mv2pl: update of deleted tuple";
+  (match Table.get t.table rid with
+  | None -> invalid_arg "Mv2pl: update of missing tuple"
+  | Some old ->
+    (* First touch by this writer: preserve the committed before-image. *)
+    if m.current_vn < w then Version_pool.stash t.pool ~key:(pool_key rid) ~vn:m.current_vn old);
+  Table.update_in_place t.table rid tuple;
+  m.current_vn <- w
+
+let writer_delete t rid =
+  let w = writer_vn t in
+  let m = meta_of t rid in
+  if m.deleted_vn <> None then invalid_arg "Mv2pl: delete of deleted tuple";
+  m.deleted_vn <- Some w
+
+let commit_writer t =
+  let w = writer_vn t in
+  t.current <- w;
+  t.writer <- None
+
+let abort_writer t =
+  let w = writer_vn t in
+  let to_remove = ref [] in
+  Hashtbl.iter
+    (fun rid m ->
+      if m.deleted_vn = Some w then m.deleted_vn <- None;
+      if m.created_vn = w then to_remove := rid :: !to_remove
+      else if m.current_vn = w then begin
+        match Version_pool.fetch t.pool ~key:(pool_key rid) ~max_vn:t.current with
+        | Some (vn, before) ->
+          Table.update_in_place t.table rid before;
+          m.current_vn <- vn
+        | None -> invalid_arg "Mv2pl: abort cannot find before-image"
+      end)
+    t.meta;
+  List.iter
+    (fun rid ->
+      Table.delete t.table rid;
+      Hashtbl.remove t.meta rid)
+    !to_remove;
+  t.writer <- None
+
+(* Visibility and content of [rid] at [snapshot], given its current content. *)
+let view t ~snapshot rid current_content =
+  let m = meta_of t rid in
+  if m.created_vn > snapshot then None
+  else
+    match m.deleted_vn with
+    | Some d when d <= snapshot -> None
+    | _ ->
+      if m.current_vn <= snapshot then Some current_content
+      else
+        Option.map snd (Version_pool.fetch t.pool ~key:(pool_key rid) ~max_vn:snapshot)
+
+let read t ~snapshot rid =
+  match Table.get t.table rid with
+  | None -> None
+  | Some content -> view t ~snapshot rid content
+
+let scan t ~snapshot f =
+  Table.scan t.table (fun rid content ->
+      match view t ~snapshot rid content with Some tuple -> f tuple | None -> ())
+
+let gc t =
+  let min_needed =
+    Hashtbl.fold (fun s _ acc -> min s acc) t.snapshots t.current
+  in
+  let removed_tombstones = ref 0 in
+  let dead = ref [] in
+  Hashtbl.iter
+    (fun rid m ->
+      match m.deleted_vn with
+      | Some d when d <= min_needed -> dead := rid :: !dead
+      | Some _ | None -> ())
+    t.meta;
+  List.iter
+    (fun rid ->
+      (match Table.get t.table rid with Some _ -> Table.delete t.table rid | None -> ());
+      Hashtbl.remove t.meta rid;
+      incr removed_tombstones)
+    !dead;
+  let pool_removed = Version_pool.gc t.pool ~keep_from:min_needed in
+  !removed_tombstones + pool_removed
+
+let pool_pages t = Version_pool.page_count t.pool
+
+let pool_entries t = Version_pool.entries t.pool

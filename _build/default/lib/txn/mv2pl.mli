@@ -1,0 +1,61 @@
+(** MV2PL transient versioning over a table.
+
+    The multi-version baseline of §6: readers see the database as of the
+    version current when their snapshot began and never block; the (single)
+    writer updates tuples in place after copying before-images into the
+    {!Version_pool}.  Unlike 2VNL this supports arbitrarily many versions
+    (bounded by garbage collection), at the price of pool I/Os on both the
+    write path and old-version reads. *)
+
+type t
+
+val create : Vnl_query.Table.t -> t
+(** Wrap a table; the version pool lives in the same buffer pool, so all
+    I/O is jointly accounted. *)
+
+val table : t -> Vnl_query.Table.t
+
+val current_vn : t -> int
+(** Version of the latest committed state; 1 initially. *)
+
+val begin_snapshot : t -> int
+(** Snapshot number for a new reader: the current committed version. *)
+
+val begin_writer : t -> int
+(** Start the (single) maintenance writer; returns its version number
+    [current_vn + 1].  Raises [Invalid_argument] if one is active. *)
+
+val writer_insert : t -> Vnl_relation.Tuple.t -> Vnl_storage.Heap_file.rid
+(** Insert; invisible to snapshots older than the writer's version. *)
+
+val writer_update : t -> Vnl_storage.Heap_file.rid -> Vnl_relation.Tuple.t -> unit
+(** Stash the before-image in the pool, then overwrite in place. *)
+
+val writer_delete : t -> Vnl_storage.Heap_file.rid -> unit
+(** Logical delete: tombstoned at the writer's version, physically removed
+    by {!gc}. *)
+
+val commit_writer : t -> unit
+
+val abort_writer : t -> unit
+(** Restore every modified tuple from its before-image and drop
+    writer-inserted tuples. *)
+
+val read : t -> snapshot:int -> Vnl_storage.Heap_file.rid -> Vnl_relation.Tuple.t option
+(** The tuple's content as of [snapshot]; [None] if invisible (not yet
+    created, deleted, or garbage collected past the snapshot). *)
+
+val scan : t -> snapshot:int -> (Vnl_relation.Tuple.t -> unit) -> unit
+(** Visit every tuple visible at [snapshot]. *)
+
+val reader_finished : t -> snapshot:int -> unit
+(** Tell the GC a reader with this snapshot is done. *)
+
+val gc : t -> int
+(** Physically remove tombstoned tuples and pool versions no active
+    snapshot can need; returns number of physical removals. *)
+
+val pool_pages : t -> int
+(** Version-pool pages — MV2PL's storage overhead. *)
+
+val pool_entries : t -> int

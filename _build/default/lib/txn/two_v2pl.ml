@@ -1,0 +1,59 @@
+module Iset = Set.Make (Int)
+
+type t = {
+  mutable readers : (int * Iset.t ref) list;  (** Active readers and read sets. *)
+  mutable writer : int option;
+  mutable write_set : Iset.t;
+}
+
+let create () = { readers = []; writer = None; write_set = Iset.empty }
+
+let begin_reader t ~reader =
+  if List.mem_assoc reader t.readers then
+    invalid_arg (Printf.sprintf "Two_v2pl: reader %d already active" reader);
+  t.readers <- (reader, ref Iset.empty) :: t.readers
+
+let end_reader t ~reader = t.readers <- List.remove_assoc reader t.readers
+
+let begin_writer t ~writer =
+  match t.writer with
+  | Some w -> invalid_arg (Printf.sprintf "Two_v2pl: writer %d still active" w)
+  | None ->
+    t.writer <- Some writer;
+    t.write_set <- Iset.empty
+
+let read t ~reader ~item =
+  match List.assoc_opt reader t.readers with
+  | Some set -> set := Iset.add item !set
+  | None -> invalid_arg (Printf.sprintf "Two_v2pl: unknown reader %d" reader)
+
+let write t ~writer ~item =
+  match t.writer with
+  | Some w when w = writer -> t.write_set <- Iset.add item t.write_set
+  | Some _ | None -> invalid_arg "Two_v2pl: write by inactive writer"
+
+let blocking_readers t ~writer =
+  match t.writer with
+  | Some w when w = writer ->
+    List.filter_map
+      (fun (reader, set) ->
+        if Iset.is_empty (Iset.inter !set t.write_set) then None else Some reader)
+      t.readers
+    |> List.sort compare
+  | Some _ | None -> []
+
+let commit_writer t ~writer =
+  (match t.writer with
+  | Some w when w = writer -> ()
+  | Some _ | None -> invalid_arg "Two_v2pl: commit by inactive writer");
+  (match blocking_readers t ~writer with
+  | [] -> ()
+  | rs ->
+    invalid_arg
+      (Printf.sprintf "Two_v2pl: commit blocked by %d readers" (List.length rs)));
+  t.writer <- None;
+  t.write_set <- Iset.empty
+
+let active_readers t = List.sort compare (List.map fst t.readers)
+
+let writer_active t = t.writer

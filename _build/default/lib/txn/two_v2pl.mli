@@ -1,0 +1,45 @@
+(** Two-version two-phase locking (2V2PL) commit gating.
+
+    Under 2V2PL (Bayer et al. [BHR80], Stearns-Rosenkrantz [SR81]) a writer
+    creates a second version of each tuple it modifies, readers continue to
+    read the previous version and are never blocked, {e but} the previous
+    versions are deleted at writer commit — so "the writer cannot commit
+    until all readers that have read the previous version of modified tuples
+    have committed" (§6).  This module tracks exactly that dependency: read
+    sets, the single writer's write set, and which active readers gate the
+    writer's commit.  The discrete-event simulator drives it to quantify the
+    reader-delays-writer effect 2VNL avoids. *)
+
+type t
+
+val create : unit -> t
+
+val begin_reader : t -> reader:int -> unit
+(** Raises [Invalid_argument] on duplicate ids. *)
+
+val end_reader : t -> reader:int -> unit
+
+val begin_writer : t -> writer:int -> unit
+(** Raises [Invalid_argument] if a writer is already active (warehouse
+    maintenance transactions run one at a time). *)
+
+val read : t -> reader:int -> item:int -> unit
+(** Record that [reader] read [item]'s (possibly previous) version.  Never
+    blocks. *)
+
+val write : t -> writer:int -> item:int -> unit
+(** Record that the writer created a new version of [item].  Never blocks
+    readers. *)
+
+val blocking_readers : t -> writer:int -> int list
+(** Active readers whose read set intersects the writer's write set — the
+    ones that must finish before the writer may commit.  Empty means the
+    writer may commit now. *)
+
+val commit_writer : t -> writer:int -> unit
+(** Raises [Invalid_argument] if {!blocking_readers} is non-empty or the
+    writer is not active.  Clears the write set. *)
+
+val active_readers : t -> int list
+
+val writer_active : t -> int option

@@ -1,0 +1,74 @@
+module Tuple = Vnl_relation.Tuple
+module Heap_file = Vnl_storage.Heap_file
+module Table = Vnl_query.Table
+
+type pending = New_version of Tuple.t | Deleted
+
+type t = {
+  table : Table.t;
+  versions : (Heap_file.rid, pending) Hashtbl.t;
+  mutable inserts : Tuple.t list;  (** Writer-inserted tuples, newest first. *)
+  mutable active : bool;
+}
+
+let create table = { table; versions = Hashtbl.create 64; inserts = []; active = false }
+
+let table t = t.table
+
+let require_writer t op =
+  if not t.active then invalid_arg (Printf.sprintf "Two_v2pl_table.%s: no active writer" op)
+
+let begin_writer t =
+  if t.active then invalid_arg "Two_v2pl_table.begin_writer: writer already active";
+  t.active <- true
+
+let writer_active t = t.active
+
+let writer_insert t tuple =
+  require_writer t "writer_insert";
+  t.inserts <- tuple :: t.inserts
+
+let writer_update t rid tuple =
+  require_writer t "writer_update";
+  (match Hashtbl.find_opt t.versions rid with
+  | Some Deleted -> invalid_arg "Two_v2pl_table.writer_update: tuple deleted by this writer"
+  | Some (New_version _) | None -> ());
+  Hashtbl.replace t.versions rid (New_version tuple)
+
+let writer_delete t rid =
+  require_writer t "writer_delete";
+  (match Hashtbl.find_opt t.versions rid with
+  | Some Deleted -> invalid_arg "Two_v2pl_table.writer_delete: tuple already deleted"
+  | Some (New_version _) | None -> ());
+  Hashtbl.replace t.versions rid Deleted
+
+let read t rid = Table.get t.table rid
+
+let writer_read t rid =
+  match Hashtbl.find_opt t.versions rid with
+  | Some (New_version tuple) -> Some tuple
+  | Some Deleted -> None
+  | None -> Table.get t.table rid
+
+let scan_committed t f = Table.scan t.table (fun _ tuple -> f tuple)
+
+let pending_versions t = Hashtbl.length t.versions + List.length t.inserts
+
+let commit t =
+  require_writer t "commit";
+  Hashtbl.iter
+    (fun rid pending ->
+      match pending with
+      | New_version tuple -> Table.update_in_place t.table rid tuple
+      | Deleted -> Table.delete t.table rid)
+    t.versions;
+  List.iter (fun tuple -> ignore (Table.insert t.table tuple)) (List.rev t.inserts);
+  Hashtbl.reset t.versions;
+  t.inserts <- [];
+  t.active <- false
+
+let abort t =
+  require_writer t "abort";
+  Hashtbl.reset t.versions;
+  t.inserts <- [];
+  t.active <- false

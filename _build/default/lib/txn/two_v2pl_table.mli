@@ -1,0 +1,55 @@
+(** Data-level 2V2PL: a table wrapper keeping the writer's uncommitted
+    versions beside the committed ones.
+
+    Under 2V2PL the writer creates a second version of each tuple it
+    modifies while readers continue to see the committed version; at commit
+    the new versions replace the old ones and the old ones are discarded —
+    which is why commit must wait for the readers {!Two_v2pl} tracks.  This
+    module supplies the data half of that protocol: committed state lives
+    in the underlying table, the writer's versions in a side buffer that is
+    installed on commit or dropped on abort.
+
+    Contrast with 2VNL: here the second version exists only while the
+    writer is active, so a reader that outlives the commit loses its
+    snapshot (hence the commit gate), whereas 2VNL keeps the pre-update
+    version inside the tuple and lets the writer commit immediately. *)
+
+type t
+
+val create : Vnl_query.Table.t -> t
+
+val table : t -> Vnl_query.Table.t
+
+val begin_writer : t -> unit
+(** Raises [Invalid_argument] if a writer is active. *)
+
+val writer_active : t -> bool
+
+val writer_insert : t -> Vnl_relation.Tuple.t -> unit
+(** Buffer a new tuple, invisible to readers until commit. *)
+
+val writer_update : t -> Vnl_storage.Heap_file.rid -> Vnl_relation.Tuple.t -> unit
+(** Buffer a new version of the tuple at [rid]; readers keep seeing the
+    committed version. *)
+
+val writer_delete : t -> Vnl_storage.Heap_file.rid -> unit
+(** Buffer a deletion. *)
+
+val read : t -> Vnl_storage.Heap_file.rid -> Vnl_relation.Tuple.t option
+(** Reader access: always the committed version. *)
+
+val writer_read : t -> Vnl_storage.Heap_file.rid -> Vnl_relation.Tuple.t option
+(** The writer's own view: its buffered version if any, else committed. *)
+
+val scan_committed : t -> (Vnl_relation.Tuple.t -> unit) -> unit
+
+val pending_versions : t -> int
+(** Buffered (second-version) entries — 2V2PL's transient storage cost. *)
+
+val commit : t -> unit
+(** Install every buffered version into the table in place (the paper's
+    point: this destroys the previous versions, so it must not happen while
+    a gated reader is active — enforcement is {!Two_v2pl}'s job). *)
+
+val abort : t -> unit
+(** Drop the buffered versions; committed state is untouched. *)

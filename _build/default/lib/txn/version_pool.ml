@@ -1,0 +1,98 @@
+module Schema = Vnl_relation.Schema
+module Tuple = Vnl_relation.Tuple
+module Value = Vnl_relation.Value
+module Heap_file = Vnl_storage.Heap_file
+
+type key = { page : int; slot : int }
+
+type t = {
+  base_schema : Schema.t;
+  pool_schema : Schema.t;
+  heap : Heap_file.t;
+  chains : (key, (int * Heap_file.rid) list ref) Hashtbl.t;
+      (** Newest-first chain per main-file tuple. *)
+  mutable entries : int;
+}
+
+let pool_schema_of base =
+  (* Pool records prefix the before-image with the version number it was
+     current as of.  Key/updatable flags are irrelevant inside the pool. *)
+  let plain a = Schema.attr a.Schema.name a.Schema.dtype in
+  Schema.make (Schema.attr "pool_vn" Vnl_relation.Dtype.Int :: List.map plain (Schema.attributes base))
+
+let create pool base_schema =
+  let pool_schema = pool_schema_of base_schema in
+  {
+    base_schema;
+    pool_schema;
+    heap = Heap_file.create pool pool_schema;
+    chains = Hashtbl.create 64;
+    entries = 0;
+  }
+
+let chain t key =
+  match Hashtbl.find_opt t.chains key with
+  | Some c -> c
+  | None ->
+    let c = ref [] in
+    Hashtbl.add t.chains key c;
+    c
+
+let stash t ~key ~vn tuple =
+  let record = Tuple.of_array t.pool_schema (Array.of_list (Value.Int vn :: Tuple.values tuple)) in
+  let rid = Heap_file.insert t.heap record in
+  let c = chain t key in
+  c := (vn, rid) :: !c;
+  t.entries <- t.entries + 1
+
+let decode_pool_record t record =
+  match Tuple.values record with
+  | Value.Int vn :: rest -> (vn, Tuple.make t.base_schema rest)
+  | _ -> invalid_arg "Version_pool: corrupt pool record"
+
+let fetch t ~key ~max_vn =
+  match Hashtbl.find_opt t.chains key with
+  | None -> None
+  | Some c ->
+    (* Chase the chain newest-first, paying one pool read per hop, until a
+       version old enough for the reader appears. *)
+    let rec walk = function
+      | [] -> None
+      | (_, rid) :: rest -> (
+        match Heap_file.get t.heap rid with
+        | None -> walk rest
+        | Some record ->
+          let vn, tuple = decode_pool_record t record in
+          if vn <= max_vn then Some (vn, tuple) else walk rest)
+    in
+    walk !c
+
+let chain_length t ~key =
+  match Hashtbl.find_opt t.chains key with None -> 0 | Some c -> List.length !c
+
+let entries t = t.entries
+
+let page_count t = Heap_file.page_count t.heap
+
+let gc t ~keep_from =
+  let removed = ref 0 in
+  Hashtbl.iter
+    (fun _key c ->
+      (* Keep every version with vn >= keep_from plus the newest older one
+         (still needed by a reader exactly at keep_from). *)
+      let rec split kept = function
+        | [] -> (List.rev kept, [])
+        | (vn, rid) :: rest ->
+          if vn >= keep_from then split ((vn, rid) :: kept) rest
+          else (List.rev (((vn : int), rid) :: kept), rest)
+      in
+      let keep, drop = split [] !c in
+      List.iter
+        (fun (_, rid) ->
+          Heap_file.delete t.heap rid;
+          incr removed)
+        drop;
+      c := keep)
+    t.chains;
+  t.entries <- t.entries - !removed;
+  !removed

@@ -1,0 +1,39 @@
+(** On-disk version pool for MV2PL transient versioning.
+
+    Models the design of Chan et al. [CFL+82] that §6 of the paper compares
+    against: before a tuple is overwritten, its before-image is copied into
+    a separate pool file ("tuple writes involve an additional I/O"), and a
+    reader needing an old version follows the chain into the pool
+    ("readers might have to perform several I/Os to access the correct
+    version").  The pool shares the database buffer pool, so those extra
+    I/Os show up in the physical counters the IO experiment reports. *)
+
+type t
+
+type key = { page : int; slot : int }
+(** Identity of the main-file tuple whose versions are chained. *)
+
+val create : Vnl_storage.Buffer_pool.t -> Vnl_relation.Schema.t -> t
+(** [create pool schema] makes an empty version pool for tuples of
+    [schema]; pool records carry the version number alongside the tuple. *)
+
+val stash : t -> key:key -> vn:int -> Vnl_relation.Tuple.t -> unit
+(** Append a before-image that was current as of version [vn] to [key]'s
+    chain (one pool write). *)
+
+val fetch : t -> key:key -> max_vn:int -> (int * Vnl_relation.Tuple.t) option
+(** Newest stashed version with [vn <= max_vn]; chasing the chain reads one
+    pool page per hop.  [None] when no old-enough version exists (either
+    the current version applies, or it was garbage collected). *)
+
+val chain_length : t -> key:key -> int
+
+val entries : t -> int
+(** Total stashed versions. *)
+
+val page_count : t -> int
+(** Pool pages allocated — the storage-overhead metric for MV2PL. *)
+
+val gc : t -> keep_from:int -> int
+(** Drop stashed versions strictly older than any reader could need, i.e.
+    versions superseded before [keep_from]; returns how many were removed. *)

@@ -1,0 +1,1 @@
+lib/util/xorshift.ml: Array Int64 List

@@ -1,0 +1,44 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?(aligns = []) ~header rows =
+  let ncols = List.length header in
+  let align_of i = match List.nth_opt aligns i with Some a -> a | None -> Left in
+  let of_row row i = match List.nth_opt row i with Some s -> s | None -> "" in
+  let cell_width i =
+    List.fold_left
+      (fun acc row -> max acc (String.length (of_row row i)))
+      (String.length (of_row header i))
+      rows
+  in
+  let widths = List.init ncols cell_width in
+  let render_row row =
+    let cells = List.mapi (fun i w -> pad (align_of i) w (of_row row i)) widths in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let rule =
+    let dashes = List.map (fun w -> String.make (w + 2) '-') widths in
+    "+" ^ String.concat "+" dashes ^ "+"
+  in
+  let body = List.map render_row rows in
+  String.concat "\n" ((rule :: render_row header :: rule :: body) @ [ rule ])
+
+let print ?aligns ~header rows = print_endline (render ?aligns ~header rows)
+
+let fmt_float f =
+  let s = Printf.sprintf "%.2f" f in
+  if s = "-0.00" then "0.00" else s
+
+let fmt_pct r = Printf.sprintf "%.1f%%" (r *. 100.0)
+
+let section title =
+  let bar = String.make (String.length title + 8) '=' in
+  Printf.printf "\n%s\n=== %s ===\n%s\n" bar title bar
+
+let subsection title = Printf.printf "\n--- %s ---\n" title

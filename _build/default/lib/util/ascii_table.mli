@@ -1,0 +1,29 @@
+(** Plain-text table rendering for benchmark and experiment reports.
+
+    The benchmark harness reproduces the paper's tables and figures as text;
+    this module renders aligned ASCII tables in the style of the paper. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays out [rows] under [header] with column widths
+    fitted to the content.  [aligns] defaults to left alignment for every
+    column; a shorter list is padded with [Left]. *)
+
+val print : ?aligns:align list -> header:string list -> string list list -> unit
+(** [print] is [render] followed by output to stdout with a trailing
+    newline. *)
+
+val fmt_float : float -> string
+(** Render a float with two decimals, trimming [-0.00] to [0.00]. *)
+
+val fmt_pct : float -> string
+(** Render a ratio as a percentage with one decimal, e.g. [0.214] as
+    ["21.4%"]. *)
+
+val section : string -> unit
+(** Print a prominent section banner used to delimit experiments in the
+    benchmark output. *)
+
+val subsection : string -> unit
+(** Print a lighter banner for sub-results within an experiment. *)

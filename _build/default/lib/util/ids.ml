@@ -1,0 +1,12 @@
+type t = { first : int; mutable current : int }
+
+let create ?(first = 1) () = { first; current = first }
+
+let next t =
+  let id = t.current in
+  t.current <- t.current + 1;
+  id
+
+let peek t = t.current
+
+let reset t = t.current <- t.first

@@ -1,0 +1,16 @@
+(** Monotonic identifier generation for transactions, sessions, and pages. *)
+
+type t
+(** A counter handing out identifiers starting from a given origin. *)
+
+val create : ?first:int -> unit -> t
+(** [create ?first ()] starts at [first] (default 1). *)
+
+val next : t -> int
+(** Return the next identifier and advance the counter. *)
+
+val peek : t -> int
+(** The identifier [next] would return, without advancing. *)
+
+val reset : t -> unit
+(** Restart from the original [first]. *)

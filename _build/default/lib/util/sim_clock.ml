@@ -1,0 +1,19 @@
+type t = { mutable now : int }
+
+let create () = { now = 0 }
+
+let now t = t.now
+
+let advance t dt =
+  if dt < 0 then invalid_arg "Sim_clock.advance: negative delta";
+  t.now <- t.now + dt
+
+let advance_to t at = if at > t.now then t.now <- at
+
+let minutes_per_tick = 1
+
+let pp_time_of_day ppf ticks =
+  let minutes = ticks * minutes_per_tick in
+  let day = minutes / (24 * 60) in
+  let rem = minutes mod (24 * 60) in
+  Format.fprintf ppf "day%d %02d:%02d" day (rem / 60) (rem mod 60)

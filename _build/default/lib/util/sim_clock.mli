@@ -1,0 +1,27 @@
+(** Logical simulation clock.
+
+    The paper's scenarios (Figures 1 and 2) are day-scale timelines; the
+    concurrency experiments measure blocking in logical ticks.  A clock is a
+    mutable non-negative counter measured in abstract ticks; scenario code
+    maps ticks to minutes of warehouse wall-clock time. *)
+
+type t
+
+val create : unit -> t
+(** A clock at time 0. *)
+
+val now : t -> int
+(** Current time in ticks. *)
+
+val advance : t -> int -> unit
+(** [advance t dt] moves time forward by [dt >= 0] ticks. *)
+
+val advance_to : t -> int -> unit
+(** [advance_to t at] moves time forward to [at]; no-op if [at] is in the
+    past. *)
+
+val minutes_per_tick : int
+(** Conversion constant used by scenario reports: one tick is one minute. *)
+
+val pp_time_of_day : Format.formatter -> int -> unit
+(** Render a tick count as ["dayD hh:mm"] assuming [minutes_per_tick]. *)

@@ -1,0 +1,1 @@
+lib/warehouse/delta.ml: Format List Map String View_def Vnl_relation

@@ -1,0 +1,1 @@
+lib/warehouse/delta.mli: Format View_def Vnl_relation

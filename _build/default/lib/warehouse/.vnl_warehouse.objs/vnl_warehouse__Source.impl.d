@@ -1,0 +1,1 @@
+lib/warehouse/source.ml: Delta List View_def Vnl_relation

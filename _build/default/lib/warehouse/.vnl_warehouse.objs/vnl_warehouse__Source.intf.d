@@ -1,0 +1,1 @@
+lib/warehouse/source.mli: Delta View_def Vnl_relation

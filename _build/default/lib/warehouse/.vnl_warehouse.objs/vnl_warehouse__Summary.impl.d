@@ -1,0 +1,1 @@
+lib/warehouse/summary.ml: Delta Format List View_def Vnl_core Vnl_relation

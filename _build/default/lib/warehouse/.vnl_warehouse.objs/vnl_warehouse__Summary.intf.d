@@ -1,0 +1,1 @@
+lib/warehouse/summary.mli: Delta Format View_def Vnl_core

@@ -1,0 +1,1 @@
+lib/warehouse/view_def.ml: List Printf String Vnl_relation

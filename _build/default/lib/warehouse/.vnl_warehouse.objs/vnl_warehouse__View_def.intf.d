@@ -1,0 +1,1 @@
+lib/warehouse/view_def.mli: Vnl_relation

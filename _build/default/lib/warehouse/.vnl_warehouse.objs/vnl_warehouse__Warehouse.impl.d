@@ -1,0 +1,1 @@
+lib/warehouse/warehouse.ml: Delta List Printf Source Summary View_def Vnl_core Vnl_query

@@ -1,0 +1,1 @@
+lib/warehouse/warehouse.mli: Delta Source Summary View_def Vnl_core Vnl_query Vnl_relation

@@ -1,0 +1,80 @@
+module Tuple = Vnl_relation.Tuple
+module Value = Vnl_relation.Value
+
+type change = Insert of Tuple.t | Delete of Tuple.t | Update of Tuple.t * Tuple.t
+
+type group_delta = {
+  key : Value.t list;
+  agg_delta : Value.t list;
+  count_delta : int;
+}
+
+module Keymap = Map.Make (struct
+  type t = Value.t list
+
+  let compare a b =
+    let rec loop xs ys =
+      match (xs, ys) with
+      | [], [] -> 0
+      | [], _ -> -1
+      | _, [] -> 1
+      | x :: xs, y :: ys ->
+        let c = Value.compare x y in
+        if c <> 0 then c else loop xs ys
+    in
+    loop a b
+end)
+
+let net_group_deltas view changes =
+  let acc = ref Keymap.empty and order = ref [] in
+  let touch key f =
+    let current =
+      match Keymap.find_opt key !acc with
+      | Some entry -> entry
+      | None ->
+        order := key :: !order;
+        (View_def.zero_contribution view, 0)
+    in
+    acc := Keymap.add key (f current) !acc
+  in
+  let add_row sign row =
+    let key = View_def.group_key view row in
+    let contrib = View_def.contribution view row in
+    touch key (fun (sums, count) ->
+        let op = if sign > 0 then Value.add else Value.sub in
+        (List.map2 op sums contrib, count + sign))
+  in
+  List.iter
+    (fun change ->
+      match change with
+      | Insert row -> add_row 1 row
+      | Delete row -> add_row (-1) row
+      | Update (old_row, new_row) ->
+        add_row (-1) old_row;
+        add_row 1 new_row)
+    changes;
+  let is_zero v =
+    match v with Value.Int 0 -> true | Value.Float 0.0 -> true | _ -> false
+  in
+  List.rev !order
+  |> List.filter_map (fun key ->
+         let sums, count = Keymap.find key !acc in
+         if count = 0 && List.for_all is_zero sums then None
+         else Some { key; agg_delta = sums; count_delta = count })
+
+let pp_change ppf = function
+  | Insert t -> Format.fprintf ppf "insert %s" (String.concat "," (Tuple.to_strings t))
+  | Delete t -> Format.fprintf ppf "delete %s" (String.concat "," (Tuple.to_strings t))
+  | Update (o, n) ->
+    Format.fprintf ppf "update %s -> %s"
+      (String.concat "," (Tuple.to_strings o))
+      (String.concat "," (Tuple.to_strings n))
+
+let change_count changes =
+  List.fold_left
+    (fun (i, d, u) c ->
+      match c with
+      | Insert _ -> (i + 1, d, u)
+      | Delete _ -> (i, d + 1, u)
+      | Update _ -> (i, d, u + 1))
+    (0, 0, 0) changes

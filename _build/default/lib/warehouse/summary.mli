@@ -1,0 +1,24 @@
+(** Incremental maintenance of summary tables through a 2VNL maintenance
+    transaction (§1-§2 context: propagate a batch of source changes to the
+    warehouse views).
+
+    For each net group delta: an absent group is inserted; a present group
+    has its aggregates adjusted by the delta; a group whose support count
+    drops to zero is logically deleted.  All tuple operations flow through
+    the 2VNL decision tables, so readers stay consistent throughout. *)
+
+type outcome = {
+  groups_inserted : int;
+  groups_updated : int;
+  groups_deleted : int;
+}
+
+val apply_batch :
+  Vnl_core.Twovnl.Txn.m -> View_def.t -> Delta.change list -> outcome
+(** Fold the batch into net group deltas and apply them to the view's
+    warehouse table (which must be registered under [View_def.name]).
+    Raises [Invalid_argument] if a group with no support count would need
+    deletion inference, or if a delta would drive an aggregate of an absent
+    group (inconsistent source batch). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

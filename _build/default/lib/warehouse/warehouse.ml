@@ -1,0 +1,86 @@
+module Twovnl = Vnl_core.Twovnl
+module Database = Vnl_query.Database
+
+type entry = {
+  def : View_def.t;
+  source : Source.t;
+  mutable queue : Delta.change list;  (** Reverse order. *)
+}
+
+type t = {
+  vnl : Twovnl.t;
+  db : Database.t;
+  entries : (string * entry) list;
+}
+
+let create ?n ?page_size ?pool_capacity defs =
+  let db = Database.create ?page_size ?pool_capacity () in
+  let vnl = Twovnl.init db in
+  let entries =
+    List.map
+      (fun def ->
+        ignore
+          (Twovnl.register_table vnl ?n ~name:(View_def.name def)
+             (View_def.target_schema def));
+        (View_def.name def, { def; source = Source.create (View_def.source def); queue = [] }))
+      defs
+  in
+  { vnl; db; entries }
+
+let vnl t = t.vnl
+
+let database t = t.db
+
+let entry t name =
+  match List.assoc_opt name t.entries with
+  | Some e -> e
+  | None -> failwith (Printf.sprintf "Warehouse: unknown view %S" name)
+
+let view t name = (entry t name).def
+
+let views t = List.map (fun (_, e) -> e.def) t.entries
+
+let source t name = (entry t name).source
+
+let queue_changes t ~view changes =
+  let e = entry t view in
+  Source.apply e.source changes;
+  e.queue <- List.rev_append changes e.queue
+
+let pending t ~view = List.length (entry t view).queue
+
+let take_pending t ~view =
+  let e = entry t view in
+  let batch = List.rev e.queue in
+  e.queue <- [];
+  batch
+
+let refresh_with t extra =
+  let txn = Twovnl.Txn.begin_ t.vnl in
+  let outcomes =
+    List.map
+      (fun (_, e) ->
+        let batch = List.rev e.queue in
+        e.queue <- [];
+        Summary.apply_batch txn e.def batch)
+      t.entries
+  in
+  extra txn;
+  Twovnl.Txn.commit txn;
+  outcomes
+
+let refresh t = refresh_with t (fun _ -> ())
+
+let begin_session t = Twovnl.Session.begin_ t.vnl
+
+let end_session t s = Twovnl.Session.end_ t.vnl s
+
+let query t s sql = Twovnl.Session.query t.vnl s sql
+
+let read_view t s name = Twovnl.Session.read_table t.vnl s name
+
+let expected_view t name =
+  let e = entry t name in
+  Source.compute_view e.source e.def
+
+let collect_garbage t = Twovnl.collect_garbage t.vnl

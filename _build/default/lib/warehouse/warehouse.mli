@@ -1,0 +1,64 @@
+(** The warehouse facade: materialized summary views over simulated sources,
+    maintained on-line under 2VNL.
+
+    One warehouse owns one database, one {!Vnl_core.Twovnl} instance, the
+    view definitions, and the simulated sources.  [refresh] runs one
+    maintenance transaction that propagates queued source changes into every
+    affected view — the paper's operating model, with readers continuing
+    concurrently. *)
+
+type t
+
+val create : ?n:int -> ?page_size:int -> ?pool_capacity:int -> View_def.t list -> t
+(** Build a warehouse hosting the given views (each becomes a registered
+    nVNL table; [n] defaults to 2). *)
+
+val vnl : t -> Vnl_core.Twovnl.t
+
+val database : t -> Vnl_query.Database.t
+
+val view : t -> string -> View_def.t
+(** Raises [Failure] for unknown views. *)
+
+val views : t -> View_def.t list
+
+val source : t -> string -> Source.t
+(** The simulated source feeding the named view. *)
+
+val queue_changes : t -> view:string -> Delta.change list -> unit
+(** Append source changes to the view's pending queue (and apply them to
+    the simulated source so ground-truth recomputation stays in step). *)
+
+val pending : t -> view:string -> int
+(** Queued changes not yet propagated. *)
+
+val take_pending : t -> view:string -> Delta.change list
+(** Drain the view's queue, returning the batch in arrival order; used by
+    scenarios that spread one maintenance transaction over simulated time
+    instead of calling {!refresh}. *)
+
+val refresh : t -> Summary.outcome list
+(** Run one maintenance transaction propagating every queued batch, commit,
+    and return per-view outcomes (in view order). *)
+
+val refresh_with : t -> (Vnl_core.Twovnl.Txn.m -> unit) -> Summary.outcome list
+(** Like {!refresh} but also runs the given extra maintenance work inside
+    the same transaction (used by experiments to stretch transactions). *)
+
+val begin_session : t -> Vnl_core.Twovnl.Session.s
+
+val end_session : t -> Vnl_core.Twovnl.Session.s -> unit
+
+val query : t -> Vnl_core.Twovnl.Session.s -> string -> Vnl_query.Executor.result
+(** Session-consistent SQL over the views (2VNL rewrite). *)
+
+val read_view :
+  t -> Vnl_core.Twovnl.Session.s -> string -> Vnl_relation.Tuple.t list
+(** Engine-level consistent read of a whole view (any n). *)
+
+val expected_view : t -> string -> Vnl_relation.Tuple.t list
+(** Ground truth: recompute the view from the simulated source's current
+    base data (reflects {e queued} changes too, so compare right after a
+    refresh). *)
+
+val collect_garbage : t -> int

@@ -1,0 +1,1 @@
+lib/workload/cc_sim.ml: Array Hashtbl List Printf Simulator Vnl_txn Vnl_util

@@ -1,0 +1,1 @@
+lib/workload/cc_sim.mli: Vnl_util

@@ -1,0 +1,1 @@
+lib/workload/sales_gen.ml: Hashtbl List String Vnl_relation Vnl_util Vnl_warehouse

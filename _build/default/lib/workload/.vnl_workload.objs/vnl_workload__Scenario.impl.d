@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Array Buffer List Printf Sales_gen Simulator String Vnl_core Vnl_query Vnl_relation Vnl_sql Vnl_util Vnl_warehouse

@@ -1,0 +1,1 @@
+lib/workload/scenario.mli:

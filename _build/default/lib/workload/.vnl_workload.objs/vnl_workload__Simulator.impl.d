@@ -1,0 +1,1 @@
+lib/workload/simulator.ml: Effect List Map

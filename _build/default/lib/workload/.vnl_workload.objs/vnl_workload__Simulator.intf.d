@@ -1,0 +1,1 @@
+lib/workload/simulator.mli:

@@ -1,0 +1,211 @@
+module Stats = Vnl_util.Stats
+module Xorshift = Vnl_util.Xorshift
+module Lm = Vnl_txn.Lock_manager
+module Two_v2pl = Vnl_txn.Two_v2pl
+
+type scheme = S2pl | V2pl2 | Mv2pl | Vnl2
+
+let scheme_name = function
+  | S2pl -> "strict 2PL"
+  | V2pl2 -> "2V2PL"
+  | Mv2pl -> "MV2PL"
+  | Vnl2 -> "2VNL"
+
+let all_schemes = [ S2pl; V2pl2; Mv2pl; Vnl2 ]
+
+type config = {
+  readers : int;
+  reads_per_txn : int;
+  items : int;
+  writer_items : int;
+  read_ticks : int;
+  write_ticks : int;
+  arrival_gap : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    readers = 40;
+    reads_per_txn = 12;
+    items = 100;
+    writer_items = 60;
+    read_ticks = 2;
+    write_ticks = 3;
+    arrival_gap = 5;
+    seed = 42;
+  }
+
+type report = {
+  scheme : scheme;
+  reader_latency : Stats.summary;
+  reader_blocked : Stats.summary;
+  writer_span : int;
+  writer_commit_wait : int;
+  lock_acquisitions : int;
+  deadlock_aborts : int;
+  makespan : int;
+}
+
+exception Txn_abort
+
+(* Writer transaction id; readers are 1..readers. *)
+let writer_txn = 0
+
+(* The workload is generated once per config+seed so every scheme replays
+   the identical arrival pattern and read sets. *)
+let generate_workload cfg =
+  let rng = Xorshift.create cfg.seed in
+  Array.init cfg.readers (fun i ->
+      let arrival = i * cfg.arrival_gap in
+      let reads =
+        List.init cfg.reads_per_txn (fun _ -> Xorshift.int rng cfg.items)
+      in
+      (arrival, reads))
+
+let run cfg scheme =
+  let sim = Simulator.create () in
+  let workload = generate_workload cfg in
+  let lm = Lm.create () in
+  let cc2v = Two_v2pl.create () in
+  let granted : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let aborted : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let latencies = ref [] and blocked_times = ref [] in
+  let writer_span = ref 0 and writer_commit_wait = ref 0 in
+  let deadlock_aborts = ref 0 in
+  let finished_readers = ref 0 in
+  let writer_done = ref false in
+  let note_grants txns = List.iter (fun txn -> Hashtbl.replace granted txn ()) txns in
+
+  (* Blocking lock acquisition for the lock-based schemes. *)
+  let acquire_blocking ~txn ~item mode blocked_acc =
+    match Lm.acquire lm ~txn ~item mode with
+    | `Granted -> ()
+    | `Blocked ->
+      let t0 = Simulator.now sim in
+      Simulator.await (fun () -> Hashtbl.mem granted txn || Hashtbl.mem aborted txn);
+      blocked_acc := !blocked_acc + (Simulator.now sim - t0);
+      Hashtbl.remove granted txn;
+      if Hashtbl.mem aborted txn then begin
+        Hashtbl.remove aborted txn;
+        raise Txn_abort
+      end
+  in
+
+  let reader i =
+    let arrival, reads = workload.(i) in
+    ignore arrival;
+    let txn = i + 1 in
+    let start = Simulator.now sim in
+    let blocked_acc = ref 0 in
+    let rec attempt () =
+      try
+        (match scheme with
+        | S2pl ->
+          List.iter
+            (fun item ->
+              acquire_blocking ~txn ~item Lm.S blocked_acc;
+              Simulator.delay cfg.read_ticks)
+            reads;
+          note_grants (Lm.release_all lm ~txn)
+        | V2pl2 ->
+          Two_v2pl.begin_reader cc2v ~reader:txn;
+          List.iter
+            (fun item ->
+              Two_v2pl.read cc2v ~reader:txn ~item;
+              Simulator.delay cfg.read_ticks)
+            reads;
+          Two_v2pl.end_reader cc2v ~reader:txn
+        | Mv2pl | Vnl2 ->
+          List.iter (fun _ -> Simulator.delay cfg.read_ticks) reads)
+      with Txn_abort ->
+        note_grants (Lm.release_all lm ~txn);
+        Simulator.delay (3 + (txn mod 5));
+        attempt ()
+    in
+    attempt ();
+    latencies := float_of_int (Simulator.now sim - start) :: !latencies;
+    blocked_times := float_of_int !blocked_acc :: !blocked_times;
+    incr finished_readers
+  in
+
+  let writer () =
+    let start = Simulator.now sim in
+    let blocked_acc = ref 0 in
+    (match scheme with
+    | S2pl ->
+      for item = 0 to cfg.writer_items - 1 do
+        (* The maintenance writer is never chosen as a deadlock victim, so
+           Txn_abort cannot escape here. *)
+        acquire_blocking ~txn:writer_txn ~item Lm.X blocked_acc;
+        Simulator.delay cfg.write_ticks
+      done;
+      note_grants (Lm.release_all lm ~txn:writer_txn)
+    | V2pl2 ->
+      Two_v2pl.begin_writer cc2v ~writer:writer_txn;
+      for item = 0 to cfg.writer_items - 1 do
+        Two_v2pl.write cc2v ~writer:writer_txn ~item;
+        Simulator.delay cfg.write_ticks
+      done;
+      let t0 = Simulator.now sim in
+      Simulator.await (fun () -> Two_v2pl.blocking_readers cc2v ~writer:writer_txn = []);
+      writer_commit_wait := Simulator.now sim - t0;
+      Two_v2pl.commit_writer cc2v ~writer:writer_txn
+    | Mv2pl | Vnl2 ->
+      for _item = 0 to cfg.writer_items - 1 do
+        Simulator.delay cfg.write_ticks
+      done);
+    writer_span := Simulator.now sim - start;
+    writer_done := true
+  in
+
+  (* Deadlock detector for S2PL: abort the youngest reader in any cycle. *)
+  let detector () =
+    let rec loop () =
+      if !finished_readers < cfg.readers || not !writer_done then begin
+        Simulator.delay 4;
+        (match Lm.find_deadlock lm with
+        | Some cycle ->
+          let victims = List.filter (fun txn -> txn <> writer_txn) cycle in
+          (match List.sort (fun a b -> compare b a) victims with
+          | victim :: _ ->
+            incr deadlock_aborts;
+            Hashtbl.replace aborted victim ();
+            note_grants (Lm.release_all lm ~txn:victim)
+          | [] -> ())
+        | None -> ());
+        loop ()
+      end
+    in
+    loop ()
+  in
+
+  Array.iteri
+    (fun i (arrival, _) ->
+      Simulator.spawn sim ~at:arrival ~name:(Printf.sprintf "reader-%d" (i + 1)) (fun () ->
+          reader i))
+    workload;
+  Simulator.spawn sim ~at:0 ~name:"maintenance-writer" writer;
+  if scheme = S2pl then Simulator.spawn sim ~at:0 ~name:"deadlock-detector" detector;
+  Simulator.run sim;
+  let lock_acquisitions =
+    match scheme with
+    | S2pl -> Lm.acquisitions lm
+    | V2pl2 ->
+      (* 2V2PL still tracks read/write sets through its lock table. *)
+      (cfg.readers * cfg.reads_per_txn) + cfg.writer_items
+    | Mv2pl -> cfg.writer_items
+    | Vnl2 -> 0
+  in
+  {
+    scheme;
+    reader_latency = Stats.summarize !latencies;
+    reader_blocked = Stats.summarize !blocked_times;
+    writer_span = !writer_span;
+    writer_commit_wait = !writer_commit_wait;
+    lock_acquisitions;
+    deadlock_aborts = !deadlock_aborts;
+    makespan = Simulator.now sim;
+  }
+
+let run_all cfg = List.map (run cfg) all_schemes

@@ -1,0 +1,50 @@
+(** Blocking comparison between concurrency-control schemes (§1, §6).
+
+    A fixed workload — one long maintenance writer sweeping a fraction of
+    the data items, and a population of reader transactions each touching a
+    random subset — is replayed under four schemes:
+
+    - {b S2PL}: conventional strict two-phase locking; readers and the
+      writer block each other, deadlocks abort and restart readers.
+    - {b 2V2PL}: readers never block, but the writer's commit waits for
+      every reader that touched its write set.
+    - {b MV2PL}: nobody blocks (version-pool I/O costs are measured by the
+      separate IO experiment).
+    - {b 2VNL}: nobody blocks and nobody locks.
+
+    All runs share a seed, so the arrival pattern is identical across
+    schemes and differences are due to the scheme alone. *)
+
+type scheme = S2pl | V2pl2 | Mv2pl | Vnl2
+
+val scheme_name : scheme -> string
+
+val all_schemes : scheme list
+
+type config = {
+  readers : int;  (** Concurrent reader transactions over the run. *)
+  reads_per_txn : int;
+  items : int;  (** Distinct lockable data items. *)
+  writer_items : int;  (** Items the maintenance transaction writes. *)
+  read_ticks : int;  (** Simulated time per item read. *)
+  write_ticks : int;  (** Simulated time per item write. *)
+  arrival_gap : int;  (** Ticks between reader arrivals. *)
+  seed : int;
+}
+
+val default_config : config
+
+type report = {
+  scheme : scheme;
+  reader_latency : Vnl_util.Stats.summary;  (** Arrival-to-finish, per reader. *)
+  reader_blocked : Vnl_util.Stats.summary;  (** Time spent waiting, per reader. *)
+  writer_span : int;  (** Writer begin-to-commit, including commit wait. *)
+  writer_commit_wait : int;  (** Ticks the writer waited to commit. *)
+  lock_acquisitions : int;
+  deadlock_aborts : int;
+  makespan : int;  (** Total simulated time. *)
+}
+
+val run : config -> scheme -> report
+
+val run_all : config -> report list

@@ -1,0 +1,81 @@
+(** Warehouse operation scenarios: the timelines of Figures 1 and 2.
+
+    A multi-day simulation over a real warehouse (DailySales summary view)
+    with analyst sessions arriving around the clock.  One tick = one
+    minute.  Three operating modes:
+
+    - {b Offline} (Figure 1): the current commercial practice — the
+      warehouse is closed to readers while the nightly maintenance
+      transaction runs; sessions arriving then are turned away.
+    - {b Online n} (Figure 2): nVNL — maintenance runs concurrently with
+      readers (one long transaction per day); sessions never wait but can
+      expire when they overlap too many maintenance transactions.
+    - {b Dirty}: maintenance runs concurrently and readers use
+      read-uncommitted (no versioning) — quantifies the inconsistencies
+      §2's motivation describes (drill-downs that do not add up).
+
+    Each session alternates the paper's two analyst queries (city totals,
+    then a drill-down into one city) and checks that the drill-down sums to
+    the total — the Example 2.1 consistency criterion. *)
+
+type mode = Offline | Online of int | Dirty
+
+val mode_name : mode -> string
+
+type commit_policy =
+  | Scheduled  (** Commit when the batch is applied (§2.1 default). *)
+  | When_quiescent
+      (** Commit only when no reader session is active: sessions never
+          expire, but readers can starve the maintenance transaction
+          (§2.1's alternative). *)
+
+type config = {
+  days : int;
+  maintenance_start : int;  (** Minute-of-day the first maintenance txn begins. *)
+  maintenance_len : int;  (** Transaction duration in minutes (per run). *)
+  runs_per_day : int;
+      (** Maintenance transactions per day, evenly spaced from
+          [maintenance_start]; each propagates the changes accumulated since
+          the previous run (2VNL's "longer and/or more frequent" knob,
+          §2.1). *)
+  batch_per_day : int;  (** Source changes propagated per day. *)
+  session_every : int;  (** A new analyst session every this-many minutes. *)
+  session_len : int;  (** Session duration in minutes. *)
+  query_every : int;  (** Minutes between query pairs inside a session. *)
+  commit_policy : commit_policy;
+  seed : int;
+}
+
+val default_config : config
+(** Figure 2's shape: maintenance 9:00 to 8:00 the next morning (1380
+    minutes) over 3 days, hour-long sessions arriving every 45 minutes. *)
+
+type report = {
+  mode : mode;
+  sessions_started : int;
+  sessions_completed : int;
+  sessions_rejected : int;  (** Turned away (offline windows). *)
+  sessions_expired : int;  (** Ended early by version expiry. *)
+  queries_executed : int;
+  inconsistent_pairs : int;  (** Drill-downs that failed to sum to totals. *)
+  reader_minutes_available : int;  (** Minutes the warehouse accepted sessions. *)
+  total_minutes : int;
+  maintenance_runs : int;
+  commit_wait_minutes : int;  (** Total time commits waited for quiescence. *)
+  avg_staleness_minutes : float;
+      (** Mean age of a source change when it becomes visible to new
+          sessions (accumulation wait plus transaction time). *)
+  maintenance_hours : bool array;  (** Per simulated hour: maintenance active. *)
+  session_hours : int array;  (** Per simulated hour: sessions in progress. *)
+  final_view_groups : int;  (** DailySales group count at the end. *)
+  view_matches_source : bool;  (** Final view equals source recomputation. *)
+}
+
+val run : config -> mode -> report
+
+val availability : report -> float
+(** Fraction of simulated time the warehouse accepted reader sessions. *)
+
+val render_timeline : report -> string
+(** ASCII rendering in the style of Figures 1-2: one row of maintenance
+    activity and one of reader-session occupancy per day. *)

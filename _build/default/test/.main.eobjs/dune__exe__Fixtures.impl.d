@@ -1,0 +1,1 @@
+test/fixtures.ml: Alcotest Fmt Format List Vnl_core Vnl_query Vnl_relation

@@ -1,0 +1,1 @@
+test/oracle.ml: Hashtbl List Vnl_relation

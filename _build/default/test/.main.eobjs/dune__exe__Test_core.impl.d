@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Fixtures List Option Vnl_core Vnl_query Vnl_relation Vnl_storage

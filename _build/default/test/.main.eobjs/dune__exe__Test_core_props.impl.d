@@ -1,0 +1,1 @@
+test/test_core_props.ml: Array List Printf QCheck QCheck_alcotest Vnl_core Vnl_relation Vnl_util

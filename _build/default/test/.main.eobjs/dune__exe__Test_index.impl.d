@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Gen Hashtbl List QCheck QCheck_alcotest Test Vnl_index Vnl_relation

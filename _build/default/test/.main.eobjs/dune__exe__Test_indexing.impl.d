@@ -1,0 +1,1 @@
+test/test_indexing.ml: Alcotest Array Fixtures List QCheck QCheck_alcotest Vnl_core Vnl_query Vnl_relation Vnl_sql Vnl_storage Vnl_util

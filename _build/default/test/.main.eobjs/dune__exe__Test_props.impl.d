@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest List Oracle Printf QCheck QCheck_alcotest Vnl_core Vnl_query Vnl_relation Vnl_sql Vnl_util

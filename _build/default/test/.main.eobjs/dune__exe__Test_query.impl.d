@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Gen List QCheck QCheck_alcotest Test Vnl_query Vnl_relation Vnl_sql

@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Fixtures List Printf QCheck QCheck_alcotest Vnl_core Vnl_query Vnl_relation Vnl_storage Vnl_util

@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Bytes List Printf QCheck QCheck_alcotest String Vnl_relation

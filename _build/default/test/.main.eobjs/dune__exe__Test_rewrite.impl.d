@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Fixtures List Printf String Vnl_core Vnl_query Vnl_relation Vnl_sql

@@ -1,0 +1,1 @@
+test/test_sql_fuzz.ml: List Option Printexc Printf QCheck QCheck_alcotest Vnl_relation Vnl_sql

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Bytes Gen List QCheck QCheck_alcotest Test Vnl_relation Vnl_storage

@@ -1,0 +1,1 @@
+test/test_twovnl.ml: Alcotest Fixtures List Printf Vnl_core Vnl_query Vnl_relation

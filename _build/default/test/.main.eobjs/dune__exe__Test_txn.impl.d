@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Hashtbl List Oracle Printf QCheck QCheck_alcotest Vnl_query Vnl_relation Vnl_storage Vnl_txn Vnl_util

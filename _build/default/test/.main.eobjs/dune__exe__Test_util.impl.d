@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Format Gen List QCheck QCheck_alcotest String Vnl_util

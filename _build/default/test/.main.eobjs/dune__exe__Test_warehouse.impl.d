@@ -1,0 +1,1 @@
+test/test_warehouse.ml: Alcotest List QCheck QCheck_alcotest Vnl_core Vnl_relation Vnl_util Vnl_warehouse Vnl_workload

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest List Printf String Vnl_relation Vnl_util Vnl_warehouse Vnl_workload

@@ -1,0 +1,23 @@
+(* Test entry point aggregating all suites. *)
+
+let () =
+  Alcotest.run "vnl"
+    [
+      ("util", Test_util.suite);
+      ("relation", Test_relation.suite);
+      ("storage", Test_storage.suite);
+      ("index", Test_index.suite);
+      ("sql", Test_sql.suite);
+      ("sql-fuzz", Test_sql_fuzz.suite);
+      ("query", Test_query.suite);
+      ("indexing", Test_indexing.suite);
+      ("core", Test_core.suite);
+      ("core-props", Test_core_props.suite);
+      ("rewrite", Test_rewrite.suite);
+      ("twovnl", Test_twovnl.suite);
+      ("txn", Test_txn.suite);
+      ("properties", Test_props.suite);
+      ("warehouse", Test_warehouse.suite);
+      ("workload", Test_workload.suite);
+      ("recovery", Test_recovery.suite);
+    ]

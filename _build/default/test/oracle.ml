@@ -1,0 +1,106 @@
+(* Full-history multiversion reference implementation.
+
+   The oracle keeps every committed state of every logical tuple, keyed by
+   the relation's unique key.  2VNL/nVNL reader views are checked against
+   [visible] at each version: the two must agree wherever the bounded-version
+   algorithm has not expired. *)
+
+module Schema = Vnl_relation.Schema
+module Tuple = Vnl_relation.Tuple
+module Value = Vnl_relation.Value
+
+type key = Value.t list
+
+type op =
+  | Ins of Tuple.t  (** Full base tuple to insert. *)
+  | Upd of key * (int * Value.t) list  (** Key plus base-position assignments. *)
+  | Del of key
+
+type t = {
+  schema : Schema.t;
+  history : (key, (int * Tuple.t option) list ref) Hashtbl.t;
+      (** Per key: (vn, state) newest first; [None] = logically absent. *)
+}
+
+let create schema =
+  if not (Schema.has_unique_key schema) then
+    invalid_arg "Oracle.create: schema needs a unique key";
+  { schema; history = Hashtbl.create 64 }
+
+let key_of t tuple = Tuple.key_of t.schema tuple
+
+(* Committed state of [key] as of version [vn]. *)
+let state_at t key ~vn =
+  match Hashtbl.find_opt t.history key with
+  | None -> None
+  | Some entries ->
+    let rec newest_le = function
+      | [] -> None
+      | (v, state) :: rest -> if v <= vn then state else newest_le rest
+    in
+    newest_le !entries
+
+let record t key ~vn state =
+  let entries =
+    match Hashtbl.find_opt t.history key with
+    | Some e -> e
+    | None ->
+      let e = ref [] in
+      Hashtbl.add t.history key e;
+      e
+  in
+  (match !entries with
+  | (v, _) :: rest when v = vn -> entries := (vn, state) :: rest
+  | _ -> entries := (vn, state) :: !entries)
+
+let apply_txn t ~vn ops =
+  (* Ops act on the evolving in-transaction state; the committed record for
+     [vn] is the net result. *)
+  let working = Hashtbl.create 16 in
+  let current key =
+    match Hashtbl.find_opt working key with
+    | Some s -> s
+    | None -> state_at t key ~vn:(vn - 1)
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Ins tuple ->
+        let key = key_of t tuple in
+        (match current key with
+        | Some _ -> invalid_arg "Oracle: insert over live tuple"
+        | None -> Hashtbl.replace working key (Some tuple))
+      | Upd (key, assignments) -> (
+        match current key with
+        | None -> invalid_arg "Oracle: update of absent tuple"
+        | Some tuple -> Hashtbl.replace working key (Some (Tuple.set_many tuple assignments)))
+      | Del key -> (
+        match current key with
+        | None -> invalid_arg "Oracle: delete of absent tuple"
+        | Some _ -> Hashtbl.replace working key None))
+    ops;
+  Hashtbl.iter (fun key state -> record t key ~vn state) working
+
+let visible t ~vn =
+  Hashtbl.fold
+    (fun key _ acc ->
+      match state_at t key ~vn with Some tuple -> tuple :: acc | None -> acc)
+    t.history []
+  |> List.sort Tuple.compare
+
+let live_keys t ~vn =
+  Hashtbl.fold
+    (fun key _ acc -> match state_at t key ~vn with Some _ -> key :: acc | None -> acc)
+    t.history []
+
+let dead_keys t ~vn =
+  Hashtbl.fold
+    (fun key entries acc ->
+      match state_at t key ~vn with
+      | Some _ -> acc
+      | None -> if !entries = [] then acc else key :: acc)
+    t.history []
+
+let normalize tuples = List.sort Tuple.compare tuples
+
+let equal_views a b = List.equal Tuple.equal (normalize a) (normalize b)

@@ -1,0 +1,161 @@
+(* Unit and property tests for the B+-tree index. *)
+
+module Value = Vnl_relation.Value
+module Bptree = Vnl_index.Bptree
+
+let check = Alcotest.check
+
+let k i = [ Value.Int i ]
+
+let test_empty () =
+  let t = Bptree.create () in
+  check Alcotest.int "length" 0 (Bptree.length t);
+  Alcotest.(check bool) "find" true (Bptree.find t (k 1) = None);
+  check Alcotest.int "height" 1 (Bptree.height t)
+
+let test_insert_find () =
+  let t = Bptree.create () in
+  Bptree.insert t (k 1) "a";
+  Bptree.insert t (k 2) "b";
+  check (Alcotest.option Alcotest.string) "find 1" (Some "a") (Bptree.find t (k 1));
+  check (Alcotest.option Alcotest.string) "find 2" (Some "b") (Bptree.find t (k 2));
+  check (Alcotest.option Alcotest.string) "find 3" None (Bptree.find t (k 3))
+
+let test_replace () =
+  let t = Bptree.create () in
+  Bptree.insert t (k 1) "a";
+  Bptree.insert t (k 1) "b";
+  check Alcotest.int "length" 1 (Bptree.length t);
+  check (Alcotest.option Alcotest.string) "replaced" (Some "b") (Bptree.find t (k 1))
+
+let test_many_ordered_inserts () =
+  let t = Bptree.create ~order:4 () in
+  for i = 1 to 1000 do
+    Bptree.insert t (k i) i
+  done;
+  check Alcotest.int "length" 1000 (Bptree.length t);
+  Alcotest.(check bool) "height grew" true (Bptree.height t > 1);
+  for i = 1 to 1000 do
+    if Bptree.find t (k i) <> Some i then Alcotest.failf "missing key %d" i
+  done;
+  (match Bptree.check_invariants t with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "invariant: %s" e)
+
+let test_reverse_inserts () =
+  let t = Bptree.create ~order:4 () in
+  for i = 1000 downto 1 do
+    Bptree.insert t (k i) i
+  done;
+  check (Alcotest.list Alcotest.int) "sorted iteration" (List.init 1000 (fun i -> i + 1))
+    (List.map snd (Bptree.to_list t))
+
+let test_remove () =
+  let t = Bptree.create ~order:4 () in
+  for i = 1 to 100 do
+    Bptree.insert t (k i) i
+  done;
+  for i = 1 to 100 do
+    if i mod 2 = 0 then Alcotest.(check bool) "removed" true (Bptree.remove t (k i))
+  done;
+  check Alcotest.int "length" 50 (Bptree.length t);
+  Alcotest.(check bool) "remove absent" false (Bptree.remove t (k 2));
+  for i = 1 to 100 do
+    let expected = if i mod 2 = 0 then None else Some i in
+    if Bptree.find t (k i) <> expected then Alcotest.failf "wrong lookup for %d" i
+  done;
+  match Bptree.check_invariants t with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "invariant: %s" e
+
+let test_range () =
+  let t = Bptree.create ~order:8 () in
+  for i = 1 to 50 do
+    Bptree.insert t (k i) i
+  done;
+  let seen = ref [] in
+  Bptree.range t ~lo:(k 10) ~hi:(k 20) (fun _ v -> seen := v :: !seen);
+  check (Alcotest.list Alcotest.int) "range" (List.init 11 (fun i -> i + 10)) (List.rev !seen)
+
+let test_composite_keys () =
+  let t = Bptree.create () in
+  let key city date = [ Value.Str city; Value.Date date ] in
+  Bptree.insert t (key "San Jose" 19961014) 1;
+  Bptree.insert t (key "San Jose" 19961015) 2;
+  Bptree.insert t (key "Berkeley" 19961014) 3;
+  check (Alcotest.option Alcotest.int) "exact probe" (Some 2)
+    (Bptree.find t (key "San Jose" 19961015));
+  check Alcotest.int "length" 3 (Bptree.length t)
+
+let qcheck_vs_map =
+  let open QCheck in
+  let ops =
+    Gen.(
+      list_size (0 -- 500)
+        (frequency
+           [
+             (5, map (fun i -> `Insert i) (int_range 0 100));
+             (3, map (fun i -> `Remove i) (int_range 0 100));
+             (2, map (fun i -> `Find i) (int_range 0 100));
+           ]))
+  in
+  Test.make ~name:"bptree agrees with Map reference" ~count:200 (make ops) (fun ops ->
+      let t = Bptree.create ~order:4 () in
+      let model = Hashtbl.create 16 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | `Insert i ->
+            Bptree.insert t (k i) (i * 10);
+            Hashtbl.replace model i (i * 10)
+          | `Remove i ->
+            let was = Bptree.remove t (k i) in
+            let expected = Hashtbl.mem model i in
+            Hashtbl.remove model i;
+            if was <> expected then ok := false
+          | `Find i ->
+            if Bptree.find t (k i) <> Hashtbl.find_opt model i then ok := false)
+        ops;
+      !ok
+      && Bptree.length t = Hashtbl.length model
+      && (match Bptree.check_invariants t with Ok _ -> true | Error _ -> false)
+      &&
+      let sorted_model =
+        List.sort compare (Hashtbl.fold (fun key v acc -> (key, v) :: acc) model [])
+      in
+      let tree_list = List.map (fun (key, v) -> (match key with [ Value.Int i ] -> i | _ -> -1), v)
+          (Bptree.to_list t)
+      in
+      tree_list = sorted_model)
+
+let qcheck_range_equals_filter =
+  QCheck.Test.make ~name:"pruned range scan = filtered iteration" ~count:150
+    QCheck.(triple (list_of_size Gen.(0 -- 200) (int_range 0 500)) (int_range 0 500) (int_range 0 500))
+    (fun (keys, a, b) ->
+      let lo = min a b and hi = max a b in
+      let t = Bptree.create ~order:4 () in
+      List.iter (fun key -> Bptree.insert t (k key) key) keys;
+      let via_range = ref [] in
+      Bptree.range t ~lo:(k lo) ~hi:(k hi) (fun _ v -> via_range := v :: !via_range);
+      let via_filter =
+        List.filter (fun (key, _) ->
+            match key with [ Value.Int x ] -> x >= lo && x <= hi | _ -> false)
+          (Bptree.to_list t)
+        |> List.map snd
+      in
+      List.rev !via_range = via_filter)
+
+let suite =
+  [
+    Alcotest.test_case "empty tree" `Quick test_empty;
+    Alcotest.test_case "insert/find" `Quick test_insert_find;
+    Alcotest.test_case "insert replaces" `Quick test_replace;
+    Alcotest.test_case "1000 ordered inserts" `Quick test_many_ordered_inserts;
+    Alcotest.test_case "reverse inserts iterate sorted" `Quick test_reverse_inserts;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "range scan" `Quick test_range;
+    Alcotest.test_case "composite keys" `Quick test_composite_keys;
+    QCheck_alcotest.to_alcotest qcheck_vs_map;
+    QCheck_alcotest.to_alcotest qcheck_range_equals_filter;
+  ]

@@ -1,0 +1,289 @@
+(* Tests for the §4 query-rewrite layer: Example 4.1's reader rewrite,
+   Examples 4.2-4.4's maintenance rewrites, and rewrite/engine equivalence. *)
+
+module Value = Vnl_relation.Value
+module Tuple = Vnl_relation.Tuple
+module Database = Vnl_query.Database
+module Table = Vnl_query.Table
+module Executor = Vnl_query.Executor
+module Schema_ext = Vnl_core.Schema_ext
+module Reader = Vnl_core.Reader
+module Rewrite = Vnl_core.Rewrite
+module Maintenance = Vnl_core.Maintenance
+module Twovnl = Vnl_core.Twovnl
+
+let check = Alcotest.check
+
+let lookup_for ext name = if name = "DailySales" then Some ext else None
+
+(* Example 4.1: the analyst query and its rewritten form. *)
+let test_example_4_1_shape () =
+  let ext = Schema_ext.extend Fixtures.daily_sales in
+  let sql =
+    Rewrite.reader_sql ~lookup:(lookup_for ext)
+      "SELECT city, state, SUM(total_sales) FROM DailySales GROUP BY city, state"
+  in
+  let has needle =
+    let n = String.length needle and m = String.length sql in
+    let rec go i = i + n <= m && (String.sub sql i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "CASE on sessionVN/tupleVN" true
+    (has "CASE WHEN :sessionVN >= tupleVN THEN total_sales ELSE pre_total_sales END");
+  Alcotest.(check bool) "visibility: not deleted for current" true
+    (has ":sessionVN >= tupleVN AND operation <> 'd'");
+  Alcotest.(check bool) "visibility: not inserted for pre" true
+    (has ":sessionVN < tupleVN AND operation <> 'i'");
+  Alcotest.(check bool) "group by intact" true (has "GROUP BY city, state")
+
+let test_rewrite_is_parseable () =
+  let ext = Schema_ext.extend Fixtures.daily_sales in
+  let sql =
+    Rewrite.reader_sql ~lookup:(lookup_for ext)
+      "SELECT product_line, SUM(total_sales) FROM DailySales \
+       WHERE city = 'San Jose' AND state = 'CA' GROUP BY product_line"
+  in
+  ignore (Vnl_sql.Parser.parse sql)
+
+let test_rewrite_untouched_table_passthrough () =
+  let sql = Rewrite.reader_sql ~lookup:(fun _ -> None) "SELECT a FROM t WHERE a > 1" in
+  check Alcotest.string "unchanged" "SELECT a FROM t WHERE a > 1" sql
+
+(* The nVNL generalization: the SQL rewrite over an n=4 table must agree
+   with engine-level Table-1/§5 extraction at every in-window session. *)
+let test_rewrite_nvnl_equivalence () =
+  let db = Database.create () in
+  let wh = Twovnl.init db in
+  let handle = Twovnl.register_table wh ~n:4 ~name:"DailySales" Fixtures.daily_sales in
+  Twovnl.load_initial wh "DailySales"
+    [ Fixtures.base_row "San Jose" "CA" "golf equip" 10 14 96 10000;
+      Fixtures.base_row "Berkeley" "CA" "racquetball" 10 14 96 12000 ];
+  (* Three maintenance transactions so all slots get used. *)
+  List.iter
+    (fun (stmt : string) ->
+      let m = Twovnl.Txn.begin_ wh in
+      ignore (Twovnl.Txn.sql m stmt);
+      Twovnl.Txn.commit m)
+    [
+      "UPDATE DailySales SET total_sales = total_sales + 100 WHERE city = 'San Jose'";
+      "DELETE FROM DailySales WHERE city = 'Berkeley'";
+      "UPDATE DailySales SET total_sales = total_sales + 11 WHERE city = 'San Jose'";
+    ];
+  List.iter
+    (fun session_vn ->
+      let via_sql =
+        Executor.query db
+          ~params:[ ("sessionVN", Value.Int session_vn) ]
+          (Rewrite.reader_select ~lookup:(Twovnl.lookup wh)
+             (Vnl_sql.Parser.parse_select "SELECT * FROM DailySales"))
+      in
+      let via_engine =
+        List.map Tuple.values
+          (Vnl_core.Reader.visible_relation (Twovnl.ext handle) ~session_vn
+             (Twovnl.table handle))
+      in
+      let norm rows = List.sort compare (List.map (List.map Value.to_string) rows) in
+      check
+        (Alcotest.list (Alcotest.list Alcotest.string))
+        (Printf.sprintf "4VNL session %d" session_vn)
+        (norm via_engine)
+        (norm via_sql.Executor.rows))
+    [ 1; 2; 3; 4 ]
+
+let test_rewrite_n2_form_is_papers () =
+  (* The general construction must degenerate to Example 4.1's exact shape
+     for n = 2. *)
+  let ext = Schema_ext.extend Fixtures.daily_sales in
+  let case = Rewrite.case_for_attribute ~qualifier:None ext "total_sales" in
+  check Alcotest.string "case form"
+    "CASE WHEN :sessionVN >= tupleVN THEN total_sales ELSE pre_total_sales END"
+    (Vnl_sql.Pp.expr_to_string case);
+  let vis = Rewrite.visibility_predicate ~qualifier:None ext in
+  check Alcotest.string "visibility form"
+    ":sessionVN >= tupleVN AND operation <> 'd' OR :sessionVN < tupleVN AND operation <> 'i'"
+    (Vnl_sql.Pp.expr_to_string vis)
+
+(* Equivalence: executing the rewritten SQL over the extended relation must
+   give exactly what engine-level Table-1 extraction gives. *)
+let rewritten_query db ext session_vn sql =
+  Executor.query db
+    ~params:[ ("sessionVN", Value.Int session_vn) ]
+    (Rewrite.reader_select ~lookup:(lookup_for ext) (Vnl_sql.Parser.parse_select sql))
+
+let test_rewrite_equals_engine_extraction () =
+  let db, ext, table = Fixtures.figure4_table () in
+  List.iter
+    (fun session_vn ->
+      let via_sql = rewritten_query db ext session_vn "SELECT * FROM DailySales" in
+      let via_engine =
+        List.map Tuple.values (Reader.visible_relation ext ~session_vn table)
+      in
+      let norm rows = List.sort compare (List.map (List.map Value.to_string) rows) in
+      check
+        (Alcotest.list (Alcotest.list Alcotest.string))
+        (Printf.sprintf "session %d" session_vn)
+        (norm via_engine)
+        (norm via_sql.Executor.rows))
+    [ 3; 4; 5 ]
+
+let test_rewrite_aggregate_consistency () =
+  (* The drill-down consistency property of Example 2.1, via rewrite. *)
+  let db, ext, _table = Fixtures.figure4_table () in
+  let total s =
+    match
+      (rewritten_query db ext s
+         "SELECT SUM(total_sales) FROM DailySales WHERE city = 'San Jose' AND state = 'CA'")
+        .Executor.rows
+    with
+    | [ [ Value.Int n ] ] -> n
+    | [ [ Value.Null ] ] -> 0
+    | _ -> Alcotest.fail "shape"
+  in
+  let drill s =
+    match
+      (rewritten_query db ext s
+         "SELECT SUM(total_sales) FROM DailySales \
+          WHERE city = 'San Jose' AND state = 'CA' GROUP BY product_line")
+        .Executor.rows
+    with
+    | rows ->
+      List.fold_left
+        (fun acc row -> match row with [ Value.Int n ] -> acc + n | _ -> acc)
+        0 rows
+  in
+  check Alcotest.int "session 3 consistent" (total 3) (drill 3);
+  check Alcotest.int "session 4 consistent" (total 4) (drill 4)
+
+(* Maintenance statement rewrite: Examples 4.2-4.4 through SQL. *)
+let maintenance_db () =
+  let db, ext, table = Fixtures.figure4_table () in
+  (db, ext, table)
+
+let test_maintenance_update_sql () =
+  (* Example 4.3: add 1,000 to San Jose's 10/13 sales — no matching live
+     tuple in Figure 4 (the 10/14 tuple exists), so use 10/14. *)
+  let db, ext, table = maintenance_db () in
+  let n =
+    Rewrite.maintenance_sql db ~lookup:(lookup_for ext) ~vn:5
+      "UPDATE DailySales SET total_sales = total_sales + 1000 \
+       WHERE city = 'San Jose' AND date = DATE '10/14/96'"
+  in
+  check Alcotest.int "one logical update" 1 n;
+  let got = List.map (fun (_, t) -> Fixtures.summarize_ext ext t) (Table.to_list table) in
+  Alcotest.(check bool) "pre preserved and current bumped" true
+    (List.exists
+       (fun (vn, op, city, _, day, sales, pre) ->
+         vn = 5 && op = "update" && city = "San Jose" && day = 14
+         && Value.equal sales (Value.Int 11000)
+         && Value.equal pre (Value.Int 10000))
+       got)
+
+let test_maintenance_delete_sql_skips_deleted () =
+  (* Example 4.4 shape; the Novato tuple is already logically deleted, so
+     the cursor must not see it. *)
+  let db, ext, _table = maintenance_db () in
+  let n =
+    Rewrite.maintenance_sql db ~lookup:(lookup_for ext) ~vn:5
+      "DELETE FROM DailySales WHERE city = 'Novato'"
+  in
+  check Alcotest.int "no live match" 0 n
+
+let test_maintenance_insert_sql_conflict () =
+  (* Example 4.2: INSERT with key conflict on a logically deleted tuple. *)
+  let db, ext, table = maintenance_db () in
+  let n =
+    Rewrite.maintenance_sql db ~lookup:(lookup_for ext) ~vn:5
+      "INSERT INTO DailySales VALUES \
+       ('Novato', 'CA', 'rollerblades', DATE '10/13/96', 6000)"
+  in
+  check Alcotest.int "one logical insert" 1 n;
+  check Alcotest.int "no new physical tuple" 4 (Table.tuple_count table);
+  let got = List.map (fun (_, t) -> Fixtures.summarize_ext ext t) (Table.to_list table) in
+  Alcotest.(check bool) "became op=insert vn=5" true
+    (List.exists
+       (fun (vn, op, city, _, _, sales, _) ->
+         vn = 5 && op = "insert" && city = "Novato" && Value.equal sales (Value.Int 6000))
+       got)
+
+let test_maintenance_where_sees_current_values () =
+  let db, ext, _table = maintenance_db () in
+  (* Berkeley current value is 12,000 (session-4 state); predicate on the
+     current version must match it even though pre is 10,000. *)
+  let n =
+    Rewrite.maintenance_sql db ~lookup:(lookup_for ext) ~vn:5
+      "UPDATE DailySales SET total_sales = 0 WHERE total_sales = 12000"
+  in
+  check Alcotest.int "matched current value" 1 n
+
+let test_rewrite_all_aggregates () =
+  (* MIN/MAX/AVG/COUNT over the rewritten CASE expression must track the
+     session's version. *)
+  let db, ext, _table = Fixtures.figure4_table () in
+  let agg s fn =
+    match
+      (rewritten_query db ext s
+         (Printf.sprintf "SELECT %s(total_sales) FROM DailySales" fn))
+        .Executor.rows
+    with
+    | [ [ v ] ] -> Value.to_string v
+    | _ -> Alcotest.fail "shape"
+  in
+  (* Session 3 sees 10,000 / 10,000 / 8,000 (Example 3.2). *)
+  check Alcotest.string "min@3" "8,000" (agg 3 "MIN");
+  check Alcotest.string "max@3" "10,000" (agg 3 "MAX");
+  check Alcotest.string "count@3" "3" (agg 3 "COUNT");
+  (* Session 4 sees 10,000 / 1,500 / 12,000. *)
+  check Alcotest.string "min@4" "1,500" (agg 4 "MIN");
+  check Alcotest.string "max@4" "12,000" (agg 4 "MAX");
+  check Alcotest.string "count@4" "3" (agg 4 "COUNT")
+
+let test_rewrite_preserves_limit () =
+  let db, ext, _ = Fixtures.figure4_table () in
+  let r =
+    rewritten_query db ext 4
+      "SELECT total_sales FROM DailySales ORDER BY total_sales DESC LIMIT 1"
+  in
+  match r.Executor.rows with
+  | [ [ Value.Int 12000 ] ] -> ()
+  | _ -> Alcotest.fail "limit through rewrite"
+
+let test_maintenance_rejects_select () =
+  let db, ext, _ = maintenance_db () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Rewrite.maintenance_sql db ~lookup:(lookup_for ext) ~vn:5 "SELECT * FROM DailySales");
+       false
+     with Rewrite.Unsupported _ -> true)
+
+let test_maintenance_unregistered_table () =
+  let db, _, _ = maintenance_db () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Rewrite.maintenance_sql db ~lookup:(fun _ -> None) ~vn:5 "DELETE FROM DailySales");
+       false
+     with Rewrite.Unsupported _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "Example 4.1 rewrite shape" `Quick test_example_4_1_shape;
+    Alcotest.test_case "rewritten SQL parses" `Quick test_rewrite_is_parseable;
+    Alcotest.test_case "unregistered tables untouched" `Quick
+      test_rewrite_untouched_table_passthrough;
+    Alcotest.test_case "nVNL SQL rewrite = engine (n=4)" `Quick test_rewrite_nvnl_equivalence;
+    Alcotest.test_case "n=2 rewrite is the paper's exact form" `Quick
+      test_rewrite_n2_form_is_papers;
+    Alcotest.test_case "rewrite = engine extraction" `Quick test_rewrite_equals_engine_extraction;
+    Alcotest.test_case "drill-down consistency via rewrite" `Quick
+      test_rewrite_aggregate_consistency;
+    Alcotest.test_case "maintenance UPDATE via SQL (Ex 4.3)" `Quick test_maintenance_update_sql;
+    Alcotest.test_case "maintenance DELETE skips deleted (Ex 4.4)" `Quick
+      test_maintenance_delete_sql_skips_deleted;
+    Alcotest.test_case "maintenance INSERT key conflict (Ex 4.2)" `Quick
+      test_maintenance_insert_sql_conflict;
+    Alcotest.test_case "maintenance WHERE sees current version" `Quick
+      test_maintenance_where_sees_current_values;
+    Alcotest.test_case "aggregates through rewrite" `Quick test_rewrite_all_aggregates;
+    Alcotest.test_case "LIMIT through rewrite" `Quick test_rewrite_preserves_limit;
+    Alcotest.test_case "maintenance rejects SELECT" `Quick test_maintenance_rejects_select;
+    Alcotest.test_case "maintenance unregistered table" `Quick test_maintenance_unregistered_table;
+  ]

@@ -1,0 +1,274 @@
+(* Tests for the SQL lexer, parser, and pretty-printer. *)
+
+module Value = Vnl_relation.Value
+module Ast = Vnl_sql.Ast
+module Lexer = Vnl_sql.Lexer
+module Parser = Vnl_sql.Parser
+module Pp = Vnl_sql.Pp
+
+let check = Alcotest.check
+
+let roundtrips src =
+  (* parse -> print -> parse must be a fixpoint. *)
+  let stmt = Parser.parse src in
+  let printed = Pp.statement_to_string stmt in
+  let stmt2 = Parser.parse printed in
+  let printed2 = Pp.statement_to_string stmt2 in
+  check Alcotest.string (Printf.sprintf "roundtrip of %s" src) printed printed2
+
+let test_lexer_basic () =
+  let tokens = Lexer.tokenize "SELECT x FROM t WHERE y <= 10" in
+  check Alcotest.int "token count" 9 (List.length tokens)
+
+let test_lexer_string_escape () =
+  match Lexer.tokenize "'it''s'" with
+  | [ Lexer.STRING s; Lexer.EOF ] -> check Alcotest.string "unescaped" "it's" s
+  | _ -> Alcotest.fail "bad tokens"
+
+let test_lexer_param () =
+  match Lexer.tokenize ":sessionVN" with
+  | [ Lexer.PARAM p; Lexer.EOF ] -> check Alcotest.string "param" "sessionVN" p
+  | _ -> Alcotest.fail "bad tokens"
+
+let test_lexer_keywords_case_insensitive () =
+  match Lexer.tokenize "select Select SELECT" with
+  | [ Lexer.KEYWORD a; Lexer.KEYWORD b; Lexer.KEYWORD c; Lexer.EOF ] ->
+    List.iter (fun s -> check Alcotest.string "upper" "SELECT" s) [ a; b; c ]
+  | _ -> Alcotest.fail "bad tokens"
+
+let test_lexer_neq_spellings () =
+  match Lexer.tokenize "a <> b != c" with
+  | [ _; Lexer.SYMBOL s1; _; Lexer.SYMBOL s2; _; Lexer.EOF ] ->
+    check Alcotest.string "<>" "<>" s1;
+    check Alcotest.string "!= normalized" "<>" s2
+  | _ -> Alcotest.fail "bad tokens"
+
+let test_lexer_error () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Lexer.tokenize "a ? b");
+       false
+     with Lexer.Lex_error _ -> true)
+
+(* The paper's first analyst query (Example 2.1). *)
+let test_parse_paper_query1 () =
+  let s =
+    Parser.parse_select
+      "SELECT city, state, SUM(total_sales) FROM DailySales GROUP BY city, state"
+  in
+  check Alcotest.int "items" 3 (List.length s.Ast.items);
+  check Alcotest.int "group by" 2 (List.length s.Ast.group_by);
+  match List.nth s.Ast.items 2 with
+  | Ast.Item (Ast.Agg (Ast.Sum, Some (Ast.Col (None, "total_sales"))), None) -> ()
+  | _ -> Alcotest.fail "SUM not parsed"
+
+(* The paper's drill-down query (Example 2.1). *)
+let test_parse_paper_query2 () =
+  let s =
+    Parser.parse_select
+      "SELECT product_line, SUM(total_sales) FROM DailySales \
+       WHERE city = 'San Jose' AND state = 'CA' GROUP BY product_line"
+  in
+  match s.Ast.where with
+  | Some (Ast.Binop (Ast.And, _, _)) -> ()
+  | _ -> Alcotest.fail "WHERE not parsed as conjunction"
+
+let test_parse_case () =
+  let e =
+    Parser.parse_expr
+      "CASE WHEN :sessionVN >= tupleVN THEN total_sales ELSE pre_total_sales END"
+  in
+  match e with
+  | Ast.Case ([ (Ast.Binop (Ast.Ge, Ast.Param "sessionVN", Ast.Col (None, "tupleVN")), _) ], Some _)
+    -> ()
+  | _ -> Alcotest.fail "CASE not parsed"
+
+let test_parse_insert () =
+  match Parser.parse "INSERT INTO t VALUES (1, 'x', NULL), (2, 'y', 3.5)" with
+  | Ast.Insert { table = "t"; columns = None; rows } ->
+    check Alcotest.int "rows" 2 (List.length rows)
+  | _ -> Alcotest.fail "INSERT not parsed"
+
+let test_parse_insert_columns () =
+  match Parser.parse "INSERT INTO t (a, b) VALUES (1, 2)" with
+  | Ast.Insert { columns = Some [ "a"; "b" ]; _ } -> ()
+  | _ -> Alcotest.fail "column list not parsed"
+
+let test_parse_update () =
+  match
+    Parser.parse
+      "UPDATE DailySales SET total_sales = total_sales + 1000 \
+       WHERE city = 'San Jose' AND date = DATE '10/13/96'"
+  with
+  | Ast.Update { table = "DailySales"; sets = [ ("total_sales", _) ]; where = Some _ } -> ()
+  | _ -> Alcotest.fail "UPDATE not parsed"
+
+let test_parse_delete () =
+  match Parser.parse "DELETE FROM t WHERE a IS NOT NULL" with
+  | Ast.Delete { table = "t"; where = Some (Ast.Is_not_null _) } -> ()
+  | _ -> Alcotest.fail "DELETE not parsed"
+
+let test_parse_date_formats () =
+  (match Parser.parse_expr "DATE '10/14/96'" with
+  | Ast.Lit (Value.Date 19961014) -> ()
+  | _ -> Alcotest.fail "mm/dd/yy");
+  match Parser.parse_expr "DATE '1996-10-14'" with
+  | Ast.Lit (Value.Date 19961014) -> ()
+  | _ -> Alcotest.fail "iso"
+
+let test_parse_precedence () =
+  (* 1 + 2 * 3 parses as 1 + (2 * 3). *)
+  match Parser.parse_expr "1 + 2 * 3" with
+  | Ast.Binop (Ast.Add, Ast.Lit (Value.Int 1), Ast.Binop (Ast.Mul, _, _)) -> ()
+  | _ -> Alcotest.fail "precedence wrong"
+
+let test_parse_bool_precedence () =
+  (* a OR b AND c parses as a OR (b AND c). *)
+  match Parser.parse_expr "a = 1 OR b = 2 AND c = 3" with
+  | Ast.Binop (Ast.Or, _, Ast.Binop (Ast.And, _, _)) -> ()
+  | _ -> Alcotest.fail "boolean precedence wrong"
+
+let test_parse_order_by () =
+  let s = Parser.parse_select "SELECT a FROM t ORDER BY a DESC, b" in
+  match s.Ast.order_by with
+  | [ (_, Ast.Desc); (_, Ast.Asc) ] -> ()
+  | _ -> Alcotest.fail "ORDER BY directions"
+
+let test_parse_qualified_and_alias () =
+  let s = Parser.parse_select "SELECT d.city FROM DailySales d" in
+  (match s.Ast.from with
+  | [ ("DailySales", Some "d") ] -> ()
+  | _ -> Alcotest.fail "alias");
+  match s.Ast.items with
+  | [ Ast.Item (Ast.Col (Some "d", "city"), None) ] -> ()
+  | _ -> Alcotest.fail "qualified column"
+
+let test_parse_error_cases () =
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) (Printf.sprintf "rejects %s" src) true
+        (try
+           ignore (Parser.parse src);
+           false
+         with Parser.Parse_error _ | Lexer.Lex_error _ -> true))
+    [
+      "SELECT";
+      "SELECT FROM t";
+      "SELECT a FROM";
+      "INSERT INTO";
+      "UPDATE t SET";
+      "DELETE t";
+      "SELECT a FROM t WHERE";
+      "SELECT a FROM t GROUP";
+      "SELECT CASE END FROM t";
+      "SELECT a FROM t extra garbage (";
+    ]
+
+let test_parse_in_between_like () =
+  (match Parser.parse_expr "city IN ('a', 'b', 'c')" with
+  | Ast.In (Ast.Col (None, "city"), [ _; _; _ ]) -> ()
+  | _ -> Alcotest.fail "IN not parsed");
+  (match Parser.parse_expr "total_sales BETWEEN 100 AND 200" with
+  | Ast.Between (_, Ast.Lit (Value.Int 100), Ast.Lit (Value.Int 200)) -> ()
+  | _ -> Alcotest.fail "BETWEEN not parsed");
+  (match Parser.parse_expr "city LIKE 'San%'" with
+  | Ast.Like (_, "San%") -> ()
+  | _ -> Alcotest.fail "LIKE not parsed");
+  (match Parser.parse_expr "city NOT IN ('a')" with
+  | Ast.Unop (Ast.Not, Ast.In _) -> ()
+  | _ -> Alcotest.fail "NOT IN not parsed");
+  (match Parser.parse_expr "x NOT BETWEEN 1 AND 2 AND y = 1" with
+  | Ast.Binop (Ast.And, Ast.Unop (Ast.Not, Ast.Between _), _) -> ()
+  | _ -> Alcotest.fail "NOT BETWEEN precedence")
+
+let test_pp_roundtrips () =
+  List.iter roundtrips
+    [
+      "SELECT city, state, SUM(total_sales) FROM DailySales GROUP BY city, state";
+      "SELECT * FROM t WHERE a <> 3 AND NOT b = 2 OR c IS NULL";
+      "SELECT DISTINCT a AS x FROM t ORDER BY x DESC";
+      "INSERT INTO t (a, b) VALUES (1, 'it''s'), (2, NULL)";
+      "UPDATE t SET a = a + 1, b = CASE WHEN a > 0 THEN 1 ELSE 0 END WHERE c < 5";
+      "DELETE FROM t WHERE d = DATE '1996-10-14'";
+      "SELECT COUNT(*) FROM t HAVING COUNT(*) > 2";
+      "SELECT a + b * c - -d FROM t WHERE (a + b) * c = 1";
+      "SELECT SUM(CASE WHEN :vn >= tupleVN THEN v ELSE pv END) FROM t";
+      "SELECT a FROM t WHERE a IN (1, 2, 3) AND b BETWEEN 1 AND 9 OR c LIKE 'x%_y'";
+      "SELECT a FROM t WHERE a NOT IN (1) AND b NOT LIKE '%z'";
+    ]
+
+let test_pp_parenthesization () =
+  (* (a + b) * c must keep its parens; a + (b * c) must not gain any. *)
+  let e1 = Parser.parse_expr "(a + b) * c" in
+  check Alcotest.string "kept" "(a + b) * c" (Pp.expr_to_string e1);
+  let e2 = Parser.parse_expr "a + b * c" in
+  check Alcotest.string "minimal" "a + b * c" (Pp.expr_to_string e2)
+
+let test_ast_map_columns () =
+  let e = Parser.parse_expr "a + b" in
+  let renamed =
+    Ast.map_columns (fun q name -> Ast.Col (q, String.uppercase_ascii name)) e
+  in
+  check Alcotest.string "renamed" "A + B" (Pp.expr_to_string renamed)
+
+let test_ast_conj () =
+  let extra = Parser.parse_expr "x = 1" in
+  check Alcotest.string "none" "x = 1" (Pp.expr_to_string (Ast.conj None extra));
+  let w = Parser.parse_expr "y = 2" in
+  check Alcotest.string "and" "y = 2 AND x = 1" (Pp.expr_to_string (Ast.conj (Some w) extra))
+
+let test_ast_has_aggregate () =
+  Alcotest.(check bool) "sum" true (Ast.has_aggregate (Parser.parse_expr "SUM(x) + 1"));
+  Alcotest.(check bool) "plain" false (Ast.has_aggregate (Parser.parse_expr "x + 1"))
+
+(* Property: pretty-printing any parsed statement re-parses to the same text. *)
+let qcheck_pp_fixpoint =
+  let sources =
+    [|
+      "SELECT a FROM t";
+      "SELECT a, b FROM t WHERE a = 1";
+      "SELECT SUM(a) FROM t GROUP BY b";
+      "SELECT a FROM t WHERE a >= 1 AND b <= 2 OR NOT c = 3";
+      "INSERT INTO t VALUES (1, 2)";
+      "UPDATE t SET a = 1 WHERE b IS NULL";
+      "DELETE FROM t";
+      "SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END FROM t";
+      "SELECT a FROM t, s WHERE t.x = s.y";
+      "SELECT -a + 3 * (b - 2) FROM t ORDER BY a";
+    |]
+  in
+  QCheck.Test.make ~name:"pp/parse fixpoint" ~count:50 (QCheck.make (QCheck.Gen.oneofa sources))
+    (fun src ->
+      let p1 = Pp.statement_to_string (Parser.parse src) in
+      let p2 = Pp.statement_to_string (Parser.parse p1) in
+      String.equal p1 p2)
+
+let suite =
+  [
+    Alcotest.test_case "lexer basic" `Quick test_lexer_basic;
+    Alcotest.test_case "lexer string escape" `Quick test_lexer_string_escape;
+    Alcotest.test_case "lexer param" `Quick test_lexer_param;
+    Alcotest.test_case "lexer keyword case" `Quick test_lexer_keywords_case_insensitive;
+    Alcotest.test_case "lexer neq spellings" `Quick test_lexer_neq_spellings;
+    Alcotest.test_case "lexer error" `Quick test_lexer_error;
+    Alcotest.test_case "parse paper query 1" `Quick test_parse_paper_query1;
+    Alcotest.test_case "parse paper query 2" `Quick test_parse_paper_query2;
+    Alcotest.test_case "parse CASE" `Quick test_parse_case;
+    Alcotest.test_case "parse INSERT" `Quick test_parse_insert;
+    Alcotest.test_case "parse INSERT columns" `Quick test_parse_insert_columns;
+    Alcotest.test_case "parse UPDATE" `Quick test_parse_update;
+    Alcotest.test_case "parse DELETE" `Quick test_parse_delete;
+    Alcotest.test_case "parse date formats" `Quick test_parse_date_formats;
+    Alcotest.test_case "arithmetic precedence" `Quick test_parse_precedence;
+    Alcotest.test_case "boolean precedence" `Quick test_parse_bool_precedence;
+    Alcotest.test_case "ORDER BY" `Quick test_parse_order_by;
+    Alcotest.test_case "qualified names and aliases" `Quick test_parse_qualified_and_alias;
+    Alcotest.test_case "parser rejects malformed input" `Quick test_parse_error_cases;
+    Alcotest.test_case "IN/BETWEEN/LIKE parse" `Quick test_parse_in_between_like;
+    Alcotest.test_case "pp roundtrips" `Quick test_pp_roundtrips;
+    Alcotest.test_case "pp parenthesization" `Quick test_pp_parenthesization;
+    Alcotest.test_case "ast map_columns" `Quick test_ast_map_columns;
+    Alcotest.test_case "ast conj" `Quick test_ast_conj;
+    Alcotest.test_case "ast has_aggregate" `Quick test_ast_has_aggregate;
+    QCheck_alcotest.to_alcotest qcheck_pp_fixpoint;
+  ]

@@ -1,0 +1,185 @@
+(* Property: randomly *generated* ASTs survive pretty-print -> parse
+   round-trips structurally.  This covers the grammar corners hand-written
+   sources miss: nesting, precedence edges, CASE in odd positions, NULLs,
+   qualified names, multi-row inserts. *)
+
+module Value = Vnl_relation.Value
+module Ast = Vnl_sql.Ast
+module Pp = Vnl_sql.Pp
+module Parser = Vnl_sql.Parser
+
+open QCheck.Gen
+
+let ident =
+  let first = char_range 'a' 'z' in
+  let rest = string_size ~gen:(char_range 'a' 'z') (int_range 0 5) in
+  map2 (fun c s -> Printf.sprintf "%c%s" c s) first rest
+
+(* Identifiers must avoid SQL keywords; prefix keeps them safe. *)
+let column = map (fun s -> "c_" ^ s) ident
+
+let table_name = map (fun s -> "t_" ^ s) ident
+
+let literal =
+  oneof
+    [
+      map (fun n -> Ast.Lit (Value.Int n)) (int_range 0 100000);
+      map (fun s -> Ast.Lit (Value.Str s)) (string_size ~gen:(char_range 'a' 'z') (int_range 0 6));
+      map (fun s -> Ast.Lit (Value.Str (s ^ "'" ^ s))) (string_size ~gen:(char_range 'a' 'z') (int_range 0 3));
+      return (Ast.Lit Value.Null);
+      map2 (fun m d -> Ast.Lit (Value.date_of_mdy m d 96)) (int_range 1 12) (int_range 1 28);
+      map (fun p -> Ast.Param ("p_" ^ p)) ident;
+    ]
+
+let arith_op = oneofl [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div ]
+
+let cmp_op = oneofl [ Ast.Eq; Ast.Neq; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge ]
+
+(* Numeric-ish expression of bounded depth. *)
+let rec expr_gen depth =
+  if depth = 0 then oneof [ literal; map (fun c -> Ast.Col (None, c)) column ]
+  else
+    frequency
+      [
+        (3, oneof [ literal; map (fun c -> Ast.Col (None, c)) column ]);
+        (2, map3 (fun op a b -> Ast.Binop (op, a, b)) arith_op (expr_gen (depth - 1)) (expr_gen (depth - 1)));
+        (1, map (fun e -> Ast.Unop (Ast.Neg, e)) (expr_gen (depth - 1)));
+        ( 1,
+          let* arms =
+            list_size (int_range 1 2)
+              (pair (pred_gen (depth - 1)) (expr_gen (depth - 1)))
+          in
+          let* d = opt (expr_gen (depth - 1)) in
+          return (Ast.Case (arms, d)) );
+      ]
+
+and pred_gen depth =
+  if depth = 0 then
+    map3 (fun op a b -> Ast.Binop (op, a, b)) cmp_op (expr_gen 0) (expr_gen 0)
+  else
+    frequency
+      [
+        (3, map3 (fun op a b -> Ast.Binop (op, a, b)) cmp_op (expr_gen (depth - 1)) (expr_gen (depth - 1)));
+        (1, map2 (fun a b -> Ast.Binop (Ast.And, a, b)) (pred_gen (depth - 1)) (pred_gen (depth - 1)));
+        (1, map2 (fun a b -> Ast.Binop (Ast.Or, a, b)) (pred_gen (depth - 1)) (pred_gen (depth - 1)));
+        (1, map (fun e -> Ast.Unop (Ast.Not, e)) (pred_gen (depth - 1)));
+        (1, map (fun e -> Ast.Is_null e) (expr_gen (depth - 1)));
+        (1, map (fun e -> Ast.Is_not_null e) (expr_gen (depth - 1)));
+        ( 1,
+          let* e = expr_gen (depth - 1) in
+          let* cands = list_size (int_range 1 3) (expr_gen (depth - 1)) in
+          return (Ast.In (e, cands)) );
+        ( 1,
+          let* e = expr_gen (depth - 1) in
+          let* lo = expr_gen (depth - 1) in
+          let* hi = expr_gen (depth - 1) in
+          return (Ast.Between (e, lo, hi)) );
+        ( 1,
+          let* e = expr_gen (depth - 1) in
+          let* pat = string_size ~gen:(oneofl [ 'a'; 'b'; '%'; '_' ]) (int_range 0 5) in
+          return (Ast.Like (e, pat)) );
+      ]
+
+let select_gen =
+  let* nitems = int_range 1 3 in
+  let* items =
+    list_repeat nitems
+      (oneof
+         [
+           map (fun e -> Ast.Item (e, None)) (expr_gen 2);
+           map2 (fun e a -> Ast.Item (e, Some ("a_" ^ a))) (expr_gen 2) ident;
+         ])
+  in
+  let* from = list_size (int_range 1 2) (pair table_name (opt (map (fun a -> "q_" ^ a) ident))) in
+  let* where = opt (pred_gen 2) in
+  let* group_by = list_size (int_range 0 2) (map (fun c -> Ast.Col (None, c)) column) in
+  let* order_by =
+    list_size (int_range 0 2) (pair (expr_gen 1) (oneofl [ Ast.Asc; Ast.Desc ]))
+  in
+  let* distinct = bool in
+  let* limit =
+    opt (pair (int_range 0 20) (int_range 0 10))
+  in
+  return
+    (Ast.Select
+       { Ast.distinct; items; from; where; group_by; having = None; order_by; limit })
+
+let statement_gen =
+  frequency
+    [
+      (4, select_gen);
+      ( 2,
+        let* table = table_name in
+        let* ncols = int_range 1 3 in
+        let* cols = list_repeat ncols column in
+        let* rows = list_size (int_range 1 3) (list_repeat ncols (expr_gen 1)) in
+        let* named = bool in
+        return (Ast.Insert { table; columns = (if named then Some cols else None); rows }) );
+      ( 2,
+        let* table = table_name in
+        let* sets = list_size (int_range 1 3) (pair column (expr_gen 2)) in
+        let* where = opt (pred_gen 2) in
+        return (Ast.Update { table; sets; where }) );
+      ( 1,
+        let* table = table_name in
+        let* where = opt (pred_gen 2) in
+        return (Ast.Delete { table; where }) );
+    ]
+
+(* Structural equality modulo nothing: the printer must emit text that
+   parses back to the same tree.  (Columns named like keywords, operator
+   precedence, quoting, CASE nesting are all exercised.) *)
+let rec equal_stmt (a : Ast.statement) (b : Ast.statement) =
+  match (a, b) with
+  | Ast.Select x, Ast.Select y ->
+    x.Ast.distinct = y.Ast.distinct
+    && List.equal equal_item x.Ast.items y.Ast.items
+    && x.Ast.from = y.Ast.from
+    && Option.equal Ast.equal_expr x.Ast.where y.Ast.where
+    && List.equal Ast.equal_expr x.Ast.group_by y.Ast.group_by
+    && List.equal
+         (fun (e1, d1) (e2, d2) -> Ast.equal_expr e1 e2 && d1 = d2)
+         x.Ast.order_by y.Ast.order_by
+    && x.Ast.limit = y.Ast.limit
+  | Ast.Insert x, Ast.Insert y ->
+    x.table = y.table && x.columns = y.columns
+    && List.equal (List.equal Ast.equal_expr) x.rows y.rows
+  | Ast.Update x, Ast.Update y ->
+    x.table = y.table
+    && List.equal (fun (c1, e1) (c2, e2) -> c1 = c2 && Ast.equal_expr e1 e2) x.sets y.sets
+    && Option.equal Ast.equal_expr x.where y.where
+  | Ast.Delete x, Ast.Delete y ->
+    x.table = y.table && Option.equal Ast.equal_expr x.where y.where
+  | (Ast.Select _ | Ast.Insert _ | Ast.Update _ | Ast.Delete _), _ -> false
+
+and equal_item a b =
+  match (a, b) with
+  | Ast.Star, Ast.Star -> true
+  | Ast.Item (e1, a1), Ast.Item (e2, a2) -> Ast.equal_expr e1 e2 && a1 = a2
+  | (Ast.Star | Ast.Item _), _ -> false
+
+let qcheck_print_parse_roundtrip =
+  QCheck.Test.make ~name:"generated AST survives print/parse" ~count:400
+    (QCheck.make statement_gen ~print:Pp.statement_to_string)
+    (fun stmt ->
+      let printed = Pp.statement_to_string stmt in
+      match Parser.parse printed with
+      | reparsed -> equal_stmt stmt reparsed
+      | exception e ->
+        QCheck.Test.fail_reportf "did not re-parse: %s\n%s" (Printexc.to_string e) printed)
+
+let qcheck_expr_roundtrip =
+  QCheck.Test.make ~name:"generated expression survives print/parse" ~count:600
+    (QCheck.make (pred_gen 3) ~print:Pp.expr_to_string)
+    (fun e ->
+      let printed = Pp.expr_to_string e in
+      match Parser.parse_expr printed with
+      | reparsed -> Ast.equal_expr e reparsed
+      | exception ex ->
+        QCheck.Test.fail_reportf "did not re-parse: %s\n%s" (Printexc.to_string ex) printed)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_print_parse_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_expr_roundtrip;
+  ]

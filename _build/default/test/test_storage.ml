@@ -1,0 +1,296 @@
+(* Unit and property tests for Vnl_storage: disk, pages, buffer pool, heap files. *)
+
+module Dtype = Vnl_relation.Dtype
+module Value = Vnl_relation.Value
+module Schema = Vnl_relation.Schema
+module Tuple = Vnl_relation.Tuple
+module Disk = Vnl_storage.Disk
+module Page = Vnl_storage.Page
+module Buffer_pool = Vnl_storage.Buffer_pool
+module Heap_file = Vnl_storage.Heap_file
+module Latch = Vnl_storage.Latch
+
+let check = Alcotest.check
+
+let small_schema =
+  Schema.make [ Schema.attr ~key:true "id" Dtype.Int; Schema.attr ~updatable:true "v" Dtype.Int ]
+
+let mk_tuple id v = Tuple.make small_schema [ Value.Int id; Value.Int v ]
+
+let test_disk_alloc_read_write () =
+  let d = Disk.create ~page_size:256 () in
+  let p0 = Disk.alloc d in
+  check Alcotest.int "first page id" 0 p0;
+  let img = Bytes.make 256 'x' in
+  Disk.write d p0 img;
+  let back = Disk.read d p0 in
+  Alcotest.(check bool) "roundtrip" true (Bytes.equal img back);
+  let s = Disk.stats d in
+  check Alcotest.int "reads" 1 s.Disk.reads;
+  check Alcotest.int "writes" 1 s.Disk.writes
+
+let test_disk_bad_page () =
+  let d = Disk.create () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Disk.read d 3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_disk_many_pages () =
+  let d = Disk.create ~page_size:64 () in
+  for i = 0 to 99 do
+    check Alcotest.int "sequential ids" i (Disk.alloc d)
+  done;
+  check Alcotest.int "count" 100 (Disk.page_count d)
+
+let test_page_layout () =
+  let l = Page.layout ~page_size:4096 ~record_width:51 in
+  (* 4 header bytes + 51+1 per record: floor(4092/52) = 78 slots. *)
+  check Alcotest.int "slots" 78 l.Page.slots
+
+let test_page_slots () =
+  let l = Page.layout ~page_size:256 ~record_width:10 in
+  let page = Bytes.create 256 in
+  Page.init l page;
+  check Alcotest.int "all free" 0 (Page.used_count l page);
+  let rec0 = Bytes.make 10 'a' in
+  Page.write_slot l page 0 rec0;
+  Alcotest.(check bool) "slot used" true (Page.slot_used l page 0);
+  Alcotest.(check bool) "readback" true (Bytes.equal rec0 (Page.read_slot l page 0));
+  check Alcotest.int "used count" 1 (Page.used_count l page);
+  check (Alcotest.option Alcotest.int) "next free" (Some 1) (Page.first_free_slot l page);
+  Page.clear_slot l page 0;
+  check Alcotest.int "freed" 0 (Page.used_count l page)
+
+let test_page_overwrite_in_place () =
+  let l = Page.layout ~page_size:256 ~record_width:4 in
+  let page = Bytes.create 256 in
+  Page.init l page;
+  Page.write_slot l page 3 (Bytes.of_string "aaaa");
+  Page.write_slot l page 3 (Bytes.of_string "bbbb");
+  Alcotest.(check bool) "overwritten" true
+    (Bytes.equal (Bytes.of_string "bbbb") (Page.read_slot l page 3));
+  check Alcotest.int "still one record" 1 (Page.used_count l page)
+
+let test_page_record_too_large () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Page.layout ~page_size:64 ~record_width:100);
+       false
+     with Invalid_argument _ -> true)
+
+let test_pool_hit_miss () =
+  let d = Disk.create ~page_size:128 () in
+  let pool = Buffer_pool.create ~capacity:2 d in
+  let p0 = Buffer_pool.alloc_page pool in
+  let p1 = Buffer_pool.alloc_page pool in
+  let p2 = Buffer_pool.alloc_page pool in
+  (* Capacity 2: p0 was evicted by p2's arrival. *)
+  Buffer_pool.with_page pool p1 (fun _ -> ());
+  Buffer_pool.with_page pool p2 (fun _ -> ());
+  let before = (Buffer_pool.stats pool).Buffer_pool.misses in
+  Buffer_pool.with_page pool p0 (fun _ -> ());
+  let after = (Buffer_pool.stats pool).Buffer_pool.misses in
+  check Alcotest.int "cold access misses" (before + 1) after
+
+let test_pool_dirty_writeback () =
+  let d = Disk.create ~page_size:128 () in
+  let pool = Buffer_pool.create ~capacity:4 d in
+  let p0 = Buffer_pool.alloc_page pool in
+  Buffer_pool.with_page_mut pool p0 (fun img -> Bytes.set img 0 'Z');
+  Buffer_pool.flush_all pool;
+  let img = Disk.read d p0 in
+  check Alcotest.char "persisted" 'Z' (Bytes.get img 0)
+
+let test_pool_eviction_persists_dirty () =
+  let d = Disk.create ~page_size:128 () in
+  let pool = Buffer_pool.create ~capacity:1 d in
+  let p0 = Buffer_pool.alloc_page pool in
+  Buffer_pool.with_page_mut pool p0 (fun img -> Bytes.set img 0 'Q');
+  let _p1 = Buffer_pool.alloc_page pool in
+  (* p0 must have been evicted and written back. *)
+  let img = Disk.read d p0 in
+  check Alcotest.char "evicted dirty page persisted" 'Q' (Bytes.get img 0)
+
+let test_pool_drop_cache_cold () =
+  let d = Disk.create ~page_size:128 () in
+  let pool = Buffer_pool.create ~capacity:8 d in
+  let p0 = Buffer_pool.alloc_page pool in
+  Buffer_pool.with_page pool p0 (fun _ -> ());
+  Buffer_pool.drop_cache pool;
+  Buffer_pool.reset_stats pool;
+  Buffer_pool.with_page pool p0 (fun _ -> ());
+  check Alcotest.int "one miss after drop" 1 (Buffer_pool.stats pool).Buffer_pool.misses
+
+let with_heap f =
+  let d = Disk.create ~page_size:256 () in
+  let pool = Buffer_pool.create ~capacity:16 d in
+  f (Heap_file.create pool small_schema)
+
+let test_heap_insert_get () =
+  with_heap (fun h ->
+      let rid = Heap_file.insert h (mk_tuple 1 100) in
+      match Heap_file.get h rid with
+      | Some t -> check Alcotest.string "value" "100" (Value.to_string (Tuple.get t 1))
+      | None -> Alcotest.fail "tuple not found")
+
+let test_heap_update_in_place_keeps_rid () =
+  with_heap (fun h ->
+      let rid = Heap_file.insert h (mk_tuple 1 100) in
+      Heap_file.update_in_place h rid (mk_tuple 1 200);
+      (match Heap_file.get h rid with
+      | Some t -> check Alcotest.string "updated" "200" (Value.to_string (Tuple.get t 1))
+      | None -> Alcotest.fail "missing");
+      check Alcotest.int "count stable" 1 (Heap_file.tuple_count h))
+
+let test_heap_delete () =
+  with_heap (fun h ->
+      let rid = Heap_file.insert h (mk_tuple 1 100) in
+      Heap_file.delete h rid;
+      Alcotest.(check bool) "gone" true (Heap_file.get h rid = None);
+      check Alcotest.int "count" 0 (Heap_file.tuple_count h))
+
+let test_heap_slot_reuse () =
+  with_heap (fun h ->
+      let rid0 = Heap_file.insert h (mk_tuple 1 100) in
+      Heap_file.delete h rid0;
+      let rid1 = Heap_file.insert h (mk_tuple 2 200) in
+      Alcotest.(check bool) "slot reused" true (Heap_file.rid_equal rid0 rid1))
+
+let test_heap_scan_order_and_count () =
+  with_heap (fun h ->
+      for i = 1 to 100 do
+        ignore (Heap_file.insert h (mk_tuple i i))
+      done;
+      let seen = ref [] in
+      Heap_file.scan h (fun _ t ->
+          match Tuple.get t 0 with Value.Int n -> seen := n :: !seen | _ -> ());
+      check Alcotest.int "scanned all" 100 (List.length !seen);
+      check (Alcotest.list Alcotest.int) "in insert order" (List.init 100 (fun i -> i + 1))
+        (List.rev !seen))
+
+let test_heap_spans_pages () =
+  with_heap (fun h ->
+      (* 256-byte pages, 8-byte records: ~28 slots/page; 100 tuples need >1 page. *)
+      for i = 1 to 100 do
+        ignore (Heap_file.insert h (mk_tuple i i))
+      done;
+      Alcotest.(check bool) "multiple pages" true (Heap_file.page_count h > 1))
+
+let test_heap_delete_then_insert_moves () =
+  with_heap (fun h ->
+      ignore (Heap_file.insert h (mk_tuple 1 1));
+      let rid = Heap_file.insert h (mk_tuple 2 2) in
+      let rid' = Heap_file.delete_then_insert h rid (mk_tuple 2 20) in
+      (match Heap_file.get h rid' with
+      | Some t -> check Alcotest.string "new value" "20" (Value.to_string (Tuple.get t 1))
+      | None -> Alcotest.fail "missing");
+      check Alcotest.int "count stable" 2 (Heap_file.tuple_count h))
+
+let test_heap_update_free_slot_rejected () =
+  with_heap (fun h ->
+      let rid = Heap_file.insert h (mk_tuple 1 1) in
+      Heap_file.delete h rid;
+      Alcotest.(check bool) "raises" true
+        (try
+           Heap_file.update_in_place h rid (mk_tuple 1 2);
+           false
+         with Invalid_argument _ -> true))
+
+let test_latch_discipline () =
+  let l = Latch.create "t" in
+  Latch.acquire l;
+  Alcotest.(check bool) "held" true (Latch.held l);
+  Alcotest.(check bool) "re-entry fails" true
+    (try
+       Latch.acquire l;
+       false
+     with Failure _ -> true);
+  Latch.release l;
+  Alcotest.(check bool) "release twice fails" true
+    (try
+       Latch.release l;
+       false
+     with Failure _ -> true);
+  check Alcotest.int "acquisitions" 1 (Latch.acquisitions l)
+
+let test_latch_with_latch_releases_on_exn () =
+  let l = Latch.create "t" in
+  (try Latch.with_latch l (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check bool) "released" false (Latch.held l)
+
+(* Property: a random interleaving of inserts/deletes/updates against a model. *)
+let qcheck_heap_model =
+  let open QCheck in
+  let module Tuple = Vnl_relation.Tuple in
+  let ops =
+    Gen.(
+      list_size (0 -- 200)
+        (frequency
+           [
+             (5, map (fun v -> `Insert v) (int_range 0 1000));
+             (2, map (fun i -> `Delete i) (int_range 0 50));
+             (2, map2 (fun i v -> `Update (i, v)) (int_range 0 50) (int_range 0 1000));
+           ]))
+  in
+  Test.make ~name:"heap file agrees with list model" ~count:100 (make ops) (fun ops ->
+      let d = Disk.create ~page_size:256 () in
+      let pool = Buffer_pool.create ~capacity:4 d in
+      let h = Heap_file.create pool small_schema in
+      let model : (Heap_file.rid * int) list ref = ref [] in
+      let counter = ref 0 in
+      List.iter
+        (fun op ->
+          match op with
+          | `Insert v ->
+            incr counter;
+            let rid = Heap_file.insert h (mk_tuple !counter v) in
+            model := (rid, v) :: !model
+          | `Delete i -> (
+            match List.nth_opt !model i with
+            | Some (rid, _) ->
+              Heap_file.delete h rid;
+              model := List.filter (fun (r, _) -> not (Heap_file.rid_equal r rid)) !model
+            | None -> ())
+          | `Update (i, v) -> (
+            match List.nth_opt !model i with
+            | Some (rid, _) ->
+              incr counter;
+              Heap_file.update_in_place h rid (mk_tuple !counter v);
+              model :=
+                List.map (fun (r, x) -> if Heap_file.rid_equal r rid then (r, v) else (r, x)) !model
+            | None -> ()))
+        ops;
+      let stored =
+        Heap_file.fold h ~init:[] ~f:(fun acc rid t ->
+            match Tuple.get t 1 with Value.Int v -> (rid, v) :: acc | _ -> acc)
+      in
+      let norm l = List.sort compare (List.map (fun ({ Heap_file.page; slot }, v) -> (page, slot, v)) l) in
+      norm stored = norm !model)
+
+let suite =
+  [
+    Alcotest.test_case "disk alloc/read/write" `Quick test_disk_alloc_read_write;
+    Alcotest.test_case "disk bad page" `Quick test_disk_bad_page;
+    Alcotest.test_case "disk many pages" `Quick test_disk_many_pages;
+    Alcotest.test_case "page layout arithmetic" `Quick test_page_layout;
+    Alcotest.test_case "page slot lifecycle" `Quick test_page_slots;
+    Alcotest.test_case "page in-place overwrite" `Quick test_page_overwrite_in_place;
+    Alcotest.test_case "page record too large" `Quick test_page_record_too_large;
+    Alcotest.test_case "pool hit/miss accounting" `Quick test_pool_hit_miss;
+    Alcotest.test_case "pool dirty writeback" `Quick test_pool_dirty_writeback;
+    Alcotest.test_case "pool eviction persists dirty" `Quick test_pool_eviction_persists_dirty;
+    Alcotest.test_case "pool drop_cache goes cold" `Quick test_pool_drop_cache_cold;
+    Alcotest.test_case "heap insert/get" `Quick test_heap_insert_get;
+    Alcotest.test_case "heap update in place keeps rid" `Quick test_heap_update_in_place_keeps_rid;
+    Alcotest.test_case "heap delete" `Quick test_heap_delete;
+    Alcotest.test_case "heap slot reuse" `Quick test_heap_slot_reuse;
+    Alcotest.test_case "heap scan order" `Quick test_heap_scan_order_and_count;
+    Alcotest.test_case "heap spans pages" `Quick test_heap_spans_pages;
+    Alcotest.test_case "heap delete-then-insert" `Quick test_heap_delete_then_insert_moves;
+    Alcotest.test_case "heap update free slot rejected" `Quick test_heap_update_free_slot_rejected;
+    Alcotest.test_case "latch discipline" `Quick test_latch_discipline;
+    Alcotest.test_case "latch releases on exception" `Quick test_latch_with_latch_releases_on_exn;
+    QCheck_alcotest.to_alcotest qcheck_heap_model;
+  ]

@@ -1,0 +1,440 @@
+(* Tests for the concurrency-control baselines of §6: the strict-2PL lock
+   manager, 2V2PL commit gating, and the MV2PL version pool. *)
+
+module Dtype = Vnl_relation.Dtype
+module Value = Vnl_relation.Value
+module Schema = Vnl_relation.Schema
+module Tuple = Vnl_relation.Tuple
+module Database = Vnl_query.Database
+module Table = Vnl_query.Table
+module Lock_manager = Vnl_txn.Lock_manager
+module Two_v2pl = Vnl_txn.Two_v2pl
+module Version_pool = Vnl_txn.Version_pool
+module Mv2pl = Vnl_txn.Mv2pl
+
+let check = Alcotest.check
+
+(* ---------- Lock manager ---------- *)
+
+let test_lock_s_s_compatible () =
+  let lm = Lock_manager.create () in
+  Alcotest.(check bool) "t1 S" true (Lock_manager.acquire lm ~txn:1 ~item:10 Lock_manager.S = `Granted);
+  Alcotest.(check bool) "t2 S" true (Lock_manager.acquire lm ~txn:2 ~item:10 Lock_manager.S = `Granted)
+
+let test_lock_x_conflicts () =
+  let lm = Lock_manager.create () in
+  ignore (Lock_manager.acquire lm ~txn:1 ~item:10 Lock_manager.X);
+  Alcotest.(check bool) "reader blocks on writer" true
+    (Lock_manager.acquire lm ~txn:2 ~item:10 Lock_manager.S = `Blocked);
+  Alcotest.(check bool) "t2 waiting" true (Lock_manager.is_waiting lm ~txn:2);
+  check (Alcotest.option Alcotest.int) "blocked on item" (Some 10)
+    (Lock_manager.blocked_on lm ~txn:2)
+
+let test_lock_release_grants_fifo () =
+  let lm = Lock_manager.create () in
+  ignore (Lock_manager.acquire lm ~txn:1 ~item:10 Lock_manager.X);
+  ignore (Lock_manager.acquire lm ~txn:2 ~item:10 Lock_manager.S);
+  ignore (Lock_manager.acquire lm ~txn:3 ~item:10 Lock_manager.S);
+  let granted = Lock_manager.release_all lm ~txn:1 in
+  check (Alcotest.list Alcotest.int) "both readers granted" [ 2; 3 ] (List.sort compare granted);
+  Alcotest.(check bool) "t2 holds S" true
+    (Lock_manager.holds lm ~txn:2 ~item:10 = Some Lock_manager.S)
+
+let test_lock_fifo_fairness () =
+  (* A queued X blocks later S requests even while S holders are active
+     (no reader starvation of the writer). *)
+  let lm = Lock_manager.create () in
+  ignore (Lock_manager.acquire lm ~txn:1 ~item:10 Lock_manager.S);
+  Alcotest.(check bool) "writer queues" true
+    (Lock_manager.acquire lm ~txn:2 ~item:10 Lock_manager.X = `Blocked);
+  Alcotest.(check bool) "later reader queues behind writer" true
+    (Lock_manager.acquire lm ~txn:3 ~item:10 Lock_manager.S = `Blocked);
+  let granted = Lock_manager.release_all lm ~txn:1 in
+  check (Alcotest.list Alcotest.int) "writer first" [ 2 ] granted;
+  let granted2 = Lock_manager.release_all lm ~txn:2 in
+  check (Alcotest.list Alcotest.int) "then reader" [ 3 ] granted2
+
+let test_lock_reentrant () =
+  let lm = Lock_manager.create () in
+  ignore (Lock_manager.acquire lm ~txn:1 ~item:10 Lock_manager.X);
+  Alcotest.(check bool) "re-acquire held" true
+    (Lock_manager.acquire lm ~txn:1 ~item:10 Lock_manager.X = `Granted);
+  Alcotest.(check bool) "weaker mode free" true
+    (Lock_manager.acquire lm ~txn:1 ~item:10 Lock_manager.S = `Granted)
+
+let test_lock_upgrade () =
+  let lm = Lock_manager.create () in
+  ignore (Lock_manager.acquire lm ~txn:1 ~item:10 Lock_manager.S);
+  Alcotest.(check bool) "sole-holder upgrade" true
+    (Lock_manager.acquire lm ~txn:1 ~item:10 Lock_manager.X = `Granted);
+  Alcotest.(check bool) "now exclusive" true
+    (Lock_manager.acquire lm ~txn:2 ~item:10 Lock_manager.S = `Blocked)
+
+let test_lock_deadlock_detection () =
+  let lm = Lock_manager.create () in
+  ignore (Lock_manager.acquire lm ~txn:1 ~item:10 Lock_manager.X);
+  ignore (Lock_manager.acquire lm ~txn:2 ~item:20 Lock_manager.X);
+  ignore (Lock_manager.acquire lm ~txn:1 ~item:20 Lock_manager.X);
+  Alcotest.(check bool) "no cycle yet" true (Lock_manager.find_deadlock lm = None);
+  ignore (Lock_manager.acquire lm ~txn:2 ~item:10 Lock_manager.X);
+  (match Lock_manager.find_deadlock lm with
+  | Some cycle ->
+    Alcotest.(check bool) "cycle has both" true
+      (List.mem 1 cycle && List.mem 2 cycle)
+  | None -> Alcotest.fail "deadlock not detected");
+  (* Victim abort resolves it. *)
+  let granted = Lock_manager.release_all lm ~txn:2 in
+  Alcotest.(check bool) "t1 granted after abort" true (List.mem 1 granted);
+  Alcotest.(check bool) "cycle gone" true (Lock_manager.find_deadlock lm = None)
+
+let test_lock_counts () =
+  let lm = Lock_manager.create () in
+  ignore (Lock_manager.acquire lm ~txn:1 ~item:1 Lock_manager.S);
+  ignore (Lock_manager.acquire lm ~txn:1 ~item:2 Lock_manager.S);
+  check Alcotest.int "two locks" 2 (Lock_manager.lock_count lm);
+  check Alcotest.int "two acquisitions" 2 (Lock_manager.acquisitions lm);
+  ignore (Lock_manager.release_all lm ~txn:1);
+  check Alcotest.int "zero after release" 0 (Lock_manager.lock_count lm)
+
+(* ---------- 2V2PL ---------- *)
+
+let test_2v2pl_reader_never_blocks () =
+  let cc = Two_v2pl.create () in
+  Two_v2pl.begin_writer cc ~writer:100;
+  Two_v2pl.write cc ~writer:100 ~item:1;
+  Two_v2pl.begin_reader cc ~reader:1;
+  (* Reading a written item is allowed (previous version). *)
+  Two_v2pl.read cc ~reader:1 ~item:1;
+  check (Alcotest.list Alcotest.int) "reader active" [ 1 ] (Two_v2pl.active_readers cc)
+
+let test_2v2pl_commit_gated_by_readers () =
+  let cc = Two_v2pl.create () in
+  Two_v2pl.begin_reader cc ~reader:1;
+  Two_v2pl.begin_reader cc ~reader:2;
+  Two_v2pl.begin_writer cc ~writer:100;
+  Two_v2pl.write cc ~writer:100 ~item:1;
+  Two_v2pl.read cc ~reader:1 ~item:1;
+  Two_v2pl.read cc ~reader:2 ~item:2;
+  check (Alcotest.list Alcotest.int) "only overlapping reader gates" [ 1 ]
+    (Two_v2pl.blocking_readers cc ~writer:100);
+  Alcotest.(check bool) "commit rejected while gated" true
+    (try Two_v2pl.commit_writer cc ~writer:100; false with Invalid_argument _ -> true);
+  Two_v2pl.end_reader cc ~reader:1;
+  check (Alcotest.list Alcotest.int) "gate cleared" [] (Two_v2pl.blocking_readers cc ~writer:100);
+  Two_v2pl.commit_writer cc ~writer:100;
+  Alcotest.(check bool) "writer done" true (Two_v2pl.writer_active cc = None)
+
+let test_2v2pl_read_after_write_gates () =
+  (* Order does not matter: a read after the write also gates commit. *)
+  let cc = Two_v2pl.create () in
+  Two_v2pl.begin_writer cc ~writer:100;
+  Two_v2pl.write cc ~writer:100 ~item:5;
+  Two_v2pl.begin_reader cc ~reader:9;
+  Two_v2pl.read cc ~reader:9 ~item:5;
+  check (Alcotest.list Alcotest.int) "gated" [ 9 ] (Two_v2pl.blocking_readers cc ~writer:100)
+
+let test_2v2pl_single_writer () =
+  let cc = Two_v2pl.create () in
+  Two_v2pl.begin_writer cc ~writer:1;
+  Alcotest.(check bool) "second writer rejected" true
+    (try Two_v2pl.begin_writer cc ~writer:2; false with Invalid_argument _ -> true)
+
+(* ---------- Version pool ---------- *)
+
+let kv_schema =
+  Schema.make [ Schema.attr ~key:true "id" Dtype.Int; Schema.attr ~updatable:true "v" Dtype.Int ]
+
+let kv id v = Tuple.make kv_schema [ Value.Int id; Value.Int v ]
+
+let fresh_pool () =
+  let disk = Vnl_storage.Disk.create () in
+  let bp = Vnl_storage.Buffer_pool.create disk in
+  Version_pool.create bp kv_schema
+
+let key0 = { Version_pool.page = 0; slot = 0 }
+
+let test_pool_stash_fetch () =
+  let pool = fresh_pool () in
+  Version_pool.stash pool ~key:key0 ~vn:1 (kv 7 100);
+  Version_pool.stash pool ~key:key0 ~vn:3 (kv 7 300);
+  check Alcotest.int "chain length" 2 (Version_pool.chain_length pool ~key:key0);
+  (match Version_pool.fetch pool ~key:key0 ~max_vn:3 with
+  | Some (3, t) -> Alcotest.(check bool) "newest" true (Tuple.equal t (kv 7 300))
+  | _ -> Alcotest.fail "fetch vn 3");
+  (match Version_pool.fetch pool ~key:key0 ~max_vn:2 with
+  | Some (1, t) -> Alcotest.(check bool) "older" true (Tuple.equal t (kv 7 100))
+  | _ -> Alcotest.fail "fetch vn 2");
+  Alcotest.(check bool) "too old" true (Version_pool.fetch pool ~key:key0 ~max_vn:0 = None)
+
+let test_pool_gc () =
+  let pool = fresh_pool () in
+  List.iter (fun vn -> Version_pool.stash pool ~key:key0 ~vn (kv 7 (vn * 10))) [ 1; 2; 3; 4 ];
+  let removed = Version_pool.gc pool ~keep_from:3 in
+  (* Keep vn 4, 3 and the newest below 3 (vn 2); drop vn 1. *)
+  check Alcotest.int "removed" 1 removed;
+  check Alcotest.int "remaining" 3 (Version_pool.chain_length pool ~key:key0);
+  (match Version_pool.fetch pool ~key:key0 ~max_vn:3 with
+  | Some (3, _) -> ()
+  | _ -> Alcotest.fail "vn 3 must survive")
+
+(* ---------- 2V2PL data layer ---------- *)
+
+module Tv_table = Vnl_txn.Two_v2pl_table
+
+let fresh_2v () =
+  let db = Database.create () in
+  let table = Database.create_table db "T" kv_schema in
+  let rid = Table.insert table (kv 1 100) in
+  (table, Tv_table.create table, rid)
+
+let test_2v_table_reader_sees_committed () =
+  let _table, tv, rid = fresh_2v () in
+  Tv_table.begin_writer tv;
+  Tv_table.writer_update tv rid (kv 1 999);
+  (match Tv_table.read tv rid with
+  | Some t -> Alcotest.(check bool) "committed version" true (Tuple.equal t (kv 1 100))
+  | None -> Alcotest.fail "visible");
+  (match Tv_table.writer_read tv rid with
+  | Some t -> Alcotest.(check bool) "writer sees own version" true (Tuple.equal t (kv 1 999))
+  | None -> Alcotest.fail "writer view");
+  check Alcotest.int "one pending version" 1 (Tv_table.pending_versions tv)
+
+let test_2v_table_commit_installs () =
+  let _table, tv, rid = fresh_2v () in
+  Tv_table.begin_writer tv;
+  Tv_table.writer_update tv rid (kv 1 999);
+  Tv_table.writer_insert tv (kv 2 200);
+  Tv_table.commit tv;
+  (match Tv_table.read tv rid with
+  | Some t -> Alcotest.(check bool) "installed" true (Tuple.equal t (kv 1 999))
+  | None -> Alcotest.fail "visible");
+  let n = ref 0 in
+  Tv_table.scan_committed tv (fun _ -> incr n);
+  check Alcotest.int "insert installed" 2 !n;
+  check Alcotest.int "no pending" 0 (Tv_table.pending_versions tv)
+
+let test_2v_table_abort_drops () =
+  let _table, tv, rid = fresh_2v () in
+  Tv_table.begin_writer tv;
+  Tv_table.writer_delete tv rid;
+  Tv_table.abort tv;
+  Alcotest.(check bool) "still committed" true (Tv_table.read tv rid <> None)
+
+let test_2v_table_delete_at_commit () =
+  let _table, tv, rid = fresh_2v () in
+  Tv_table.begin_writer tv;
+  Tv_table.writer_delete tv rid;
+  Alcotest.(check bool) "reader still sees it" true (Tv_table.read tv rid <> None);
+  Tv_table.commit tv;
+  Alcotest.(check bool) "gone after commit" true (Tv_table.read tv rid = None)
+
+let test_2v_table_double_delete_rejected () =
+  let _table, tv, rid = fresh_2v () in
+  Tv_table.begin_writer tv;
+  Tv_table.writer_delete tv rid;
+  Alcotest.(check bool) "raises" true
+    (try Tv_table.writer_delete tv rid; false with Invalid_argument _ -> true)
+
+(* ---------- MV2PL ---------- *)
+
+let fresh_mv () =
+  let db = Database.create () in
+  let table = Database.create_table db "T" kv_schema in
+  let mv = Mv2pl.create table in
+  (db, table, mv)
+
+let test_mv2pl_snapshot_isolation () =
+  let _db, table, mv = fresh_mv () in
+  let rid = Table.insert table (kv 1 100) in
+  let snap = Mv2pl.begin_snapshot mv in
+  let w = Mv2pl.begin_writer mv in
+  check Alcotest.int "writer vn" 2 w;
+  Mv2pl.writer_update mv rid (kv 1 200);
+  (* The old snapshot still reads 100 via the pool. *)
+  (match Mv2pl.read mv ~snapshot:snap rid with
+  | Some t -> Alcotest.(check bool) "old version" true (Tuple.equal t (kv 1 100))
+  | None -> Alcotest.fail "visible");
+  Mv2pl.commit_writer mv;
+  (match Mv2pl.read mv ~snapshot:snap rid with
+  | Some t -> Alcotest.(check bool) "still old after commit" true (Tuple.equal t (kv 1 100))
+  | None -> Alcotest.fail "visible");
+  let snap2 = Mv2pl.begin_snapshot mv in
+  match Mv2pl.read mv ~snapshot:snap2 rid with
+  | Some t -> Alcotest.(check bool) "new snapshot sees new" true (Tuple.equal t (kv 1 200))
+  | None -> Alcotest.fail "visible"
+
+let test_mv2pl_insert_delete_visibility () =
+  let _db, _table, mv = fresh_mv () in
+  let snap1 = Mv2pl.begin_snapshot mv in
+  let _w = Mv2pl.begin_writer mv in
+  let rid = Mv2pl.writer_insert mv (kv 5 500) in
+  Alcotest.(check bool) "insert invisible to old snapshot" true
+    (Mv2pl.read mv ~snapshot:snap1 rid = None);
+  Mv2pl.commit_writer mv;
+  let snap2 = Mv2pl.begin_snapshot mv in
+  Alcotest.(check bool) "visible to new snapshot" true (Mv2pl.read mv ~snapshot:snap2 rid <> None);
+  let _w2 = Mv2pl.begin_writer mv in
+  Mv2pl.writer_delete mv rid;
+  Mv2pl.commit_writer mv;
+  Alcotest.(check bool) "old snapshot still sees it" true
+    (Mv2pl.read mv ~snapshot:snap2 rid <> None);
+  let snap3 = Mv2pl.begin_snapshot mv in
+  Alcotest.(check bool) "new snapshot does not" true (Mv2pl.read mv ~snapshot:snap3 rid = None)
+
+let test_mv2pl_many_versions () =
+  (* Unlike 2VNL, MV2PL supports arbitrarily many versions. *)
+  let _db, table, mv = fresh_mv () in
+  let rid = Table.insert table (kv 1 0) in
+  let snaps = ref [] in
+  for i = 1 to 5 do
+    snaps := (Mv2pl.begin_snapshot mv, (i - 1) * 10) :: !snaps;
+    let _w = Mv2pl.begin_writer mv in
+    Mv2pl.writer_update mv rid (kv 1 (i * 10));
+    Mv2pl.commit_writer mv
+  done;
+  List.iter
+    (fun (snap, expected) ->
+      match Mv2pl.read mv ~snapshot:snap rid with
+      | Some t -> Alcotest.(check bool) (Printf.sprintf "snap %d" snap) true
+          (Tuple.equal t (kv 1 expected))
+      | None -> Alcotest.fail "visible")
+    !snaps
+
+let test_mv2pl_abort_restores () =
+  let _db, table, mv = fresh_mv () in
+  let rid = Table.insert table (kv 1 100) in
+  let _w = Mv2pl.begin_writer mv in
+  Mv2pl.writer_update mv rid (kv 1 999);
+  let rid2 = Mv2pl.writer_insert mv (kv 2 200) in
+  Mv2pl.abort_writer mv;
+  (match Table.get table rid with
+  | Some t -> Alcotest.(check bool) "restored" true (Tuple.equal t (kv 1 100))
+  | None -> Alcotest.fail "missing");
+  Alcotest.(check bool) "inserted tuple removed" true (Table.get table rid2 = None);
+  check Alcotest.int "vn unchanged" 1 (Mv2pl.current_vn mv)
+
+let test_mv2pl_gc () =
+  let _db, table, mv = fresh_mv () in
+  let rid = Table.insert table (kv 1 0) in
+  for i = 1 to 4 do
+    let _w = Mv2pl.begin_writer mv in
+    Mv2pl.writer_update mv rid (kv 1 i);
+    Mv2pl.commit_writer mv
+  done;
+  Alcotest.(check bool) "pool populated" true (Mv2pl.pool_entries mv > 0);
+  let removed = Mv2pl.gc mv in
+  Alcotest.(check bool) "gc reclaims" true (removed > 0);
+  (* Current state unharmed. *)
+  let snap = Mv2pl.begin_snapshot mv in
+  match Mv2pl.read mv ~snapshot:snap rid with
+  | Some t -> Alcotest.(check bool) "current intact" true (Tuple.equal t (kv 1 4))
+  | None -> Alcotest.fail "visible"
+
+let test_mv2pl_scan_snapshot () =
+  let _db, table, mv = fresh_mv () in
+  let _r1 = Table.insert table (kv 1 10) in
+  let _r2 = Table.insert table (kv 2 20) in
+  let snap = Mv2pl.begin_snapshot mv in
+  let _w = Mv2pl.begin_writer mv in
+  ignore (Mv2pl.writer_insert mv (kv 3 30));
+  Mv2pl.commit_writer mv;
+  let count = ref 0 in
+  Mv2pl.scan mv ~snapshot:snap (fun _ -> incr count);
+  check Alcotest.int "old snapshot scans 2" 2 !count;
+  let snap2 = Mv2pl.begin_snapshot mv in
+  let count2 = ref 0 in
+  Mv2pl.scan mv ~snapshot:snap2 (fun _ -> incr count2);
+  check Alcotest.int "new snapshot scans 3" 3 !count2
+
+(* Property: MV2PL against the oracle. *)
+let qcheck_mv2pl_oracle =
+  QCheck.Test.make ~name:"MV2PL snapshots = oracle" ~count:50
+    (QCheck.make QCheck.Gen.(int_range 1 1_000_000) ~print:string_of_int)
+    (fun seed ->
+      let rng = Vnl_util.Xorshift.create seed in
+      let _db, _table, mv = fresh_mv () in
+      let oracle = Oracle.create kv_schema in
+      let rids = Hashtbl.create 16 in
+      let next = ref 0 in
+      let ok = ref true in
+      for _txn = 1 to 6 do
+        let w = Mv2pl.begin_writer mv in
+        let live = Oracle.live_keys oracle ~vn:(w - 1) in
+        let ops = ref [] in
+        for _i = 0 to Vnl_util.Xorshift.int rng 5 do
+          if live = [] || Vnl_util.Xorshift.bool rng then begin
+            incr next;
+            let v = Vnl_util.Xorshift.int rng 100 in
+            let rid = Mv2pl.writer_insert mv (kv !next v) in
+            Hashtbl.replace rids !next rid;
+            ops := Oracle.Ins (kv !next v) :: !ops
+          end
+          else begin
+            let key = Vnl_util.Xorshift.pick_list rng live in
+            let k = match key with [ Value.Int k ] -> k | _ -> assert false in
+            (* Only touch keys not already touched this txn, to keep the
+               generator simple. *)
+            let touched =
+              List.exists
+                (function
+                  | Oracle.Upd (key', _) | Oracle.Del key' -> key' = key
+                  | Oracle.Ins t -> Tuple.key_of kv_schema t = key)
+                !ops
+            in
+            if not touched then begin
+              let rid = Hashtbl.find rids k in
+              if Vnl_util.Xorshift.bool rng then begin
+                let v = Vnl_util.Xorshift.int rng 100 in
+                Mv2pl.writer_update mv rid (kv k v);
+                ops := Oracle.Upd (key, [ (1, Value.Int v) ]) :: !ops
+              end
+              else begin
+                Mv2pl.writer_delete mv rid;
+                ops := Oracle.Del key :: !ops
+              end
+            end
+          end
+        done;
+        Mv2pl.commit_writer mv;
+        Oracle.apply_txn oracle ~vn:w (List.rev !ops);
+        (* Every snapshot from 1 to current must match the oracle. *)
+        for s = 1 to Mv2pl.current_vn mv do
+          let view = ref [] in
+          Mv2pl.scan mv ~snapshot:s (fun t -> view := t :: !view);
+          if not (Oracle.equal_views !view (Oracle.visible oracle ~vn:s)) then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "S/S compatible" `Quick test_lock_s_s_compatible;
+    Alcotest.test_case "X conflicts" `Quick test_lock_x_conflicts;
+    Alcotest.test_case "release grants FIFO" `Quick test_lock_release_grants_fifo;
+    Alcotest.test_case "FIFO fairness" `Quick test_lock_fifo_fairness;
+    Alcotest.test_case "re-entrant acquire" `Quick test_lock_reentrant;
+    Alcotest.test_case "upgrade" `Quick test_lock_upgrade;
+    Alcotest.test_case "deadlock detection" `Quick test_lock_deadlock_detection;
+    Alcotest.test_case "lock counts" `Quick test_lock_counts;
+    Alcotest.test_case "2V2PL reader never blocks" `Quick test_2v2pl_reader_never_blocks;
+    Alcotest.test_case "2V2PL commit gated by readers" `Quick test_2v2pl_commit_gated_by_readers;
+    Alcotest.test_case "2V2PL read-after-write gates" `Quick test_2v2pl_read_after_write_gates;
+    Alcotest.test_case "2V2PL single writer" `Quick test_2v2pl_single_writer;
+    Alcotest.test_case "version pool stash/fetch" `Quick test_pool_stash_fetch;
+    Alcotest.test_case "version pool gc" `Quick test_pool_gc;
+    Alcotest.test_case "2V2PL table: reader sees committed" `Quick
+      test_2v_table_reader_sees_committed;
+    Alcotest.test_case "2V2PL table: commit installs" `Quick test_2v_table_commit_installs;
+    Alcotest.test_case "2V2PL table: abort drops" `Quick test_2v_table_abort_drops;
+    Alcotest.test_case "2V2PL table: delete at commit" `Quick test_2v_table_delete_at_commit;
+    Alcotest.test_case "2V2PL table: double delete rejected" `Quick
+      test_2v_table_double_delete_rejected;
+    Alcotest.test_case "MV2PL snapshot isolation" `Quick test_mv2pl_snapshot_isolation;
+    Alcotest.test_case "MV2PL insert/delete visibility" `Quick
+      test_mv2pl_insert_delete_visibility;
+    Alcotest.test_case "MV2PL many versions" `Quick test_mv2pl_many_versions;
+    Alcotest.test_case "MV2PL abort restores" `Quick test_mv2pl_abort_restores;
+    Alcotest.test_case "MV2PL gc" `Quick test_mv2pl_gc;
+    Alcotest.test_case "MV2PL snapshot scan" `Quick test_mv2pl_scan_snapshot;
+    QCheck_alcotest.to_alcotest qcheck_mv2pl_oracle;
+  ]

@@ -1,0 +1,138 @@
+(* Unit and property tests for Vnl_util. *)
+
+module Xorshift = Vnl_util.Xorshift
+module Stats = Vnl_util.Stats
+module Ascii_table = Vnl_util.Ascii_table
+module Sim_clock = Vnl_util.Sim_clock
+module Ids = Vnl_util.Ids
+
+let check = Alcotest.check
+
+let test_prng_deterministic () =
+  let a = Xorshift.create 42 and b = Xorshift.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Xorshift.int a 1000) (Xorshift.int b 1000)
+  done
+
+let test_prng_bounds () =
+  let rng = Xorshift.create 7 in
+  for _ = 1 to 1000 do
+    let x = Xorshift.int rng 10 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10)
+  done
+
+let test_prng_int_in () =
+  let rng = Xorshift.create 9 in
+  for _ = 1 to 1000 do
+    let x = Xorshift.int_in rng (-5) 5 in
+    Alcotest.(check bool) "in closed range" true (x >= -5 && x <= 5)
+  done
+
+let test_prng_split_independent () =
+  let a = Xorshift.create 3 in
+  let b = Xorshift.split a in
+  let xs = List.init 20 (fun _ -> Xorshift.int a 1000) in
+  let ys = List.init 20 (fun _ -> Xorshift.int b 1000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_prng_chance_extremes () =
+  let rng = Xorshift.create 5 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=1 always true" true (Xorshift.chance rng 1.0);
+    Alcotest.(check bool) "p=0 never true" false (Xorshift.chance rng 0.0)
+  done
+
+let test_prng_pick () =
+  let rng = Xorshift.create 11 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "picked element" true (Array.mem (Xorshift.pick rng arr) arr)
+  done
+
+let test_stats_mean () =
+  check (Alcotest.float 1e-9) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check (Alcotest.float 1e-9) "empty" 0.0 (Stats.mean [])
+
+let test_stats_stddev () =
+  check (Alcotest.float 1e-9) "constant" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  check (Alcotest.float 1e-9) "pair" 1.0 (Stats.stddev [ 1.0; 3.0 ])
+
+let test_stats_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  check (Alcotest.float 1e-9) "p50" 50.0 (Stats.percentile 50.0 xs);
+  check (Alcotest.float 1e-9) "p99" 99.0 (Stats.percentile 99.0 xs);
+  check (Alcotest.float 1e-9) "p100" 100.0 (Stats.percentile 100.0 xs)
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 4.0; 1.0; 3.0; 2.0 ] in
+  check Alcotest.int "n" 4 s.Stats.n;
+  check (Alcotest.float 1e-9) "min" 1.0 s.Stats.min;
+  check (Alcotest.float 1e-9) "max" 4.0 s.Stats.max;
+  check (Alcotest.float 1e-9) "total" 10.0 s.Stats.total
+
+let test_table_render_plain () =
+  let out = Ascii_table.render ~header:[ "x" ] [ [ "hello" ] ] in
+  Alcotest.(check bool) "has rule lines" true (String.contains out '+');
+  Alcotest.(check bool) "has cell" true (String.contains out 'h')
+
+let test_fmt_pct () = check Alcotest.string "pct" "21.4%" (Ascii_table.fmt_pct 0.214)
+
+let test_clock () =
+  let c = Sim_clock.create () in
+  check Alcotest.int "starts at 0" 0 (Sim_clock.now c);
+  Sim_clock.advance c 10;
+  check Alcotest.int "advanced" 10 (Sim_clock.now c);
+  Sim_clock.advance_to c 5;
+  check Alcotest.int "advance_to past is no-op" 10 (Sim_clock.now c);
+  Sim_clock.advance_to c 30;
+  check Alcotest.int "advance_to future" 30 (Sim_clock.now c)
+
+let test_clock_pp () =
+  let s = Format.asprintf "%a" Sim_clock.pp_time_of_day (24 * 60 + 90) in
+  check Alcotest.string "day1 01:30" "day1 01:30" s
+
+let test_ids () =
+  let ids = Ids.create () in
+  check Alcotest.int "first" 1 (Ids.next ids);
+  check Alcotest.int "second" 2 (Ids.next ids);
+  check Alcotest.int "peek" 3 (Ids.peek ids);
+  Ids.reset ids;
+  check Alcotest.int "reset" 1 (Ids.next ids)
+
+let qcheck_percentile_bounds =
+  QCheck.Test.make ~name:"percentile is within sample bounds" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_range (-100.) 100.)) (float_range 0. 100.))
+    (fun (xs, p) ->
+      QCheck.assume (xs <> []);
+      let v = Stats.percentile p xs in
+      v >= List.fold_left min infinity xs && v <= List.fold_left max neg_infinity xs)
+
+let qcheck_mean_bounds =
+  QCheck.Test.make ~name:"mean lies between min and max" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      QCheck.assume (xs <> []);
+      let m = Stats.mean xs in
+      m >= List.fold_left min infinity xs -. 1e-9
+      && m <= List.fold_left max neg_infinity xs +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng int_in" `Quick test_prng_int_in;
+    Alcotest.test_case "prng split independent" `Quick test_prng_split_independent;
+    Alcotest.test_case "prng chance extremes" `Quick test_prng_chance_extremes;
+    Alcotest.test_case "prng pick" `Quick test_prng_pick;
+    Alcotest.test_case "stats mean" `Quick test_stats_mean;
+    Alcotest.test_case "stats stddev" `Quick test_stats_stddev;
+    Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats summary" `Quick test_stats_summary;
+    Alcotest.test_case "table render basics" `Quick test_table_render_plain;
+    Alcotest.test_case "fmt pct" `Quick test_fmt_pct;
+    Alcotest.test_case "clock" `Quick test_clock;
+    Alcotest.test_case "clock pp" `Quick test_clock_pp;
+    Alcotest.test_case "ids" `Quick test_ids;
+    QCheck_alcotest.to_alcotest qcheck_percentile_bounds;
+    QCheck_alcotest.to_alcotest qcheck_mean_bounds;
+  ]

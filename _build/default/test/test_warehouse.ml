@@ -1,0 +1,242 @@
+(* Tests for the warehouse layer: view definitions, delta aggregation,
+   incremental summary maintenance vs. full recomputation. *)
+
+module Dtype = Vnl_relation.Dtype
+module Value = Vnl_relation.Value
+module Schema = Vnl_relation.Schema
+module Tuple = Vnl_relation.Tuple
+module View_def = Vnl_warehouse.View_def
+module Delta = Vnl_warehouse.Delta
+module Source = Vnl_warehouse.Source
+module Warehouse = Vnl_warehouse.Warehouse
+module Twovnl = Vnl_core.Twovnl
+module Sales_gen = Vnl_workload.Sales_gen
+module Xorshift = Vnl_util.Xorshift
+
+let check = Alcotest.check
+
+let sale city pl day amount =
+  Tuple.make Sales_gen.sales_schema
+    [ Value.Str city; Value.Str "CA"; Value.Str pl; Sales_gen.date_of_day day; Value.Int amount ]
+
+let view = Sales_gen.daily_sales_view ()
+
+let test_view_target_schema () =
+  let target = View_def.target_schema view in
+  check (Alcotest.list Alcotest.string) "columns"
+    [ "city"; "state"; "product_line"; "date"; "total_sales"; "row_count" ]
+    (Schema.names target);
+  check (Alcotest.list Alcotest.int) "key" [ 0; 1; 2; 3 ] (Schema.key_indices target);
+  check (Alcotest.list Alcotest.int) "updatable aggregates" [ 4; 5 ]
+    (Schema.updatable_indices target)
+
+let test_view_without_count_matches_paper () =
+  let v = Sales_gen.daily_sales_view ~with_count:false () in
+  let target = View_def.target_schema v in
+  (* Without the hidden count, the schema is exactly the paper's DailySales:
+     42 bytes per tuple (Figure 3). *)
+  check Alcotest.int "42 bytes" 42 (Schema.width target)
+
+let test_view_rejects_bad_defs () =
+  let expect_invalid f =
+    Alcotest.(check bool) "raises" true (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  expect_invalid (fun () ->
+      View_def.make ~name:"v" ~source:Sales_gen.sales_schema ~group_by:[]
+        ~aggregates:[ ("s", View_def.Sum "amount") ] ());
+  expect_invalid (fun () ->
+      View_def.make ~name:"v" ~source:Sales_gen.sales_schema ~group_by:[ "nope" ]
+        ~aggregates:[] ());
+  expect_invalid (fun () ->
+      View_def.make ~name:"v" ~source:Sales_gen.sales_schema ~group_by:[ "city" ]
+        ~aggregates:[ ("s", View_def.Sum "city") ] ())
+
+let test_delta_netting () =
+  let s1 = sale "San Jose" "golf equip" 0 100 in
+  let s2 = sale "San Jose" "golf equip" 0 50 in
+  let s3 = sale "Berkeley" "tennis" 0 75 in
+  let deltas = Delta.net_group_deltas view [ Insert s1; Insert s2; Insert s3; Delete s2 ] in
+  check Alcotest.int "two groups" 2 (List.length deltas);
+  let sj = List.hd deltas in
+  Alcotest.(check bool) "net sum 100" true
+    (Value.equal (List.hd sj.Delta.agg_delta) (Value.Int 100));
+  check Alcotest.int "net count 1" 1 sj.Delta.count_delta
+
+let test_delta_update_is_delete_plus_insert () =
+  let old_sale = sale "San Jose" "golf equip" 0 100 in
+  let new_sale = sale "San Jose" "golf equip" 0 140 in
+  match Delta.net_group_deltas view [ Update (old_sale, new_sale) ] with
+  | [ d ] ->
+    Alcotest.(check bool) "sum +40" true (Value.equal (List.hd d.Delta.agg_delta) (Value.Int 40));
+    check Alcotest.int "count 0" 0 d.Delta.count_delta
+  | _ -> Alcotest.fail "one group expected"
+
+let test_delta_cancelling_batch_drops_group () =
+  let s1 = sale "San Jose" "golf equip" 0 100 in
+  check Alcotest.int "no net change" 0
+    (List.length (Delta.net_group_deltas view [ Insert s1; Delete s1 ]))
+
+let test_source_apply_and_recompute () =
+  let src = Source.create Sales_gen.sales_schema in
+  Source.apply src
+    [ Insert (sale "San Jose" "golf equip" 0 100);
+      Insert (sale "San Jose" "golf equip" 0 50);
+      Insert (sale "Berkeley" "tennis" 1 75) ];
+  check Alcotest.int "rows" 3 (Source.row_count src);
+  let computed = Source.compute_view src view in
+  check Alcotest.int "two groups" 2 (List.length computed);
+  let target = View_def.target_schema view in
+  let sj =
+    List.find
+      (fun t -> Value.equal (Tuple.get_by_name target t "city") (Value.Str "San Jose"))
+      computed
+  in
+  Alcotest.(check bool) "sum 150" true
+    (Value.equal (Tuple.get_by_name target sj "total_sales") (Value.Int 150));
+  Alcotest.(check bool) "count 2" true
+    (Value.equal (Tuple.get_by_name target sj "row_count") (Value.Int 2))
+
+let test_source_delete_absent_rejected () =
+  let src = Source.create Sales_gen.sales_schema in
+  Alcotest.(check bool) "raises" true
+    (try Source.apply src [ Delete (sale "X" "y" 0 1) ]; false
+     with Invalid_argument _ -> true)
+
+let sorted_view rows = List.sort Tuple.compare rows
+
+let refresh_and_compare wh =
+  ignore (Warehouse.refresh wh);
+  let s = Warehouse.begin_session wh in
+  let got = Warehouse.read_view wh s "DailySales" in
+  Warehouse.end_session wh s;
+  let expected = Warehouse.expected_view wh "DailySales" in
+  Alcotest.(check bool) "incremental = recompute" true
+    (List.equal Tuple.equal (sorted_view got) (sorted_view expected))
+
+let test_float_aggregates () =
+  let src_schema =
+    Schema.make [ Schema.attr "grp" (Dtype.Str 4); Schema.attr "x" Dtype.Float ]
+  in
+  let v =
+    View_def.make ~name:"F" ~source:src_schema ~group_by:[ "grp" ]
+      ~aggregates:[ ("total", View_def.Sum "x") ]
+      ()
+  in
+  let wh = Warehouse.create [ v ] in
+  let row g x = Tuple.make src_schema [ Value.Str g; Value.Float x ] in
+  Warehouse.queue_changes wh ~view:"F"
+    [ Insert (row "a" 1.5); Insert (row "a" 2.25); Insert (row "b" 10.0) ];
+  ignore (Warehouse.refresh wh);
+  let s = Warehouse.begin_session wh in
+  let target = View_def.target_schema v in
+  let rows = Warehouse.read_view wh s "F" in
+  let total g =
+    List.find_map
+      (fun t ->
+        if Value.equal (Tuple.get_by_name target t "grp") (Value.Str g) then
+          Some (Tuple.get_by_name target t "total")
+        else None)
+      rows
+  in
+  (match total "a" with
+  | Some (Value.Float f) -> Alcotest.(check (float 1e-9)) "a sums" 3.75 f
+  | _ -> Alcotest.fail "a missing");
+  match total "b" with
+  | Some (Value.Float f) -> Alcotest.(check (float 1e-9)) "b sums" 10.0 f
+  | _ -> Alcotest.fail "b missing"
+
+let test_incremental_matches_recompute () =
+  let wh = Warehouse.create [ view ] in
+  Warehouse.queue_changes wh ~view:"DailySales"
+    [ Insert (sale "San Jose" "golf equip" 0 100);
+      Insert (sale "San Jose" "golf equip" 1 50);
+      Insert (sale "Berkeley" "tennis" 0 75) ];
+  refresh_and_compare wh;
+  (* A second refresh with mixed changes, including a full group removal. *)
+  Warehouse.queue_changes wh ~view:"DailySales"
+    [ Delete (sale "Berkeley" "tennis" 0 75);
+      Update (sale "San Jose" "golf equip" 0 100, sale "San Jose" "golf equip" 0 130);
+      Insert (sale "Novato" "rollerblades" 2 60) ];
+  refresh_and_compare wh
+
+let test_group_disappears_at_zero_support () =
+  let wh = Warehouse.create [ view ] in
+  Warehouse.queue_changes wh ~view:"DailySales" [ Insert (sale "Berkeley" "tennis" 0 75) ];
+  ignore (Warehouse.refresh wh);
+  Warehouse.queue_changes wh ~view:"DailySales" [ Delete (sale "Berkeley" "tennis" 0 75) ];
+  let outcomes = Warehouse.refresh wh in
+  (match outcomes with
+  | [ o ] -> check Alcotest.int "group deleted" 1 o.Vnl_warehouse.Summary.groups_deleted
+  | _ -> Alcotest.fail "one view");
+  let s = Warehouse.begin_session wh in
+  check Alcotest.int "view empty" 0 (List.length (Warehouse.read_view wh s "DailySales"))
+
+let test_reader_isolated_during_refresh () =
+  let wh = Warehouse.create [ view ] in
+  Warehouse.queue_changes wh ~view:"DailySales" [ Insert (sale "San Jose" "golf equip" 0 100) ];
+  ignore (Warehouse.refresh wh);
+  let s = Warehouse.begin_session wh in
+  Warehouse.queue_changes wh ~view:"DailySales" [ Insert (sale "San Jose" "golf equip" 0 11) ];
+  ignore (Warehouse.refresh wh);
+  (* The session began before the refresh and must still see the old sum. *)
+  let rows = Warehouse.read_view wh s "DailySales" in
+  let target = View_def.target_schema view in
+  (match rows with
+  | [ t ] ->
+    Alcotest.(check bool) "old sum" true
+      (Value.equal (Tuple.get_by_name target t "total_sales") (Value.Int 100))
+  | _ -> Alcotest.fail "one group");
+  let s2 = Warehouse.begin_session wh in
+  match Warehouse.read_view wh s2 "DailySales" with
+  | [ t ] ->
+    Alcotest.(check bool) "new sum" true
+      (Value.equal (Tuple.get_by_name target t "total_sales") (Value.Int 111))
+  | _ -> Alcotest.fail "one group"
+
+(* Property: random batches; incremental maintenance equals recomputation
+   after every refresh. *)
+let qcheck_incremental_equals_recompute =
+  QCheck.Test.make ~name:"incremental maintenance = full recompute" ~count:40
+    (QCheck.make QCheck.Gen.(int_range 1 1_000_000) ~print:string_of_int)
+    (fun seed ->
+      let rng = Xorshift.create seed in
+      let wh = Warehouse.create [ view ] in
+      let ok = ref true in
+      for day = 0 to 4 do
+        let src = Warehouse.source wh "DailySales" in
+        let batch =
+          Sales_gen.gen_batch rng src ~day
+            ~inserts:(5 + Xorshift.int rng 20)
+            ~updates:(Xorshift.int rng 8)
+            ~deletes:(Xorshift.int rng 6)
+        in
+        Warehouse.queue_changes wh ~view:"DailySales" batch;
+        ignore (Warehouse.refresh wh);
+        let s = Warehouse.begin_session wh in
+        let got = Warehouse.read_view wh s "DailySales" in
+        Warehouse.end_session wh s;
+        let expected = Warehouse.expected_view wh "DailySales" in
+        if not (List.equal Tuple.equal (sorted_view got) (sorted_view expected)) then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "view target schema" `Quick test_view_target_schema;
+    Alcotest.test_case "DailySales sans count = 42 bytes" `Quick
+      test_view_without_count_matches_paper;
+    Alcotest.test_case "bad view definitions rejected" `Quick test_view_rejects_bad_defs;
+    Alcotest.test_case "delta netting" `Quick test_delta_netting;
+    Alcotest.test_case "update = delete + insert" `Quick test_delta_update_is_delete_plus_insert;
+    Alcotest.test_case "cancelling batch drops group" `Quick
+      test_delta_cancelling_batch_drops_group;
+    Alcotest.test_case "source apply/recompute" `Quick test_source_apply_and_recompute;
+    Alcotest.test_case "source delete absent rejected" `Quick test_source_delete_absent_rejected;
+    Alcotest.test_case "float aggregates" `Quick test_float_aggregates;
+    Alcotest.test_case "incremental matches recompute" `Quick test_incremental_matches_recompute;
+    Alcotest.test_case "group removed at zero support" `Quick
+      test_group_disappears_at_zero_support;
+    Alcotest.test_case "reader isolated during refresh" `Quick
+      test_reader_isolated_during_refresh;
+    QCheck_alcotest.to_alcotest qcheck_incremental_equals_recompute;
+  ]

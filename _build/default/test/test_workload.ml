@@ -1,0 +1,223 @@
+(* Tests for the workload layer: simulator, generators, concurrency
+   comparison, and the Figure 1/2 scenarios. *)
+
+module Simulator = Vnl_workload.Simulator
+module Sales_gen = Vnl_workload.Sales_gen
+module Cc_sim = Vnl_workload.Cc_sim
+module Scenario = Vnl_workload.Scenario
+module Xorshift = Vnl_util.Xorshift
+module Value = Vnl_relation.Value
+module Tuple = Vnl_relation.Tuple
+module Source = Vnl_warehouse.Source
+
+let check = Alcotest.check
+
+let test_sim_delay_ordering () =
+  let sim = Simulator.create () in
+  let log = ref [] in
+  Simulator.spawn sim ~name:"a" (fun () ->
+      Simulator.delay 10;
+      log := ("a", Simulator.now sim) :: !log);
+  Simulator.spawn sim ~name:"b" (fun () ->
+      Simulator.delay 5;
+      log := ("b", Simulator.now sim) :: !log);
+  Simulator.run sim;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "b fires first"
+    [ ("b", 5); ("a", 10) ]
+    (List.rev !log)
+
+let test_sim_await () =
+  let sim = Simulator.create () in
+  let flag = ref false in
+  let woke_at = ref (-1) in
+  Simulator.spawn sim ~name:"waiter" (fun () ->
+      Simulator.await (fun () -> !flag);
+      woke_at := Simulator.now sim);
+  Simulator.spawn sim ~name:"setter" (fun () ->
+      Simulator.delay 42;
+      flag := true);
+  Simulator.run sim;
+  check Alcotest.int "woke when flag set" 42 !woke_at
+
+let test_sim_stuck_detection () =
+  let sim = Simulator.create () in
+  Simulator.spawn sim ~name:"forever" (fun () -> Simulator.await (fun () -> false));
+  Alcotest.(check bool) "raises Stuck" true
+    (try Simulator.run sim; false with Simulator.Stuck [ "forever" ] -> true)
+
+let test_sim_until_bound () =
+  let sim = Simulator.create () in
+  let count = ref 0 in
+  Simulator.spawn sim ~name:"ticker" (fun () ->
+      let rec loop () =
+        incr count;
+        Simulator.delay 10;
+        loop ()
+      in
+      loop ());
+  Simulator.run ~until:55 sim;
+  check Alcotest.int "six ticks in 55" 6 !count
+
+let test_sim_interleaving_deterministic () =
+  let run_once () =
+    let sim = Simulator.create () in
+    let log = ref [] in
+    for i = 0 to 4 do
+      Simulator.spawn sim ~at:(i mod 2) ~name:(string_of_int i) (fun () ->
+          Simulator.delay i;
+          log := i :: !log)
+    done;
+    Simulator.run sim;
+    List.rev !log
+  in
+  check (Alcotest.list Alcotest.int) "deterministic" (run_once ()) (run_once ())
+
+let test_gen_sale_shape () =
+  let rng = Xorshift.create 1 in
+  let t = Sales_gen.gen_sale rng ~day:0 in
+  check Alcotest.int "arity" 5 (Tuple.arity t);
+  match Tuple.get t 4 with
+  | Value.Int a -> Alcotest.(check bool) "positive amount" true (a > 0)
+  | _ -> Alcotest.fail "amount type"
+
+let test_date_of_day_rollover () =
+  (* Day 0 is 10/14/96; day 17 is 10/31; day 18 is 11/01. *)
+  Alcotest.(check bool) "day 0" true (Value.equal (Sales_gen.date_of_day 0) (Value.date_of_mdy 10 14 96));
+  Alcotest.(check bool) "day 17" true
+    (Value.equal (Sales_gen.date_of_day 17) (Value.date_of_mdy 10 31 96));
+  Alcotest.(check bool) "day 18" true
+    (Value.equal (Sales_gen.date_of_day 18) (Value.date_of_mdy 11 1 96))
+
+let test_gen_batch_composition () =
+  let rng = Xorshift.create 2 in
+  let src = Source.create Sales_gen.sales_schema in
+  Source.apply src
+    (List.init 30 (fun _ -> Vnl_warehouse.Delta.Insert (Sales_gen.gen_sale rng ~day:0)));
+  let batch = Sales_gen.gen_batch rng src ~day:1 ~inserts:10 ~updates:5 ~deletes:3 in
+  let i, d, u = Vnl_warehouse.Delta.change_count batch in
+  check Alcotest.int "inserts exact" 10 i;
+  Alcotest.(check bool) "updates bounded" true (u <= 5);
+  Alcotest.(check bool) "deletes bounded" true (d <= 3);
+  (* The batch must be applicable to the source (victims exist, no double
+     touch). *)
+  Source.apply src batch
+
+let test_cc_sim_vnl_beats_s2pl () =
+  let cfg = { Cc_sim.default_config with readers = 12; seed = 5 } in
+  let s2pl = Cc_sim.run cfg Cc_sim.S2pl in
+  let vnl = Cc_sim.run cfg Cc_sim.Vnl2 in
+  Alcotest.(check bool) "2VNL readers never blocked" true
+    (vnl.Cc_sim.reader_blocked.Vnl_util.Stats.max = 0.0);
+  Alcotest.(check bool) "2VNL zero locks" true (vnl.Cc_sim.lock_acquisitions = 0);
+  Alcotest.(check bool) "S2PL blocks readers" true
+    (s2pl.Cc_sim.reader_blocked.Vnl_util.Stats.mean > 0.0);
+  Alcotest.(check bool) "2VNL latency <= S2PL latency" true
+    (vnl.Cc_sim.reader_latency.Vnl_util.Stats.mean
+    <= s2pl.Cc_sim.reader_latency.Vnl_util.Stats.mean)
+
+let test_cc_sim_2v2pl_delays_writer () =
+  let cfg = Cc_sim.default_config in
+  let v2 = Cc_sim.run cfg Cc_sim.V2pl2 in
+  let vnl = Cc_sim.run cfg Cc_sim.Vnl2 in
+  Alcotest.(check bool) "2V2PL readers unblocked" true
+    (v2.Cc_sim.reader_blocked.Vnl_util.Stats.max = 0.0);
+  Alcotest.(check bool) "2V2PL writer commit delayed" true (v2.Cc_sim.writer_commit_wait > 0);
+  Alcotest.(check bool) "2VNL writer not delayed" true (vnl.Cc_sim.writer_commit_wait = 0)
+
+let test_cc_sim_same_workload_all_schemes () =
+  (* All schemes complete all readers. *)
+  List.iter
+    (fun r ->
+      check Alcotest.int
+        (Printf.sprintf "%s readers" (Cc_sim.scheme_name r.Cc_sim.scheme))
+        Cc_sim.default_config.Cc_sim.readers r.Cc_sim.reader_latency.Vnl_util.Stats.n)
+    (Cc_sim.run_all Cc_sim.default_config)
+
+let quick_scenario = { Scenario.default_config with Scenario.days = 2; batch_per_day = 120 }
+
+let test_scenario_offline_availability () =
+  let r = Scenario.run quick_scenario Scenario.Offline in
+  Alcotest.(check bool) "availability well below 1" true (Scenario.availability r < 0.5);
+  Alcotest.(check bool) "sessions rejected" true (r.Scenario.sessions_rejected > 0);
+  Alcotest.(check bool) "no inconsistencies" true (r.Scenario.inconsistent_pairs = 0);
+  Alcotest.(check bool) "view correct at end" true r.Scenario.view_matches_source
+
+let test_scenario_online_full_availability () =
+  let r = Scenario.run quick_scenario (Scenario.Online 2) in
+  Alcotest.(check bool) "fully available" true (Scenario.availability r = 1.0);
+  check Alcotest.int "nothing rejected" 0 r.Scenario.sessions_rejected;
+  check Alcotest.int "serializable: no inconsistent pairs" 0 r.Scenario.inconsistent_pairs;
+  Alcotest.(check bool) "view correct at end" true r.Scenario.view_matches_source
+
+let test_scenario_online_3vnl_no_expiry () =
+  let r2 = Scenario.run quick_scenario (Scenario.Online 2) in
+  let r3 = Scenario.run quick_scenario (Scenario.Online 3) in
+  Alcotest.(check bool) "2VNL has expirations under this pattern" true
+    (r2.Scenario.sessions_expired > 0);
+  check Alcotest.int "3VNL eliminates them" 0 r3.Scenario.sessions_expired
+
+let test_scenario_dirty_reads_inconsistent () =
+  let r = Scenario.run quick_scenario Scenario.Dirty in
+  Alcotest.(check bool) "read-uncommitted breaks drill-downs" true
+    (r.Scenario.inconsistent_pairs > 0)
+
+let test_scenario_quiescent_policy () =
+  let cfg =
+    { quick_scenario with Scenario.commit_policy = Scenario.When_quiescent; session_len = 100 }
+  in
+  let r = Scenario.run cfg (Scenario.Online 2) in
+  check Alcotest.int "no expirations under quiescent commit" 0 r.Scenario.sessions_expired;
+  Alcotest.(check bool) "commits waited for readers" true (r.Scenario.commit_wait_minutes > 0);
+  Alcotest.(check bool) "view still correct" true r.Scenario.view_matches_source
+
+let test_scenario_frequency_freshness () =
+  let run runs_per_day =
+    let cfg =
+      {
+        quick_scenario with
+        Scenario.runs_per_day;
+        maintenance_len = 12 * 60 / runs_per_day;
+        batch_per_day = 120;
+      }
+    in
+    Scenario.run cfg (Scenario.Online 3)
+  in
+  let daily = run 1 and hourly3 = run 8 in
+  Alcotest.(check bool) "more runs happen" true
+    (hourly3.Scenario.maintenance_runs > daily.Scenario.maintenance_runs);
+  Alcotest.(check bool) "fresher data" true
+    (hourly3.Scenario.avg_staleness_minutes < daily.Scenario.avg_staleness_minutes);
+  Alcotest.(check bool) "still correct" true hourly3.Scenario.view_matches_source;
+  Alcotest.(check bool) "still consistent" true (hourly3.Scenario.inconsistent_pairs = 0)
+
+let test_scenario_timeline_renders () =
+  let r = Scenario.run quick_scenario (Scenario.Online 2) in
+  let text = Scenario.render_timeline r in
+  Alcotest.(check bool) "mentions both rows" true
+    (String.length text > 0
+    && String.contains text '#'
+    && String.contains text 'M')
+
+let suite =
+  [
+    Alcotest.test_case "simulator delay ordering" `Quick test_sim_delay_ordering;
+    Alcotest.test_case "simulator await" `Quick test_sim_await;
+    Alcotest.test_case "simulator stuck detection" `Quick test_sim_stuck_detection;
+    Alcotest.test_case "simulator until bound" `Quick test_sim_until_bound;
+    Alcotest.test_case "simulator deterministic" `Quick test_sim_interleaving_deterministic;
+    Alcotest.test_case "sale generator shape" `Quick test_gen_sale_shape;
+    Alcotest.test_case "date rollover" `Quick test_date_of_day_rollover;
+    Alcotest.test_case "batch composition" `Quick test_gen_batch_composition;
+    Alcotest.test_case "2VNL beats S2PL for readers" `Quick test_cc_sim_vnl_beats_s2pl;
+    Alcotest.test_case "2V2PL delays the writer" `Quick test_cc_sim_2v2pl_delays_writer;
+    Alcotest.test_case "all schemes complete" `Quick test_cc_sim_same_workload_all_schemes;
+    Alcotest.test_case "offline scenario (Fig 1)" `Quick test_scenario_offline_availability;
+    Alcotest.test_case "online scenario (Fig 2)" `Quick test_scenario_online_full_availability;
+    Alcotest.test_case "3VNL removes expirations" `Quick test_scenario_online_3vnl_no_expiry;
+    Alcotest.test_case "dirty reads are inconsistent" `Quick test_scenario_dirty_reads_inconsistent;
+    Alcotest.test_case "quiescent commit policy" `Quick test_scenario_quiescent_policy;
+    Alcotest.test_case "frequency improves freshness" `Quick test_scenario_frequency_freshness;
+    Alcotest.test_case "timeline renders" `Quick test_scenario_timeline_renders;
+  ]
