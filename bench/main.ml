@@ -8,6 +8,8 @@
    Options:
      --micro        run only the Bechamel microbenchmarks
      --no-micro     run everything except the microbenchmarks
+     --smoke        with --micro: run each micro workload once, no sampling
+                    (what the @bench-smoke dune alias builds on)
      --only IDS     comma-separated group ids (figures, scenarios, storage,
                     io, blocking, expiry, gc, micro) *)
 
@@ -44,5 +46,5 @@ let () =
     micro_only
     || ((not no_micro) && match only with None -> true | Some ids -> List.mem "micro" ids)
   in
-  if want_micro then Micro.run ();
+  if want_micro then Micro.run ~smoke_only:(List.mem "--smoke" args) ();
   print_endline "\nAll selected experiments completed."

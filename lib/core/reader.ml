@@ -1,4 +1,5 @@
 module Tuple = Vnl_relation.Tuple
+module Value = Vnl_relation.Value
 
 exception Session_expired of { session_vn : int; tuple_vn : int }
 
@@ -9,11 +10,13 @@ type case =
   | Expired of int
 
 let classify ext ~session_vn tuple =
-  match Schema_ext.tuple_vn ext ~slot:1 tuple with
-  | None -> invalid_arg "Reader.classify: tuple has no version slot 1"
-  | Some tvn1 ->
-    if session_vn >= tvn1 then Read_current
-    else begin
+  (* Slot 1 decides the common case; read it directly to skip the option
+     round-trip of [Schema_ext.tuple_vn] on every scanned tuple. *)
+  match Tuple.get tuple (Schema_ext.tuple_vn_index ext ~slot:1) with
+  | Value.Null -> invalid_arg "Reader.classify: tuple has no version slot 1"
+  | Value.Int tvn1 when session_vn >= tvn1 -> Read_current
+  | Value.Int _ ->
+    begin
       (* Find the least-recent occupied slot and the governing slot: the
          occupied slot with the smallest tupleVN still greater than the
          session. *)
@@ -40,6 +43,8 @@ let classify ext ~session_vn tuple =
         else Read_pre_update slot
       | _ -> assert false (* slot 1 is occupied and tvn1 > session. *)
     end
+  | v ->
+    invalid_arg (Printf.sprintf "Schema_ext.tuple_vn: corrupt value %s" (Value.to_string v))
 
 let extract ext ~session_vn tuple =
   match classify ext ~session_vn tuple with
@@ -48,30 +53,23 @@ let extract ext ~session_vn tuple =
   | Read_current -> (
     match Schema_ext.operation ext ~slot:1 tuple with
     | Op.Delete -> None
-    | Op.Insert | Op.Update ->
-      Some (Tuple.make (Schema_ext.base ext) (Schema_ext.current_values ext tuple)))
+    | Op.Insert | Op.Update -> Some (Schema_ext.current_tuple ext tuple))
   | Read_pre_update slot -> (
     match Schema_ext.operation ext ~slot tuple with
     | Op.Insert -> None
-    | Op.Update | Op.Delete ->
-      (* Pre-update values for updatable attributes; current values
-         elsewhere (non-updatable attributes cannot change). *)
-      let values =
-        List.mapi
-          (fun j current ->
-            if List.mem j (Schema_ext.updatable_base_indices ext) then
-              Tuple.get tuple (Schema_ext.pre_index ext ~slot j)
-            else current)
-          (Schema_ext.current_values ext tuple)
-      in
-      Some (Tuple.make (Schema_ext.base ext) values))
+    | Op.Update | Op.Delete -> Some (Schema_ext.pre_update_tuple ext ~slot tuple))
 
 let visible_relation ext ~session_vn table =
+  let extended = Schema_ext.extended ext in
   let acc = ref [] in
-  Vnl_query.Table.scan table (fun _rid tuple ->
-      match extract ext ~session_vn tuple with
-      | Some base -> acc := base :: !acc
-      | None -> ());
+  Vnl_query.Table.iter_records table (fun img off ->
+      match Schema_ext.decode_visible ext ~session_vn img off with
+      | Schema_ext.Visible base -> acc := base :: !acc
+      | Schema_ext.Invisible -> ()
+      | Schema_ext.Slow -> (
+        match extract ext ~session_vn (Tuple.decode_from extended img off) with
+        | Some base -> acc := base :: !acc
+        | None -> ()));
   List.rev !acc
 
 let expired_by_state ~session_vn ~current_vn ~maintenance_active =

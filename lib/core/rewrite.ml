@@ -180,6 +180,39 @@ let reader_select ~lookup (s : Ast.select) =
     }
   end
 
+(* §4.1 fast-path recognition: a SELECT a 2VNL reader can answer by
+   engine-level extraction ({!Reader.extract}) instead of the CASE +
+   visibility-predicate rewrite.  Recognized shape: a single registered
+   FROM table with every column reference resolving in its base schema.
+   For such a query the rewrite changes exactly what extract computes
+   tuple-by-tuple — CASE-selected attribute versions plus the visibility
+   test — so running the original query over the extracted relation is
+   equivalent (the engine/SQL equivalence the property tests assert). *)
+let reader_fast_path ~lookup (s : Ast.select) =
+  match s.Ast.from with
+  | [ (table, alias) ] -> (
+    match lookup table with
+    | None -> None
+    | Some ext ->
+      let label = match alias with Some a -> a | None -> table in
+      let base = Schema_ext.base ext in
+      let col_ok (q, name) =
+        (match q with None -> true | Some q -> String.equal q label)
+        && Schema.mem base name
+      in
+      let expr_ok e = List.for_all col_ok (Ast.columns_of e) in
+      let item_ok = function Ast.Star -> true | Ast.Item (e, _) -> expr_ok e in
+      let opt_ok = function None -> true | Some e -> expr_ok e in
+      if
+        List.for_all item_ok s.Ast.items
+        && opt_ok s.Ast.where
+        && List.for_all expr_ok s.Ast.group_by
+        && opt_ok s.Ast.having
+        && List.for_all (fun (e, _) -> expr_ok e) s.Ast.order_by
+      then Some (table, label)
+      else None)
+  | _ -> None
+
 let reader_sql ~lookup src =
   let s = Vnl_sql.Parser.parse_select src in
   Vnl_sql.Pp.statement_to_string (Ast.Select (reader_select ~lookup s))

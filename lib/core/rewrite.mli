@@ -31,6 +31,18 @@ val reader_select :
 val reader_sql : lookup:(string -> Schema_ext.t option) -> string -> string
 (** Parse, rewrite, and print — the demonstration path for Example 4.1. *)
 
+val reader_fast_path :
+  lookup:(string -> Schema_ext.t option) -> Vnl_sql.Ast.select ->
+  (string * string) option
+(** Recognize the §4.1 pattern a reader can answer via engine-level
+    extraction instead of the SQL rewrite: a single registered FROM table
+    with every column reference resolving in its base schema.  Returns
+    [(table, label)] — the registered table name and the label its columns
+    are qualified by — or [None] when the query must take the rewrite
+    path.  Equivalence holds because {!Reader.extract} computes per tuple
+    exactly what the substituted CASE expressions and visibility predicate
+    select. *)
+
 val visibility_predicate :
   qualifier:string option -> Schema_ext.t -> Vnl_sql.Ast.expr
 (** The WHERE conjunct above, with columns optionally qualified. *)

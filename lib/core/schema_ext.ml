@@ -9,6 +9,8 @@ type t = {
   n : int;
   updatable : int list;  (** Base positions of updatable attributes. *)
   rank : (int, int) Hashtbl.t;  (** Base position -> rank among updatables. *)
+  rank_arr : int array;  (** Same mapping as [rank], -1 for non-updatable;
+                             O(1) access for the per-tuple reader path. *)
 }
 
 let vn_name slot = if slot = 1 then "tupleVN" else Printf.sprintf "tupleVN%d" slot
@@ -47,7 +49,9 @@ let extend ?(n = 2) base =
   let updatable = Schema.updatable_indices base in
   let rank = Hashtbl.create 8 in
   List.iteri (fun r j -> Hashtbl.add rank j r) updatable;
-  { base; extended; n; updatable; rank }
+  let rank_arr = Array.make (Schema.arity base) (-1) in
+  List.iteri (fun r j -> rank_arr.(j) <- r) updatable;
+  { base; extended; n; updatable; rank; rank_arr }
 
 let base t = t.base
 
@@ -115,6 +119,43 @@ let fresh_insert t ~vn base_tuple =
 
 let current_values t tuple =
   List.init (base_arity t) (fun j -> Tuple.get tuple (base_index t j))
+
+(* Validation-free projections for the reader hot path: the source tuple
+   was decoded from a stored record, so its values already match the
+   schema and re-checking them per extraction would only burn CPU. *)
+
+let current_tuple t tuple =
+  Tuple.unsafe_init (base_arity t) (fun j -> Tuple.get tuple (2 + j))
+
+let pre_update_tuple t ~slot tuple =
+  let pre0 = if slot = 1 then 2 + base_arity t else slot_start t slot + 2 in
+  Tuple.unsafe_init (base_arity t) (fun j ->
+      let r = t.rank_arr.(j) in
+      if r >= 0 then Tuple.get tuple (pre0 + r) else Tuple.get tuple (2 + j))
+
+type visibility = Visible of Tuple.t | Invisible | Slow
+
+let decode_visible t ~session_vn buf off =
+  (* Raw-record fast path for the reader: slot 1's version number and
+     operation sit at fixed byte offsets, so a session that reads the
+     current version decodes only the base attributes — no extended tuple,
+     no pre-update copies.  Anything else (older version, unused slot,
+     corrupt cell) returns [Slow]; the caller re-decodes fully and runs the
+     exact classify/extract logic, which also owns every error message. *)
+  let offs = Schema.cell_offsets t.extended in
+  match Value.decode Dtype.Int buf (off + Array.unsafe_get offs 0) with
+  | Value.Int tvn1 when session_vn >= tvn1 -> begin
+    match Bytes.get buf (off + Array.unsafe_get offs 1) with
+    | 'd' -> Invisible
+    | 'i' | 'u' ->
+      let dts = Schema.dtypes t.extended in
+      Visible
+        (Tuple.unsafe_init (base_arity t) (fun j ->
+             Value.decode (Array.unsafe_get dts (2 + j)) buf
+               (off + Array.unsafe_get offs (2 + j))))
+    | _ -> Slow
+  end
+  | _ -> Slow
 
 let base_key_of t tuple =
   List.map (fun j -> Tuple.get tuple (base_index t j)) (Schema.key_indices t.base)

@@ -68,6 +68,27 @@ val current_values : t -> Vnl_relation.Tuple.t -> Vnl_relation.Value.t list
 (** The base-attribute values of the extended tuple (the current version's
     content). *)
 
+val current_tuple : t -> Vnl_relation.Tuple.t -> Vnl_relation.Tuple.t
+(** The current version as a base tuple — {!current_values} without list
+    building or re-validation; the reader's per-tuple fast path. *)
+
+val pre_update_tuple : t -> slot:int -> Vnl_relation.Tuple.t -> Vnl_relation.Tuple.t
+(** The version a session older than [slot]'s VN must read: slot's
+    pre-update copies for updatable attributes, current values elsewhere
+    (non-updatable attributes cannot change). *)
+
+type visibility =
+  | Visible of Vnl_relation.Tuple.t  (** Current version, as a base tuple. *)
+  | Invisible  (** Current version is a delete — not in the session's view. *)
+  | Slow  (** Older version or unusual cell: use the full decode + classify. *)
+
+val decode_visible : t -> session_vn:int -> bytes -> int -> visibility
+(** [decode_visible t ~session_vn buf off] resolves visibility of the
+    extended record at [off] straight from its bytes, decoding only the
+    base attributes when the session reads the current version (the
+    overwhelmingly common case).  Returns [Slow] — never raises — whenever
+    the answer needs the real classification logic. *)
+
 val base_key_of : t -> Vnl_relation.Tuple.t -> Vnl_relation.Value.t list
 (** Unique-key values of an extended tuple (positions translated from the
     base schema). *)

@@ -10,7 +10,19 @@ let log_src = Logs.Src.create "vnl.core" ~doc:"2VNL warehouse events"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+module Plan = Vnl_query.Plan
+
 type handle = { name : string; ext : Schema_ext.t; table : Table.t }
+
+(* Cached reader plans, keyed by the pre-rewrite SQL text.  [generic] is
+   the compiled §4.1 rewrite; [fast] — when the query matches the pattern
+   {!Rewrite.reader_fast_path} recognizes — additionally holds a view plan
+   over the base schema, executed against {!Reader.visible_relation}. *)
+type reader_plan = {
+  rewritten : Vnl_sql.Ast.select;
+  fast : (handle * Plan.t) option;
+  mutable generic : Plan.t;
+}
 
 type t = {
   db : Database.t;
@@ -20,6 +32,7 @@ type t = {
   sessions : (int, int) Hashtbl.t;  (** session id -> sessionVN *)
   session_ids : Vnl_util.Ids.t;
   mutable txn_active : bool;
+  reader_plans : (string, reader_plan) Hashtbl.t;
 }
 
 exception Expired of { session_vn : int; current_vn : int }
@@ -33,6 +46,7 @@ let make db version =
     sessions = Hashtbl.create 16;
     session_ids = Vnl_util.Ids.create ();
     txn_active = false;
+    reader_plans = Hashtbl.create 16;
   }
 
 let init db = make db (Version_state.install db)
@@ -45,12 +59,15 @@ let version_state t = t.version
 
 let current_vn t = Version_state.current_vn t.version
 
+(* Registration changes what the reader rewrite produces for queries
+   naming this table, so cached reader plans must not survive it. *)
 let register_table t ?n ~name schema =
   let ext = Schema_ext.extend ?n schema in
   let table = Database.create_table t.db name (Schema_ext.extended ext) in
   let h = { name; ext; table } in
   Hashtbl.add t.registry name h;
   t.registry_order <- name :: t.registry_order;
+  Hashtbl.reset t.reader_plans;
   h
 
 let attach_table t ?n ~name base =
@@ -63,6 +80,7 @@ let attach_table t ?n ~name base =
   let h = { name; ext; table } in
   Hashtbl.add t.registry name h;
   t.registry_order <- name :: t.registry_order;
+  Hashtbl.reset t.reader_plans;
   h
 
 
@@ -161,11 +179,55 @@ module Session = struct
       raise (Expired { session_vn = s.vn; current_vn = current_vn t })
     end
 
-  let query t s src =
+  (* Compile-once reader sessions: the first execution of a statement
+     parses, rewrites, and compiles it; re-executions run cached closures.
+     The generic plan is revalidated against the catalog each time (index
+     DDL re-prepares it).  When the statement matches the §4.1 pattern and
+     the rewrite would full-scan anyway, the fast path answers it through
+     {!Reader.visible_relation} — same pages, same row order, no per-tuple
+     CASE/visibility evaluation in SQL. *)
+  let reader_plan_for t src =
+    match Hashtbl.find_opt t.reader_plans src with
+    | Some entry ->
+      if not (Plan.valid t.db entry.generic) then
+        entry.generic <- Plan.prepare t.db entry.rewritten;
+      entry
+    | None ->
+      let select = Vnl_sql.Parser.parse_select src in
+      let rewritten = Rewrite.reader_select ~lookup:(lookup t) select in
+      let generic = Plan.prepare t.db rewritten in
+      let fast =
+        if Plan.full_scan_only generic then
+          match Rewrite.reader_fast_path ~lookup:(lookup t) select with
+          | Some (name, label) ->
+            let h = handle_exn t name in
+            (* The rewrite leaves bare items unaliased, so the generic
+               plan's labels (e.g. "col0" for a CASE-translated column)
+               are authoritative; the view plan reproduces them. *)
+            Some
+              ( h,
+                Plan.prepare_view ~label ~columns:(Plan.columns generic)
+                  (Schema_ext.base h.ext) select )
+          | None -> None
+        else None
+      in
+      let entry = { rewritten; fast; generic } in
+      Hashtbl.add t.reader_plans src entry;
+      entry
+
+  let query ?(params = []) t s src =
     check_valid t s;
-    let select = Vnl_sql.Parser.parse_select src in
-    let rewritten = Rewrite.reader_select ~lookup:(lookup t) select in
-    Executor.query t.db ~params:[ ("sessionVN", Value.Int s.vn) ] rewritten
+    let entry = reader_plan_for t src in
+    let params = ("sessionVN", Value.Int s.vn) :: params in
+    match entry.fast with
+    | Some (h, vplan) when Plan.full_scan_only entry.generic ->
+      let tuples =
+        try Reader.visible_relation h.ext ~session_vn:s.vn h.table
+        with Reader.Session_expired _ ->
+          raise (Expired { session_vn = s.vn; current_vn = current_vn t })
+      in
+      Plan.execute_view ~params vplan tuples
+    | Some _ | None -> Plan.execute ~params entry.generic
 
   let read_table t s name =
     let h = handle_exn t name in

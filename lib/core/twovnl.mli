@@ -101,10 +101,17 @@ module Session : sig
 
   val end_ : t -> s -> unit
 
-  val query : t -> s -> string -> Vnl_query.Executor.result
+  val query :
+    ?params:(string * Vnl_relation.Value.t) list ->
+    t -> s -> string -> Vnl_query.Executor.result
   (** Rewrite (per §4.1, generalized to any n) and execute a SELECT over
-      base-schema names with [:sessionVN] bound.  Raises {!Expired} if the
-      session is no longer valid. *)
+      base-schema names with [:sessionVN] bound; [params] supplies
+      additional named parameters, so repeated statements differing only
+      in a value share one cached plan.  Statements are parsed, rewritten,
+      and compiled once per [t] ({!Vnl_query.Plan}), then re-executed from
+      the plan cache; queries matching the §4.1 pattern are answered by
+      engine-level extraction when the rewrite would full-scan anyway.
+      Raises {!Expired} if the session is no longer valid. *)
 
   val read_table : t -> s -> string -> Vnl_relation.Tuple.t list
   (** Engine-level extraction (works for any n): all base tuples visible at

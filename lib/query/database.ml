@@ -1,11 +1,16 @@
 module Buffer_pool = Vnl_storage.Buffer_pool
 module Disk = Vnl_storage.Disk
 
+type plan_cache = ..
+(* Extensible so the cache type (defined above this module's dependants, in
+   Prepared) can live inside the database it serves without a module cycle. *)
+
 type t = {
   pool : Buffer_pool.t;
   catalog : (string, Table.t) Hashtbl.t;
   mutable order : string list;  (** Creation order, newest first. *)
   mutable catalog_pages : int list;  (** Content pages of the saved catalog. *)
+  mutable plan_cache : plan_cache option;
 }
 
 let create ?(page_size = 4096) ?(pool_capacity = 64) () =
@@ -13,9 +18,13 @@ let create ?(page_size = 4096) ?(pool_capacity = 64) () =
   let pool = Buffer_pool.create ~capacity:pool_capacity disk in
   (* Page 0 is the catalog header. *)
   ignore (Buffer_pool.alloc_page pool);
-  { pool; catalog = Hashtbl.create 8; order = []; catalog_pages = [] }
+  { pool; catalog = Hashtbl.create 8; order = []; catalog_pages = []; plan_cache = None }
 
 let pool t = t.pool
+
+let plan_cache t = t.plan_cache
+
+let set_plan_cache t c = t.plan_cache <- Some c
 
 let create_table t name schema =
   if Hashtbl.mem t.catalog name then
@@ -116,7 +125,9 @@ let reopen ?(pool_capacity = 64) disk0 =
           Buffer.add_subbytes buf img 0 (min page_size remaining)))
     pages;
   let entries = Catalog.parse (Buffer.contents buf) in
-  let t = { pool; catalog = Hashtbl.create 8; order = []; catalog_pages = pages } in
+  let t =
+    { pool; catalog = Hashtbl.create 8; order = []; catalog_pages = pages; plan_cache = None }
+  in
   List.iter
     (fun e ->
       let table =

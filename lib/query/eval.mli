@@ -27,3 +27,21 @@ val truthy : Vnl_relation.Value.t -> bool
 
 val eval_pred : env -> Vnl_sql.Ast.expr -> bool
 (** [truthy (eval env e)]. *)
+
+(** {2 Primitive operations}
+
+    Exposed so the {!Plan} compiler produces closures with exactly the
+    interpreter's semantics (three-valued logic, error messages included);
+    the differential tests rely on the two paths sharing these. *)
+
+val compare_op : Vnl_sql.Ast.binop -> Vnl_relation.Value.t -> Vnl_relation.Value.t -> Vnl_relation.Value.t
+(** Three-valued comparison; only valid for comparison operators. *)
+
+val and3 : Vnl_relation.Value.t -> Vnl_relation.Value.t -> Vnl_relation.Value.t
+
+val or3 : Vnl_relation.Value.t -> Vnl_relation.Value.t -> Vnl_relation.Value.t
+
+val not3 : Vnl_relation.Value.t -> Vnl_relation.Value.t
+
+val like_match : string -> string -> bool
+(** SQL LIKE: [%] matches any run, [_] any single character. *)

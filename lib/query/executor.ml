@@ -3,11 +3,11 @@ module Schema = Vnl_relation.Schema
 module Tuple = Vnl_relation.Tuple
 module Ast = Vnl_sql.Ast
 
-exception Query_error of string
+exception Query_error = Plan.Query_error
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Query_error s)) fmt
 
-type result = { columns : string list; rows : Value.t list list }
+type result = Plan.result = { columns : string list; rows : Value.t list list }
 
 (* A source row is the concatenation of one tuple per FROM table. *)
 type binding = {
@@ -131,7 +131,7 @@ let choose_access table bound =
   else
     match Table.index_covering table (List.map fst bound) with
     | Some name ->
-      let attrs = List.assoc name (Table.indexes table) in
+      let attrs = Table.index_attrs table name in
       Index_scan (name, List.map (fun a -> Option.get (value_of a)) attrs)
     | None -> Full_scan
 
@@ -416,7 +416,11 @@ let query db ?(params = []) (s : Ast.select) =
   in
   { columns; rows = final }
 
-let query_string db ?params src = query db ?params (Vnl_sql.Parser.parse_select src)
+(* The string entry point goes through the prepared-statement cache: parse
+   and compilation are paid once per distinct statement, re-executions run
+   compiled closures.  [query] above remains the interpreter the
+   differential tests compare against. *)
+let query_string db ?params src = Prepared.exec db ?params src
 
 let sort_rows r = { r with rows = List.sort compare_value_lists r.rows }
 

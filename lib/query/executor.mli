@@ -12,8 +12,10 @@
     physical I/O counters. *)
 
 exception Query_error of string
+(** Alias of {!Plan.Query_error}: interpreter and compiled plans raise the
+    same exception. *)
 
-type result = {
+type result = Plan.result = {
   columns : string list;  (** Output column labels, in select-list order. *)
   rows : Vnl_relation.Value.t list list;
 }
@@ -28,7 +30,10 @@ val query :
 
 val query_string :
   Database.t -> ?params:(string * Vnl_relation.Value.t) list -> string -> result
-(** Parse then {!query}. *)
+(** Execute a SQL string through the prepared-statement cache
+    ({!Prepared.exec}): the statement is parsed and compiled once, then
+    revalidated and re-executed from the cache.  Same results and errors
+    as {!query} — the compiled path mirrors the interpreter exactly. *)
 
 val sort_rows : result -> result
 (** Canonically sort the rows; handy for order-insensitive comparisons in

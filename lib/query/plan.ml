@@ -1,0 +1,753 @@
+module Value = Vnl_relation.Value
+module Schema = Vnl_relation.Schema
+module Tuple = Vnl_relation.Tuple
+module Ast = Vnl_sql.Ast
+
+exception Query_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Query_error s)) fmt
+
+let efail fmt = Printf.ksprintf (fun s -> raise (Eval.Eval_error s)) fmt
+
+type result = { columns : string list; rows : Value.t list list }
+
+(* ---------- runtime representation ---------- *)
+
+(* One source row: one tuple per FROM table (resolved positionally at
+   compile time) plus the parameter bindings, pre-resolved to slots. *)
+type rt = { tuples : Tuple.t array; params : Value.t option array }
+
+(* A compiled scalar expression: either folded to a constant at prepare
+   time or a closure over the runtime row. *)
+type ce = Const of Value.t | Dyn of (rt -> Value.t)
+
+let to_fn = function Const v -> fun _ -> v | Dyn f -> f
+
+let is_const = function Const _ -> true | Dyn _ -> false
+
+let dummy_rt = { tuples = [||]; params = [||] }
+
+(* Fold a node whose children are all constants by running its closure now.
+   An exception is captured and re-raised on evaluation instead, preserving
+   the interpreter's lazy error semantics: a failing constant expression in
+   a query that produces no rows never surfaces. *)
+let fold_if children f =
+  if List.for_all is_const children then
+    match f dummy_rt with
+    | v -> Const v
+    | exception e -> Dyn (fun _ -> raise e)
+  else Dyn f
+
+(* ---------- compile-time context ---------- *)
+
+type binding = {
+  label : string;  (** Alias if given, else table name. *)
+  schema : Schema.t;
+  source : int;  (** Index of this table's tuple in [rt.tuples]. *)
+}
+
+(* Parameter names are interned into slots shared by every compiled
+   expression of the plan; [rt.params] is indexed by slot. *)
+type pctx = { slots : (string, int) Hashtbl.t }
+
+type ctx = { bindings : binding list; pctx : pctx }
+
+let param_slot pctx name =
+  match Hashtbl.find_opt pctx.slots name with
+  | Some i -> i
+  | None ->
+    let i = Hashtbl.length pctx.slots in
+    Hashtbl.add pctx.slots name i;
+    i
+
+(* Resolve (qualifier, column) to (source, attribute) with the interpreter's
+   ambiguity rule.  Failures are deferred to evaluation time: the
+   interpreter only reports an unknown column when a row forces it. *)
+let resolve ctx q name =
+  let candidates =
+    List.filter_map
+      (fun b ->
+        match q with
+        | Some q when not (String.equal q b.label) -> None
+        | _ -> (
+          match Schema.index_of_opt b.schema name with
+          | Some i -> Some (b.source, i)
+          | None -> None))
+      ctx.bindings
+  in
+  match candidates with
+  | [ pos ] -> Ok pos
+  | [] ->
+    let q = match q with Some q -> q ^ "." | None -> "" in
+    Error (Printf.sprintf "unknown column %s%s" q name)
+  | _ :: _ :: _ -> Error (Printf.sprintf "ambiguous column %s" name)
+
+let div_vals va vb =
+  try Value.div va vb with Division_by_zero -> efail "division by zero"
+
+(* ---------- row-context compilation (mirrors Eval.eval) ---------- *)
+
+let rec compile ctx (e : Ast.expr) : ce =
+  match e with
+  | Ast.Lit v -> Const v
+  | Ast.Col (q, name) -> (
+    match resolve ctx q name with
+    | Ok (si, ai) -> Dyn (fun rt -> Tuple.get rt.tuples.(si) ai)
+    | Error msg -> Dyn (fun _ -> raise (Eval.Eval_error msg)))
+  | Ast.Param p ->
+    let slot = param_slot ctx.pctx p in
+    Dyn
+      (fun rt ->
+        match rt.params.(slot) with
+        | Some v -> v
+        | None -> efail "unbound parameter :%s" p)
+  | Ast.Binop (Ast.And, a, b) -> binop ctx Eval.and3 a b
+  | Ast.Binop (Ast.Or, a, b) -> binop ctx Eval.or3 a b
+  | Ast.Binop (((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op), a, b) ->
+    binop ctx (Eval.compare_op op) a b
+  | Ast.Binop (Ast.Add, a, b) -> binop ctx Value.add a b
+  | Ast.Binop (Ast.Sub, a, b) -> binop ctx Value.sub a b
+  | Ast.Binop (Ast.Mul, a, b) -> binop ctx Value.mul a b
+  | Ast.Binop (Ast.Div, a, b) -> binop ctx div_vals a b
+  | Ast.Unop (Ast.Not, a) -> unop ctx Eval.not3 a
+  | Ast.Unop (Ast.Neg, a) -> unop ctx Value.neg a
+  | Ast.Case (arms, default) ->
+    let carms = List.map (fun (c, v) -> (compile ctx c, compile ctx v)) arms in
+    let cdef = Option.map (compile ctx) default in
+    let farms = List.map (fun (c, v) -> (to_fn c, to_fn v)) carms in
+    let fdef = match cdef with Some d -> to_fn d | None -> fun _ -> Value.Null in
+    let children =
+      List.concat_map (fun (c, v) -> [ c; v ]) carms
+      @ (match cdef with Some d -> [ d ] | None -> [])
+    in
+    fold_if children (fun rt ->
+        let rec arm = function
+          | [] -> fdef rt
+          | (fc, fv) :: rest -> if Eval.truthy (fc rt) then fv rt else arm rest
+        in
+        arm farms)
+  | Ast.Agg _ -> Dyn (fun _ -> efail "aggregate used outside of a grouped query")
+  | Ast.Is_null a ->
+    let ca = compile ctx a in
+    let fa = to_fn ca in
+    fold_if [ ca ] (fun rt -> Value.Bool (Value.is_null (fa rt)))
+  | Ast.Is_not_null a ->
+    let ca = compile ctx a in
+    let fa = to_fn ca in
+    fold_if [ ca ] (fun rt -> Value.Bool (not (Value.is_null (fa rt))))
+  | Ast.In (a, cands) ->
+    let ca = compile ctx a in
+    let cc = List.map (compile ctx) cands in
+    let fa = to_fn ca and fc = List.map to_fn cc in
+    (* Candidates stay lazy: a NULL subject or an early match skips the
+       rest, exactly like the interpreter's scan. *)
+    fold_if (ca :: cc) (fun rt ->
+        let subject = fa rt in
+        if Value.is_null subject then Value.Null
+        else
+          let rec scan saw_null = function
+            | [] -> if saw_null then Value.Null else Value.Bool false
+            | f :: rest ->
+              let v = f rt in
+              if Value.is_null v then scan true rest
+              else if Value.compare subject v = 0 then Value.Bool true
+              else scan saw_null rest
+          in
+          scan false fc)
+  | Ast.Between (a, lo, hi) ->
+    let ca = compile ctx a and clo = compile ctx lo and chi = compile ctx hi in
+    let fa = to_fn ca and flo = to_fn clo and fhi = to_fn chi in
+    fold_if [ ca; clo; chi ] (fun rt ->
+        let v = fa rt in
+        Eval.and3
+          (Eval.compare_op Ast.Ge v (flo rt))
+          (Eval.compare_op Ast.Le v (fhi rt)))
+  | Ast.Like (a, pattern) ->
+    let ca = compile ctx a in
+    let fa = to_fn ca in
+    fold_if [ ca ] (fun rt ->
+        match fa rt with
+        | Value.Null -> Value.Null
+        | Value.Str s -> Value.Bool (Eval.like_match pattern s)
+        | v -> efail "LIKE applied to non-string %s" (Value.to_string v))
+
+and binop ctx op a b =
+  let ca = compile ctx a in
+  let cb = compile ctx b in
+  let fa = to_fn ca and fb = to_fn cb in
+  (* The interpreter applies [op (eval a) (eval b)], and OCaml evaluates the
+     second argument first — so when both operands fail, the right one's
+     error wins.  Keep that order. *)
+  fold_if [ ca; cb ] (fun rt ->
+      let vb = fb rt in
+      let va = fa rt in
+      op va vb)
+
+and unop ctx op a =
+  let ca = compile ctx a in
+  let fa = to_fn ca in
+  fold_if [ ca ] (fun rt -> op (fa rt))
+
+(* ---------- group-context compilation (mirrors Executor.eval_agg) ------ *)
+
+(* A group at runtime: its member rows and the representative row backing
+   non-aggregate leaves ([None] for the empty global-aggregate group). *)
+type grt = { members : rt list; rep : rt option }
+
+let apply_binop = function
+  | Ast.And -> Eval.and3
+  | Ast.Or -> Eval.or3
+  | (Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op -> Eval.compare_op op
+  | Ast.Add -> Value.add
+  | Ast.Sub -> Value.sub
+  | Ast.Mul -> Value.mul
+  | Ast.Div -> div_vals
+
+let aggregate farg kind members =
+  let values =
+    match farg with
+    | None -> List.map (fun _ -> Value.Int 1) members
+    | Some f -> List.map (fun rt -> f rt) members
+  in
+  let present = List.filter (fun v -> not (Value.is_null v)) values in
+  match kind with
+  | Ast.Count ->
+    Value.Int (match farg with None -> List.length members | Some _ -> List.length present)
+  | Ast.Sum -> (
+    match present with
+    | [] -> Value.Null
+    | first :: rest -> List.fold_left Value.add first rest)
+  | Ast.Min -> (
+    match present with
+    | [] -> Value.Null
+    | first :: rest ->
+      List.fold_left (fun a b -> if Value.compare b a < 0 then b else a) first rest)
+  | Ast.Max -> (
+    match present with
+    | [] -> Value.Null
+    | first :: rest ->
+      List.fold_left (fun a b -> if Value.compare b a > 0 then b else a) first rest)
+  | Ast.Avg -> (
+    match present with
+    | [] -> Value.Null
+    | vs ->
+      let total = List.fold_left (fun acc v -> acc +. Value.to_float v) 0.0 vs in
+      Value.Float (total /. float_of_int (List.length vs)))
+
+let rec gcompile ctx (e : Ast.expr) : grt -> Value.t =
+  match e with
+  | Ast.Agg (kind, arg) ->
+    let farg = Option.map (fun e -> to_fn (compile ctx e)) arg in
+    fun g -> aggregate farg kind g.members
+  | Ast.Lit v -> fun _ -> v
+  | Ast.Col (q, name) -> (
+    let f = to_fn (compile ctx e) in
+    fun g ->
+      match g.rep with Some rt -> f rt | None -> Eval.no_columns q name)
+  | Ast.Param p -> (
+    let f = to_fn (compile ctx e) in
+    fun g ->
+      match g.rep with
+      | Some rt -> f rt
+      (* The interpreter's empty-group representative environment carries no
+         parameter bindings at all, so the reference fails even when the
+         caller supplied the parameter. *)
+      | None -> efail "unbound parameter :%s" p)
+  | Ast.Binop (op, a, b) ->
+    let ga = gcompile ctx a and gb = gcompile ctx b in
+    let apply = apply_binop op in
+    fun g ->
+      let va = ga g in
+      let vb = gb g in
+      apply va vb
+  | Ast.Unop (Ast.Not, a) ->
+    let ga = gcompile ctx a in
+    fun g -> Eval.not3 (ga g)
+  | Ast.Unop (Ast.Neg, a) ->
+    let ga = gcompile ctx a in
+    fun g -> Value.neg (ga g)
+  | Ast.Case (arms, default) ->
+    let garms = List.map (fun (c, v) -> (gcompile ctx c, gcompile ctx v)) arms in
+    let gdef = Option.map (gcompile ctx) default in
+    fun g ->
+      let rec arm = function
+        | [] -> ( match gdef with Some d -> d g | None -> Value.Null)
+        | (gc, gv) :: rest -> if Eval.truthy (gc g) then gv g else arm rest
+      in
+      arm garms
+  | Ast.Is_null a ->
+    let ga = gcompile ctx a in
+    fun g -> Value.Bool (Value.is_null (ga g))
+  | Ast.Is_not_null a ->
+    let ga = gcompile ctx a in
+    fun g -> Value.Bool (not (Value.is_null (ga g)))
+  | Ast.In (a, cands) ->
+    let ga = gcompile ctx a in
+    let gcands = List.map (gcompile ctx) cands in
+    (* eval_agg lowers every operand to a literal before dispatching, so
+       candidates are evaluated eagerly here, unlike the row context. *)
+    fun g ->
+      let values = List.map (fun gc -> gc g) gcands in
+      let subject = ga g in
+      if Value.is_null subject then Value.Null
+      else
+        let rec scan saw_null = function
+          | [] -> if saw_null then Value.Null else Value.Bool false
+          | v :: rest ->
+            if Value.is_null v then scan true rest
+            else if Value.compare subject v = 0 then Value.Bool true
+            else scan saw_null rest
+        in
+        scan false values
+  | Ast.Between (a, lo, hi) ->
+    let ga = gcompile ctx a and glo = gcompile ctx lo and ghi = gcompile ctx hi in
+    fun g ->
+      let v = ga g in
+      let vlo = glo g in
+      let vhi = ghi g in
+      Eval.and3 (Eval.compare_op Ast.Ge v vlo) (Eval.compare_op Ast.Le v vhi)
+  | Ast.Like (a, pattern) -> (
+    let ga = gcompile ctx a in
+    fun g ->
+      match ga g with
+      | Value.Null -> Value.Null
+      | Value.Str s -> Value.Bool (Eval.like_match pattern s)
+      | v -> efail "LIKE applied to non-string %s" (Value.to_string v))
+
+(* ---------- access paths ---------- *)
+
+type access =
+  | Full_scan
+  | Unique_probe of (rt -> Value.t) list
+  | Index_scan of string * (rt -> Value.t) list
+
+let rec conjuncts = function
+  | Ast.Binop (Ast.And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+(* Top-level [col = expr] conjuncts binding attributes of the table labeled
+   [label].  Probe values are compiled with no column bindings, so an
+   expression the interpreter's [const_eval] would reject raises
+   {!Eval.Eval_error} when probed and the access path degrades to a scan. *)
+let equality_bindings ctx ~label where =
+  match where with
+  | None -> []
+  | Some w ->
+    let rhs_ctx = { ctx with bindings = [] } in
+    List.filter_map
+      (fun c ->
+        let pair =
+          match c with
+          | Ast.Binop (Ast.Eq, Ast.Col (q, name), e) -> Some (q, name, e)
+          | Ast.Binop (Ast.Eq, e, Ast.Col (q, name)) -> Some (q, name, e)
+          | _ -> None
+        in
+        match pair with
+        | Some (q, name, e) when q = None || q = Some label ->
+          Some (name, to_fn (compile rhs_ctx e))
+        | Some _ | None -> None)
+      (conjuncts w)
+
+(* Same preference order as the interpreter: whole unique key bound, then
+   the longest covered secondary index, then a scan.  Decided once at
+   prepare time; the residual WHERE makes the choice cost-only. *)
+let choose_access table bound =
+  let schema = Table.schema table in
+  let key_attrs =
+    List.map (fun i -> (Schema.attribute schema i).Schema.name) (Schema.key_indices schema)
+  in
+  let value_of attr = List.assoc_opt attr bound in
+  let all_key_values = List.map value_of key_attrs in
+  if Table.has_key table && key_attrs <> [] && List.for_all Option.is_some all_key_values
+  then Unique_probe (List.map Option.get all_key_values)
+  else
+    match Table.index_covering table (List.map fst bound) with
+    | Some name ->
+      let attrs = Table.index_attrs table name in
+      Index_scan (name, List.map (fun a -> Option.get (value_of a)) attrs)
+    | None -> Full_scan
+
+let describe_access table = function
+  | Full_scan -> Printf.sprintf "%s: full scan" (Table.name table)
+  | Unique_probe _ -> Printf.sprintf "%s: unique-key probe" (Table.name table)
+  | Index_scan (name, _) ->
+    Printf.sprintf "%s: index scan via %s" (Table.name table) name
+
+(* ---------- select-level compilation ---------- *)
+
+let item_label i = function
+  | Ast.Star -> fail "SELECT * cannot be labeled"
+  | Ast.Item (_, Some alias) -> alias
+  | Ast.Item (Ast.Col (_, name), None) -> name
+  | Ast.Item (Ast.Agg (kind, _), None) ->
+    String.lowercase_ascii
+      (match kind with
+      | Ast.Sum -> "sum"
+      | Ast.Count -> "count"
+      | Ast.Min -> "min"
+      | Ast.Max -> "max"
+      | Ast.Avg -> "avg")
+  | Ast.Item (_, None) -> Printf.sprintf "col%d" i
+
+let expand_items bindings items =
+  List.concat_map
+    (fun item ->
+      match item with
+      | Ast.Star ->
+        List.concat_map
+          (fun b ->
+            List.map
+              (fun a -> Ast.Item (Ast.Col (Some b.label, a.Schema.name), Some a.Schema.name))
+              (Schema.attributes b.schema))
+          bindings
+      | Ast.Item _ -> [ item ])
+    items
+
+let is_grouped (s : Ast.select) =
+  s.Ast.group_by <> []
+  || List.exists
+       (function Ast.Star -> false | Ast.Item (e, _) -> Ast.has_aggregate e)
+       s.Ast.items
+  || match s.Ast.having with Some e -> Ast.has_aggregate e | None -> false
+
+type proj =
+  | Flat of {
+      out : (rt -> Value.t) list;
+      order : (rt -> Value.t) list;
+    }
+  | Grouped of {
+      keys : (rt -> Value.t) list;
+      global : bool;  (** No GROUP BY: an empty input still yields one row. *)
+      having : (grt -> Value.t) option;
+      out : (grt -> Value.t) list;
+      order : (grt -> Value.t) list;
+    }
+
+type dep = { dep_name : string; dep_table : Table.t; dep_version : int }
+
+type t = {
+  sources : (Table.t * access) list;  (** Empty for view plans. *)
+  is_view : bool;
+  where_fn : (rt -> Value.t) option;
+  proj : proj;
+  dirs : Ast.order_dir list;
+  distinct : bool;
+  limit : (int * int) option;
+  plan_columns : string list;
+  nparams : int;
+  param_slots : (string, int) Hashtbl.t;
+  deps : dep list;
+  explain_lines : string list;
+}
+
+let compile_select ctx ~columns_override (s : Ast.select) =
+  let items = expand_items ctx.bindings s.Ast.items in
+  let columns = List.mapi item_label items in
+  let columns = match columns_override with Some c -> c | None -> columns in
+  let exprs =
+    List.map (function Ast.Item (e, _) -> e | Ast.Star -> assert false) items
+  in
+  let where_fn = Option.map (fun w -> to_fn (compile ctx w)) s.Ast.where in
+  let dirs = List.map snd s.Ast.order_by in
+  let proj =
+    if is_grouped s then
+      Grouped
+        {
+          keys = List.map (fun e -> to_fn (compile ctx e)) s.Ast.group_by;
+          global = s.Ast.group_by = [];
+          having = Option.map (gcompile ctx) s.Ast.having;
+          out = List.map (gcompile ctx) exprs;
+          order = List.map (fun (e, _) -> gcompile ctx e) s.Ast.order_by;
+        }
+    else
+      (* The interpreter ignores HAVING on non-grouped queries; so do we. *)
+      Flat
+        {
+          out = List.map (fun e -> to_fn (compile ctx e)) exprs;
+          order = List.map (fun (e, _) -> to_fn (compile ctx e)) s.Ast.order_by;
+        }
+  in
+  (columns, where_fn, proj, dirs)
+
+let prepare db (s : Ast.select) =
+  let offset = ref 0 in
+  let pairs =
+    List.map
+      (fun (table_name, alias) ->
+        let table =
+          match Database.table db table_name with
+          | Some t -> t
+          | None -> fail "no such table %S" table_name
+        in
+        let binding =
+          {
+            label = (match alias with Some a -> a | None -> table_name);
+            schema = Table.schema table;
+            source = !offset;
+          }
+        in
+        incr offset;
+        (table, binding))
+      s.Ast.from
+  in
+  (match pairs with [] -> fail "empty FROM clause" | _ -> ());
+  let bindings = List.map snd pairs in
+  let pctx = { slots = Hashtbl.create 8 } in
+  let ctx = { bindings; pctx } in
+  let sources =
+    List.map
+      (fun (table, binding) ->
+        let bound = equality_bindings ctx ~label:binding.label s.Ast.where in
+        (table, choose_access table bound))
+      pairs
+  in
+  let columns, where_fn, proj, dirs = compile_select ctx ~columns_override:None s in
+  {
+    sources;
+    is_view = false;
+    where_fn;
+    proj;
+    dirs;
+    distinct = s.Ast.distinct;
+    limit = s.Ast.limit;
+    plan_columns = columns;
+    nparams = Hashtbl.length pctx.slots;
+    param_slots = pctx.slots;
+    deps =
+      List.map
+        (fun (table, _) ->
+          { dep_name = Table.name table; dep_table = table; dep_version = Table.version table })
+        pairs;
+    explain_lines = List.map (fun (t, a) -> describe_access t a) sources;
+  }
+
+let prepare_view ~label ?columns schema (s : Ast.select) =
+  let bindings = [ { label; schema; source = 0 } ] in
+  let pctx = { slots = Hashtbl.create 8 } in
+  let ctx = { bindings; pctx } in
+  let cols, where_fn, proj, dirs = compile_select ctx ~columns_override:columns s in
+  {
+    sources = [];
+    is_view = true;
+    where_fn;
+    proj;
+    dirs;
+    distinct = s.Ast.distinct;
+    limit = s.Ast.limit;
+    plan_columns = cols;
+    nparams = Hashtbl.length pctx.slots;
+    param_slots = pctx.slots;
+    deps = [];
+    explain_lines = [ label ^ ": view extract" ];
+  }
+
+let columns t = t.plan_columns
+
+let explain t = String.concat "\n" t.explain_lines
+
+let full_scan_only t =
+  List.for_all (fun (_, a) -> match a with Full_scan -> true | _ -> false) t.sources
+
+(* A plan stays valid while every table it touches is still the same
+   physical table (dropping and recreating a name invalidates) and has seen
+   no index DDL since prepare time. *)
+let valid db t =
+  List.for_all
+    (fun d ->
+      match Database.table db d.dep_name with
+      | Some tbl -> tbl == d.dep_table && Table.version tbl = d.dep_version
+      | None -> false)
+    t.deps
+
+(* ---------- execution ---------- *)
+
+let compare_value_lists a b =
+  let rec loop xs ys =
+    match (xs, ys) with
+    | [], [] -> 0
+    | [], _ -> -1
+    | _, [] -> 1
+    | x :: xs, y :: ys ->
+      let c = Value.compare x y in
+      if c <> 0 then c else loop xs ys
+  in
+  loop a b
+
+(* Grouping hashes each row's key once instead of walking a balanced tree
+   twice.  Equality must coincide with [compare_value_lists], which coerces
+   Int/Float — so numeric values hash through their float image. *)
+let value_hash = function
+  | Value.Null -> 17
+  | Value.Int n -> Hashtbl.hash (float_of_int n)
+  | Value.Float f -> Hashtbl.hash f
+  | Value.Str s -> Hashtbl.hash s
+  | Value.Date d -> Hashtbl.hash (d + 7919)
+  | Value.Bool b -> if b then 3 else 5
+
+module Grouptbl = Hashtbl.Make (struct
+  type t = Value.t list
+
+  let equal a b = compare_value_lists a b = 0
+
+  let hash key = List.fold_left (fun acc v -> (acc * 31) + value_hash v) 0 key
+end)
+
+let dedupe rows =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun row ->
+      let key = List.map Value.to_string row in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    rows
+
+(* First binding wins, mirroring the interpreter's [List.assoc_opt]. *)
+let bind_params t params =
+  let arr = Array.make t.nparams None in
+  List.iter
+    (fun (name, v) ->
+      match Hashtbl.find_opt t.param_slots name with
+      | Some i -> if Option.is_none arr.(i) then arr.(i) <- Some v
+      | None -> ())
+    params;
+  arr
+
+let rows_via_access table access prt =
+  let scan_all () =
+    let acc = ref [] in
+    Table.scan table (fun _ tuple -> acc := tuple :: !acc);
+    List.rev !acc
+  in
+  (* A probe value that fails to evaluate (unbound parameter, type error)
+     is a binding the interpreter would never have formed; degrade to the
+     scan it would have used.  Results are unaffected either way because
+     the full WHERE runs as a residual filter. *)
+  let probe fns =
+    match List.map (fun f -> f prt) fns with
+    | vs -> Some vs
+    | exception Eval.Eval_error _ -> None
+  in
+  match access with
+  | Full_scan -> scan_all ()
+  | Unique_probe fns -> (
+    match probe fns with
+    | None -> scan_all ()
+    | Some key -> (
+      match Table.find_by_key table key with Some (_, t) -> [ t ] | None -> []))
+  | Index_scan (name, fns) -> (
+    match probe fns with
+    | None -> scan_all ()
+    | Some values ->
+      List.filter_map (fun rid -> Table.get table rid) (Table.index_lookup table ~name values))
+
+let source_rts t params =
+  let prt = { tuples = [||]; params } in
+  let rows = ref [] in
+  let rec product acc = function
+    | [] ->
+      let rt = { tuples = Array.of_list (List.rev acc); params } in
+      let keep = match t.where_fn with None -> true | Some f -> Eval.truthy (f rt) in
+      if keep then rows := rt :: !rows
+    | (table, access) :: rest ->
+      List.iter
+        (fun tuple -> product (tuple :: acc) rest)
+        (rows_via_access table access prt)
+  in
+  product [] t.sources;
+  List.rev !rows
+
+let finish t rts =
+  let projected =
+    match t.proj with
+    | Grouped { keys; global; having; out; order } ->
+      let groups = Grouptbl.create 32 and order_keys = ref [] in
+      List.iter
+        (fun rt ->
+          let key = List.map (fun f -> f rt) keys in
+          match Grouptbl.find_opt groups key with
+          | None ->
+            Grouptbl.add groups key (ref [ rt ]);
+            order_keys := key :: !order_keys
+          | Some members -> members := rt :: !members)
+        rts;
+      let group_lists =
+        List.map (fun key -> List.rev !(Grouptbl.find groups key)) (List.rev !order_keys)
+      in
+      let group_lists = if group_lists = [] && global then [ [] ] else group_lists in
+      List.filter_map
+        (fun members ->
+          let g = { members; rep = (match members with r :: _ -> Some r | [] -> None) } in
+          let survives = match having with None -> true | Some h -> Eval.truthy (h g) in
+          if survives then begin
+            let row = List.map (fun f -> f g) out in
+            let sort_key = List.map (fun f -> f g) order in
+            Some (row, sort_key)
+          end
+          else None)
+        group_lists
+    | Flat { out; order } ->
+      List.map
+        (fun rt ->
+          let row = List.map (fun f -> f rt) out in
+          let sort_key = List.map (fun f -> f rt) order in
+          (row, sort_key))
+        rts
+  in
+  let sorted =
+    match t.dirs with
+    | [] -> List.map fst projected
+    | dirs ->
+      let cmp (_, ka) (_, kb) =
+        let rec loop ks1 ks2 ds =
+          match (ks1, ks2, ds) with
+          | [], [], _ -> 0
+          | k1 :: r1, k2 :: r2, d :: rd ->
+            let c = Value.compare k1 k2 in
+            let c = match d with Ast.Asc -> c | Ast.Desc -> -c in
+            if c <> 0 then c else loop r1 r2 rd
+          | _ -> 0
+        in
+        loop ka kb dirs
+      in
+      List.map fst (List.stable_sort cmp projected)
+  in
+  let deduped = if t.distinct then dedupe sorted else sorted in
+  let final =
+    match t.limit with
+    | None -> deduped
+    | Some (n, m) -> List.filteri (fun i _ -> i >= m && i < m + n) deduped
+  in
+  { columns = t.plan_columns; rows = final }
+
+let execute ?(params = []) t =
+  if t.is_view then invalid_arg "Plan.execute: view plan; use execute_view";
+  let params = bind_params t params in
+  finish t (source_rts t params)
+
+let execute_view ?(params = []) t tuples =
+  if not t.is_view then invalid_arg "Plan.execute_view: not a view plan";
+  let params = bind_params t params in
+  let rts =
+    match t.where_fn with
+    | None -> List.map (fun tuple -> { tuples = [| tuple |]; params }) tuples
+    | Some f ->
+      List.filter_map
+        (fun tuple ->
+          let rt = { tuples = [| tuple |]; params } in
+          if Eval.truthy (f rt) then Some rt else None)
+        tuples
+  in
+  finish t rts
+
+(* ---------- result helpers ---------- *)
+
+let sort_rows r = { r with rows = List.sort compare_value_lists r.rows }
+
+let result_equal a b =
+  List.equal String.equal a.columns b.columns
+  && List.equal
+       (fun x y -> compare_value_lists x y = 0)
+       (sort_rows a).rows (sort_rows b).rows

@@ -1,0 +1,91 @@
+type stats = { mutable hits : int; mutable misses : int; mutable invalidations : int }
+
+type entry = { plan : Plan.t; mutable stamp : int  (** Last-use clock tick. *) }
+
+type cache = {
+  capacity : int;
+  entries : (string, entry) Hashtbl.t;  (** Keyed by SQL source text. *)
+  mutable clock : int;
+  stats : stats;
+}
+
+type Database.plan_cache += Cache of cache
+
+let default_capacity = 128
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Prepared.create: capacity must be positive";
+  {
+    capacity;
+    entries = Hashtbl.create 32;
+    clock = 0;
+    stats = { hits = 0; misses = 0; invalidations = 0 };
+  }
+
+(* The cache lives inside its database (installed on first use), so plans
+   can never outlive or leak across the catalog they were compiled for. *)
+let cache ?capacity db =
+  match Database.plan_cache db with
+  | Some (Cache c) -> c
+  | Some _ | None ->
+    let c = create ?capacity () in
+    Database.set_plan_cache db (Cache c);
+    c
+
+let evict_lru c =
+  while Hashtbl.length c.entries > c.capacity do
+    let victim =
+      Hashtbl.fold
+        (fun key e acc ->
+          match acc with
+          | Some (_, stamp) when stamp <= e.stamp -> acc
+          | _ -> Some (key, e.stamp))
+        c.entries None
+    in
+    match victim with
+    | Some (key, _) -> Hashtbl.remove c.entries key
+    | None -> ()
+  done
+
+let prepare db src =
+  let c = cache db in
+  c.clock <- c.clock + 1;
+  let compile () =
+    (* Parse and prepare outside the table: failures propagate to the
+       caller and are never cached. *)
+    let plan = Plan.prepare db (Vnl_sql.Parser.parse_select src) in
+    Hashtbl.replace c.entries src { plan; stamp = c.clock };
+    evict_lru c;
+    plan
+  in
+  match Hashtbl.find_opt c.entries src with
+  | Some e when Plan.valid db e.plan ->
+    e.stamp <- c.clock;
+    c.stats.hits <- c.stats.hits + 1;
+    e.plan
+  | Some _ ->
+    (* Stale: the catalog changed under the plan (index DDL, or the table
+       was dropped and recreated).  Re-prepare against the new catalog. *)
+    Hashtbl.remove c.entries src;
+    c.stats.invalidations <- c.stats.invalidations + 1;
+    c.stats.misses <- c.stats.misses + 1;
+    compile ()
+  | None ->
+    c.stats.misses <- c.stats.misses + 1;
+    compile ()
+
+let exec db ?params src = Plan.execute ?params (prepare db src)
+
+let stats db = (cache db).stats
+
+let reset_stats db =
+  let s = (cache db).stats in
+  s.hits <- 0;
+  s.misses <- 0;
+  s.invalidations <- 0
+
+let size db = Hashtbl.length (cache db).entries
+
+let clear db =
+  let c = cache db in
+  Hashtbl.reset c.entries

@@ -1,0 +1,44 @@
+(** Prepared-statement cache: SQL text → compiled {!Plan.t}, with LRU
+    eviction.
+
+    The cache is stored inside the {!Database.t} it serves (via the
+    {!Database.plan_cache} slot), so its lifetime matches the catalog its
+    plans were compiled against.  A hit revalidates the plan with
+    {!Plan.valid}; catalog changes (index DDL, drop/recreate of a table)
+    invalidate the entry and force a re-prepare, so a stale access path is
+    never executed.  Parse or prepare failures propagate and are never
+    cached. *)
+
+type stats = { mutable hits : int; mutable misses : int; mutable invalidations : int }
+(** [invalidations] counts hits rejected by revalidation; each one is also
+    counted as a miss (the statement is recompiled). *)
+
+type cache
+
+type Database.plan_cache += Cache of cache
+
+val default_capacity : int
+(** 128 entries. *)
+
+val cache : ?capacity:int -> Database.t -> cache
+(** The database's cache, installing a fresh one on first use.  [capacity]
+    only takes effect at installation time. *)
+
+val prepare : Database.t -> string -> Plan.t
+(** Cached parse + {!Plan.prepare}.  Raises {!Vnl_sql.Parser.Parse_error}
+    or {!Plan.Query_error} on bad statements. *)
+
+val exec :
+  Database.t -> ?params:(string * Vnl_relation.Value.t) list -> string -> Plan.result
+(** [Plan.execute ?params (prepare db src)] — the one-call prepared path
+    {!Executor.query_string} wraps. *)
+
+val stats : Database.t -> stats
+
+val reset_stats : Database.t -> unit
+
+val size : Database.t -> int
+(** Number of cached plans. *)
+
+val clear : Database.t -> unit
+(** Drop every cached plan (stats are kept). *)

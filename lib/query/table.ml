@@ -14,13 +14,15 @@ type t = {
   name : string;
   heap : Heap_file.t;
   index : Heap_file.rid Bptree.t option;  (** Present iff the schema has a unique key. *)
-  mutable secondaries : (string * secondary) list;  (** Creation order. *)
+  secondaries : (string, secondary) Hashtbl.t;  (** O(1) resolution by name. *)
+  mutable sec_order : string list;  (** Creation order, oldest first. *)
+  mutable version : int;  (** Bumped on index DDL; keys plan-cache validity. *)
 }
 
 let create pool ~name schema =
   let heap = Heap_file.create pool schema in
   let index = if Schema.has_unique_key schema then Some (Bptree.create ()) else None in
-  { name; heap; index; secondaries = [] }
+  { name; heap; index; secondaries = Hashtbl.create 4; sec_order = []; version = 0 }
 
 let attach_heap pool ~name heap secondary =
   let schema = Vnl_storage.Heap_file.schema heap in
@@ -33,7 +35,7 @@ let attach_heap pool ~name heap secondary =
     end
     else None
   in
-  let t = { name; heap; index; secondaries = [] } in
+  let t = { name; heap; index; secondaries = Hashtbl.create 4; sec_order = []; version = 0 } in
   t, secondary
 
 let name t = t.name
@@ -44,19 +46,22 @@ let heap t = t.heap
 
 let has_key t = t.index <> None
 
+let version t = t.version
+
 let key_of t tuple = Tuple.key_of (schema t) tuple
 
 let sec_entry_key sec tuple (rid : Heap_file.rid) =
   Tuple.project tuple sec.positions
   @ [ Vnl_relation.Value.Int rid.Heap_file.page; Vnl_relation.Value.Int rid.Heap_file.slot ]
 
+let iter_secondaries t f =
+  List.iter (fun iname -> f (Hashtbl.find t.secondaries iname)) t.sec_order
+
 let sec_insert t tuple rid =
-  List.iter (fun (_, sec) -> Bptree.insert sec.tree (sec_entry_key sec tuple rid) ()) t.secondaries
+  iter_secondaries t (fun sec -> Bptree.insert sec.tree (sec_entry_key sec tuple rid) ())
 
 let sec_remove t tuple rid =
-  List.iter
-    (fun (_, sec) -> ignore (Bptree.remove sec.tree (sec_entry_key sec tuple rid)))
-    t.secondaries
+  iter_secondaries t (fun sec -> ignore (Bptree.remove sec.tree (sec_entry_key sec tuple rid)))
 
 let insert t tuple =
   (match t.index with
@@ -112,6 +117,10 @@ let find_by_key t key =
 
 let scan t f = Heap_file.scan t.heap f
 
+let iter_tuples t f = Heap_file.iter_tuples t.heap f
+
+let iter_records t f = Heap_file.iter_records t.heap f
+
 let to_list t = Heap_file.to_list t.heap
 
 let tuple_count t = Heap_file.tuple_count t.heap
@@ -125,7 +134,7 @@ let truncate t =
 
 let create_index t ~name attrs =
   if attrs = [] then invalid_arg "Table.create_index: empty attribute list";
-  if List.mem_assoc name t.secondaries then
+  if Hashtbl.mem t.secondaries name then
     invalid_arg (Printf.sprintf "Table.create_index: %S already exists" name);
   let s = schema t in
   let positions =
@@ -138,15 +147,28 @@ let create_index t ~name attrs =
   in
   let sec = { attrs; positions; tree = Bptree.create () } in
   Heap_file.scan t.heap (fun rid tuple -> Bptree.insert sec.tree (sec_entry_key sec tuple rid) ());
-  t.secondaries <- t.secondaries @ [ (name, sec) ]
+  Hashtbl.replace t.secondaries name sec;
+  t.sec_order <- t.sec_order @ [ name ];
+  t.version <- t.version + 1
 
-let drop_index t name = t.secondaries <- List.remove_assoc name t.secondaries
+let drop_index t name =
+  if Hashtbl.mem t.secondaries name then begin
+    Hashtbl.remove t.secondaries name;
+    t.sec_order <- List.filter (fun n -> not (String.equal n name)) t.sec_order;
+    t.version <- t.version + 1
+  end
 
-let indexes t = List.map (fun (name, sec) -> (name, sec.attrs)) t.secondaries
+let indexes t =
+  List.map (fun name -> (name, (Hashtbl.find t.secondaries name).attrs)) t.sec_order
+
+let index_attrs t name =
+  match Hashtbl.find_opt t.secondaries name with
+  | Some sec -> sec.attrs
+  | None -> raise Not_found
 
 let index_lookup t ~name values =
   let sec =
-    match List.assoc_opt name t.secondaries with
+    match Hashtbl.find_opt t.secondaries name with
     | Some sec -> sec
     | None -> raise Not_found
   in
@@ -166,13 +188,14 @@ let index_covering t bound_attrs =
   let covered sec = List.for_all (fun a -> List.mem a bound_attrs) sec.attrs in
   (* Prefer the most selective (longest attribute list) covered index. *)
   List.fold_left
-    (fun best (name, sec) ->
+    (fun best name ->
+      let sec = Hashtbl.find t.secondaries name in
       if covered sec then
         match best with
         | Some (_, n) when n >= List.length sec.attrs -> best
         | _ -> Some (name, List.length sec.attrs)
       else best)
-    None t.secondaries
+    None t.sec_order
   |> Option.map fst
 
 

@@ -31,6 +31,11 @@ val heap : t -> Vnl_storage.Heap_file.t
 
 val has_key : t -> bool
 
+val version : t -> int
+(** Monotone counter bumped by index DDL ({!create_index}, {!drop_index});
+    the prepared-statement cache uses it to detect stale access-path
+    choices (see {!Prepared}). *)
+
 val insert : t -> Vnl_relation.Tuple.t -> Vnl_storage.Heap_file.rid
 (** Raises {!Unique_violation} when the table has a unique key and an equal
     key is already present. *)
@@ -48,6 +53,15 @@ val find_by_key :
 (** Index probe; [None] for keyless tables or absent keys. *)
 
 val scan : t -> (Vnl_storage.Heap_file.rid -> Vnl_relation.Tuple.t -> unit) -> unit
+
+val iter_tuples : t -> (Vnl_relation.Tuple.t -> unit) -> unit
+(** Read-only scan without rids or the per-page snapshot (see
+    {!Vnl_storage.Heap_file.iter_tuples}); [f] must not modify the table. *)
+
+val iter_records : t -> (bytes -> int -> unit) -> unit
+(** Read-only scan over undecoded records (see
+    {!Vnl_storage.Heap_file.iter_records}); [f] must not modify the
+    table. *)
 
 val to_list : t -> (Vnl_storage.Heap_file.rid * Vnl_relation.Tuple.t) list
 
@@ -68,6 +82,10 @@ val drop_index : t -> string -> unit
 
 val indexes : t -> (string * string list) list
 (** Secondary indexes as (name, attributes), in creation order. *)
+
+val index_attrs : t -> string -> string list
+(** Attribute list of the named secondary index, resolved in O(1).
+    Raises [Not_found] for unknown index names. *)
 
 val index_lookup :
   t -> name:string -> Vnl_relation.Value.t list -> Vnl_storage.Heap_file.rid list

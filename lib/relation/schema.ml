@@ -1,6 +1,11 @@
 type attribute = { name : string; dtype : Dtype.t; updatable : bool; key : bool }
 
-type t = { attrs : attribute array; positions : (string, int) Hashtbl.t }
+type t = {
+  attrs : attribute array;
+  positions : (string, int) Hashtbl.t;
+  dtypes : Dtype.t array;  (** [attrs.(i).dtype], cached for decode loops. *)
+  cell_offsets : int array;  (** Byte offset of each attribute's cell. *)
+}
 
 let attr ?(updatable = false) ?(key = false) name dtype = { name; dtype; updatable; key }
 
@@ -16,11 +21,23 @@ let make attrs =
         invalid_arg (Printf.sprintf "Schema.make: key attribute %S cannot be updatable" a.name);
       Hashtbl.add positions a.name i)
     arr;
-  { attrs = arr; positions }
+  let dtypes = Array.map (fun a -> a.dtype) arr in
+  let cell_offsets = Array.make (Array.length arr) 0 in
+  let off = ref 0 in
+  Array.iteri
+    (fun i dt ->
+      cell_offsets.(i) <- !off;
+      off := !off + Dtype.width dt)
+    dtypes;
+  { attrs = arr; positions; dtypes; cell_offsets }
 
 let arity t = Array.length t.attrs
 
 let attribute t i = t.attrs.(i)
+
+let dtypes t = t.dtypes
+
+let cell_offsets t = t.cell_offsets
 
 let attributes t = Array.to_list t.attrs
 

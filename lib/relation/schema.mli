@@ -30,6 +30,14 @@ val arity : t -> int
 val attribute : t -> int -> attribute
 (** [attribute t i] is the [i]-th attribute (0-based). *)
 
+val dtypes : t -> Dtype.t array
+(** Attribute dtypes in schema order.  The array is the schema's own cache
+    — callers must not mutate it. *)
+
+val cell_offsets : t -> int array
+(** Byte offset of each attribute's cell within an encoded record (prefix
+    sums of the dtype widths).  Same ownership caveat as {!dtypes}. *)
+
 val attributes : t -> attribute list
 
 val index_of_opt : t -> string -> int option

@@ -22,6 +22,10 @@ let of_array schema values =
 
 let make schema values = of_array schema (Array.of_list values)
 
+let unsafe_of_array values = values
+
+let unsafe_init n f = Array.init n f
+
 let arity = Array.length
 
 let get t i = t.(i)
@@ -69,13 +73,17 @@ let encode schema t =
     t;
   buf
 
-let decode schema buf =
-  let off = ref 0 in
-  Array.init (Schema.arity schema) (fun i ->
-      let dt = (Schema.attribute schema i).Schema.dtype in
-      let v = Value.decode dt buf !off in
-      off := !off + Dtype.width dt;
-      v)
+let decode_from schema buf start =
+  let dts = Schema.dtypes schema and offs = Schema.cell_offsets schema in
+  let n = Array.length dts in
+  let arr = Array.make n Value.Null in
+  for i = 0 to n - 1 do
+    Array.unsafe_set arr i
+      (Value.decode (Array.unsafe_get dts i) buf (start + Array.unsafe_get offs i))
+  done;
+  arr
+
+let decode schema buf = decode_from schema buf 0
 
 let pp schema ppf t =
   ignore schema;

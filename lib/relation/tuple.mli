@@ -14,6 +14,15 @@ val make : Schema.t -> Value.t list -> t
 val of_array : Schema.t -> Value.t array -> t
 (** Like [make] from an array; the array is copied. *)
 
+val unsafe_of_array : Value.t array -> t
+(** Adopt the array without copying or type-checking.  For engine-internal
+    hot paths whose values are already schema-typed (e.g. projections of a
+    stored tuple); the caller must not retain the array. *)
+
+val unsafe_init : int -> (int -> Value.t) -> t
+(** Build a tuple positionally without type-checking; same contract as
+    {!unsafe_of_array}. *)
+
 val arity : t -> int
 
 val get : t -> int -> Value.t
@@ -45,6 +54,11 @@ val encode : Schema.t -> t -> bytes
 
 val decode : Schema.t -> bytes -> t
 (** Inverse of [encode]; reads from offset 0. *)
+
+val decode_from : Schema.t -> bytes -> int -> t
+(** [decode_from schema buf off] decodes a record that starts at [off],
+    letting page scans decode straight out of the frame image without
+    copying the record bytes first. *)
 
 val pp : Schema.t -> Format.formatter -> t -> unit
 (** Render as [(v1, v2, ...)] with paper-style value formatting. *)

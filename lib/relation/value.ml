@@ -64,29 +64,31 @@ let date_of_mdy m d y =
   let y = if y < 100 then 1900 + y else y in
   Date ((y * 10000) + (m * 100) + d)
 
-let pp_grouped_int ppf n =
+let grouped_int_string n =
   let s = string_of_int (abs n) in
   let len = String.length s in
-  let buf = Buffer.create (len + (len / 3)) in
+  let buf = Buffer.create (len + (len / 3) + 1) in
   if n < 0 then Buffer.add_char buf '-';
   String.iteri
     (fun i c ->
       if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
       Buffer.add_char buf c)
     s;
-  Format.pp_print_string ppf (Buffer.contents buf)
+  Buffer.contents buf
 
-let pp ppf = function
-  | Int n -> pp_grouped_int ppf n
-  | Float f -> Format.fprintf ppf "%.2f" f
-  | Str s -> Format.pp_print_string ppf s
+(* [to_string] sits on query hot paths (group keys, DISTINCT), so it must
+   not go through the Format machinery. *)
+let to_string = function
+  | Int n -> grouped_int_string n
+  | Float f -> Printf.sprintf "%.2f" f
+  | Str s -> s
   | Date d ->
     let y = d / 10000 and m = d / 100 mod 100 and day = d mod 100 in
-    Format.fprintf ppf "%02d/%02d/%02d" m day (y mod 100)
-  | Bool b -> Format.pp_print_bool ppf b
-  | Null -> Format.pp_print_string ppf "null"
+    Printf.sprintf "%02d/%02d/%02d" m day (y mod 100)
+  | Bool b -> if b then "true" else "false"
+  | Null -> "null"
 
-let to_string v = Format.asprintf "%a" pp v
+let pp ppf v = Format.pp_print_string ppf (to_string v)
 
 (* Null sentinels per type: chosen outside the range workloads generate. *)
 let int_null = Int32.min_int
@@ -124,11 +126,16 @@ let decode dt buf off =
     let f = Int64.float_of_bits (Bytes.get_int64_le buf off) in
     if Float.is_nan f then Null else Float f
   | Dtype.Str n ->
-    let raw = Bytes.sub_string buf off n in
-    if n > 0 && raw.[0] = '\xff' then Null
-    else
-      let stop = try String.index raw '\000' with Not_found -> n in
-      Str (String.sub raw 0 stop)
+    if off < 0 || off + n > Bytes.length buf then
+      invalid_arg "Value.decode: string cell out of bounds"
+    else if n > 0 && Bytes.unsafe_get buf off = '\xff' then Null
+    else begin
+      (* Find the padding terminator in place: one allocation, not two,
+         and one bounds check for the whole cell rather than per byte. *)
+      let lim = off + n in
+      let rec stop i = if i >= lim || Bytes.unsafe_get buf i = '\000' then i else stop (i + 1) in
+      Str (Bytes.sub_string buf off (stop off - off))
+    end
   | Dtype.Date ->
     let n = Bytes.get_int32_le buf off in
     if Int32.equal n date_null then Null else Date (Int32.to_int n)

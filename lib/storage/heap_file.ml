@@ -60,7 +60,7 @@ let insert t tuple =
 let get t rid =
   Buffer_pool.with_page t.pool rid.page (fun img ->
       if Page.slot_used t.layout img rid.slot then
-        Some (Tuple.decode t.schema (Page.read_slot t.layout img rid.slot))
+        Some (Tuple.decode_from t.schema img (Page.record_offset t.layout rid.slot))
       else None)
 
 let update_in_place t rid tuple =
@@ -87,14 +87,31 @@ let delete_then_insert t rid tuple =
 let scan t f =
   List.iter
     (fun pid ->
-      (* Snapshot the page's live slots first so [f] may modify the page. *)
+      (* Decode the page's live tuples up front (straight from the frame
+         image, no record copies) so [f] may modify the page. *)
       let live =
         Buffer_pool.with_page t.pool pid (fun img ->
             let acc = ref [] in
-            Page.iter_used t.layout img (fun slot record -> acc := (slot, record) :: !acc);
+            Page.iter_used_offsets t.layout img (fun slot off ->
+                acc := (slot, Tuple.decode_from t.schema img off) :: !acc);
             List.rev !acc)
       in
-      List.iter (fun (slot, record) -> f { page = pid; slot } (Tuple.decode t.schema record)) live)
+      List.iter (fun (slot, tuple) -> f { page = pid; slot } tuple) live)
+    (List.rev t.pages)
+
+let iter_tuples t f =
+  List.iter
+    (fun pid ->
+      Buffer_pool.with_page t.pool pid (fun img ->
+          Page.iter_used_offsets t.layout img (fun _slot off ->
+              f (Tuple.decode_from t.schema img off))))
+    (List.rev t.pages)
+
+let iter_records t f =
+  List.iter
+    (fun pid ->
+      Buffer_pool.with_page t.pool pid (fun img ->
+          Page.iter_used_offsets t.layout img (fun _slot off -> f img off)))
     (List.rev t.pages)
 
 let fold t ~init ~f =

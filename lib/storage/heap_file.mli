@@ -42,6 +42,18 @@ val delete_then_insert : t -> rid -> Vnl_relation.Tuple.t -> rid
 val scan : t -> (rid -> Vnl_relation.Tuple.t -> unit) -> unit
 (** Visit every live tuple in page/slot order. *)
 
+val iter_tuples : t -> (Vnl_relation.Tuple.t -> unit) -> unit
+(** Like {!scan} but without rids and without the per-page snapshot: [f]
+    runs while the page is resident, so it must be read-only — it must not
+    modify this file or touch the storage layer at all.  The reader hot
+    path. *)
+
+val iter_records : t -> (bytes -> int -> unit) -> unit
+(** Visit every live record as [(page image, byte offset)] without
+    decoding, in page/slot order.  Same read-only restriction as
+    {!iter_tuples}; the image bytes are only meaningful until [f]
+    returns. *)
+
 val fold : t -> init:'a -> f:('a -> rid -> Vnl_relation.Tuple.t -> 'a) -> 'a
 
 val find : t -> (Vnl_relation.Tuple.t -> bool) -> (rid * Vnl_relation.Tuple.t) option

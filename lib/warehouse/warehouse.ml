@@ -75,7 +75,7 @@ let begin_session t = Twovnl.Session.begin_ t.vnl
 
 let end_session t s = Twovnl.Session.end_ t.vnl s
 
-let query t s sql = Twovnl.Session.query t.vnl s sql
+let query ?params t s sql = Twovnl.Session.query ?params t.vnl s sql
 
 let read_view t s name = Twovnl.Session.read_table t.vnl s name
 

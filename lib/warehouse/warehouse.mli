@@ -49,8 +49,12 @@ val begin_session : t -> Vnl_core.Twovnl.Session.s
 
 val end_session : t -> Vnl_core.Twovnl.Session.s -> unit
 
-val query : t -> Vnl_core.Twovnl.Session.s -> string -> Vnl_query.Executor.result
-(** Session-consistent SQL over the views (2VNL rewrite). *)
+val query :
+  ?params:(string * Vnl_relation.Value.t) list ->
+  t -> Vnl_core.Twovnl.Session.s -> string -> Vnl_query.Executor.result
+(** Session-consistent SQL over the views (2VNL rewrite), compiled once
+    per statement and served from the plan cache thereafter; [params]
+    supplies named parameters so value-varying workloads share plans. *)
 
 val read_view :
   t -> Vnl_core.Twovnl.Session.s -> string -> Vnl_relation.Tuple.t list

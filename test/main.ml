@@ -10,6 +10,7 @@ let () =
       ("sql", Test_sql.suite);
       ("sql-fuzz", Test_sql_fuzz.suite);
       ("query", Test_query.suite);
+      ("plan", Test_plan.suite);
       ("indexing", Test_indexing.suite);
       ("core", Test_core.suite);
       ("core-props", Test_core_props.suite);

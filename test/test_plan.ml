@@ -1,0 +1,411 @@
+(* Differential and cache tests for the compiled query path.
+
+   The contract under test: Plan/Prepared may change CPU cost only.  So the
+   compiled path must (1) agree with the interpreter on every query —
+   results, output labels, and failure/success — over randomized schemas,
+   data, and queries; (2) never serve a stale plan across catalog changes;
+   and (3) touch exactly the pages the interpreter touches. *)
+
+module Dtype = Vnl_relation.Dtype
+module Value = Vnl_relation.Value
+module Schema = Vnl_relation.Schema
+module Tuple = Vnl_relation.Tuple
+module Database = Vnl_query.Database
+module Table = Vnl_query.Table
+module Executor = Vnl_query.Executor
+module Plan = Vnl_query.Plan
+module Prepared = Vnl_query.Prepared
+module Parser = Vnl_sql.Parser
+module Ast = Vnl_sql.Ast
+module Pp = Vnl_sql.Pp
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Differential property: compiled = interpreted on random queries.    *)
+(* ------------------------------------------------------------------ *)
+
+(* Two small tables sharing a column name (so unqualified [c_a] is
+   ambiguous in joins) and with columns the other lacks (so [c_d] over
+   [t_a] is an unknown-column error).  The generator deliberately produces
+   a mix of valid queries, type errors, unknown/ambiguous columns, and
+   unbound parameters: on errors the two paths must agree that the query
+   fails, on success they must agree on the exact rows. *)
+
+let schema_a =
+  Schema.make
+    [
+      Schema.attr ~key:true "c_a" Dtype.Int;
+      Schema.attr ~updatable:true "c_b" Dtype.Int;
+      Schema.attr "c_c" (Dtype.Str 8);
+    ]
+
+let schema_b =
+  Schema.make [ Schema.attr ~key:true "c_a" Dtype.Int; Schema.attr "c_d" Dtype.Int ]
+
+type diff_case = {
+  sel : Ast.select;
+  rows_a : (int option * string) list;  (** c_b (NULL when None), c_c; c_a is the index. *)
+  rows_b : int list;  (** c_d; c_a is the index. *)
+  bind_x : bool;  (** bind :p_x (leaving :p_y always unbound). *)
+}
+
+let diff_gen =
+  let open QCheck.Gen in
+  let lit =
+    oneof
+      [
+        map (fun n -> Ast.Lit (Value.Int n)) (int_range (-3) 20);
+        oneofl
+          [
+            Ast.Lit (Value.Str "ab");
+            Ast.Lit (Value.Str "ba");
+            Ast.Lit (Value.Str "x");
+            Ast.Lit Value.Null;
+          ];
+        oneofl [ Ast.Param "p_x"; Ast.Param "p_y" ];
+      ]
+  in
+  let col =
+    let name = oneofl [ "c_a"; "c_b"; "c_c"; "c_d" ] in
+    oneof
+      [
+        map (fun c -> Ast.Col (None, c)) name;
+        map (fun c -> Ast.Col (Some "t_a", c)) name;
+      ]
+  in
+  let rec expr d =
+    if d = 0 then oneof [ lit; col ]
+    else
+      frequency
+        [
+          (3, oneof [ lit; col ]);
+          ( 4,
+            map3
+              (fun op a b -> Ast.Binop (op, a, b))
+              (oneofl
+                 [
+                   Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Eq; Ast.Neq; Ast.Lt;
+                   Ast.Le; Ast.Gt; Ast.Ge; Ast.And; Ast.Or;
+                 ])
+              (expr (d - 1)) (expr (d - 1)) );
+          (1, map (fun e -> Ast.Unop (Ast.Not, e)) (expr (d - 1)));
+          (1, map (fun e -> Ast.Unop (Ast.Neg, e)) (expr (d - 1)));
+          (1, map (fun e -> Ast.Is_null e) (expr (d - 1)));
+          (1, map (fun e -> Ast.Is_not_null e) (expr (d - 1)));
+          ( 1,
+            let* e = expr (d - 1) in
+            let* cands = list_size (int_range 1 3) (expr (d - 1)) in
+            return (Ast.In (e, cands)) );
+          ( 1,
+            let* e = expr (d - 1) in
+            let* lo = expr (d - 1) in
+            let* hi = expr (d - 1) in
+            return (Ast.Between (e, lo, hi)) );
+          ( 1,
+            let* e = expr (d - 1) in
+            let* pat = oneofl [ "a%"; "%b%"; "_x"; "" ] in
+            return (Ast.Like (e, pat)) );
+          ( 1,
+            let* c = expr (d - 1) in
+            let* th = expr (d - 1) in
+            let* el = opt (expr (d - 1)) in
+            return (Ast.Case ([ (c, th) ], el)) );
+        ]
+  in
+  let agg =
+    let* a = oneofl [ Ast.Sum; Ast.Count; Ast.Min; Ast.Max; Ast.Avg ] in
+    let* e = oneof [ return None; map Option.some (expr 1) ] in
+    return (Ast.Agg (a, e))
+  in
+  let item =
+    frequency
+      [
+        (1, return Ast.Star);
+        (4, map (fun e -> Ast.Item (e, None)) (expr 2));
+        (2, map (fun e -> Ast.Item (e, None)) agg);
+      ]
+  in
+  let* items = list_size (int_range 1 3) item in
+  let* from =
+    oneofl
+      [
+        [ ("t_a", None) ];
+        [ ("t_a", Some "a") ];
+        [ ("t_b", None) ];
+        [ ("t_a", None); ("t_b", Some "b") ];
+      ]
+  in
+  let* where = opt (expr 2) in
+  let* group_by =
+    list_size (int_range 0 2)
+      (map (fun c -> Ast.Col (None, c)) (oneofl [ "c_a"; "c_b"; "c_c"; "c_d" ]))
+  in
+  let* having =
+    opt (oneof [ expr 1; map (fun e -> Ast.Binop (Ast.Gt, e, Ast.Lit (Value.Int 2))) agg ])
+  in
+  let* order_by = list_size (int_range 0 2) (pair (expr 1) (oneofl [ Ast.Asc; Ast.Desc ])) in
+  let* distinct = bool in
+  let* limit = opt (pair (int_range 0 10) (int_range 0 5)) in
+  let* rows_a =
+    list_size (int_range 0 8) (pair (opt (int_range 0 20)) (oneofl [ "ab"; "ba"; "x"; "yz" ]))
+  in
+  let* rows_b = list_size (int_range 0 6) (int_range 0 20) in
+  let* bind_x = bool in
+  return
+    {
+      sel = { Ast.distinct; items; from; where; group_by; having; order_by; limit };
+      rows_a;
+      rows_b;
+      bind_x;
+    }
+
+let print_case case =
+  Printf.sprintf "%s\n(t_a: %d rows, t_b: %d rows, p_x %s)"
+    (Pp.statement_to_string (Ast.Select case.sel))
+    (List.length case.rows_a) (List.length case.rows_b)
+    (if case.bind_x then "bound" else "unbound")
+
+let setup_diff_db case =
+  let db = Database.create () in
+  let ta = Database.create_table db "t_a" schema_a in
+  List.iteri
+    (fun i (b, c) ->
+      let bv = match b with Some n -> Value.Int n | None -> Value.Null in
+      ignore (Table.insert ta (Tuple.make schema_a [ Value.Int i; bv; Value.Str c ])))
+    case.rows_a;
+  let tb = Database.create_table db "t_b" schema_b in
+  List.iteri
+    (fun i d -> ignore (Table.insert tb (Tuple.make schema_b [ Value.Int i; Value.Int d ])))
+    case.rows_b;
+  db
+
+let run_outcome f = match f () with r -> Ok r | exception e -> Error (Printexc.to_string e)
+
+let qcheck_compiled_matches_interpreter =
+  QCheck.Test.make ~name:"compiled plan = interpreter (random queries)" ~count:500
+    (QCheck.make diff_gen ~print:print_case)
+    (fun case ->
+      let params = if case.bind_x then [ ("p_x", Value.Int 5) ] else [] in
+      (* Separate databases so buffer-pool state cannot leak between runs. *)
+      let interp =
+        let db = setup_diff_db case in
+        run_outcome (fun () -> Executor.query db ~params case.sel)
+      in
+      let compiled =
+        let db = setup_diff_db case in
+        run_outcome (fun () -> Plan.execute ~params (Plan.prepare db case.sel))
+      in
+      match (interp, compiled) with
+      | Error _, Error _ -> true
+      | Ok a, Ok b ->
+        if a.Executor.columns = b.Executor.columns && a.Executor.rows = b.Executor.rows then
+          true
+        else
+          QCheck.Test.fail_reportf "results differ:\ninterpreter:\n%a\ncompiled:\n%a"
+            Executor.pp_result a Executor.pp_result b
+      | Ok _, Error e ->
+        QCheck.Test.fail_reportf "compiled failed where interpreter succeeded: %s" e
+      | Error e, Ok _ ->
+        QCheck.Test.fail_reportf "interpreter failed where compiled succeeded: %s" e)
+
+(* The same differential over parsed SQL text through the public entry
+   points: query_string (prepared cache) vs query (interpreter). *)
+let test_query_string_matches_query () =
+  let case =
+    {
+      sel = Ast.select_all "t_a";
+      rows_a = [ (Some 1, "ab"); (None, "ba"); (Some 7, "x") ];
+      rows_b = [];
+      bind_x = false;
+    }
+  in
+  let db = setup_diff_db case in
+  List.iter
+    (fun src ->
+      let via_cache = Executor.query_string db src in
+      let via_interp = Executor.query db (Parser.parse_select src) in
+      Alcotest.(check bool) (Printf.sprintf "agree on %s" src) true
+        (via_cache.Executor.columns = via_interp.Executor.columns
+        && via_cache.Executor.rows = via_interp.Executor.rows))
+    [
+      "SELECT * FROM t_a";
+      "SELECT c_a, c_b FROM t_a WHERE c_b IS NOT NULL ORDER BY c_a DESC";
+      "SELECT c_c, COUNT(*), SUM(c_b) FROM t_a GROUP BY c_c ORDER BY c_c";
+      "SELECT DISTINCT c_c FROM t_a";
+      "SELECT c_a FROM t_a WHERE c_c LIKE '%b' LIMIT 1";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Prepared-statement cache behaviour.                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sales_schema =
+  Schema.make
+    [
+      Schema.attr ~key:true "city" (Dtype.Str 20);
+      Schema.attr ~key:true "day" Dtype.Int;
+      Schema.attr ~updatable:true "total_sales" Dtype.Int;
+    ]
+
+let sales_db () =
+  let db = Database.create () in
+  let t = Database.create_table db "DailySales" sales_schema in
+  List.iter
+    (fun (c, d, s) ->
+      ignore (Table.insert t (Tuple.make sales_schema [ Value.Str c; Value.Int d; Value.Int s ])))
+    [
+      ("San Jose", 1, 10000); ("San Jose", 2, 1500); ("Berkeley", 1, 12000);
+      ("Novato", 1, 8000);
+    ];
+  db
+
+let test_cache_hits_and_misses () =
+  let db = sales_db () in
+  let sql = "SELECT SUM(total_sales) FROM DailySales WHERE city = :city" in
+  let run () =
+    Executor.query_string db ~params:[ ("city", Value.Str "San Jose") ] sql
+  in
+  let r1 = run () in
+  let s = Prepared.stats db in
+  check Alcotest.int "first run misses" 1 s.Prepared.misses;
+  check Alcotest.int "first run hits" 0 s.Prepared.hits;
+  let r2 = run () in
+  check Alcotest.int "second run hits" 1 (Prepared.stats db).Prepared.hits;
+  check Alcotest.int "still one plan" 1 (Prepared.size db);
+  Alcotest.(check bool) "same answer" true (Executor.result_equal r1 r2);
+  (match r1.Executor.rows with
+  | [ [ Value.Int 11500 ] ] -> ()
+  | _ -> Alcotest.fail "wrong sum")
+
+let test_cache_invalidation_on_index_ddl () =
+  let db = sales_db () in
+  let sql = "SELECT total_sales FROM DailySales WHERE city = 'San Jose' ORDER BY day" in
+  let p1 = Prepared.prepare db sql in
+  Alcotest.(check bool) "starts as a full scan" true (Plan.full_scan_only p1);
+  (* Index DDL bumps the table version: the cached plan must not survive. *)
+  Table.create_index (Database.table_exn db "DailySales") ~name:"by_city" [ "city" ];
+  Alcotest.(check bool) "old plan invalidated" false (Plan.valid db p1);
+  let inv_before = (Prepared.stats db).Prepared.invalidations in
+  let r = Executor.query_string db sql in
+  check Alcotest.int "revalidation rejected the entry" (inv_before + 1)
+    (Prepared.stats db).Prepared.invalidations;
+  let p2 = Prepared.prepare db sql in
+  Alcotest.(check bool) "new plan uses the index" false (Plan.full_scan_only p2);
+  Alcotest.(check bool) "explains differ" true (Plan.explain p1 <> Plan.explain p2);
+  (match r.Executor.rows with
+  | [ [ Value.Int 10000 ]; [ Value.Int 1500 ] ] -> ()
+  | _ -> Alcotest.fail "index plan returned wrong rows")
+
+let test_cache_invalidation_on_drop_recreate () =
+  let db = Database.create () in
+  let s = Schema.make [ Schema.attr ~key:true "a" Dtype.Int ] in
+  let t = Database.create_table db "t" s in
+  ignore (Table.insert t (Tuple.make s [ Value.Int 1 ]));
+  ignore (Table.insert t (Tuple.make s [ Value.Int 2 ]));
+  let sql = "SELECT a FROM t ORDER BY a" in
+  let r1 = Executor.query_string db sql in
+  check Alcotest.int "old table rows" 2 (List.length r1.Executor.rows);
+  Database.drop_table db "t";
+  let t' = Database.create_table db "t" s in
+  ignore (Table.insert t' (Tuple.make s [ Value.Int 7 ]));
+  (* The cached plan still points at the dropped table's heap; serving it
+     would silently read stale pages. *)
+  let r2 = Executor.query_string db sql in
+  (match r2.Executor.rows with
+  | [ [ Value.Int 7 ] ] -> ()
+  | _ -> Alcotest.fail "stale plan served after drop/recreate");
+  Alcotest.(check bool) "invalidation counted" true
+    ((Prepared.stats db).Prepared.invalidations >= 1)
+
+let test_cache_lru_eviction () =
+  let db = sales_db () in
+  ignore (Prepared.cache ~capacity:2 db);
+  ignore (Executor.query_string db "SELECT city FROM DailySales");
+  ignore (Executor.query_string db "SELECT day FROM DailySales");
+  ignore (Executor.query_string db "SELECT total_sales FROM DailySales");
+  check Alcotest.int "capacity respected" 2 (Prepared.size db);
+  (* The least-recently-used statement was the first one. *)
+  let misses = (Prepared.stats db).Prepared.misses in
+  ignore (Executor.query_string db "SELECT day FROM DailySales");
+  check Alcotest.int "recent entry still cached" misses (Prepared.stats db).Prepared.misses;
+  ignore (Executor.query_string db "SELECT city FROM DailySales");
+  check Alcotest.int "evicted entry recompiled" (misses + 1) (Prepared.stats db).Prepared.misses
+
+let test_cache_never_caches_failures () =
+  let db = sales_db () in
+  (try ignore (Executor.query_string db "SELECT FROM WHERE") with _ -> ());
+  (try ignore (Executor.query_string db "SELECT * FROM Nope") with _ -> ());
+  check Alcotest.int "no failed entries" 0 (Prepared.size db)
+
+(* ------------------------------------------------------------------ *)
+(* Physical I/O parity: compilation is CPU-only.                       *)
+(* ------------------------------------------------------------------ *)
+
+let io_db () =
+  (* Small pages so the table spans many of them and access paths matter. *)
+  let db = Database.create ~page_size:256 ~pool_capacity:8 () in
+  let s =
+    Schema.make
+      [
+        Schema.attr ~key:true "id" Dtype.Int;
+        Schema.attr "grp" Dtype.Int;
+        Schema.attr ~updatable:true "v" Dtype.Int;
+      ]
+  in
+  let t = Database.create_table db "t" s in
+  for i = 1 to 300 do
+    ignore (Table.insert t (Tuple.make s [ Value.Int i; Value.Int (i mod 7); Value.Int (i * 3) ]))
+  done;
+  db
+
+let io_parity ~name db select params =
+  let plan = Plan.prepare db select in
+  Database.drop_cache db;
+  Database.reset_io_stats db;
+  let via_interp = Executor.query db ~params select in
+  let s1 = Database.io_stats db in
+  Database.drop_cache db;
+  Database.reset_io_stats db;
+  let via_plan = Plan.execute ~params plan in
+  let s2 = Database.io_stats db in
+  Alcotest.(check bool) (name ^ ": same rows") true (Executor.result_equal via_interp via_plan);
+  check Alcotest.int (name ^ ": same logical reads")
+    s1.Vnl_storage.Buffer_pool.logical_reads s2.Vnl_storage.Buffer_pool.logical_reads;
+  check Alcotest.int (name ^ ": same physical reads") s1.Vnl_storage.Buffer_pool.misses
+    s2.Vnl_storage.Buffer_pool.misses
+
+let test_io_parity_full_scan () =
+  let db = io_db () in
+  io_parity ~name:"group-by scan" db
+    (Parser.parse_select "SELECT grp, SUM(v) FROM t GROUP BY grp")
+    []
+
+let test_io_parity_index_scan () =
+  let db = io_db () in
+  Table.create_index (Database.table_exn db "t") ~name:"by_grp" [ "grp" ];
+  io_parity ~name:"index probe" db
+    (Parser.parse_select "SELECT SUM(v) FROM t WHERE grp = :g")
+    [ ("g", Value.Int 3) ]
+
+let test_io_parity_key_probe () =
+  let db = io_db () in
+  io_parity ~name:"unique-key probe" db
+    (Parser.parse_select "SELECT v FROM t WHERE id = 123")
+    []
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_compiled_matches_interpreter;
+    Alcotest.test_case "query_string = query on SQL text" `Quick test_query_string_matches_query;
+    Alcotest.test_case "cache hit/miss accounting" `Quick test_cache_hits_and_misses;
+    Alcotest.test_case "index DDL invalidates cached plan" `Quick
+      test_cache_invalidation_on_index_ddl;
+    Alcotest.test_case "drop/recreate invalidates cached plan" `Quick
+      test_cache_invalidation_on_drop_recreate;
+    Alcotest.test_case "LRU eviction at capacity" `Quick test_cache_lru_eviction;
+    Alcotest.test_case "failures are never cached" `Quick test_cache_never_caches_failures;
+    Alcotest.test_case "I/O parity: full scan" `Quick test_io_parity_full_scan;
+    Alcotest.test_case "I/O parity: index scan" `Quick test_io_parity_index_scan;
+    Alcotest.test_case "I/O parity: key probe" `Quick test_io_parity_key_probe;
+  ]

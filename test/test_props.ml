@@ -209,6 +209,55 @@ let qcheck_sql_rewrite_equivalence =
         [ 2; 3 ];
       !ok)
 
+(* Differential: the compiled reader path (Session.query — plan cache plus
+   the §4.1 fast path) must return exactly what the interpreter returns for
+   the same rewritten statement, for every live session VN over random
+   2VNL states. *)
+let qcheck_session_query_matches_interpreter =
+  QCheck.Test.make ~name:"Session.query (compiled) = interpreter (random states)" ~count:40
+    (QCheck.make QCheck.Gen.(int_range 1 1_000_000) ~print:string_of_int)
+    (fun seed ->
+      let rng = Xorshift.create seed in
+      let db = Database.create () in
+      let wh = Twovnl.init db in
+      Twovnl.register_table wh ~name:"T" kv_schema |> ignore;
+      Twovnl.load_initial wh "T" (List.init 6 (fun i -> kv (i + 1) (Xorshift.int rng 100)));
+      let s1 = Twovnl.Session.begin_ wh in
+      let m = Twovnl.Txn.begin_ wh in
+      for _ = 1 to 1 + Xorshift.int rng 4 do
+        let k = 1 + Xorshift.int rng 6 in
+        if Xorshift.bool rng then
+          ignore
+            (Twovnl.Txn.update_by_key m ~table:"T" ~key:[ Value.Int k ]
+               ~set:[ ("v", Value.Int (Xorshift.int rng 100)) ])
+        else ignore (Twovnl.Txn.delete_by_key m ~table:"T" ~key:[ Value.Int k ])
+      done;
+      Twovnl.Txn.commit m;
+      let s2 = Twovnl.Session.begin_ wh in
+      let queries =
+        [
+          ("SELECT id, v FROM T", []);
+          ("SELECT id, v FROM T WHERE v >= :lo", [ ("lo", Value.Int (Xorshift.int rng 100)) ]);
+          ("SELECT SUM(v) FROM T", []);
+          ("SELECT id FROM T WHERE id IN (1, 3, 5) ORDER BY id DESC", []);
+          ("SELECT COUNT(*), MIN(v), MAX(v) FROM T WHERE id BETWEEN 2 AND 5", []);
+        ]
+      in
+      List.for_all
+        (fun s ->
+          List.for_all
+            (fun (src, params) ->
+              let via_session = Twovnl.Session.query ~params wh s src in
+              let via_interp =
+                Vnl_query.Executor.query db
+                  ~params:(("sessionVN", Value.Int (Twovnl.Session.vn s)) :: params)
+                  (Vnl_core.Rewrite.reader_select ~lookup:(Twovnl.lookup wh)
+                     (Vnl_sql.Parser.parse_select src))
+              in
+              Vnl_query.Executor.result_equal via_session via_interp)
+            queries)
+        [ s1; s2 ])
+
 (* Deterministic soak runs: long histories with aborts and GC, verified
    against the oracle at every step. *)
 let soak ~seed ~n ~txns () =
@@ -228,4 +277,5 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_2vnl_gc;
     QCheck_alcotest.to_alcotest qcheck_many_txns_long_run;
     QCheck_alcotest.to_alcotest qcheck_sql_rewrite_equivalence;
+    QCheck_alcotest.to_alcotest qcheck_session_query_matches_interpreter;
   ]

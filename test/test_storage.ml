@@ -123,6 +123,49 @@ let test_pool_drop_cache_cold () =
   Buffer_pool.with_page pool p0 (fun _ -> ());
   check Alcotest.int "one miss after drop" 1 (Buffer_pool.stats pool).Buffer_pool.misses
 
+let test_pool_reset_stats_zeroes () =
+  let d = Disk.create ~page_size:128 () in
+  let pool = Buffer_pool.create ~capacity:2 d in
+  let p0 = Buffer_pool.alloc_page pool in
+  let p1 = Buffer_pool.alloc_page pool in
+  let p2 = Buffer_pool.alloc_page pool in
+  Buffer_pool.with_page_mut pool p0 (fun img -> Bytes.set img 0 'a');
+  Buffer_pool.with_page pool p1 (fun _ -> ());
+  Buffer_pool.with_page pool p2 (fun _ -> ());
+  Buffer_pool.flush_all pool;
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check bool) "counters accumulated" true
+    (s.Buffer_pool.logical_reads > 0 && s.Buffer_pool.physical_writes > 0);
+  Buffer_pool.reset_stats pool;
+  let z = Buffer_pool.stats pool in
+  check Alcotest.int "logical reads zeroed" 0 z.Buffer_pool.logical_reads;
+  check Alcotest.int "hits zeroed" 0 z.Buffer_pool.hits;
+  check Alcotest.int "misses zeroed" 0 z.Buffer_pool.misses;
+  check Alcotest.int "evictions zeroed" 0 z.Buffer_pool.evictions;
+  check Alcotest.int "physical writes zeroed" 0 z.Buffer_pool.physical_writes;
+  let ds = Disk.stats d in
+  check Alcotest.int "disk reads zeroed" 0 ds.Disk.reads;
+  check Alcotest.int "disk writes zeroed" 0 ds.Disk.writes;
+  (* reset_stats keeps pages resident: a re-read is still a hit ... *)
+  Buffer_pool.with_page pool p2 (fun _ -> ());
+  check Alcotest.int "cache stays warm" 1 (Buffer_pool.stats pool).Buffer_pool.hits;
+  (* ... while drop_cache + reset_stats makes the next read a cold miss. *)
+  Buffer_pool.drop_cache pool;
+  Buffer_pool.reset_stats pool;
+  Buffer_pool.with_page pool p2 (fun _ -> ());
+  check Alcotest.int "cold after drop" 1 (Buffer_pool.stats pool).Buffer_pool.misses
+
+let test_pool_drop_cache_flushes_dirty () =
+  let d = Disk.create ~page_size:128 () in
+  let pool = Buffer_pool.create ~capacity:4 d in
+  let p0 = Buffer_pool.alloc_page pool in
+  Buffer_pool.with_page_mut pool p0 (fun img -> Bytes.set img 0 'D');
+  Buffer_pool.drop_cache pool;
+  (* No flush_all: drop_cache itself must have written the dirty frame. *)
+  check Alcotest.char "dirty frame persisted" 'D' (Bytes.get (Disk.read d p0) 0);
+  Buffer_pool.with_page pool p0 (fun img ->
+      check Alcotest.char "reload sees the write" 'D' (Bytes.get img 0))
+
 let with_heap f =
   let d = Disk.create ~page_size:256 () in
   let pool = Buffer_pool.create ~capacity:16 d in
@@ -282,6 +325,8 @@ let suite =
     Alcotest.test_case "pool dirty writeback" `Quick test_pool_dirty_writeback;
     Alcotest.test_case "pool eviction persists dirty" `Quick test_pool_eviction_persists_dirty;
     Alcotest.test_case "pool drop_cache goes cold" `Quick test_pool_drop_cache_cold;
+    Alcotest.test_case "pool reset_stats zeroes counters" `Quick test_pool_reset_stats_zeroes;
+    Alcotest.test_case "pool drop_cache flushes dirty" `Quick test_pool_drop_cache_flushes_dirty;
     Alcotest.test_case "heap insert/get" `Quick test_heap_insert_get;
     Alcotest.test_case "heap update in place keeps rid" `Quick test_heap_update_in_place_keeps_rid;
     Alcotest.test_case "heap delete" `Quick test_heap_delete;
