@@ -1,0 +1,413 @@
+(* BATCH: batched maintenance apply (net-effect fold + one sorted index
+   pass + page-ordered writes) vs per-op application on the sales workload.
+
+   Both variants run the same deterministic logical operation stream over
+   identically preloaded warehouses — the differential test suite proves
+   they produce byte-identical state, so the comparison is purely about
+   cost.  The stream mimics one day of warehouse refresh traffic per
+   transaction (the paper's Example 2.1): most operations are incoming
+   sales accumulating into today's few DailySales groups (the net-effect
+   fold collapses them to one physical action per group), a tail corrects
+   random historical groups (random pages, where the page-ordered apply
+   and the sequential flush pay off), plus a trickle of retirements.
+
+   Results go to BENCH_maintenance.json; the second table fixes the batch
+   size and shrinks the buffer pool to show the access-pattern effect on
+   hit rates and the sequential/random write split. *)
+
+module Dtype = Vnl_relation.Dtype
+module Value = Vnl_relation.Value
+module Schema = Vnl_relation.Schema
+module Tuple = Vnl_relation.Tuple
+module Database = Vnl_query.Database
+module Buffer_pool = Vnl_storage.Buffer_pool
+module Twovnl = Vnl_core.Twovnl
+module Batch = Vnl_core.Batch
+module Xorshift = Vnl_util.Xorshift
+module Sales = Vnl_workload.Sales_gen
+module T = Vnl_util.Ascii_table
+
+let daily_sales =
+  Schema.make
+    [
+      Schema.attr ~key:true "city" (Dtype.Str 20);
+      Schema.attr ~key:true "state" (Dtype.Str 2);
+      Schema.attr ~key:true "product_line" (Dtype.Str 12);
+      Schema.attr ~key:true "date" Dtype.Date;
+      Schema.attr ~updatable:true "total_sales" Dtype.Int;
+    ]
+
+let groups_per_day = Array.length Sales.cities * Array.length Sales.product_lines
+
+let preload_days = 30
+
+let group_key gid ~day =
+  let city, state = Sales.cities.(gid mod Array.length Sales.cities) in
+  let pl = Sales.product_lines.(gid / Array.length Sales.cities) in
+  [ Value.Str city; Value.Str state; Value.Str pl; Sales.date_of_day day ]
+
+(* One logical operation against the live-group model. *)
+type gop =
+  | G_insert of Value.t list * int
+  | G_update of Value.t list * int
+  | G_delete of Value.t list
+
+(* [hist] holds the (day, gid) groups of completed days still live; each
+   maintenance transaction is one day of traffic. *)
+type model = {
+  rng : Xorshift.t;
+  mutable hist : (int * int) array;
+  mutable n_hist : int;
+  mutable today : int;
+}
+
+let mk_model seed =
+  let hist = Array.make (preload_days * groups_per_day * 4) (0, 0) in
+  let i = ref 0 in
+  for day = 0 to preload_days - 1 do
+    for gid = 0 to groups_per_day - 1 do
+      hist.(!i) <- (day, gid);
+      incr i
+    done
+  done;
+  { rng = Xorshift.create seed; hist; n_hist = !i; today = preload_days }
+
+(* One day of warehouse refresh traffic (the paper's Example 2.1): 94% of
+   operations are incoming sales accumulating into today's <= 96 DailySales
+   groups — the first sale of a group inserts it, every later one updates
+   it, which is exactly what the batched path folds to net effect — 4%
+   correct random historical groups (random pages, where the sorted index
+   pass and page-ordered apply pay off), and 2% retire a historical group.
+   Only groups live before the day started are retired, never today's
+   fresh inserts, keeping Batch's documented divergence corner out of the
+   stream. *)
+let gen_ops m size =
+  let day = m.today in
+  m.today <- m.today + 1;
+  let today_live = Array.make groups_per_day false in
+  let amount () = 100 + Xorshift.int m.rng 20_000 in
+  let ops = ref [] in
+  for _ = 1 to size do
+    let r = Xorshift.float m.rng 1.0 in
+    let op =
+      if r < 0.94 || m.n_hist = 0 then begin
+        let gid = Xorshift.int m.rng groups_per_day in
+        if today_live.(gid) then G_update (group_key gid ~day, amount ())
+        else begin
+          today_live.(gid) <- true;
+          G_insert (group_key gid ~day, amount ())
+        end
+      end
+      else if r < 0.98 then begin
+        let d, gid = m.hist.(Xorshift.int m.rng m.n_hist) in
+        G_update (group_key gid ~day:d, amount ())
+      end
+      else begin
+        let i = Xorshift.int m.rng m.n_hist in
+        let d, gid = m.hist.(i) in
+        m.hist.(i) <- m.hist.(m.n_hist - 1);
+        m.n_hist <- m.n_hist - 1;
+        G_delete (group_key gid ~day:d)
+      end
+    in
+    ops := op :: !ops
+  done;
+  (* The day is over: its surviving groups join the history. *)
+  Array.iteri
+    (fun gid live ->
+      if live then begin
+        if m.n_hist >= Array.length m.hist then begin
+          let bigger = Array.make (2 * Array.length m.hist) (0, 0) in
+          Array.blit m.hist 0 bigger 0 m.n_hist;
+          m.hist <- bigger
+        end;
+        m.hist.(m.n_hist) <- (day, gid);
+        m.n_hist <- m.n_hist + 1
+      end)
+    today_live;
+  List.rev !ops
+
+let table_name = "DailySales"
+
+let mk_wh ~pool_capacity =
+  let db = Database.create ~pool_capacity () in
+  let wh = Twovnl.init db in
+  ignore (Twovnl.register_table wh ~name:table_name daily_sales);
+  let rows = ref [] in
+  for day = preload_days - 1 downto 0 do
+    for gid = groups_per_day - 1 downto 0 do
+      rows := Tuple.make daily_sales (group_key gid ~day @ [ Value.Int 1000 ]) :: !rows
+    done
+  done;
+  Twovnl.load_initial wh table_name !rows;
+  (db, wh)
+
+let apply_per_op m ops =
+  List.iter
+    (fun op ->
+      match op with
+      | G_insert (key, v) -> Twovnl.Txn.insert m ~table:table_name (key @ [ Value.Int v ])
+      | G_update (key, v) ->
+        ignore
+          (Twovnl.Txn.update_by_key m ~table:table_name ~key
+             ~set:[ ("total_sales", Value.Int v) ])
+      | G_delete key -> ignore (Twovnl.Txn.delete_by_key m ~table:table_name ~key))
+    ops
+
+let to_batch ops =
+  List.map
+    (fun op ->
+      match op with
+      | G_insert (key, v) -> Batch.Insert (Tuple.make daily_sales (key @ [ Value.Int v ]))
+      | G_update (key, v) -> Batch.Update (key, [ (4, Value.Int v) ])
+      | G_delete key -> Batch.Delete key)
+    ops
+
+type io = { misses : int; writes : int; seq : int; rand : int }
+
+let io_of db =
+  let s = Database.io_stats db in
+  {
+    misses = s.Buffer_pool.misses;
+    writes = s.Buffer_pool.physical_writes;
+    seq = s.Buffer_pool.seq_writes;
+    rand = s.Buffer_pool.rand_writes;
+  }
+
+(* Run [txns] maintenance transactions of [size] ops through [apply] and
+   return (total seconds, io counters, fold outcome totals).  The first two
+   transactions warm the pool and are not measured.  [prepare] converts the
+   generated stream to the variant's input form outside the timed region —
+   the stream arrives once either way, so its construction is not an apply
+   cost. *)
+let run_variant ~pool_capacity ~seed ~size ~txns ~prepare apply =
+  let db, wh = mk_wh ~pool_capacity in
+  let model = mk_model seed in
+  let batches = List.init (txns + 2) (fun _ -> prepare (gen_ops model size)) in
+  let measured = ref 0.0 and warm = ref 2 in
+  Database.reset_io_stats db;
+  Gc.compact ();
+  let folded = ref 0 and distinct = ref 0 in
+  List.iter
+    (fun ops ->
+      if !warm = 0 then begin
+        let t0 = Sys.time () in
+        let m = Twovnl.Txn.begin_ wh in
+        (match apply m ops with
+        | None -> ()
+        | Some (o : Batch.outcome) ->
+          folded := !folded + o.Batch.folded_ops;
+          distinct := !distinct + o.Batch.distinct_keys);
+        Twovnl.Txn.commit m;
+        Buffer_pool.flush_all (Database.pool db);
+        measured := !measured +. (Sys.time () -. t0)
+      end
+      else begin
+        decr warm;
+        let m = Twovnl.Txn.begin_ wh in
+        ignore (apply m ops);
+        Twovnl.Txn.commit m;
+        Buffer_pool.flush_all (Database.pool db);
+        if !warm = 0 then Database.reset_io_stats db
+      end)
+    batches;
+  (!measured, io_of db, !folded, !distinct)
+
+let per_op_variant m ops =
+  apply_per_op m ops;
+  None
+
+let batched_variant m ops = Some (Twovnl.Txn.apply_batch m ~table:table_name ops)
+
+type size_row = {
+  size : int;
+  txns : int;
+  per_ms : float;
+  batch_ms : float;
+  speedup : float;
+  per_io : io;
+  batch_io : io;
+  avg_distinct : float;
+  avg_folded : float;
+}
+
+(* Shared-host scheduling noise is strictly additive, so the minimum over a
+   few interleaved repetitions estimates each variant's intrinsic cost under
+   like conditions; the interleaving keeps slow drift from favouring one
+   side.  The streams are deterministic per seed, so the I/O counters and
+   fold totals are identical across repetitions. *)
+let run_size ~reps ~pool_capacity ~seed ~size ~txns =
+  let per_s = ref infinity and bat_s = ref infinity in
+  let per_io = ref None and batch_io = ref None in
+  let folded = ref 0 and distinct = ref 0 in
+  for rep = 1 to reps do
+    let p, pio, _, _ =
+      run_variant ~pool_capacity ~seed ~size ~txns ~prepare:(fun ops -> ops) per_op_variant
+    in
+    let b, bio, f, d =
+      run_variant ~pool_capacity ~seed ~size ~txns ~prepare:to_batch batched_variant
+    in
+    if p < !per_s then per_s := p;
+    if b < !bat_s then bat_s := b;
+    if rep = 1 then begin
+      per_io := Some pio;
+      batch_io := Some bio;
+      folded := f;
+      distinct := d
+    end
+  done;
+  let per_io = Option.get !per_io and batch_io = Option.get !batch_io in
+  let folded = !folded and distinct = !distinct in
+  let per_ms = !per_s *. 1000.0 /. float_of_int txns
+  and batch_ms = !bat_s *. 1000.0 /. float_of_int txns in
+  {
+    size;
+    txns;
+    per_ms;
+    batch_ms;
+    speedup = per_ms /. batch_ms;
+    per_io;
+    batch_io;
+    avg_distinct = float_of_int distinct /. float_of_int txns;
+    avg_folded = float_of_int folded /. float_of_int txns;
+  }
+
+type pool_row = {
+  capacity : int;
+  per_hits : int;
+  per_logical : int;
+  bat_hits : int;
+  bat_logical : int;
+  pool_per_io : io;
+  pool_bat_io : io;
+}
+
+let hit_rate hits logical =
+  if logical = 0 then 0.0 else 100.0 *. float_of_int hits /. float_of_int logical
+
+let run_pool ~seed ~size ~txns ~capacity =
+  let logical_and_hits db =
+    let s = Database.io_stats db in
+    (s.Buffer_pool.hits, s.Buffer_pool.logical_reads)
+  in
+  let run prepare apply =
+    let db, wh = mk_wh ~pool_capacity:capacity in
+    let model = mk_model seed in
+    let batches = List.init txns (fun _ -> prepare (gen_ops model size)) in
+    Database.reset_io_stats db;
+    List.iter
+      (fun ops ->
+        let m = Twovnl.Txn.begin_ wh in
+        ignore (apply m ops);
+        Twovnl.Txn.commit m;
+        Buffer_pool.flush_all (Database.pool db))
+      batches;
+    (logical_and_hits db, io_of db)
+  in
+  let (per_hits, per_logical), pool_per_io = run (fun ops -> ops) per_op_variant in
+  let (bat_hits, bat_logical), pool_bat_io = run to_batch batched_variant in
+  { capacity; per_hits; per_logical; bat_hits; bat_logical; pool_per_io; pool_bat_io }
+
+let write_json rows pools =
+  let oc = open_out "BENCH_maintenance.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"description\": \"batched maintenance apply (net-effect fold + sorted index pass + page-ordered writes) vs per-op apply; sales workload, ms per maintenance transaction\",\n\
+    \  \"batches\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"batch_size\": %d, \"txns\": %d, \"per_op_ms\": %.3f, \"batched_ms\": %.3f, \
+         \"speedup\": %.2f, \"avg_distinct_keys\": %.1f, \"avg_folded_ops\": %.1f, \
+         \"per_op_io\": {\"misses\": %d, \"writes\": %d, \"seq\": %d, \"rand\": %d}, \
+         \"batched_io\": {\"misses\": %d, \"writes\": %d, \"seq\": %d, \"rand\": %d}}%s\n"
+        r.size r.txns r.per_ms r.batch_ms r.speedup r.avg_distinct r.avg_folded r.per_io.misses
+        r.per_io.writes r.per_io.seq r.per_io.rand r.batch_io.misses r.batch_io.writes
+        r.batch_io.seq r.batch_io.rand
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n  \"buffer_pool\": [\n";
+  List.iteri
+    (fun i p ->
+      Printf.fprintf oc
+        "    {\"capacity\": %d, \"per_op_hit_rate\": %.1f, \"batched_hit_rate\": %.1f, \
+         \"per_op_seq_writes\": %d, \"per_op_rand_writes\": %d, \"batched_seq_writes\": %d, \
+         \"batched_rand_writes\": %d}%s\n"
+        p.capacity
+        (hit_rate p.per_hits p.per_logical)
+        (hit_rate p.bat_hits p.bat_logical)
+        p.pool_per_io.seq p.pool_per_io.rand p.pool_bat_io.seq p.pool_bat_io.rand
+        (if i = List.length pools - 1 then "" else ","))
+    pools;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let run () =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  T.section "BATCH  batched vs per-op maintenance apply (net effect + page order)";
+  Printf.printf
+    "DailySales warehouse: %d days x %d groups preloaded; each transaction is one\n\
+     day of traffic: sales accumulating into today's groups (94%%), historical\n\
+     corrections (4%%) and retirements (2%%).\n\n"
+    preload_days groups_per_day;
+  let seed = 20251 in
+  let configs =
+    if smoke then [ (10, 4); (100, 3); (1000, 2) ]
+    else [ (10, 400); (100, 120); (1000, 60) ]
+  in
+  (* The size sweep isolates apply cost: the pool is sized to the working
+     set so neither variant pays eviction misses (the small-pool I/O story
+     is the second table's job). *)
+  let reps = if smoke then 1 else 3 in
+  let rows =
+    List.map (fun (size, txns) -> run_size ~reps ~pool_capacity:512 ~seed ~size ~txns) configs
+  in
+  T.print
+    ~header:
+      [ "batch size"; "per-op ms/txn"; "batched ms/txn"; "speedup"; "keys/txn"; "folded/txn" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.size;
+           Printf.sprintf "%.3f" r.per_ms;
+           Printf.sprintf "%.3f" r.batch_ms;
+           Printf.sprintf "%.2fx" r.speedup;
+           Printf.sprintf "%.0f" r.avg_distinct;
+           Printf.sprintf "%.0f" r.avg_folded;
+         ])
+       rows);
+  T.subsection "physical writes (whole measured run, after warm-up)";
+  T.print
+    ~header:[ "batch size"; "per-op writes (seq/rand)"; "batched writes (seq/rand)" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.size;
+           Printf.sprintf "%d (%d/%d)" r.per_io.writes r.per_io.seq r.per_io.rand;
+           Printf.sprintf "%d (%d/%d)" r.batch_io.writes r.batch_io.seq r.batch_io.rand;
+         ])
+       rows);
+  let pool_txns = if smoke then 2 else 10 in
+  let pools =
+    List.map (fun capacity -> run_pool ~seed ~size:1000 ~txns:pool_txns ~capacity) [ 4; 8; 16; 64 ]
+  in
+  T.subsection
+    (Printf.sprintf "buffer pool at batch size 1000 (%d transactions)" pool_txns);
+  T.print
+    ~header:[ "frames"; "per-op hit rate"; "batched hit rate"; "per-op seq/rand"; "batched seq/rand" ]
+    (List.map
+       (fun p ->
+         [
+           string_of_int p.capacity;
+           Printf.sprintf "%.1f%%" (hit_rate p.per_hits p.per_logical);
+           Printf.sprintf "%.1f%%" (hit_rate p.bat_hits p.bat_logical);
+           Printf.sprintf "%d/%d" p.pool_per_io.seq p.pool_per_io.rand;
+           Printf.sprintf "%d/%d" p.pool_bat_io.seq p.pool_bat_io.rand;
+         ])
+       pools);
+  write_json rows pools;
+  print_endline
+    "-> Folding same-key operations to net effect makes a key touched k times\n\
+    \   cost one physical rewrite; the single sorted index pass and the\n\
+    \   (page, slot)-ordered apply turn the write pattern sequential, which\n\
+    \   small pools reward with hit rate.  Results in BENCH_maintenance.json."

@@ -19,6 +19,7 @@ let groups : (string * (unit -> unit)) list =
     ("scenarios", Exp_scenarios.run);
     ("storage", Exp_storage.run);
     ("io", Exp_io.run);
+    ("batch", Exp_batch.run);
     ("blocking", Exp_blocking.run);
     ("expiry", Exp_expiry.run);
     ("gc", Exp_gc_rollback.run);

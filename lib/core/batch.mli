@@ -1,0 +1,77 @@
+(** Batched maintenance application (§3.3 Tables 2-4 over whole batches).
+
+    [apply] takes an entire maintenance batch against one relation and
+    reduces it to the minimum physical work before touching storage:
+
+    + {b Net-effect reduction}: operations are grouped by unique key and
+      folded through the same Tables 2-4 transitions the per-op path uses
+      ({!Maintenance.insert_tuple} / [update_tuple] / [delete_tuple]), on an
+      in-memory record image — a key touched k times costs k (cheap, pure)
+      transitions but exactly one physical action, instead of k probe +
+      decode + rewrite cycles.
+    + {b One sorted key pass}: every key→rid lookup is resolved in a single
+      sorted sweep over the unique index ({!Vnl_index.Bptree.find_batch}),
+      and the hit records are fetched in ascending (page, slot) order.
+    + {b Page-ordered apply}: the per-key physical actions are applied in
+      ascending (page, slot) order (fresh inserts last, in first-touch
+      order), so a small buffer pool sees near-sequential page access
+      instead of one random page per logical operation.
+
+    Because the batched fold and the per-op appliers run the {e same}
+    transition code, applying a batch produces byte-identical table state
+    and identical reader-visible results at every session VN as applying
+    its operations one at a time — the correctness contract the randomized
+    differential test enforces.  Two deliberate exceptions, both outside
+    the paper's maintenance pattern:
+
+    - A batch that inserts a {e brand-new} key and deletes it again nets to
+      no storage action at all, where per-op application would transiently
+      occupy (and then free) a slot, which can shift the slots later fresh
+      inserts of the same batch land on.  Logical state and reader results
+      are still identical.  (Re-deleting a key this transaction re-inserted
+      over an {e older} logical delete — the Table 4 row 2 correction — is
+      exact, including under nVNL.)
+    - Errors (impossible transitions, invalid assignments) are raised
+      during the in-memory fold, before any write: a rejected batch leaves
+      the table untouched, where per-op application would have applied the
+      prefix.
+
+    Assignments may not touch key attributes (net-effect grouping relies on
+    stable keys); [Invalid_argument] otherwise.  Tables without a unique
+    key accept insert-only batches, applied in order. *)
+
+type op =
+  | Insert of Vnl_relation.Tuple.t  (** Base tuple to logically insert. *)
+  | Update of Vnl_relation.Value.t list * (int * Vnl_relation.Value.t) list
+      (** Key and assignments by base position (updatable attributes
+          only). *)
+  | Delete of Vnl_relation.Value.t list  (** Key. *)
+
+type outcome = {
+  logical_ops : int;
+  distinct_keys : int;
+  folded_ops : int;  (** Logical operations absorbed by net-effect
+                         reduction: [logical_ops] minus physical actions. *)
+  physical_inserts : int;
+  physical_updates : int;
+  physical_deletes : int;
+}
+
+val apply :
+  ?stats:Maintenance.stats ->
+  ?on_over_delete:(Vnl_storage.Heap_file.rid -> unit) ->
+  ?was_insert_over_delete:(Vnl_storage.Heap_file.rid -> bool) ->
+  Schema_ext.t ->
+  Vnl_query.Table.t ->
+  vn:int ->
+  op list ->
+  outcome
+(** Apply a whole batch at maintenance version [vn].  [on_over_delete] and
+    [was_insert_over_delete] carry the transaction-level bookkeeping for
+    inserts over older logical deletes (exactly as in
+    {!Maintenance.apply_insert} / [apply_delete]); within the batch that
+    bookkeeping is tracked automatically.  [stats] receives the same
+    logical counts as per-op application and the {e reduced} physical
+    counts. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -35,12 +35,11 @@ let push_back ext tuple =
       and src_op = Schema_ext.operation_index ext ~slot
       and dst_op = Schema_ext.operation_index ext ~slot:(slot + 1) in
       updates := (dst_vn, Tuple.get tuple src_vn) :: (dst_op, Tuple.get tuple src_op) :: !updates;
-      List.iter
-        (fun j ->
-          let src = Schema_ext.pre_index ext ~slot j
-          and dst = Schema_ext.pre_index ext ~slot:(slot + 1) j in
-          updates := (dst, Tuple.get tuple src) :: !updates)
-        (Schema_ext.updatable_base_indices ext)
+      let src_pre = Schema_ext.pre_indices ext ~slot
+      and dst_pre = Schema_ext.pre_indices ext ~slot:(slot + 1) in
+      Array.iteri
+        (fun r src -> updates := (dst_pre.(r), Tuple.get tuple src) :: !updates)
+        src_pre
     done;
     Tuple.set_many tuple !updates
   end
@@ -57,18 +56,17 @@ let shift_forward ext tuple =
     and src_op = Schema_ext.operation_index ext ~slot:(slot + 1)
     and dst_op = Schema_ext.operation_index ext ~slot in
     updates := (dst_vn, Tuple.get tuple src_vn) :: (dst_op, Tuple.get tuple src_op) :: !updates;
-    List.iter
-      (fun j ->
-        let src = Schema_ext.pre_index ext ~slot:(slot + 1) j
-        and dst = Schema_ext.pre_index ext ~slot j in
-        updates := (dst, Tuple.get tuple src) :: !updates)
-      (Schema_ext.updatable_base_indices ext)
+    let src_pre = Schema_ext.pre_indices ext ~slot:(slot + 1)
+    and dst_pre = Schema_ext.pre_indices ext ~slot in
+    Array.iteri
+      (fun r src -> updates := (dst_pre.(r), Tuple.get tuple src) :: !updates)
+      src_pre
   done;
   updates := (Schema_ext.tuple_vn_index ext ~slot:nslots, Value.Null) :: !updates;
   updates := (Schema_ext.operation_index ext ~slot:nslots, Value.Null) :: !updates;
-  List.iter
-    (fun j -> updates := (Schema_ext.pre_index ext ~slot:nslots j, Value.Null) :: !updates)
-    (Schema_ext.updatable_base_indices ext);
+  Array.iter
+    (fun i -> updates := (i, Value.Null) :: !updates)
+    (Schema_ext.pre_indices ext ~slot:nslots);
   Tuple.set_many tuple !updates
 
 let slot1_vn ext tuple =
@@ -76,39 +74,67 @@ let slot1_vn ext tuple =
   | Some vn -> vn
   | None -> invalid_arg "Maintenance: tuple without slot 1"
 
-(* Write slot 1 bookkeeping and optionally the pre-update values. *)
-let set_slot1 ext tuple ~vn ~op ~pre =
-  let updates =
-    ref
-      [
-        (Schema_ext.tuple_vn_index ext ~slot:1, Value.Int vn);
-        (Schema_ext.operation_index ext ~slot:1, Op.to_value op);
-      ]
-  in
-  (match pre with
-  | `Keep -> ()
-  | `Nulls ->
+(* Write slot 1 bookkeeping, optionally the pre-update values, and the
+   [set] base-attribute assignments, all in one tuple copy.  [`From_current]
+   pre values are read from [tuple] before [set] lands, so they capture the
+   pre-assignment state.  With [in_place] the tuple is mutated instead of
+   copied — only for callers that own the sole reference (the batch fold). *)
+let set_slot1 ?(in_place = false) ?(set = []) ext tuple ~vn ~op ~pre =
+  if in_place then begin
+    (* Sole-reference fast path (the batch fold): write fields directly,
+       no update list.  Pre copies land before [set] so they capture the
+       pre-assignment state; [set] runs reversed to preserve the list
+       path's first-assignment-wins order on duplicate positions. *)
+    (match pre with
+    | `Keep -> ()
+    | `Nulls ->
+      Array.iter
+        (fun i -> Tuple.unsafe_set_in_place tuple i Value.Null)
+        (Schema_ext.pre_indices ext ~slot:1)
+    | `From_current ->
+      let pre1 = Schema_ext.pre_indices ext ~slot:1
+      and upd = Schema_ext.updatable_array ext in
+      Array.iteri
+        (fun r j ->
+          Tuple.unsafe_set_in_place tuple pre1.(r)
+            (Tuple.get tuple (Schema_ext.base_index ext j)))
+        upd);
     List.iter
-      (fun j -> updates := (Schema_ext.pre_index ext ~slot:1 j, Value.Null) :: !updates)
-      (Schema_ext.updatable_base_indices ext)
-  | `From_current ->
-    List.iter
-      (fun j ->
-        updates :=
-          (Schema_ext.pre_index ext ~slot:1 j, Tuple.get tuple (Schema_ext.base_index ext j))
-          :: !updates)
-      (Schema_ext.updatable_base_indices ext));
-  Tuple.set_many tuple !updates
-
-let set_current ext tuple assignments =
-  Tuple.set_many tuple
-    (List.map (fun (j, v) -> (Schema_ext.base_index ext j, v)) assignments)
+      (fun (j, v) -> Tuple.unsafe_set_in_place tuple (Schema_ext.base_index ext j) v)
+      (List.rev set);
+    Tuple.unsafe_set_in_place tuple (Schema_ext.tuple_vn_index ext ~slot:1) (Value.Int vn);
+    Tuple.unsafe_set_in_place tuple (Schema_ext.operation_index ext ~slot:1) (Op.to_value op);
+    tuple
+  end
+  else begin
+    let updates =
+      ref
+        [
+          (Schema_ext.tuple_vn_index ext ~slot:1, Value.Int vn);
+          (Schema_ext.operation_index ext ~slot:1, Op.to_value op);
+        ]
+    in
+    List.iter (fun (j, v) -> updates := (Schema_ext.base_index ext j, v) :: !updates) set;
+    (match pre with
+    | `Keep -> ()
+    | `Nulls ->
+      Array.iter
+        (fun i -> updates := (i, Value.Null) :: !updates)
+        (Schema_ext.pre_indices ext ~slot:1)
+    | `From_current ->
+      let pre1 = Schema_ext.pre_indices ext ~slot:1
+      and upd = Schema_ext.updatable_array ext in
+      Array.iteri
+        (fun r j ->
+          updates := (pre1.(r), Tuple.get tuple (Schema_ext.base_index ext j)) :: !updates)
+        upd);
+    Tuple.set_many tuple !updates
+  end
 
 let check_updatable ext assignments =
-  let updatable = Schema_ext.updatable_base_indices ext in
   List.iter
     (fun (j, _) ->
-      if not (List.mem j updatable) then
+      if not (Schema_ext.is_updatable ext j) then
         invalid_arg (Printf.sprintf "Maintenance: base attribute %d is not updatable" j))
     assignments
 
@@ -116,6 +142,98 @@ let is_logically_live ext tuple =
   match Schema_ext.operation ext ~slot:1 tuple with
   | Op.Delete -> false
   | Op.Insert | Op.Update -> true
+
+(* ------------------------------------------------------------------ *)
+(* Pure tuple transitions (Tables 2-4).                               *)
+(*                                                                    *)
+(* Each function maps the in-memory image of a record to the image    *)
+(* the logical operation leaves behind, without touching storage.     *)
+(* The per-op appliers below wrap them with one table read and one    *)
+(* physical action; the batched path (Batch) folds a whole batch      *)
+(* through them and performs a single physical action per key, which  *)
+(* is what makes batched and per-op application byte-identical: both  *)
+(* run exactly this code.                                             *)
+(* ------------------------------------------------------------------ *)
+
+let insert_tuple ?(on_over_delete = fun () -> ()) ?(own = false) ext ~vn existing base_tuple =
+  match existing with
+  | None ->
+    (* Table 2, row 3: no conflicting tuple. *)
+    Schema_ext.fresh_insert ext ~vn base_tuple
+  | Some existing ->
+    let prev_op = Schema_ext.operation ext ~slot:1 existing in
+    let mv = List.mapi (fun j v -> (j, v)) (Tuple.values base_tuple) in
+    let tvn = slot1_vn ext existing in
+    if tvn < vn then begin
+      (* Table 2, row 1: conflict from an older transaction — only a
+         logically deleted tuple can collide. *)
+      Op.check_older_txn ~previous:prev_op Op.Insert;
+      on_over_delete ();
+      let t = push_back ext existing in
+      set_slot1 ~in_place:own ~set:mv ext t ~vn ~op:Op.Insert ~pre:`Nulls
+    end
+    else begin
+      (* Table 2, row 2: conflict with this same transaction. *)
+      match Op.combine_same_txn ~previous:prev_op Op.Insert with
+      | `Becomes net -> set_slot1 ~in_place:own ~set:mv ext existing ~vn ~op:net ~pre:`Keep
+      | `Physically_delete -> assert false (* insert never physically deletes *)
+    end
+
+let update_tuple ?(own = false) ext ~vn existing assignments =
+  check_updatable ext assignments;
+  let prev_op = Schema_ext.operation ext ~slot:1 existing in
+  let tvn = slot1_vn ext existing in
+  if tvn < vn then begin
+    (* Table 3, row 1. *)
+    Op.check_older_txn ~previous:prev_op Op.Update;
+    let t = push_back ext existing in
+    set_slot1 ~in_place:own ~set:assignments ext t ~vn ~op:Op.Update ~pre:`From_current
+  end
+  else begin
+    (* Table 3, row 2: net effect keeps the existing operation. *)
+    match Op.combine_same_txn ~previous:prev_op Op.Update with
+    | `Becomes net -> set_slot1 ~in_place:own ~set:assignments ext existing ~vn ~op:net ~pre:`Keep
+    | `Physically_delete -> assert false
+  end
+
+let delete_tuple ?(insert_over_delete = false) ?(own = false) ext ~vn existing =
+  let prev_op = Schema_ext.operation ext ~slot:1 existing in
+  let tvn = slot1_vn ext existing in
+  if tvn < vn then begin
+    (* Table 4, row 1: logical delete is a physical update preserving the
+       pre-update version. *)
+    Op.check_older_txn ~previous:prev_op Op.Delete;
+    let t = push_back ext existing in
+    Some (set_slot1 ~in_place:own ext t ~vn ~op:Op.Delete ~pre:`From_current)
+  end
+  else begin
+    (* Table 4, row 2. *)
+    match Op.combine_same_txn ~previous:prev_op Op.Delete with
+    | `Physically_delete when not insert_over_delete -> None
+    | `Physically_delete ->
+      (* Correction to Table 4 row 2: the same-transaction insert landed on
+         a logically deleted key (Table 2 row 1), so the record still
+         carries history older readers may need — physically deleting it
+         would lose that.  Restore the deleted state instead: shift the
+         pushed-back slots forward under nVNL; under plain 2VNL re-stamp
+         the tuple as deleted at vn - 1 (invisible to every non-expired
+         session, exactly like the committed delete it stands for). *)
+      if Schema_ext.slots ext >= 2 && Schema_ext.tuple_vn ext ~slot:2 existing <> None then
+        Some (shift_forward ext existing)
+      else
+        Some
+          (Tuple.set_many existing
+             [
+               (Schema_ext.tuple_vn_index ext ~slot:1, Value.Int (vn - 1));
+               (Schema_ext.operation_index ext ~slot:1, Op.to_value Op.Delete);
+             ])
+    | `Becomes net -> Some (set_slot1 ext existing ~vn ~op:net ~pre:`Keep)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Per-operation appliers: one table probe and one physical action    *)
+(* per logical operation.                                             *)
+(* ------------------------------------------------------------------ *)
 
 let apply_insert ?stats ?on_over_delete ext table ~vn base_tuple =
   count (fun s -> s.logical_inserts <- s.logical_inserts + 1) stats;
@@ -126,38 +244,16 @@ let apply_insert ?stats ?on_over_delete ext table ~vn base_tuple =
   in
   match conflict with
   | None ->
-    (* Table 2, row 3: no conflicting tuple. *)
     count (fun s -> s.physical_inserts <- s.physical_inserts + 1) stats;
-    Table.insert table (Schema_ext.fresh_insert ext ~vn base_tuple)
+    Table.insert ~check:false table (insert_tuple ext ~vn None base_tuple)
   | Some (rid, existing) ->
-    let prev_op = Schema_ext.operation ext ~slot:1 existing in
-    let mv =
-      List.mapi (fun j v -> (j, v)) (Tuple.values base_tuple)
+    let on_over_delete =
+      match on_over_delete with Some f -> Some (fun () -> f rid) | None -> None
     in
-    let tvn = slot1_vn ext existing in
-    if tvn < vn then begin
-      (* Table 2, row 1: conflict from an older transaction — only a
-         logically deleted tuple can collide. *)
-      Op.check_older_txn ~previous:prev_op Op.Insert;
-      (match on_over_delete with Some f -> f rid | None -> ());
-      let t = push_back ext existing in
-      let t = set_slot1 ext t ~vn ~op:Op.Insert ~pre:`Nulls in
-      let t = set_current ext t mv in
-      count (fun s -> s.physical_updates <- s.physical_updates + 1) stats;
-      Table.update_in_place table rid t;
-      rid
-    end
-    else begin
-      (* Table 2, row 2: conflict with this same transaction. *)
-      match Op.combine_same_txn ~previous:prev_op Op.Insert with
-      | `Becomes net ->
-        let t = set_slot1 ext existing ~vn ~op:net ~pre:`Keep in
-        let t = set_current ext t mv in
-        count (fun s -> s.physical_updates <- s.physical_updates + 1) stats;
-        Table.update_in_place table rid t;
-        rid
-      | `Physically_delete -> assert false (* insert never physically deletes *)
-    end
+    let t = insert_tuple ?on_over_delete ext ~vn (Some existing) base_tuple in
+    count (fun s -> s.physical_updates <- s.physical_updates + 1) stats;
+    Table.update_in_place ~old:existing table rid t;
+    rid
 
 let apply_update ?stats ext table ~vn rid assignments =
   count (fun s -> s.logical_updates <- s.logical_updates + 1) stats;
@@ -165,70 +261,21 @@ let apply_update ?stats ext table ~vn rid assignments =
   match Table.get table rid with
   | None -> invalid_arg "Maintenance.apply_update: no tuple at rid"
   | Some existing ->
-    let prev_op = Schema_ext.operation ext ~slot:1 existing in
-    let tvn = slot1_vn ext existing in
-    if tvn < vn then begin
-      (* Table 3, row 1. *)
-      Op.check_older_txn ~previous:prev_op Op.Update;
-      let t = push_back ext existing in
-      let t = set_slot1 ext t ~vn ~op:Op.Update ~pre:`From_current in
-      let t = set_current ext t assignments in
-      count (fun s -> s.physical_updates <- s.physical_updates + 1) stats;
-      Table.update_in_place table rid t
-    end
-    else begin
-      (* Table 3, row 2: net effect keeps the existing operation. *)
-      match Op.combine_same_txn ~previous:prev_op Op.Update with
-      | `Becomes net ->
-        let t = set_slot1 ext existing ~vn ~op:net ~pre:`Keep in
-        let t = set_current ext t assignments in
-        count (fun s -> s.physical_updates <- s.physical_updates + 1) stats;
-        Table.update_in_place table rid t
-      | `Physically_delete -> assert false
-    end
+    let t = update_tuple ext ~vn existing assignments in
+    count (fun s -> s.physical_updates <- s.physical_updates + 1) stats;
+    Table.update_in_place ~old:existing table rid t
 
 let apply_delete ?stats ?(was_insert_over_delete = fun _ -> false) ext table ~vn rid =
   count (fun s -> s.logical_deletes <- s.logical_deletes + 1) stats;
   match Table.get table rid with
   | None -> invalid_arg "Maintenance.apply_delete: no tuple at rid"
-  | Some existing ->
-    let prev_op = Schema_ext.operation ext ~slot:1 existing in
-    let tvn = slot1_vn ext existing in
-    if tvn < vn then begin
-      (* Table 4, row 1: logical delete is a physical update preserving the
-         pre-update version. *)
-      Op.check_older_txn ~previous:prev_op Op.Delete;
-      let t = push_back ext existing in
-      let t = set_slot1 ext t ~vn ~op:Op.Delete ~pre:`From_current in
+  | Some existing -> (
+    match
+      delete_tuple ~insert_over_delete:(was_insert_over_delete rid) ext ~vn existing
+    with
+    | None ->
+      count (fun s -> s.physical_deletes <- s.physical_deletes + 1) stats;
+      Table.delete table rid
+    | Some t ->
       count (fun s -> s.physical_updates <- s.physical_updates + 1) stats;
-      Table.update_in_place table rid t
-    end
-    else begin
-      (* Table 4, row 2. *)
-      match Op.combine_same_txn ~previous:prev_op Op.Delete with
-      | `Physically_delete when not (was_insert_over_delete rid) ->
-        count (fun s -> s.physical_deletes <- s.physical_deletes + 1) stats;
-        Table.delete table rid
-      | `Physically_delete ->
-        (* Correction to Table 4 row 2: the same-transaction insert landed on
-           a logically deleted key (Table 2 row 1), so the record still
-           carries history older readers may need — physically deleting it
-           would lose that.  Restore the deleted state instead: shift the
-           pushed-back slots forward under nVNL; under plain 2VNL re-stamp
-           the tuple as deleted at vn - 1 (invisible to every non-expired
-           session, exactly like the committed delete it stands for). *)
-        count (fun s -> s.physical_updates <- s.physical_updates + 1) stats;
-        if Schema_ext.slots ext >= 2 && Schema_ext.tuple_vn ext ~slot:2 existing <> None then
-          Table.update_in_place table rid (shift_forward ext existing)
-        else
-          Table.update_in_place table rid
-            (Tuple.set_many existing
-               [
-                 (Schema_ext.tuple_vn_index ext ~slot:1, Value.Int (vn - 1));
-                 (Schema_ext.operation_index ext ~slot:1, Op.to_value Op.Delete);
-               ])
-      | `Becomes net ->
-        let t = set_slot1 ext existing ~vn ~op:net ~pre:`Keep in
-        count (fun s -> s.physical_updates <- s.physical_updates + 1) stats;
-        Table.update_in_place table rid t
-    end
+      Table.update_in_place ~old:existing table rid t)

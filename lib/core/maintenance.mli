@@ -36,6 +36,54 @@ val push_back : Schema_ext.t -> Vnl_relation.Tuple.t -> Vnl_relation.Tuple.t
 (** Shift slots 1..n-2 into 2..n-1 (dropping the oldest); slot 1 is left for
     the caller to fill.  For 2VNL this just discards slot 1's bookkeeping. *)
 
+(** {2 Pure tuple transitions}
+
+    The Tables 2-4 state machine on in-memory record images, with no
+    storage access.  The [apply_*] functions below wrap each transition
+    with one table probe and one physical action; {!Batch.apply} folds a
+    whole batch of logical operations through the same transitions and
+    performs a single physical action per key — running identical code is
+    what guarantees the two paths produce byte-identical records. *)
+
+val insert_tuple :
+  ?on_over_delete:(unit -> unit) ->
+  ?own:bool ->
+  Schema_ext.t ->
+  vn:int ->
+  Vnl_relation.Tuple.t option ->
+  Vnl_relation.Tuple.t ->
+  Vnl_relation.Tuple.t
+(** [insert_tuple ext ~vn existing base] is the record image after logically
+    inserting [base]: a fresh extended tuple when [existing] is [None]
+    (Table 2 row 3), otherwise the Table 2 row 1/2 resolution against the
+    conflicting image.  [on_over_delete] fires on row 1 (insert over an
+    older transaction's logical delete).  [own] declares that the caller
+    holds the sole reference to [existing], letting the transition mutate it
+    instead of copying (the batch fold's repeated-key fast path); the result
+    may then alias the input. *)
+
+val update_tuple :
+  ?own:bool ->
+  Schema_ext.t ->
+  vn:int ->
+  Vnl_relation.Tuple.t ->
+  (int * Vnl_relation.Value.t) list ->
+  Vnl_relation.Tuple.t
+(** Table 3 on a record image; assignments are by base position and may
+    touch only updatable attributes.  [own] as in {!insert_tuple}. *)
+
+val delete_tuple :
+  ?insert_over_delete:bool ->
+  ?own:bool ->
+  Schema_ext.t ->
+  vn:int ->
+  Vnl_relation.Tuple.t ->
+  Vnl_relation.Tuple.t option
+(** Table 4 on a record image.  [None] means the record is physically
+    deleted (same-transaction fresh insert); [insert_over_delete] marks a
+    record this transaction re-inserted over an older logical delete, for
+    which the row 2 correction restores the deleted state instead. *)
+
 val apply_insert :
   ?stats:stats ->
   ?on_over_delete:(Vnl_storage.Heap_file.rid -> unit) ->

@@ -11,6 +11,13 @@ type t = {
   rank : (int, int) Hashtbl.t;  (** Base position -> rank among updatables. *)
   rank_arr : int array;  (** Same mapping as [rank], -1 for non-updatable;
                              O(1) access for the per-tuple reader path. *)
+  updatable_arr : int array;  (** [updatable] as an array, rank order. *)
+  pre_idx : int array array;  (** [pre_idx.(slot - 1).(r)]: extended position
+                                  of the slot's pre-update copy of the rank-r
+                                  updatable attribute.  Precomputed so the
+                                  maintenance hot path (push_back /
+                                  shift_forward / slot-1 writes) never does a
+                                  Hashtbl rank lookup per attribute. *)
 }
 
 let vn_name slot = if slot = 1 then "tupleVN" else Printf.sprintf "tupleVN%d" slot
@@ -51,7 +58,16 @@ let extend ?(n = 2) base =
   List.iteri (fun r j -> Hashtbl.add rank j r) updatable;
   let rank_arr = Array.make (Schema.arity base) (-1) in
   List.iteri (fun r j -> rank_arr.(j) <- r) updatable;
-  { base; extended; n; updatable; rank; rank_arr }
+  let updatable_arr = Array.of_list updatable in
+  let b = Schema.arity base and k = List.length updatable in
+  let pre_idx =
+    Array.init (n - 1) (fun s ->
+        (* s = slot - 1; slot 1's pre columns follow the base attributes,
+           later slots sit after their two bookkeeping columns. *)
+        let start = if s = 0 then 2 + b else 2 + b + k + ((s - 1) * (2 + k)) + 2 in
+        Array.init k (fun r -> start + r))
+  in
+  { base; extended; n; updatable; rank; rank_arr; updatable_arr; pre_idx }
 
 let base t = t.base
 
@@ -95,6 +111,14 @@ let pre_index t ~slot j =
   if slot = 1 then 2 + base_arity t + r else slot_start t slot + 2 + r
 
 let updatable_base_indices t = t.updatable
+
+let updatable_array t = t.updatable_arr
+
+let is_updatable t j = j >= 0 && j < Array.length t.rank_arr && t.rank_arr.(j) >= 0
+
+let pre_indices t ~slot =
+  check_slot t slot;
+  t.pre_idx.(slot - 1)
 
 let tuple_vn t ~slot tuple =
   match Tuple.get tuple (tuple_vn_index t ~slot) with

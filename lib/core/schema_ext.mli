@@ -54,6 +54,20 @@ val base_index : t -> int -> int
 val updatable_base_indices : t -> int list
 (** Base positions of the updatable attributes. *)
 
+val updatable_array : t -> int array
+(** {!updatable_base_indices} as a precomputed array (rank order).  The
+    caller must not mutate it. *)
+
+val is_updatable : t -> int -> bool
+(** O(1): is base position [j] an updatable attribute?  [false] for
+    out-of-range positions. *)
+
+val pre_indices : t -> slot:int -> int array
+(** Precomputed extended positions of [slot]'s pre-update copies, indexed
+    by updatable rank — [pre_indices t ~slot].(r) = {!pre_index} of the
+    rank-r updatable attribute, without the per-call rank lookup.  The
+    caller must not mutate the array. *)
+
 val tuple_vn : t -> slot:int -> Vnl_relation.Tuple.t -> int option
 (** The slot's version number, [None] when the slot is unused. *)
 

@@ -329,6 +329,24 @@ module Txn = struct
         ~vn:m.txn_vn rid;
       true
 
+  (* The batched maintenance path: same Tables 2-4 transitions as the
+     per-op entry points above, but net-effect-folded and page-ordered
+     (see {!Batch}).  Over-delete bookkeeping flows both ways: re-inserts
+     recorded by earlier statements of this transaction govern the Table 4
+     row 2 correction inside the batch, and over-deletes the batch performs
+     are recorded for no-log rollback. *)
+  let apply_batch m ~table:name ops =
+    check_live m;
+    let h = handle_exn m.owner name in
+    let on_over_delete rid = m.over_deleted <- (name, rid) :: m.over_deleted in
+    let was_insert_over_delete rid =
+      List.exists
+        (fun (tn, r) -> String.equal tn name && Heap_file.rid_equal r rid)
+        m.over_deleted
+    in
+    Batch.apply ~stats:m.txn_stats ~on_over_delete ~was_insert_over_delete h.ext h.table
+      ~vn:m.txn_vn ops
+
   let commit m =
     check_live m;
     m.finished <- true;

@@ -153,6 +153,16 @@ module Txn : sig
 
   val delete_by_key : m -> table:string -> key:Vnl_relation.Value.t list -> bool
 
+  val apply_batch : m -> table:string -> Batch.op list -> Batch.outcome
+  (** Apply a batch of logical operations through the net-effect pipeline
+      ({!Batch.apply}): same-key operations fold to one physical action via
+      {!Op.combine_same_txn} semantics, key lookups are resolved in a single
+      sorted index pass, and physical writes are applied in ascending
+      (page, slot) order.  Reader-visible results and table bytes are the
+      same as issuing the operations one by one (see {!Batch} for the two
+      documented exceptions).  Over-delete bookkeeping is shared with the
+      per-op entry points, so mixing both in one transaction is sound. *)
+
   val commit : m -> unit
   (** Publish the new version (Version relation update, §4). *)
 

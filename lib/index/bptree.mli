@@ -23,6 +23,26 @@ val insert : 'a t -> Vnl_relation.Value.t list -> 'a -> unit
 
 val find : 'a t -> Vnl_relation.Value.t list -> 'a option
 
+val find_batch : 'a t -> Vnl_relation.Value.t list array -> 'a option array
+(** [find_batch t keys] resolves every key in one root-to-leaf pass: inner
+    nodes partition the batch among their children, so shared path prefixes
+    are traversed once.  [keys] must be sorted ascending (duplicates
+    allowed); raises [Invalid_argument] otherwise.  The batched maintenance
+    path uses this for its single sorted key→rid resolution sweep. *)
+
+val insert_batch : 'a t -> (Vnl_relation.Value.t list * 'a) array -> unit
+(** [insert_batch t pairs] inserts a batch in one root-to-leaf pass,
+    sharing the separator scans and path copies per-key inserts repeat;
+    a key already present has its payload replaced.  [pairs] must be
+    sorted strictly ascending by key; raises [Invalid_argument] otherwise.
+    The resulting tree may differ in shape from per-key insertion but
+    holds the same entries and satisfies {!check_invariants}.  The batched
+    maintenance path uses this for its fresh-insert sweep. *)
+
+val compare_keys : Vnl_relation.Value.t list -> Vnl_relation.Value.t list -> int
+(** Lexicographic composite-key order (the order {!iter}, {!range}, and
+    {!find_batch} use). *)
+
 val mem : 'a t -> Vnl_relation.Value.t list -> bool
 
 val remove : 'a t -> Vnl_relation.Value.t list -> bool

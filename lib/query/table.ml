@@ -63,9 +63,12 @@ let sec_insert t tuple rid =
 let sec_remove t tuple rid =
   iter_secondaries t (fun sec -> ignore (Bptree.remove sec.tree (sec_entry_key sec tuple rid)))
 
-let insert t tuple =
+let insert ?(check = true) t tuple =
+  (* [~check:false] skips the duplicate-key probe for callers that already
+     resolved the key against the index this transaction (the maintenance
+     appliers and the batch pipeline); everyone else keeps the check. *)
   (match t.index with
-  | Some index when Bptree.mem index (key_of t tuple) ->
+  | Some index when check && Bptree.mem index (key_of t tuple) ->
     raise (Unique_violation (Printf.sprintf "table %s: duplicate key" t.name))
   | Some _ | None -> ());
   let rid = Heap_file.insert t.heap tuple in
@@ -73,8 +76,34 @@ let insert t tuple =
   sec_insert t tuple rid;
   rid
 
-let update_in_place t rid tuple =
-  let old = Heap_file.get t.heap rid in
+let insert_many ?(check = true) t tuples =
+  match t.index with
+  | None -> List.iter (fun tuple -> ignore (insert ~check:false t tuple)) tuples
+  | Some index ->
+    (* Heap inserts happen in list order (so rid assignment matches per-
+       tuple insertion); the index entries then go in as one sorted batch
+       ({!Bptree.insert_batch}), sharing the descent per-key inserts would
+       repeat. *)
+    let pairs =
+      List.map
+        (fun tuple ->
+          let key = key_of t tuple in
+          if check && Bptree.mem index key then
+            raise (Unique_violation (Printf.sprintf "table %s: duplicate key" t.name));
+          let rid = Heap_file.insert t.heap tuple in
+          sec_insert t tuple rid;
+          (key, rid))
+        tuples
+    in
+    let arr = Array.of_list pairs in
+    Array.sort (fun (a, _) (b, _) -> Bptree.compare_keys a b) arr;
+    Bptree.insert_batch index arr
+
+let update_in_place ?old t rid tuple =
+  (* [old], when the caller already holds the stored tuple, skips the
+     re-fetch and decode; it must be exactly what [get t rid] would
+     return, or index maintenance goes wrong. *)
+  let old = match old with Some _ as o -> o | None -> Heap_file.get t.heap rid in
   (match (t.index, old) with
   | Some index, Some old ->
     let old_key = key_of t old and new_key = key_of t tuple in
@@ -114,6 +143,38 @@ let find_by_key t key =
       match Heap_file.get t.heap rid with
       | Some tuple -> Some (rid, tuple)
       | None -> None))
+
+let find_many_by_key t keys =
+  let m = Array.length keys in
+  match t.index with
+  | None -> Array.make m None
+  | Some index ->
+    (* Sort a permutation, resolve rids in one tree pass, then fetch the
+       records in ascending (page, slot) order so a small buffer pool sees
+       each page once. *)
+    let order = Array.init m Fun.id in
+    Array.sort (fun i j -> Bptree.compare_keys keys.(i) keys.(j)) order;
+    let sorted = Array.map (fun i -> keys.(i)) order in
+    let rids = Bptree.find_batch index sorted in
+    let out = Array.make m None in
+    let hits = ref [] in
+    Array.iteri
+      (fun si oi -> match rids.(si) with Some rid -> hits := (rid, oi) :: !hits | None -> ())
+      order;
+    let hits =
+      List.sort
+        (fun ((a : Heap_file.rid), _) ((b : Heap_file.rid), _) ->
+          let c = Int.compare a.page b.page in
+          if c <> 0 then c else Int.compare a.slot b.slot)
+        !hits
+    in
+    List.iter
+      (fun (rid, oi) ->
+        match Heap_file.get t.heap rid with
+        | Some tuple -> out.(oi) <- Some (rid, tuple)
+        | None -> ())
+      hits;
+    out
 
 let scan t f = Heap_file.scan t.heap f
 

@@ -36,13 +36,27 @@ val version : t -> int
     the prepared-statement cache uses it to detect stale access-path
     choices (see {!Prepared}). *)
 
-val insert : t -> Vnl_relation.Tuple.t -> Vnl_storage.Heap_file.rid
+val insert : ?check:bool -> t -> Vnl_relation.Tuple.t -> Vnl_storage.Heap_file.rid
 (** Raises {!Unique_violation} when the table has a unique key and an equal
-    key is already present. *)
+    key is already present.  [~check:false] skips the duplicate probe; only
+    for callers that just resolved the key against the index themselves and
+    found it absent. *)
 
-val update_in_place : t -> Vnl_storage.Heap_file.rid -> Vnl_relation.Tuple.t -> unit
+val insert_many : ?check:bool -> t -> Vnl_relation.Tuple.t list -> unit
+(** Insert the tuples in list order (rids are assigned exactly as repeated
+    {!insert} would), then enter their keys into the unique index as one
+    sorted batch ({!Vnl_index.Bptree.insert_batch}).  [check] as in
+    {!insert}; it does not detect duplicates *within* the list — those
+    raise [Invalid_argument] from the index.  The batched maintenance
+    path's fresh-insert sweep, whose keys are distinct and pre-resolved
+    absent, is the intended caller. *)
+
+val update_in_place :
+  ?old:Vnl_relation.Tuple.t -> t -> Vnl_storage.Heap_file.rid -> Vnl_relation.Tuple.t -> unit
 (** Overwrite the record; if the key values changed the index entry is
-    moved (2VNL itself never changes keys, but the engine supports it). *)
+    moved (2VNL itself never changes keys, but the engine supports it).
+    [old], when the caller already holds the stored tuple for this rid,
+    skips the internal re-fetch; it must equal the stored record. *)
 
 val delete : t -> Vnl_storage.Heap_file.rid -> unit
 
@@ -51,6 +65,15 @@ val get : t -> Vnl_storage.Heap_file.rid -> Vnl_relation.Tuple.t option
 val find_by_key :
   t -> Vnl_relation.Value.t list -> (Vnl_storage.Heap_file.rid * Vnl_relation.Tuple.t) option
 (** Index probe; [None] for keyless tables or absent keys. *)
+
+val find_many_by_key :
+  t ->
+  Vnl_relation.Value.t list array ->
+  (Vnl_storage.Heap_file.rid * Vnl_relation.Tuple.t) option array
+(** Batched {!find_by_key}: all keys are resolved in one sorted pass over
+    the unique index ({!Vnl_index.Bptree.find_batch}) and the hit records
+    fetched in ascending (page, slot) order.  Results align with the input
+    array; keys may be in any order.  All-[None] for keyless tables. *)
 
 val scan : t -> (Vnl_storage.Heap_file.rid -> Vnl_relation.Tuple.t -> unit) -> unit
 

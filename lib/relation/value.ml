@@ -20,17 +20,20 @@ let type_rank = function
   | Date _ -> 4
   | Str _ -> 5
 
+(* Specialized comparisons (not [Stdlib.compare]): the B+-tree and the
+   batched key sorts sit on this, and the generic compare is several times
+   slower than the primitive ones. *)
 let compare a b =
   match (a, b) with
   | Null, Null -> 0
-  | Int x, Int y -> Stdlib.compare x y
-  | Float x, Float y -> Stdlib.compare x y
-  | Str x, Str y -> Stdlib.compare x y
-  | Date x, Date y -> Stdlib.compare x y
-  | Bool x, Bool y -> Stdlib.compare x y
-  | Int x, Float y -> Stdlib.compare (float_of_int x) y
-  | Float x, Int y -> Stdlib.compare x (float_of_int y)
-  | _ -> Stdlib.compare (type_rank a) (type_rank b)
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | Date x, Date y -> Int.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | _ -> Int.compare (type_rank a) (type_rank b)
 
 let equal a b = compare a b = 0
 

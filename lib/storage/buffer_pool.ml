@@ -1,4 +1,16 @@
-type frame = { pid : int; image : bytes; mutable dirty : bool; mutable last_used : int }
+(* Frames form an intrusive doubly-linked list in recency order (head =
+   most recent, tail = LRU victim), so touch and evict are O(1) pointer
+   splices — the previous implementation scanned every frame with a
+   Hashtbl.fold per eviction.  [nil] is a self-linked sentinel: the list is
+   circular through it, which removes every option/None case from the
+   splice code. *)
+type frame = {
+  mutable pid : int;
+  mutable image : bytes;
+  mutable dirty : bool;
+  mutable prev : frame;
+  mutable next : frame;
+}
 
 type stats = {
   logical_reads : int;
@@ -6,62 +18,87 @@ type stats = {
   misses : int;
   evictions : int;
   physical_writes : int;
+  seq_writes : int;
+  rand_writes : int;
 }
 
 type t = {
   disk : Disk.t;
   capacity : int;
   frames : (int, frame) Hashtbl.t;
-  mutable tick : int;
+  nil : frame;  (** Sentinel: [nil.next] is the MRU frame, [nil.prev] the LRU. *)
   mutable logical_reads : int;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
   mutable physical_writes : int;
+  mutable seq_writes : int;
+  mutable rand_writes : int;
+  mutable last_write : int;  (** Pid of this pool's last write-back, -1 initially. *)
 }
 
 let create ?(capacity = 64) disk =
   if capacity < 1 then invalid_arg "Buffer_pool.create: capacity must be >= 1";
+  let rec nil =
+    { pid = -1; image = Bytes.empty; dirty = false; prev = nil; next = nil }
+  in
   {
     disk;
     capacity;
     frames = Hashtbl.create capacity;
-    tick = 0;
+    nil;
     logical_reads = 0;
     hits = 0;
     misses = 0;
     evictions = 0;
     physical_writes = 0;
+    seq_writes = 0;
+    rand_writes = 0;
+    last_write = -1;
   }
 
 let disk t = t.disk
 
+let unlink frame =
+  frame.prev.next <- frame.next;
+  frame.next.prev <- frame.prev
+
+let push_front t frame =
+  frame.next <- t.nil.next;
+  frame.prev <- t.nil;
+  t.nil.next.prev <- frame;
+  t.nil.next <- frame
+
 let touch t frame =
-  t.tick <- t.tick + 1;
-  frame.last_used <- t.tick
+  if t.nil.next != frame then begin
+    unlink frame;
+    push_front t frame
+  end
 
 let write_back t frame =
   if frame.dirty then begin
     Disk.write t.disk frame.pid frame.image;
     t.physical_writes <- t.physical_writes + 1;
+    if frame.pid = t.last_write || frame.pid = t.last_write + 1 then
+      t.seq_writes <- t.seq_writes + 1
+    else t.rand_writes <- t.rand_writes + 1;
+    t.last_write <- frame.pid;
     frame.dirty <- false
   end
 
 let evict_lru t =
-  let victim =
-    Hashtbl.fold
-      (fun _ frame acc ->
-        match acc with
-        | None -> Some frame
-        | Some best -> if frame.last_used < best.last_used then Some frame else acc)
-      t.frames None
-  in
-  match victim with
-  | None -> ()
-  | Some frame ->
-    write_back t frame;
-    Hashtbl.remove t.frames frame.pid;
+  let victim = t.nil.prev in
+  if victim != t.nil then begin
+    write_back t victim;
+    unlink victim;
+    Hashtbl.remove t.frames victim.pid;
     t.evictions <- t.evictions + 1
+  end
+
+let install t frame =
+  if Hashtbl.length t.frames >= t.capacity then evict_lru t;
+  push_front t frame;
+  Hashtbl.add t.frames frame.pid frame
 
 let load t pid =
   t.logical_reads <- t.logical_reads + 1;
@@ -72,18 +109,24 @@ let load t pid =
     frame
   | None ->
     t.misses <- t.misses + 1;
-    if Hashtbl.length t.frames >= t.capacity then evict_lru t;
-    let frame = { pid; image = Disk.read t.disk pid; dirty = false; last_used = 0 } in
-    touch t frame;
-    Hashtbl.add t.frames pid frame;
+    let frame =
+      { pid; image = Disk.read t.disk pid; dirty = false; prev = t.nil; next = t.nil }
+    in
+    install t frame;
     frame
 
 let alloc_page t =
   let pid = Disk.alloc t.disk in
-  if Hashtbl.length t.frames >= t.capacity then evict_lru t;
-  let frame = { pid; image = Bytes.make (Disk.page_size t.disk) '\000'; dirty = false; last_used = 0 } in
-  touch t frame;
-  Hashtbl.add t.frames pid frame;
+  let frame =
+    {
+      pid;
+      image = Bytes.make (Disk.page_size t.disk) '\000';
+      dirty = false;
+      prev = t.nil;
+      next = t.nil;
+    }
+  in
+  install t frame;
   pid
 
 let with_page t pid f = f (load t pid).image
@@ -93,7 +136,12 @@ let with_page_mut t pid f =
   frame.dirty <- true;
   f frame.image
 
-let flush_all t = Hashtbl.iter (fun _ frame -> write_back t frame) t.frames
+(* Dirty frames are written back in ascending pid order: deterministic
+   (Hashtbl iteration order used to decide it) and sequential on disk. *)
+let flush_all t =
+  let dirty = ref [] in
+  Hashtbl.iter (fun _ frame -> if frame.dirty then dirty := frame :: !dirty) t.frames;
+  List.iter (write_back t) (List.sort (fun a b -> compare a.pid b.pid) !dirty)
 
 let stats t =
   {
@@ -102,6 +150,8 @@ let stats t =
     misses = t.misses;
     evictions = t.evictions;
     physical_writes = t.physical_writes;
+    seq_writes = t.seq_writes;
+    rand_writes = t.rand_writes;
   }
 
 let reset_stats t =
@@ -110,12 +160,17 @@ let reset_stats t =
   t.misses <- 0;
   t.evictions <- 0;
   t.physical_writes <- 0;
+  t.seq_writes <- 0;
+  t.rand_writes <- 0;
+  t.last_write <- -1;
   Disk.reset_stats t.disk
 
 let drop_cache t =
   flush_all t;
-  Hashtbl.reset t.frames
+  Hashtbl.reset t.frames;
+  t.nil.next <- t.nil;
+  t.nil.prev <- t.nil
 
 let pp_stats ppf (s : stats) =
-  Format.fprintf ppf "logical=%d hits=%d misses=%d evictions=%d phys_writes=%d"
-    s.logical_reads s.hits s.misses s.evictions s.physical_writes
+  Format.fprintf ppf "logical=%d hits=%d misses=%d evictions=%d phys_writes=%d (%d seq / %d rand)"
+    s.logical_reads s.hits s.misses s.evictions s.physical_writes s.seq_writes s.rand_writes

@@ -4,7 +4,11 @@
     physical read, dirty evictions and [flush_all] cost physical writes.
     The I/O experiment compares algorithms by the physical counters gathered
     here, mirroring how the paper frames MV2PL's version-pool penalty
-    (§6). *)
+    (§6).
+
+    Frames live on an intrusive doubly-linked recency list, so a hit
+    (move-to-front) and an eviction (pop the tail) are both O(1); the miss
+    path never scans the resident set. *)
 
 type t
 
@@ -14,6 +18,10 @@ type stats = {
   misses : int;  (** Each miss is one physical read. *)
   evictions : int;
   physical_writes : int;  (** Dirty evictions plus explicit flushes. *)
+  seq_writes : int;
+      (** Write-backs landing on the page at or just past the pool's previous
+          write-back — no seek, cf. {!Disk.stats}. *)
+  rand_writes : int;  (** Write-backs that moved the head. *)
 }
 
 val create : ?capacity:int -> Disk.t -> t
@@ -35,7 +43,9 @@ val with_page_mut : t -> int -> (bytes -> 'a) -> 'a
     disk on eviction or flush. *)
 
 val flush_all : t -> unit
-(** Write every dirty frame back to disk. *)
+(** Write every dirty frame back to disk in ascending page-id order, so a
+    flush after page-ordered maintenance is one sequential sweep and the
+    write order is deterministic. *)
 
 val stats : t -> stats
 
@@ -45,6 +55,7 @@ val reset_stats : t -> unit
     [drop_cache]). *)
 
 val drop_cache : t -> unit
-(** Flush dirty frames and empty the pool, so subsequent reads are cold. *)
+(** Flush dirty frames (ascending page id, as [flush_all]) and empty the
+    pool, so subsequent reads are cold. *)
 
 val pp_stats : Format.formatter -> stats -> unit

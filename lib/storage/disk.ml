@@ -1,4 +1,10 @@
-type stats = { reads : int; writes : int; allocations : int }
+type stats = {
+  reads : int;
+  writes : int;
+  seq_writes : int;
+  rand_writes : int;
+  allocations : int;
+}
 
 type t = {
   page_size : int;
@@ -6,11 +12,24 @@ type t = {
   mutable used : int;
   mutable reads : int;
   mutable writes : int;
+  mutable seq_writes : int;
+  mutable rand_writes : int;
+  mutable last_write : int;  (** Pid of the most recent write, -1 initially. *)
   mutable allocations : int;
 }
 
 let create ?(page_size = 4096) () =
-  { page_size; pages = Array.make 16 Bytes.empty; used = 0; reads = 0; writes = 0; allocations = 0 }
+  {
+    page_size;
+    pages = Array.make 16 Bytes.empty;
+    used = 0;
+    reads = 0;
+    writes = 0;
+    seq_writes = 0;
+    rand_writes = 0;
+    last_write = -1;
+    allocations = 0;
+  }
 
 let page_size t = t.page_size
 
@@ -40,19 +59,38 @@ let read t pid =
   t.reads <- t.reads + 1;
   Bytes.copy t.pages.(pid)
 
+(* A write is sequential when the head is already positioned: the page
+   follows (or repeats) the previously written one.  Anything else pays a
+   seek and counts as random — what the page-ordered batched apply is
+   designed to avoid. *)
 let write t pid img =
   check t pid;
   if Bytes.length img <> t.page_size then
     invalid_arg "Disk.write: image size mismatch";
   t.writes <- t.writes + 1;
+  if pid = t.last_write || pid = t.last_write + 1 then
+    t.seq_writes <- t.seq_writes + 1
+  else t.rand_writes <- t.rand_writes + 1;
+  t.last_write <- pid;
   t.pages.(pid) <- Bytes.copy img
 
-let stats t = { reads = t.reads; writes = t.writes; allocations = t.allocations }
+let stats t =
+  {
+    reads = t.reads;
+    writes = t.writes;
+    seq_writes = t.seq_writes;
+    rand_writes = t.rand_writes;
+    allocations = t.allocations;
+  }
 
 let reset_stats t =
   t.reads <- 0;
   t.writes <- 0;
+  t.seq_writes <- 0;
+  t.rand_writes <- 0;
+  t.last_write <- -1;
   t.allocations <- 0
 
 let pp_stats ppf (s : stats) =
-  Format.fprintf ppf "reads=%d writes=%d allocs=%d" s.reads s.writes s.allocations
+  Format.fprintf ppf "reads=%d writes=%d (%d seq / %d rand) allocs=%d" s.reads s.writes
+    s.seq_writes s.rand_writes s.allocations

@@ -8,7 +8,16 @@
 
 type t
 
-type stats = { reads : int; writes : int; allocations : int }
+type stats = {
+  reads : int;
+  writes : int;
+  seq_writes : int;
+      (** Writes to the page following (or equal to) the previously written
+          one — no seek.  Page-ordered batched apply turns most maintenance
+          write-back into these. *)
+  rand_writes : int;  (** Writes that moved the head: [writes - seq_writes]. *)
+  allocations : int;
+}
 
 val create : ?page_size:int -> unit -> t
 (** [create ()] makes an empty disk; [page_size] defaults to 4096 bytes. *)
@@ -32,6 +41,7 @@ val write : t -> int -> bytes -> unit
 val stats : t -> stats
 
 val reset_stats : t -> unit
-(** Zero the counters; page contents are untouched. *)
+(** Zero the counters (including the sequential-write head position); page
+    contents are untouched. *)
 
 val pp_stats : Format.formatter -> stats -> unit

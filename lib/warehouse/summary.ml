@@ -2,6 +2,7 @@ module Tuple = Vnl_relation.Tuple
 module Value = Vnl_relation.Value
 module Schema = Vnl_relation.Schema
 module Twovnl = Vnl_core.Twovnl
+module Batch = Vnl_core.Batch
 
 type outcome = {
   groups_inserted : int;
@@ -9,6 +10,11 @@ type outcome = {
   groups_deleted : int;
 }
 
+(* Each net delta is classified against the group's current state (one keyed
+   read), then the whole refresh goes to storage as a single {!Batch.apply}
+   call: one sorted index pass and page-ordered writes, instead of a probe
+   and a random write per group.  Net deltas carry one entry per key, so
+   reading before building the batch is equivalent to reading as we go. *)
 let apply_batch txn view changes =
   let table = View_def.name view in
   let target = View_def.target_schema view in
@@ -16,38 +22,41 @@ let apply_batch txn view changes =
   let key_arity = List.length (View_def.group_by view) in
   let inserted = ref 0 and updated = ref 0 and deleted = ref 0 in
   let deltas = Delta.net_group_deltas view changes in
-  List.iter
-    (fun { Delta.key; agg_delta; count_delta } ->
-      match Twovnl.Txn.read_current txn ~table ~key with
-      | None ->
-        if count_delta < 0 then
-          invalid_arg "Summary.apply_batch: negative delta for absent group";
-        if count_delta > 0 then begin
-          ignore (Twovnl.Txn.insert txn ~table (key @ agg_delta));
-          incr inserted
-        end
-      | Some current ->
-        let old_aggs =
-          List.mapi (fun i _ -> Tuple.get current (key_arity + i)) agg_names
-        in
-        let new_aggs = List.map2 Value.add old_aggs agg_delta in
-        let support =
-          if View_def.has_count view then
-            match List.rev new_aggs with
-            | Value.Int c :: _ -> Some c
-            | _ -> invalid_arg "Summary.apply_batch: corrupt row_count"
+  let ops =
+    List.filter_map
+      (fun { Delta.key; agg_delta; count_delta } ->
+        match Twovnl.Txn.read_current txn ~table ~key with
+        | None ->
+          if count_delta < 0 then
+            invalid_arg "Summary.apply_batch: negative delta for absent group";
+          if count_delta > 0 then begin
+            incr inserted;
+            Some (Batch.Insert (Tuple.make target (key @ agg_delta)))
+          end
           else None
-        in
-        (match support with
-        | Some c when c <= 0 ->
-          ignore (Twovnl.Txn.delete_by_key txn ~table ~key);
-          incr deleted
-        | Some _ | None ->
-          let set = List.map2 (fun name v -> (name, v)) agg_names new_aggs in
-          ignore (Twovnl.Txn.update_by_key txn ~table ~key ~set);
-          incr updated))
-    deltas;
-  ignore target;
+        | Some current ->
+          let old_aggs =
+            List.mapi (fun i _ -> Tuple.get current (key_arity + i)) agg_names
+          in
+          let new_aggs = List.map2 Value.add old_aggs agg_delta in
+          let support =
+            if View_def.has_count view then
+              match List.rev new_aggs with
+              | Value.Int c :: _ -> Some c
+              | _ -> invalid_arg "Summary.apply_batch: corrupt row_count"
+            else None
+          in
+          (match support with
+          | Some c when c <= 0 ->
+            incr deleted;
+            Some (Batch.Delete key)
+          | Some _ | None ->
+            incr updated;
+            let assignments = List.mapi (fun i v -> (key_arity + i, v)) new_aggs in
+            Some (Batch.Update (key, assignments))))
+      deltas
+  in
+  ignore (Twovnl.Txn.apply_batch txn ~table ops);
   { groups_inserted = !inserted; groups_updated = !updated; groups_deleted = !deleted }
 
 let pp_outcome ppf o =

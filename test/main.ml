@@ -16,6 +16,7 @@ let () =
       ("core-props", Test_core_props.suite);
       ("rewrite", Test_rewrite.suite);
       ("twovnl", Test_twovnl.suite);
+      ("batch", Test_batch.suite);
       ("txn", Test_txn.suite);
       ("properties", Test_props.suite);
       ("warehouse", Test_warehouse.suite);

@@ -1,0 +1,297 @@
+(* Differential tests for the batched maintenance path: Batch.apply must be
+   a pure performance change.  Two warehouses receive the same logical
+   operation stream — one op at a time on the first, as one Batch.apply per
+   transaction on the second — and after every commit the physical page
+   bytes and the reader-visible state of every live session must agree. *)
+
+module Value = Vnl_relation.Value
+module Tuple = Vnl_relation.Tuple
+module Schema = Vnl_relation.Schema
+module Database = Vnl_query.Database
+module Table = Vnl_query.Table
+module Disk = Vnl_storage.Disk
+module Buffer_pool = Vnl_storage.Buffer_pool
+module Heap_file = Vnl_storage.Heap_file
+module Twovnl = Vnl_core.Twovnl
+module Batch = Vnl_core.Batch
+
+let check = Alcotest.check
+
+(* Self-contained xorshift so the streams are stable across stdlib
+   versions. *)
+let make_rng seed =
+  let state = ref (seed * 2654435761 land 0x3FFFFFFF) in
+  if !state = 0 then state := 0x9E3779B9;
+  fun bound ->
+    let x = !state in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 17) in
+    let x = x lxor (x lsl 5) in
+    let x = x land 0x3FFFFFFF in
+    state := x;
+    x mod bound
+
+let cities = [| "San Jose"; "Berkeley"; "Novato"; "Fresno"; "Oakland"; "Davis" |]
+
+let product_lines = [| "golf equip"; "racquetball"; "rollerblades"; "tennis" |]
+
+let nkeys = Array.length cities * Array.length product_lines * 4
+
+let key_of_id id =
+  let c = id mod Array.length cities in
+  let p = id / Array.length cities mod Array.length product_lines in
+  let d = id / (Array.length cities * Array.length product_lines) in
+  [
+    Value.Str cities.(c);
+    Value.Str "CA";
+    Value.Str product_lines.(p);
+    Value.date_of_mdy 10 (13 + d) 96;
+  ]
+
+let sales_index = 4 (* total_sales in the base schema *)
+
+let mk_wh n =
+  let db = Database.create ~page_size:512 ~pool_capacity:8 () in
+  let wh = Twovnl.init db in
+  ignore (Twovnl.register_table wh ~n ~name:"T" Fixtures.daily_sales);
+  (db, wh)
+
+type gop = G_insert of int * int | G_update of int * int | G_delete of int
+
+(* Generate one transaction's operation stream against the logical model.
+   [`Dead] keys are logically deleted records still physically present (no
+   GC runs here), so inserting over one exercises Table 2 row 1 and a
+   subsequent delete the Table 4 row 2 correction.  The single documented
+   divergence — delete of a key fresh-inserted in the same transaction,
+   which the batch nets to nothing while per-op application transiently
+   occupies a slot — is kept out of the stream. *)
+let gen_batch rng model size =
+  let sim = Hashtbl.copy model in
+  let fresh = Hashtbl.create 8 in
+  let state k = Option.value (Hashtbl.find_opt sim k) ~default:`Absent in
+  let ops = ref [] in
+  let emitted = ref 0 in
+  while !emitted < size do
+    let k = rng nkeys in
+    let v = 100 + rng 10_000 in
+    (match state k with
+    | `Absent ->
+      Hashtbl.replace fresh k ();
+      Hashtbl.replace sim k `Live;
+      ops := G_insert (k, v) :: !ops;
+      incr emitted
+    | `Dead ->
+      Hashtbl.replace sim k `Live;
+      ops := G_insert (k, v) :: !ops;
+      incr emitted
+    | `Live ->
+      if rng 3 = 0 && not (Hashtbl.mem fresh k) then begin
+        Hashtbl.replace sim k `Dead;
+        ops := G_delete k :: !ops;
+        incr emitted
+      end
+      else begin
+        ops := G_update (k, v) :: !ops;
+        incr emitted
+      end)
+  done;
+  (List.rev !ops, sim)
+
+let apply_per_op m ops =
+  List.iter
+    (fun op ->
+      match op with
+      | G_insert (k, v) ->
+        Twovnl.Txn.insert m ~table:"T" (key_of_id k @ [ Value.Int v ])
+      | G_update (k, v) ->
+        if
+          not
+            (Twovnl.Txn.update_by_key m ~table:"T" ~key:(key_of_id k)
+               ~set:[ ("total_sales", Value.Int v) ])
+        then Alcotest.fail "per-op update missed a live key"
+      | G_delete k ->
+        if not (Twovnl.Txn.delete_by_key m ~table:"T" ~key:(key_of_id k)) then
+          Alcotest.fail "per-op delete missed a live key")
+    ops
+
+let to_batch_ops ops =
+  List.map
+    (fun op ->
+      match op with
+      | G_insert (k, v) ->
+        Batch.Insert (Tuple.make Fixtures.daily_sales (key_of_id k @ [ Value.Int v ]))
+      | G_update (k, v) -> Batch.Update (key_of_id k, [ (sales_index, Value.Int v) ])
+      | G_delete k -> Batch.Delete (key_of_id k))
+    ops
+
+let flush db = Buffer_pool.flush_all (Database.pool db)
+
+let check_bytes_identical ctx db_a db_b =
+  flush db_a;
+  flush db_b;
+  let da = Database.disk db_a and db' = Database.disk db_b in
+  check Alcotest.int (ctx ^ ": page counts") (Disk.page_count da) (Disk.page_count db');
+  for pid = 0 to Disk.page_count da - 1 do
+    if not (Bytes.equal (Disk.read da pid) (Disk.read db' pid)) then
+      Alcotest.fail (Printf.sprintf "%s: page %d bytes differ" ctx pid)
+  done
+
+let sorted_rows rows = List.sort Tuple.compare rows
+
+let check_readers_agree ctx wh_a wh_b sessions =
+  List.filter
+    (fun (sa, sb) ->
+      let va = Twovnl.Session.is_valid wh_a sa and vb = Twovnl.Session.is_valid wh_b sb in
+      check Alcotest.bool (ctx ^ ": session validity agrees") va vb;
+      if va then begin
+        let ra = sorted_rows (Twovnl.Session.read_table wh_a sa "T")
+        and rb = sorted_rows (Twovnl.Session.read_table wh_b sb "T") in
+        check Fixtures.base_testable
+          (Printf.sprintf "%s: session at vn %d" ctx (Twovnl.Session.vn sa))
+          ra rb
+      end;
+      va)
+    sessions
+
+let check_keyed_lookups_agree ctx wh_a wh_b =
+  let ta = Twovnl.table (Twovnl.handle_exn wh_a "T")
+  and tb = Twovnl.table (Twovnl.handle_exn wh_b "T") in
+  for k = 0 to nkeys - 1 do
+    let key = key_of_id k in
+    match (Table.find_by_key ta key, Table.find_by_key tb key) with
+    | None, None -> ()
+    | Some (ra, va), Some (rb, vb) ->
+      if not (Heap_file.rid_equal ra rb) then
+        Alcotest.fail (Printf.sprintf "%s: rid differs for key %d" ctx k);
+      if not (Tuple.equal va vb) then
+        Alcotest.fail (Printf.sprintf "%s: tuple differs for key %d" ctx k)
+    | Some _, None | None, Some _ ->
+      Alcotest.fail (Printf.sprintf "%s: key %d present on one side only" ctx k)
+  done
+
+let run_differential ~n ~seed ~txns ~batch_size () =
+  let rng = make_rng seed in
+  let db_a, wh_a = mk_wh n and db_b, wh_b = mk_wh n in
+  let model = Hashtbl.create nkeys in
+  let sessions = ref [ (Twovnl.Session.begin_ wh_a, Twovnl.Session.begin_ wh_b) ] in
+  for txn = 1 to txns do
+    let ops, sim = gen_batch rng model batch_size in
+    let ma = Twovnl.Txn.begin_ wh_a in
+    apply_per_op ma ops;
+    Twovnl.Txn.commit ma;
+    let mb = Twovnl.Txn.begin_ wh_b in
+    let outcome = Twovnl.Txn.apply_batch mb ~table:"T" (to_batch_ops ops) in
+    Twovnl.Txn.commit mb;
+    check Alcotest.int "batch saw every logical op" (List.length ops)
+      outcome.Batch.logical_ops;
+    Hashtbl.reset model;
+    Hashtbl.iter (Hashtbl.replace model) sim;
+    let ctx = Printf.sprintf "n=%d seed=%d txn=%d" n seed txn in
+    check_bytes_identical ctx db_a db_b;
+    sessions := check_readers_agree ctx wh_a wh_b !sessions;
+    check_keyed_lookups_agree ctx wh_a wh_b;
+    sessions := (Twovnl.Session.begin_ wh_a, Twovnl.Session.begin_ wh_b) :: !sessions
+  done
+
+let test_differential_2vnl () =
+  List.iter (fun seed -> run_differential ~n:2 ~seed ~txns:6 ~batch_size:40 ()) [ 1; 7; 42 ]
+
+let test_differential_nvnl () =
+  (* n = 4: at least three version slots, so push_back/shift_forward chains
+     are exercised across several overlapping transactions. *)
+  List.iter (fun seed -> run_differential ~n:4 ~seed ~txns:8 ~batch_size:30 ()) [ 3; 11 ]
+
+(* Directed corner: insert over an older transaction's logical delete, then
+   delete again in the same batch — the Table 4 row 2 correction must
+   restore the deleted record, not physically remove it, exactly as the
+   per-op path does. *)
+let test_insert_over_delete_then_delete () =
+  List.iter
+    (fun n ->
+      let db_a, wh_a = mk_wh n and db_b, wh_b = mk_wh n in
+      let key = key_of_id 0 in
+      let seed_ops = [ G_insert (0, 500); G_insert (1, 700) ] in
+      let del_ops = [ G_delete 0 ] in
+      let corner = [ G_insert (0, 900); G_delete 0 ] in
+      List.iter
+        (fun (wh, apply) ->
+          List.iter
+            (fun ops ->
+              let m = Twovnl.Txn.begin_ wh in
+              apply m ops;
+              Twovnl.Txn.commit m)
+            [ seed_ops; del_ops; corner ])
+        [
+          (wh_a, apply_per_op);
+          (wh_b, fun m ops -> ignore (Twovnl.Txn.apply_batch m ~table:"T" (to_batch_ops ops)));
+        ];
+      check_bytes_identical (Printf.sprintf "corner n=%d" n) db_a db_b;
+      let s = Twovnl.Session.begin_ wh_b in
+      let live = Twovnl.Session.read_table wh_b s "T" in
+      check Alcotest.int "key 0 stays logically deleted" 1 (List.length live);
+      let tb = Twovnl.table (Twovnl.handle_exn wh_b "T") in
+      Alcotest.(check bool) "record physically present (history kept)" true
+        (Table.find_by_key tb key <> None))
+    [ 2; 4 ]
+
+let test_net_effect_folding () =
+  let _db, wh = mk_wh 2 in
+  let m = Twovnl.Txn.begin_ wh in
+  let outcome =
+    Twovnl.Txn.apply_batch m ~table:"T"
+      (to_batch_ops [ G_insert (0, 100); G_update (0, 200); G_update (0, 300) ])
+  in
+  check Alcotest.int "one distinct key" 1 outcome.Batch.distinct_keys;
+  check Alcotest.int "two ops folded away" 2 outcome.Batch.folded_ops;
+  check Alcotest.int "single physical insert" 1 outcome.Batch.physical_inserts;
+  check Alcotest.int "no physical updates" 0 outcome.Batch.physical_updates;
+  Twovnl.Txn.commit m;
+  let s = Twovnl.Session.begin_ wh in
+  match sorted_rows (Twovnl.Session.read_table wh s "T") with
+  | [ t ] -> check Alcotest.string "folded value" "300" (Value.to_string (Tuple.get t 4))
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 row, got %d" (List.length l))
+
+let test_rejected_batch_leaves_table_untouched () =
+  let db, wh = mk_wh 2 in
+  let m0 = Twovnl.Txn.begin_ wh in
+  apply_per_op m0 [ G_insert (0, 100) ];
+  Twovnl.Txn.commit m0;
+  flush db;
+  let before = Disk.read (Database.disk db) 0 in
+  let m = Twovnl.Txn.begin_ wh in
+  Alcotest.(check bool) "update of absent key rejected" true
+    (try
+       ignore
+         (Twovnl.Txn.apply_batch m ~table:"T"
+            (to_batch_ops [ G_update (0, 1); G_update (5, 2) ]));
+       false
+     with Invalid_argument _ -> true);
+  ignore (Twovnl.Txn.abort m);
+  flush db;
+  Alcotest.(check bool) "no write reached the table" true
+    (Bytes.equal before (Disk.read (Database.disk db) 0))
+
+let test_key_assignment_rejected () =
+  let _db, wh = mk_wh 2 in
+  let m = Twovnl.Txn.begin_ wh in
+  apply_per_op m [ G_insert (0, 100) ];
+  Alcotest.(check bool) "assignment to key attribute rejected" true
+    (try
+       ignore
+         (Twovnl.Txn.apply_batch m ~table:"T"
+            [ Batch.Update (key_of_id 0, [ (0, Value.Str "Nowhere") ]) ]);
+       false
+     with Invalid_argument _ -> true);
+  Twovnl.Txn.commit m
+
+let suite =
+  [
+    Alcotest.test_case "differential vs per-op (2VNL)" `Quick test_differential_2vnl;
+    Alcotest.test_case "differential vs per-op (4VNL)" `Quick test_differential_nvnl;
+    Alcotest.test_case "insert-over-delete then delete corner" `Quick
+      test_insert_over_delete_then_delete;
+    Alcotest.test_case "net-effect folding outcome" `Quick test_net_effect_folding;
+    Alcotest.test_case "rejected batch leaves table untouched" `Quick
+      test_rejected_batch_leaves_table_untouched;
+    Alcotest.test_case "key assignment rejected" `Quick test_key_assignment_rejected;
+  ]

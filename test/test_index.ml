@@ -129,6 +129,58 @@ let qcheck_vs_map =
       in
       tree_list = sorted_model)
 
+let test_insert_batch_basic () =
+  let t = Bptree.create ~order:4 () in
+  (* Seed sequentially, then pour in a large sorted batch that forces leaf
+     fan-out and root growth. *)
+  for i = 0 to 49 do
+    Bptree.insert t (k (2 * i)) (2 * i)
+  done;
+  let batch = Array.init 200 (fun i -> (k ((2 * i) + 1), (2 * i) + 1)) in
+  Bptree.insert_batch t batch;
+  check Alcotest.int "length" 250 (Bptree.length t);
+  (match Bptree.check_invariants t with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "invariant: %s" e);
+  for i = 0 to 99 do
+    if Bptree.find t (k i) <> Some i then Alcotest.failf "missing key %d" i
+  done
+
+let test_insert_batch_replaces () =
+  let t = Bptree.create ~order:4 () in
+  for i = 0 to 9 do
+    Bptree.insert t (k i) 0
+  done;
+  Bptree.insert_batch t (Array.init 10 (fun i -> (k i, i * 10)));
+  check Alcotest.int "length unchanged" 10 (Bptree.length t);
+  check (Alcotest.option Alcotest.int) "payload replaced" (Some 70) (Bptree.find t (k 7))
+
+let test_insert_batch_rejects_unsorted () =
+  let t = Bptree.create ~order:4 () in
+  Alcotest.check_raises "unsorted" (Invalid_argument "Bptree.insert_batch: keys not sorted or not distinct")
+    (fun () -> Bptree.insert_batch t [| (k 2, 2); (k 1, 1) |]);
+  Alcotest.check_raises "duplicate" (Invalid_argument "Bptree.insert_batch: keys not sorted or not distinct")
+    (fun () -> Bptree.insert_batch t [| (k 1, 1); (k 1, 2) |])
+
+let qcheck_insert_batch_vs_sequential =
+  (* The batch insert may shape the tree differently, but its contents,
+     length, and invariants must match per-key insertion exactly. *)
+  QCheck.Test.make ~name:"insert_batch = sequential inserts" ~count:200
+    QCheck.(pair (list_of_size Gen.(0 -- 150) (int_range 0 300)) (list_of_size Gen.(0 -- 150) (int_range 0 300)))
+    (fun (seed, batch) ->
+      let batch = List.sort_uniq compare batch in
+      let seq = Bptree.create ~order:4 () and bulk = Bptree.create ~order:4 () in
+      List.iter
+        (fun i ->
+          Bptree.insert seq (k i) (i * 3);
+          Bptree.insert bulk (k i) (i * 3))
+        seed;
+      List.iter (fun i -> Bptree.insert seq (k i) (i * 7)) batch;
+      Bptree.insert_batch bulk (Array.of_list (List.map (fun i -> (k i, i * 7)) batch));
+      Bptree.to_list seq = Bptree.to_list bulk
+      && Bptree.length seq = Bptree.length bulk
+      && match Bptree.check_invariants bulk with Ok _ -> true | Error _ -> false)
+
 let qcheck_range_equals_filter =
   QCheck.Test.make ~name:"pruned range scan = filtered iteration" ~count:150
     QCheck.(triple (list_of_size Gen.(0 -- 200) (int_range 0 500)) (int_range 0 500) (int_range 0 500))
@@ -156,6 +208,11 @@ let suite =
     Alcotest.test_case "remove" `Quick test_remove;
     Alcotest.test_case "range scan" `Quick test_range;
     Alcotest.test_case "composite keys" `Quick test_composite_keys;
+    Alcotest.test_case "insert_batch splits and grows" `Quick test_insert_batch_basic;
+    Alcotest.test_case "insert_batch replaces payloads" `Quick test_insert_batch_replaces;
+    Alcotest.test_case "insert_batch rejects unsorted input" `Quick
+      test_insert_batch_rejects_unsorted;
+    QCheck_alcotest.to_alcotest qcheck_insert_batch_vs_sequential;
     QCheck_alcotest.to_alcotest qcheck_vs_map;
     QCheck_alcotest.to_alcotest qcheck_range_equals_filter;
   ]

@@ -166,6 +166,60 @@ let test_pool_drop_cache_flushes_dirty () =
   Buffer_pool.with_page pool p0 (fun img ->
       check Alcotest.char "reload sees the write" 'D' (Bytes.get img 0))
 
+let test_pool_lru_victim_order () =
+  let d = Disk.create ~page_size:128 () in
+  let pool = Buffer_pool.create ~capacity:2 d in
+  let p0 = Buffer_pool.alloc_page pool in
+  let p1 = Buffer_pool.alloc_page pool in
+  (* Touch p0 so p1 becomes least recently used, then overflow. *)
+  Buffer_pool.with_page pool p0 (fun _ -> ());
+  let _p2 = Buffer_pool.alloc_page pool in
+  Buffer_pool.reset_stats pool;
+  Buffer_pool.with_page pool p0 (fun _ -> ());
+  check Alcotest.int "recently touched page stayed resident" 0
+    (Buffer_pool.stats pool).Buffer_pool.misses;
+  Buffer_pool.with_page pool p1 (fun _ -> ());
+  check Alcotest.int "LRU page was the victim" 1 (Buffer_pool.stats pool).Buffer_pool.misses
+
+let test_flush_all_ascending_pid () =
+  let d = Disk.create ~page_size:128 () in
+  let pool = Buffer_pool.create ~capacity:16 d in
+  let n = 8 in
+  for _ = 1 to n do
+    ignore (Buffer_pool.alloc_page pool)
+  done;
+  (* Dirty the pages in scrambled order; the flush order must not follow it. *)
+  List.iter
+    (fun p -> Buffer_pool.with_page_mut pool p (fun img -> Bytes.set img 0 'x'))
+    [ 5; 2; 7; 0; 3; 6; 1; 4 ];
+  Buffer_pool.reset_stats pool;
+  Buffer_pool.flush_all pool;
+  let s = Buffer_pool.stats pool in
+  check Alcotest.int "one write per dirty page" n s.Buffer_pool.physical_writes;
+  check Alcotest.int "ascending pid: every write sequential" n s.Buffer_pool.seq_writes;
+  check Alcotest.int "no seeks" 0 s.Buffer_pool.rand_writes;
+  let ds = Disk.stats d in
+  check Alcotest.int "disk agrees" n ds.Disk.seq_writes;
+  check Alcotest.int "disk random" 0 ds.Disk.rand_writes;
+  (* A second flush has nothing dirty left to write. *)
+  Buffer_pool.flush_all pool;
+  check Alcotest.int "flush idempotent" n (Buffer_pool.stats pool).Buffer_pool.physical_writes
+
+let test_drop_cache_ascending_pid () =
+  let d = Disk.create ~page_size:128 () in
+  let pool = Buffer_pool.create ~capacity:16 d in
+  for _ = 1 to 6 do
+    ignore (Buffer_pool.alloc_page pool)
+  done;
+  List.iter
+    (fun p -> Buffer_pool.with_page_mut pool p (fun img -> Bytes.set img 0 'y'))
+    [ 4; 1; 5; 0; 2; 3 ];
+  Buffer_pool.reset_stats pool;
+  Buffer_pool.drop_cache pool;
+  let s = Buffer_pool.stats pool in
+  check Alcotest.int "drop_cache flush is sequential" 6 s.Buffer_pool.seq_writes;
+  check Alcotest.int "drop_cache flush has no seeks" 0 s.Buffer_pool.rand_writes
+
 let with_heap f =
   let d = Disk.create ~page_size:256 () in
   let pool = Buffer_pool.create ~capacity:16 d in
@@ -327,6 +381,9 @@ let suite =
     Alcotest.test_case "pool drop_cache goes cold" `Quick test_pool_drop_cache_cold;
     Alcotest.test_case "pool reset_stats zeroes counters" `Quick test_pool_reset_stats_zeroes;
     Alcotest.test_case "pool drop_cache flushes dirty" `Quick test_pool_drop_cache_flushes_dirty;
+    Alcotest.test_case "pool LRU victim order" `Quick test_pool_lru_victim_order;
+    Alcotest.test_case "flush_all writes ascending pids" `Quick test_flush_all_ascending_pid;
+    Alcotest.test_case "drop_cache flush ordering" `Quick test_drop_cache_ascending_pid;
     Alcotest.test_case "heap insert/get" `Quick test_heap_insert_get;
     Alcotest.test_case "heap update in place keeps rid" `Quick test_heap_update_in_place_keeps_rid;
     Alcotest.test_case "heap delete" `Quick test_heap_delete;
