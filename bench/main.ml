@@ -11,7 +11,8 @@
      --smoke        with --micro: run each micro workload once, no sampling
                     (what the @bench-smoke dune alias builds on)
      --only IDS     comma-separated group ids (figures, scenarios, storage,
-                    io, blocking, expiry, gc, micro) *)
+                    io, batch, blocking, expiry, gc, ablation, indexing,
+                    faults, micro) *)
 
 let groups : (string * (unit -> unit)) list =
   [
@@ -25,6 +26,7 @@ let groups : (string * (unit -> unit)) list =
     ("gc", Exp_gc_rollback.run);
     ("ablation", Exp_ablation.run);
     ("indexing", Exp_indexing.run);
+    ("faults", Exp_faults.run);
   ]
 
 let () =

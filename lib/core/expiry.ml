@@ -12,10 +12,22 @@ let policy_name = function
 
 let pp_policy ppf p = Format.pp_print_string ppf (policy_name p)
 
+(* Smallest n >= 2 with (n - 1) * (gap + txn_len) - txn_len >= session_len,
+   in closed form: n - 1 >= ceil((session_len + txn_len) / (gap + txn_len)).
+   The degenerate period gap = txn_len = 0 makes the bound 0 for every n —
+   no version count helps — so it is rejected up front instead of being
+   discovered by a seven-figure linear search. *)
 let versions_needed ~session_len ~gap ~txn_len =
-  let rec search n =
-    if n > 1_000_000 then invalid_arg "Expiry.versions_needed: unsatisfiable"
-    else if never_expire_bound ~n ~gap ~txn_len >= session_len then n
-    else search (n + 1)
-  in
-  search 2
+  if session_len < 0 || gap < 0 || txn_len < 0 then
+    invalid_arg "Expiry.versions_needed: negative duration";
+  let period = gap + txn_len in
+  if period = 0 then begin
+    if session_len <= 0 then 2
+    else
+      invalid_arg
+        "Expiry.versions_needed: unsatisfiable: gap = 0 and txn_len = 0 leave every bound at 0"
+  end
+  else begin
+    let need = session_len + txn_len in
+    if need <= 0 then 2 else max 2 (1 + ((need + period - 1) / period))
+  end

@@ -21,5 +21,8 @@ val pp_policy : Format.formatter -> policy -> unit
 val policy_name : policy -> string
 
 val versions_needed : session_len:int -> gap:int -> txn_len:int -> int
-(** Smallest [n] whose {!never_expire_bound} covers sessions of
-    [session_len] — the tuning knob §5 describes. *)
+(** Smallest [n >= 2] whose {!never_expire_bound} covers sessions of
+    [session_len] — the tuning knob §5 describes.  Computed in closed form.
+    Raises [Invalid_argument] on negative durations and on the degenerate
+    [gap = 0 && txn_len = 0] with positive [session_len], whose bound is 0
+    for every [n]. *)

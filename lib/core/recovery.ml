@@ -1,0 +1,65 @@
+module Database = Vnl_query.Database
+module Buffer_pool = Vnl_storage.Buffer_pool
+module Disk = Vnl_storage.Disk
+
+let log_src = Logs.Src.create "vnl.recovery" ~doc:"crash recovery"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type outcome = {
+  interrupted : bool;
+  reverted : int;
+}
+
+(* The §7 write-ordering invariant, stated once and relied on twice (here
+   and in Warehouse.refresh):
+
+     flag -> data -> catalog -> publish
+
+   1. maintenanceActive = true reaches disk before any mutation of the
+      transaction can (the flag page is flushed before the first apply, and
+      background evictions of mutated pages therefore always land on a disk
+      that already says "in maintenance");
+   2. every mutated data page and the catalog describing any newly
+      allocated pages reach disk before
+   3. the commit publish (currentVN := vn, maintenanceActive := false) is
+      written.
+
+   Under this ordering the surviving disk image is always one of: clean
+   pre-txn (crash before 1 completed), in-maintenance (flag set, any subset
+   of mutations durable — §7 repair reverts the subset from the tuples' own
+   pre-update slots), or clean post-txn (publish durable).  There is no
+   window in which mutations are durable but unflagged, which is the one
+   state no-log recovery could not distinguish from health. *)
+
+let run_maintenance db vnl f =
+  let txn = Twovnl.Txn.begin_ vnl in
+  (* Durability point 1: the flag (and current catalog) on disk before any
+     maintenance mutation exists, so a crash during apply is detectable. *)
+  Database.save db;
+  let result = f txn in
+  (* Durability point 2: mutated data pages, then the catalog naming any
+     pages the transaction allocated.  [save] serializes the catalog and
+     flushes every dirty frame, giving exactly apply -> flush ->
+     catalog-write. *)
+  Buffer_pool.flush_all (Database.pool db);
+  Database.save db;
+  (* Durability point 3: publish.  Commit dirties only the Version page;
+     the flush makes the new currentVN / cleared flag durable. *)
+  Twovnl.Txn.commit txn;
+  Buffer_pool.flush_all (Database.pool db);
+  result
+
+let reopen ?pool_capacity ?n disk ~tables =
+  let db = Database.reopen ?pool_capacity disk in
+  let vnl = Twovnl.attach db in
+  List.iter (fun (name, base) -> ignore (Twovnl.attach_table vnl ?n ~name base)) tables;
+  let interrupted = Version_state.maintenance_active (Twovnl.version_state vnl) in
+  let reverted = Twovnl.recover vnl in
+  if interrupted then begin
+    (* Make the repair durable so a second crash cannot resurrect the
+       interrupted transaction's stamps. *)
+    Database.save db;
+    Log.info (fun m -> m "recovered interrupted maintenance: %d tuples reverted" reverted)
+  end;
+  (vnl, { interrupted; reverted })

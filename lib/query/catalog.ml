@@ -12,6 +12,23 @@ exception Corrupt of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
 
+(* The serialized format delimits names with '|' (attr lines) and spaces
+   (index lines), and records with newlines, so a name containing any of
+   those — or a control character — would round-trip wrongly or produce a
+   catalog [parse] rejects.  Names are validated both at creation time
+   (Database.create_table, Table.create_index) and again at serialization,
+   so a catalog written to disk is always re-parseable. *)
+let valid_name s =
+  s <> ""
+  && String.for_all (fun c -> c > ' ' && c < '\x7f' && c <> '|') s
+
+let check_name ~what s =
+  if not (valid_name s) then
+    invalid_arg
+      (Printf.sprintf
+         "%s name %S is invalid: names must be non-empty printable ASCII without spaces, '|', or control characters"
+         what s)
+
 let dtype_to_string = function
   | Dtype.Int -> "int"
   | Dtype.Float -> "float"
@@ -37,9 +54,11 @@ let serialize entries =
   Buffer.add_string buf "vnl-catalog 1\n";
   List.iter
     (fun e ->
+      check_name ~what:"table" e.table;
       Buffer.add_string buf (Printf.sprintf "table %s\n" e.table);
       List.iter
         (fun a ->
+          check_name ~what:"attribute" a.Schema.name;
           Buffer.add_string buf
             (Printf.sprintf "attr %s|%s|%c%c\n" a.Schema.name (dtype_to_string a.Schema.dtype)
                (if a.Schema.updatable then 'u' else '-')
@@ -49,6 +68,8 @@ let serialize entries =
         (Printf.sprintf "pages %s\n" (String.concat " " (List.map string_of_int e.pages)));
       List.iter
         (fun (iname, attrs) ->
+          check_name ~what:"index" iname;
+          List.iter (check_name ~what:"indexed attribute") attrs;
           Buffer.add_string buf (Printf.sprintf "index %s %s\n" iname (String.concat " " attrs)))
         e.secondary;
       Buffer.add_string buf "end\n")

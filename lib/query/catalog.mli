@@ -14,7 +14,18 @@ type entry = {
   secondary : (string * string list) list;  (** Secondary indexes. *)
 }
 
+val valid_name : string -> bool
+(** Whether a table/attribute/index name survives the line-oriented format:
+    non-empty printable ASCII with no spaces, ['|'], or control characters
+    (those are the format's delimiters). *)
+
+val check_name : what:string -> string -> unit
+(** Raise [Invalid_argument] (mentioning [what]) unless {!valid_name}. *)
+
 val serialize : entry list -> string
+(** Raises [Invalid_argument] when any table, attribute, or index name fails
+    {!valid_name} — a catalog that could not be re-parsed is never
+    written. *)
 
 exception Corrupt of string
 

@@ -9,7 +9,13 @@ type t = {
   pool : Buffer_pool.t;
   catalog : (string, Table.t) Hashtbl.t;
   mutable order : string list;  (** Creation order, newest first. *)
-  mutable catalog_pages : int list;  (** Content pages of the saved catalog. *)
+  mutable catalog_pages : int list;
+      (** Content pages the on-disk header currently points at. *)
+  mutable spare_pages : int list;
+      (** The other catalog generation: [save] writes here, then flips the
+          header.  Double-buffering makes the catalog update atomic — a
+          crash mid-save leaves the header pointing at the untouched old
+          generation, never at half-written content. *)
   mutable plan_cache : plan_cache option;
 }
 
@@ -18,7 +24,14 @@ let create ?(page_size = 4096) ?(pool_capacity = 64) () =
   let pool = Buffer_pool.create ~capacity:pool_capacity disk in
   (* Page 0 is the catalog header. *)
   ignore (Buffer_pool.alloc_page pool);
-  { pool; catalog = Hashtbl.create 8; order = []; catalog_pages = []; plan_cache = None }
+  {
+    pool;
+    catalog = Hashtbl.create 8;
+    order = [];
+    catalog_pages = [];
+    spare_pages = [];
+    plan_cache = None;
+  }
 
 let pool t = t.pool
 
@@ -27,6 +40,12 @@ let plan_cache t = t.plan_cache
 let set_plan_cache t c = t.plan_cache <- Some c
 
 let create_table t name schema =
+  (* Reject names the catalog format cannot round-trip now, not at the
+     first [save] — by then the table holds data. *)
+  Catalog.check_name ~what:"table" name;
+  List.iter
+    (fun a -> Catalog.check_name ~what:"attribute" a.Vnl_relation.Schema.name)
+    (Vnl_relation.Schema.attributes schema);
   if Hashtbl.mem t.catalog name then
     invalid_arg (Printf.sprintf "Database.create_table: %S already exists" name);
   let table = Table.create t.pool ~name schema in
@@ -71,12 +90,21 @@ let entries t =
       })
     (tables t)
 
+(* Crash-safe save: the new catalog generation is written to the spare page
+   set and flushed {e before} the single-page header flips to it, so the
+   on-disk header always points at fully written content.  A crash anywhere
+   inside [save] leaves either the old catalog (header not yet flipped) or
+   the new one (flip durable) — never a truncated or mixed generation,
+   which could otherwise silently mis-parse (a cut "pages 5 12" line reads
+   as "pages 5 1").  The first flush also carries every other dirty frame,
+   which is exactly the apply -> flush -> catalog-write -> publish ordering
+   {!Vnl_core.Recovery} relies on. *)
 let save t =
   let text = Catalog.serialize (entries t) in
   let page_size = Disk.page_size (disk t) in
-  let needed = (String.length text + page_size - 1) / page_size in
-  while List.length t.catalog_pages < needed do
-    t.catalog_pages <- t.catalog_pages @ [ Buffer_pool.alloc_page t.pool ]
+  let needed = max 1 ((String.length text + page_size - 1) / page_size) in
+  while List.length t.spare_pages < needed do
+    t.spare_pages <- t.spare_pages @ [ Buffer_pool.alloc_page t.pool ]
   done;
   List.iteri
     (fun i pid ->
@@ -87,35 +115,48 @@ let save t =
             let len = min page_size (String.length text - off) in
             Bytes.blit_string text off img 0 len
           end))
-    t.catalog_pages;
-  (* Header page 0: magic, content length, content page ids. *)
+    t.spare_pages;
+  Buffer_pool.flush_all t.pool;
+  (* Header page 0: magic, content length, content page ids, then the
+     retired generation's pages so a reopened database keeps reusing them. *)
+  let live = t.spare_pages and retired = t.catalog_pages in
   Buffer_pool.with_page_mut t.pool 0 (fun img ->
       Bytes.fill img 0 page_size '\000';
+      let ids pids = String.concat " " (List.map string_of_int pids) in
       let header =
-        Printf.sprintf "%s %d %s\n" magic (String.length text)
-          (String.concat " " (List.map string_of_int t.catalog_pages))
+        Printf.sprintf "%s %d %s\nspare %s\n" magic (String.length text) (ids live)
+          (ids retired)
       in
       if String.length header > page_size then failwith "Database.save: header overflow";
       Bytes.blit_string header 0 img 0 (String.length header));
-  Buffer_pool.flush_all t.pool
+  Buffer_pool.flush_all t.pool;
+  t.catalog_pages <- live;
+  t.spare_pages <- retired
 
 let reopen ?(pool_capacity = 64) disk0 =
   let pool = Buffer_pool.create ~capacity:pool_capacity disk0 in
   let page_size = Disk.page_size disk0 in
-  let header =
+  let header_lines =
     Buffer_pool.with_page pool 0 (fun img ->
         let raw = Bytes.to_string img in
-        match String.index_opt raw '\n' with
-        | Some i -> String.sub raw 0 i
-        | None -> raise (Catalog.Corrupt "missing catalog header"))
+        match String.split_on_char '\n' raw with
+        | first :: rest -> (first, rest)
+        | [] -> raise (Catalog.Corrupt "missing catalog header"))
   in
   let length, pages =
-    match String.split_on_char ' ' header with
+    match String.split_on_char ' ' (fst header_lines) with
     | m :: len :: pids when m = magic -> (
       match int_of_string_opt len with
       | Some l -> (l, List.filter_map int_of_string_opt pids)
       | None -> raise (Catalog.Corrupt "bad catalog length"))
     | _ -> raise (Catalog.Corrupt "bad catalog magic")
+  in
+  let spare =
+    match snd header_lines with
+    | line :: _ when String.length line >= 5 && String.sub line 0 5 = "spare" ->
+      List.filter_map int_of_string_opt
+        (String.split_on_char ' ' (String.sub line 5 (String.length line - 5)))
+    | _ -> []
   in
   let buf = Buffer.create length in
   List.iter
@@ -126,7 +167,14 @@ let reopen ?(pool_capacity = 64) disk0 =
     pages;
   let entries = Catalog.parse (Buffer.contents buf) in
   let t =
-    { pool; catalog = Hashtbl.create 8; order = []; catalog_pages = pages; plan_cache = None }
+    {
+      pool;
+      catalog = Hashtbl.create 8;
+      order = [];
+      catalog_pages = pages;
+      spare_pages = spare;
+      plan_cache = None;
+    }
   in
   List.iter
     (fun e ->

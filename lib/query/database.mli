@@ -41,7 +41,11 @@ val drop_cache : t -> unit
 val save : t -> unit
 (** Persist the catalog (schemas, heap pages, index definitions) into
     reserved catalog pages and flush every dirty page, making the disk
-    image self-describing. *)
+    image self-describing.  The update is crash-atomic: the new catalog
+    generation is written to a spare page set and flushed before the
+    single-page header flips to it, so a crash mid-save leaves either the
+    old or the new catalog on disk, never a mixture (see
+    {!Vnl_core.Recovery}). *)
 
 val disk : t -> Vnl_storage.Disk.t
 

@@ -195,6 +195,7 @@ let truncate t =
 
 let create_index t ~name attrs =
   if attrs = [] then invalid_arg "Table.create_index: empty attribute list";
+  Catalog.check_name ~what:"index" name;
   if Hashtbl.mem t.secondaries name then
     invalid_arg (Printf.sprintf "Table.create_index: %S already exists" name);
   let s = schema t in

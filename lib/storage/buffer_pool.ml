@@ -8,6 +8,11 @@ type frame = {
   mutable pid : int;
   mutable image : bytes;
   mutable dirty : bool;
+  mutable pins : int;
+      (** Active [with_page]/[with_page_mut] callbacks over this frame.
+          Pinned frames are never evicted: a nested page access inside the
+          callback would otherwise evict the active frame and silently lose
+          the caller's mutations to a stale re-read. *)
   mutable prev : frame;
   mutable next : frame;
 }
@@ -40,7 +45,7 @@ type t = {
 let create ?(capacity = 64) disk =
   if capacity < 1 then invalid_arg "Buffer_pool.create: capacity must be >= 1";
   let rec nil =
-    { pid = -1; image = Bytes.empty; dirty = false; prev = nil; next = nil }
+    { pid = -1; image = Bytes.empty; dirty = false; pins = 0; prev = nil; next = nil }
   in
   {
     disk;
@@ -86,14 +91,23 @@ let write_back t frame =
     frame.dirty <- false
   end
 
+(* Walk tail -> head for the least-recently-used unpinned frame.  Pinned
+   frames (a [with_page]* callback is live over their bytes) must stay
+   resident; if every frame is pinned the pool is over-committed and we
+   fail loudly instead of corrupting the active caller. *)
 let evict_lru t =
-  let victim = t.nil.prev in
-  if victim != t.nil then begin
-    write_back t victim;
-    unlink victim;
-    Hashtbl.remove t.frames victim.pid;
-    t.evictions <- t.evictions + 1
-  end
+  let rec victim f =
+    if f == t.nil then
+      failwith
+        (Printf.sprintf "Buffer_pool: all %d frames pinned, cannot evict" t.capacity)
+    else if f.pins = 0 then f
+    else victim f.prev
+  in
+  let v = victim t.nil.prev in
+  write_back t v;
+  unlink v;
+  Hashtbl.remove t.frames v.pid;
+  t.evictions <- t.evictions + 1
 
 let install t frame =
   if Hashtbl.length t.frames >= t.capacity then evict_lru t;
@@ -110,7 +124,14 @@ let load t pid =
   | None ->
     t.misses <- t.misses + 1;
     let frame =
-      { pid; image = Disk.read t.disk pid; dirty = false; prev = t.nil; next = t.nil }
+      {
+        pid;
+        image = Disk.read t.disk pid;
+        dirty = false;
+        pins = 0;
+        prev = t.nil;
+        next = t.nil;
+      }
     in
     install t frame;
     frame
@@ -122,6 +143,7 @@ let alloc_page t =
       pid;
       image = Bytes.make (Disk.page_size t.disk) '\000';
       dirty = false;
+      pins = 0;
       prev = t.nil;
       next = t.nil;
     }
@@ -129,12 +151,16 @@ let alloc_page t =
   install t frame;
   pid
 
-let with_page t pid f = f (load t pid).image
+let pinned frame f =
+  frame.pins <- frame.pins + 1;
+  Fun.protect ~finally:(fun () -> frame.pins <- frame.pins - 1) (fun () -> f frame.image)
+
+let with_page t pid f = pinned (load t pid) f
 
 let with_page_mut t pid f =
   let frame = load t pid in
   frame.dirty <- true;
-  f frame.image
+  pinned frame f
 
 (* Dirty frames are written back in ascending pid order: deterministic
    (Hashtbl iteration order used to decide it) and sequential on disk. *)

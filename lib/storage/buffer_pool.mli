@@ -8,7 +8,14 @@
 
     Frames live on an intrusive doubly-linked recency list, so a hit
     (move-to-front) and an eviction (pop the tail) are both O(1); the miss
-    path never scans the resident set. *)
+    path never scans the resident set.
+
+    Frames are pinned for the duration of the [with_page]/[with_page_mut]
+    callback: a nested page access inside the callback can evict other
+    frames but never the pinned one, so mutations through the callback's
+    bytes always reach the frame that will be written back.  If every frame
+    is pinned when an eviction is needed, the pool raises [Failure] rather
+    than corrupt a live caller. *)
 
 type t
 
@@ -20,7 +27,9 @@ type stats = {
   physical_writes : int;  (** Dirty evictions plus explicit flushes. *)
   seq_writes : int;
       (** Write-backs landing on the page at or just past the pool's previous
-          write-back — no seek, cf. {!Disk.stats}. *)
+          write-back — no seek, cf. {!Disk.stats}.  After [reset_stats] the
+          head sits before page 0: the first write-back is sequential iff it
+          targets page 0. *)
   rand_writes : int;  (** Write-backs that moved the head. *)
 }
 
@@ -35,8 +44,10 @@ val alloc_page : t -> int
 
 val with_page : t -> int -> (bytes -> 'a) -> 'a
 (** [with_page t pid f] pins the page, applies [f] to the frame bytes for
-    read-only use, and unpins.  The frame must not be mutated or retained
-    past the call. *)
+    read-only use, and unpins (also on exception).  The bytes must not be
+    mutated or retained past the call.  Nested page accesses inside [f] are
+    safe: the pinned frame is never the eviction victim.  Raises [Failure]
+    if an eviction is needed while every frame is pinned. *)
 
 val with_page_mut : t -> int -> (bytes -> 'a) -> 'a
 (** Like [with_page] but marks the frame dirty; mutations through [f] reach

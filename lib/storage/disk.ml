@@ -6,9 +6,26 @@ type stats = {
   allocations : int;
 }
 
+exception Crash of string
+
+exception Corrupt_page of { pid : int; stored : int; computed : int }
+
+type fault = {
+  crash_at_write : int option;
+  torn_prefix : int;
+  fail_read_pids : int list;
+}
+
+let no_faults = { crash_at_write = None; torn_prefix = 0; fail_read_pids = [] }
+
 type t = {
   page_size : int;
+  checksums : bool;
   mutable pages : bytes array;
+  mutable sums : int array;
+      (** Per-page CRC-32 of the last {e completed} write (the on-platter
+          sector CRC).  A torn write updates the image prefix but not the
+          checksum, which is how the tear is detected on the next read. *)
   mutable used : int;
   mutable reads : int;
   mutable writes : int;
@@ -16,12 +33,38 @@ type t = {
   mutable rand_writes : int;
   mutable last_write : int;  (** Pid of the most recent write, -1 initially. *)
   mutable allocations : int;
+  mutable fault : fault;
+  mutable fault_writes : int;  (** Physical writes since the policy was armed. *)
 }
 
-let create ?(page_size = 4096) () =
+(* ---------- CRC-32 (IEEE 802.3), table-driven ---------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 img =
+  let table = Lazy.force crc_table in
+  let c = ref 0xffffffff in
+  for i = 0 to Bytes.length img - 1 do
+    (* The index is masked to [0, 255], so the table access needs no check. *)
+    c :=
+      Array.unsafe_get table ((!c lxor Char.code (Bytes.unsafe_get img i)) land 0xff)
+      lxor (!c lsr 8)
+  done;
+  !c lxor 0xffffffff
+
+let create ?(page_size = 4096) ?(checksums = true) () =
   {
     page_size;
+    checksums;
     pages = Array.make 16 Bytes.empty;
+    sums = Array.make 16 0;
     used = 0;
     reads = 0;
     writes = 0;
@@ -29,23 +72,33 @@ let create ?(page_size = 4096) () =
     rand_writes = 0;
     last_write = -1;
     allocations = 0;
+    fault = no_faults;
+    fault_writes = 0;
   }
 
 let page_size t = t.page_size
 
 let page_count t = t.used
 
+let checksums_enabled t = t.checksums
+
 let ensure_capacity t =
   if t.used >= Array.length t.pages then begin
-    let bigger = Array.make (2 * Array.length t.pages) Bytes.empty in
+    let n = 2 * Array.length t.pages in
+    let bigger = Array.make n Bytes.empty in
     Array.blit t.pages 0 bigger 0 t.used;
-    t.pages <- bigger
+    t.pages <- bigger;
+    let sums = Array.make n 0 in
+    Array.blit t.sums 0 sums 0 t.used;
+    t.sums <- sums
   end
 
 let alloc t =
   ensure_capacity t;
   let pid = t.used in
-  t.pages.(pid) <- Bytes.make t.page_size '\000';
+  let img = Bytes.make t.page_size '\000' in
+  t.pages.(pid) <- img;
+  if t.checksums then t.sums.(pid) <- crc32 img;
   t.used <- t.used + 1;
   t.allocations <- t.allocations + 1;
   pid
@@ -56,8 +109,16 @@ let check t pid =
 
 let read t pid =
   check t pid;
+  if List.mem pid t.fault.fail_read_pids then
+    raise (Crash (Printf.sprintf "injected read failure on page %d" pid));
   t.reads <- t.reads + 1;
-  Bytes.copy t.pages.(pid)
+  let img = t.pages.(pid) in
+  if t.checksums then begin
+    let computed = crc32 img in
+    if computed <> t.sums.(pid) then
+      raise (Corrupt_page { pid; stored = t.sums.(pid); computed })
+  end;
+  Bytes.copy img
 
 (* A write is sequential when the head is already positioned: the page
    follows (or repeats) the previously written one.  Anything else pays a
@@ -72,7 +133,49 @@ let write t pid img =
     t.seq_writes <- t.seq_writes + 1
   else t.rand_writes <- t.rand_writes + 1;
   t.last_write <- pid;
-  t.pages.(pid) <- Bytes.copy img
+  t.fault_writes <- t.fault_writes + 1;
+  (match t.fault.crash_at_write with
+  | Some k when t.fault_writes >= k ->
+    (* The power fails during this write: only the first [torn_prefix]
+       bytes of the new image reach the platter, and the sector checksum —
+       written by the drive at the end of a completed write — keeps
+       describing the previous image.  [torn_prefix = 0] models a crash
+       before the write; [torn_prefix = page_size] a crash just after it
+       completed (checksum included). *)
+    let prefix = max 0 (min t.fault.torn_prefix t.page_size) in
+    if prefix = t.page_size then begin
+      t.pages.(pid) <- Bytes.copy img;
+      if t.checksums then t.sums.(pid) <- crc32 img
+    end
+    else if prefix > 0 then begin
+      let torn = Bytes.copy t.pages.(pid) in
+      Bytes.blit img 0 torn 0 prefix;
+      t.pages.(pid) <- torn
+    end;
+    raise (Crash (Printf.sprintf "injected crash at write %d (page %d, %d/%d bytes applied)"
+                    t.fault_writes pid prefix t.page_size))
+  | Some _ | None -> ());
+  t.pages.(pid) <- Bytes.copy img;
+  if t.checksums then t.sums.(pid) <- crc32 img
+
+let verify t pid =
+  check t pid;
+  (not t.checksums) || crc32 t.pages.(pid) = t.sums.(pid)
+
+let set_faults t fault =
+  t.fault <- fault;
+  t.fault_writes <- 0
+
+let clear_faults t = set_faults t no_faults
+
+let clone t =
+  {
+    t with
+    pages = Array.map Bytes.copy t.pages;
+    sums = Array.copy t.sums;
+    fault = no_faults;
+    fault_writes = 0;
+  }
 
 let stats t =
   {

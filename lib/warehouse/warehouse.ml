@@ -55,19 +55,23 @@ let take_pending t ~view =
   e.queue <- [];
   batch
 
+(* One maintenance transaction under the crash-safe write ordering of
+   {!Vnl_core.Recovery.run_maintenance} (flag durable -> apply -> flush ->
+   catalog-write -> publish): a crash at any physical write during a
+   refresh leaves a disk image {!Vnl_core.Recovery.reopen} repairs to
+   either the pre- or post-refresh state. *)
 let refresh_with t extra =
-  let txn = Twovnl.Txn.begin_ t.vnl in
-  let outcomes =
-    List.map
-      (fun (_, e) ->
-        let batch = List.rev e.queue in
-        e.queue <- [];
-        Summary.apply_batch txn e.def batch)
-      t.entries
-  in
-  extra txn;
-  Twovnl.Txn.commit txn;
-  outcomes
+  Vnl_core.Recovery.run_maintenance t.db t.vnl (fun txn ->
+      let outcomes =
+        List.map
+          (fun (_, e) ->
+            let batch = List.rev e.queue in
+            e.queue <- [];
+            Summary.apply_batch txn e.def batch)
+          t.entries
+      in
+      extra txn;
+      outcomes)
 
 let refresh t = refresh_with t (fun _ -> ())
 

@@ -39,7 +39,11 @@ val take_pending : t -> view:string -> Delta.change list
 
 val refresh : t -> Summary.outcome list
 (** Run one maintenance transaction propagating every queued batch, commit,
-    and return per-view outcomes (in view order). *)
+    and return per-view outcomes (in view order).  The transaction runs
+    under {!Vnl_core.Recovery.run_maintenance}'s crash-safe write ordering:
+    a crash at any point leaves a disk image that
+    {!Vnl_core.Recovery.reopen} repairs to the pre- or post-refresh
+    state. *)
 
 val refresh_with : t -> (Vnl_core.Twovnl.Txn.m -> unit) -> Summary.outcome list
 (** Like {!refresh} but also runs the given extra maintenance work inside

@@ -22,4 +22,5 @@ let () =
       ("warehouse", Test_warehouse.suite);
       ("workload", Test_workload.suite);
       ("recovery", Test_recovery.suite);
+      ("faults", Test_faults.suite);
     ]

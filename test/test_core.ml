@@ -522,6 +522,40 @@ let test_versions_needed () =
     (Expiry.versions_needed ~session_len:10_000 ~gap:60 ~txn_len:1380
     >= Expiry.versions_needed ~session_len:100 ~gap:60 ~txn_len:1380)
 
+let test_versions_needed_degenerate () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  (* gap = 0 and txn_len = 0 leave every bound at 0: no n can cover a
+     positive session, and the old implementation looped or returned a
+     bogus n instead of saying so. *)
+  Alcotest.(check bool) "unsatisfiable rejected" true
+    (raises (fun () -> Expiry.versions_needed ~session_len:10 ~gap:0 ~txn_len:0));
+  (* ...but a zero-length session is covered by the minimum n. *)
+  check Alcotest.int "zero session fine" 2
+    (Expiry.versions_needed ~session_len:0 ~gap:0 ~txn_len:0);
+  List.iter
+    (fun f -> Alcotest.(check bool) "negative duration rejected" true (raises f))
+    [
+      (fun () -> Expiry.versions_needed ~session_len:(-1) ~gap:60 ~txn_len:10);
+      (fun () -> Expiry.versions_needed ~session_len:10 ~gap:(-60) ~txn_len:10);
+      (fun () -> Expiry.versions_needed ~session_len:10 ~gap:60 ~txn_len:(-10));
+      (fun () -> Expiry.never_expire_bound ~n:2 ~gap:(-1) ~txn_len:0);
+      (fun () -> Expiry.never_expire_bound ~n:1 ~gap:60 ~txn_len:10);
+    ]
+
+(* Property: the closed form returns exactly the smallest n >= 2 whose
+   never_expire_bound covers the session. *)
+let qcheck_versions_needed_minimal =
+  let open QCheck in
+  let gen = Gen.(triple (0 -- 5000) (0 -- 2000) (0 -- 2000)) in
+  Test.make ~name:"versions_needed is the minimal covering n" ~count:500
+    (make gen ~print:Print.(triple int int int))
+    (fun (session_len, gap, txn_len) ->
+      QCheck.assume (not (gap = 0 && txn_len = 0 && session_len > 0));
+      let n = Expiry.versions_needed ~session_len ~gap ~txn_len in
+      n >= 2
+      && Expiry.never_expire_bound ~n ~gap ~txn_len >= session_len
+      && (n = 2 || Expiry.never_expire_bound ~n:(n - 1) ~gap ~txn_len < session_len))
+
 let suite =
   [
     Alcotest.test_case "op net effects (same txn)" `Quick test_op_combine_same_txn;
@@ -571,4 +605,6 @@ let suite =
     Alcotest.test_case "Example 5.1 visibility" `Quick test_example_5_1_visibility;
     Alcotest.test_case "expiry formula" `Quick test_expiry_formula;
     Alcotest.test_case "versions_needed tuning" `Quick test_versions_needed;
+    Alcotest.test_case "versions_needed degenerate inputs" `Quick test_versions_needed_degenerate;
+    QCheck_alcotest.to_alcotest qcheck_versions_needed_minimal;
   ]

@@ -51,6 +51,74 @@ let test_catalog_rejects_garbage () =
         (try ignore (Catalog.parse text); false with Catalog.Corrupt _ -> true))
     [ ""; "nonsense"; "vnl-catalog 1\nattr a|int|--\n"; "vnl-catalog 1\ntable t\nattr broken\nend" ]
 
+(* Names the line-oriented catalog format cannot round-trip must be
+   rejected when they enter the system, not discovered as a corrupt
+   catalog at the next reopen. *)
+let bad_names = [ ""; "a|b"; "a b"; "a\nb"; "a\tb"; "caf\xc3\xa9" ]
+
+let tricky_good_names = [ "T-1.x_2"; "a'b"; "#tmp"; "UPPER_lower.0"; "!"; "~" ]
+
+let entry_with ?(table = "T") ?(attr = "a") ?(index = None) () =
+  let schema =
+    Schema.make [ Schema.attr ~key:true attr Dtype.Int; Schema.attr "v" Dtype.Int ]
+  in
+  {
+    Catalog.table;
+    schema;
+    pages = [ 1 ];
+    secondary = (match index with None -> [] | Some (n, cols) -> [ (n, cols) ]);
+  }
+
+let test_catalog_rejects_bad_names () =
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Printf.sprintf "table %S rejected at serialize" name)
+        true
+        (raises (fun () -> ignore (Catalog.serialize [ entry_with ~table:name () ])));
+      Alcotest.(check bool)
+        (Printf.sprintf "attribute %S rejected at serialize" name)
+        true
+        (raises (fun () -> ignore (Catalog.serialize [ entry_with ~attr:name () ])));
+      Alcotest.(check bool)
+        (Printf.sprintf "index %S rejected at serialize" name)
+        true
+        (raises (fun () ->
+             ignore (Catalog.serialize [ entry_with ~index:(Some (name, [ "a" ])) () ])));
+      (* And the same names never get in through the front door. *)
+      let db = Database.create () in
+      Alcotest.(check bool)
+        (Printf.sprintf "create_table %S rejected" name)
+        true
+        (raises (fun () ->
+             ignore
+               (Database.create_table db name
+                  (Schema.make [ Schema.attr ~key:true "a" Dtype.Int ]))));
+      let t =
+        Database.create_table db "T" (Schema.make [ Schema.attr ~key:true "a" Dtype.Int ])
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "create_index %S rejected" name)
+        true
+        (raises (fun () -> Table.create_index t ~name [ "a" ])))
+    bad_names
+
+let test_catalog_tricky_names_roundtrip () =
+  List.iter
+    (fun name ->
+      let entry = entry_with ~table:name ~index:(Some (name ^ "_idx", [ "a" ])) () in
+      match Catalog.parse (Catalog.serialize [ entry ]) with
+      | [ e ] ->
+        check Alcotest.string "table name survives" name e.Catalog.table;
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.string (Alcotest.list Alcotest.string)))
+          "index survives"
+          [ (name ^ "_idx", [ "a" ]) ]
+          e.Catalog.secondary
+      | _ -> Alcotest.failf "entry %S did not round-trip" name)
+    tricky_good_names
+
 let populated_db () =
   let db = Database.create () in
   let t = Database.create_table db "T" Fixtures.daily_sales in
@@ -221,6 +289,8 @@ let suite =
   [
     Alcotest.test_case "catalog roundtrip" `Quick test_catalog_roundtrip;
     Alcotest.test_case "catalog rejects garbage" `Quick test_catalog_rejects_garbage;
+    Alcotest.test_case "catalog rejects bad names" `Quick test_catalog_rejects_bad_names;
+    Alcotest.test_case "catalog tricky names roundtrip" `Quick test_catalog_tricky_names_roundtrip;
     Alcotest.test_case "save/reopen roundtrip" `Quick test_save_reopen_roundtrip;
     Alcotest.test_case "save idempotent" `Quick test_save_is_idempotent;
     Alcotest.test_case "reopen uninitialized rejected" `Quick test_reopen_uninitialized_rejected;

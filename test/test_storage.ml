@@ -44,6 +44,193 @@ let test_disk_many_pages () =
   done;
   check Alcotest.int "count" 100 (Disk.page_count d)
 
+(* ---------- checksums and fault injection ---------- *)
+
+let test_disk_checksum_roundtrip () =
+  let d = Disk.create ~page_size:128 () in
+  Alcotest.(check bool) "checksums default on" true (Disk.checksums_enabled d);
+  let p = Disk.alloc d in
+  Alcotest.(check bool) "fresh page verifies" true (Disk.verify d p);
+  Disk.write d p (Bytes.make 128 'q');
+  Alcotest.(check bool) "written page verifies" true (Disk.verify d p);
+  ignore (Disk.read d p)
+
+let test_disk_crash_at_write_k () =
+  let d = Disk.create ~page_size:64 () in
+  let p0 = Disk.alloc d and p1 = Disk.alloc d in
+  Disk.write d p0 (Bytes.make 64 'a');
+  Disk.set_faults d { Disk.no_faults with crash_at_write = Some 2 };
+  Disk.write d p1 (Bytes.make 64 'b');
+  (* Write 1 since arming succeeded; write 2 must crash without applying. *)
+  Alcotest.(check bool) "second write crashes" true
+    (try
+       Disk.write d p0 (Bytes.make 64 'c');
+       false
+     with Disk.Crash _ -> true);
+  Disk.clear_faults d;
+  check Alcotest.char "crashing write not applied" 'a' (Bytes.get (Disk.read d p0) 0);
+  check Alcotest.char "pre-crash write applied" 'b' (Bytes.get (Disk.read d p1) 0)
+
+let test_disk_torn_write_detected () =
+  let d = Disk.create ~page_size:64 () in
+  let p = Disk.alloc d in
+  Disk.write d p (Bytes.make 64 'o');
+  Disk.set_faults d { Disk.no_faults with crash_at_write = Some 1; torn_prefix = 10 };
+  Alcotest.(check bool) "torn write crashes" true
+    (try
+       Disk.write d p (Bytes.make 64 'n');
+       false
+     with Disk.Crash _ -> true);
+  Disk.clear_faults d;
+  Alcotest.(check bool) "torn page fails verify" false (Disk.verify d p);
+  Alcotest.(check bool) "torn page detected on read" true
+    (try
+       ignore (Disk.read d p);
+       false
+     with Disk.Corrupt_page _ -> true)
+
+let test_disk_full_prefix_write_is_complete () =
+  let d = Disk.create ~page_size:64 () in
+  let p = Disk.alloc d in
+  Disk.write d p (Bytes.make 64 'o');
+  Disk.set_faults d { Disk.no_faults with crash_at_write = Some 1; torn_prefix = 64 };
+  (try Disk.write d p (Bytes.make 64 'n') with Disk.Crash _ -> ());
+  Disk.clear_faults d;
+  (* The full image landed, checksum included: valid and new. *)
+  check Alcotest.char "write completed before crash" 'n' (Bytes.get (Disk.read d p) 0)
+
+let test_disk_injected_read_failure () =
+  let d = Disk.create ~page_size:64 () in
+  let p0 = Disk.alloc d and p1 = Disk.alloc d in
+  Disk.set_faults d { Disk.no_faults with fail_read_pids = [ p1 ] };
+  ignore (Disk.read d p0);
+  Alcotest.(check bool) "read of failed page raises" true
+    (try
+       ignore (Disk.read d p1);
+       false
+     with Disk.Crash _ -> true);
+  Disk.clear_faults d;
+  ignore (Disk.read d p1)
+
+let test_disk_clone_independent () =
+  let d = Disk.create ~page_size:64 () in
+  let p = Disk.alloc d in
+  Disk.write d p (Bytes.make 64 'x');
+  let c = Disk.clone d in
+  Disk.write d p (Bytes.make 64 'y');
+  check Alcotest.char "clone keeps old image" 'x' (Bytes.get (Disk.read c p) 0);
+  check Alcotest.char "original has new image" 'y' (Bytes.get (Disk.read d p) 0);
+  Alcotest.(check bool) "clone verifies" true (Disk.verify c p)
+
+let test_disk_checksums_off () =
+  let d = Disk.create ~page_size:64 ~checksums:false () in
+  let p = Disk.alloc d in
+  Disk.write d p (Bytes.make 64 'o');
+  Disk.set_faults d { Disk.no_faults with crash_at_write = Some 1; torn_prefix = 7 };
+  (try Disk.write d p (Bytes.make 64 'n') with Disk.Crash _ -> ());
+  Disk.clear_faults d;
+  (* No checksum to catch the tear: the mixed page decodes silently — the
+     behavior the checksum layer exists to prevent. *)
+  Alcotest.(check bool) "verify is vacuous" true (Disk.verify d p);
+  let img = Disk.read d p in
+  check Alcotest.char "prefix is new" 'n' (Bytes.get img 0);
+  check Alcotest.char "tail is old" 'o' (Bytes.get img 63)
+
+(* ---------- seq/rand classification after reset_stats ---------- *)
+
+(* Pins down the head position after [reset_stats]: before page 0.  The
+   first post-reset write is sequential iff it lands on page 0 — what the
+   ascending flush tests (and bench comparability across PRs) rely on. *)
+let test_disk_first_write_after_reset () =
+  let d = Disk.create ~page_size:64 () in
+  for _ = 1 to 4 do
+    ignore (Disk.alloc d)
+  done;
+  Disk.reset_stats d;
+  Disk.write d 0 (Bytes.make 64 'a');
+  let s = Disk.stats d in
+  check Alcotest.int "write to page 0 is sequential" 1 s.Disk.seq_writes;
+  check Alcotest.int "no random writes yet" 0 s.Disk.rand_writes;
+  Disk.reset_stats d;
+  Disk.write d 2 (Bytes.make 64 'b');
+  let s = Disk.stats d in
+  check Alcotest.int "write to page 2 is random" 1 s.Disk.rand_writes;
+  check Alcotest.int "not sequential" 0 s.Disk.seq_writes
+
+let test_pool_first_writeback_after_reset () =
+  let d = Disk.create ~page_size:64 () in
+  let pool = Buffer_pool.create ~capacity:8 d in
+  for _ = 1 to 4 do
+    ignore (Buffer_pool.alloc_page pool)
+  done;
+  Buffer_pool.with_page_mut pool 0 (fun img -> Bytes.set img 0 'a');
+  Buffer_pool.reset_stats pool;
+  Buffer_pool.flush_all pool;
+  check Alcotest.int "first write-back to page 0 is sequential" 1
+    (Buffer_pool.stats pool).Buffer_pool.seq_writes;
+  Buffer_pool.with_page_mut pool 3 (fun img -> Bytes.set img 0 'b');
+  Buffer_pool.reset_stats pool;
+  Buffer_pool.flush_all pool;
+  let s = Buffer_pool.stats pool in
+  check Alcotest.int "first write-back to page 3 is random" 1 s.Buffer_pool.rand_writes;
+  check Alcotest.int "and not sequential" 0 s.Buffer_pool.seq_writes
+
+(* ---------- pinning ---------- *)
+
+(* Regression: at capacity 2, a nested page access used to evict the frame
+   the outer callback was mutating, silently losing the mutation to a stale
+   re-read.  Pinned frames are no longer eviction victims. *)
+let test_pool_pin_survives_nested_access () =
+  let d = Disk.create ~page_size:64 () in
+  let pool = Buffer_pool.create ~capacity:2 d in
+  let p0 = Buffer_pool.alloc_page pool in
+  let p1 = Buffer_pool.alloc_page pool in
+  let p2 = Buffer_pool.alloc_page pool in
+  Buffer_pool.drop_cache pool;
+  Buffer_pool.with_page_mut pool p0 (fun img ->
+      (* Load two other pages: the second forces an eviction, which must
+         pick p1, not the pinned p0. *)
+      Buffer_pool.with_page pool p1 (fun _ -> ());
+      Buffer_pool.with_page pool p2 (fun _ -> ());
+      Bytes.set img 0 'M');
+  Buffer_pool.flush_all pool;
+  check Alcotest.char "outer mutation reached disk" 'M' (Bytes.get (Disk.read d p0) 0)
+
+let test_pool_all_pinned_raises () =
+  let d = Disk.create ~page_size:64 () in
+  let pool = Buffer_pool.create ~capacity:1 d in
+  let p0 = Buffer_pool.alloc_page pool in
+  let p1 = Buffer_pool.alloc_page pool in
+  Buffer_pool.drop_cache pool;
+  Buffer_pool.with_page_mut pool p0 (fun img ->
+      Bytes.set img 0 'K';
+      (* The only frame is pinned: loading another page must fail loudly
+         rather than evict it. *)
+      Alcotest.(check bool) "nested load with all frames pinned raises" true
+        (try
+           Buffer_pool.with_page pool p1 (fun _ -> ());
+           false
+         with Failure _ -> true);
+      Bytes.set img 1 'L');
+  Buffer_pool.flush_all pool;
+  let img = Disk.read d p0 in
+  check Alcotest.char "mutation before the raise persisted" 'K' (Bytes.get img 0);
+  check Alcotest.char "mutation after the raise persisted" 'L' (Bytes.get img 1)
+
+let test_pool_unpinned_after_callback () =
+  let d = Disk.create ~page_size:64 () in
+  let pool = Buffer_pool.create ~capacity:1 d in
+  let p0 = Buffer_pool.alloc_page pool in
+  let p1 = Buffer_pool.alloc_page pool in
+  Buffer_pool.drop_cache pool;
+  Buffer_pool.with_page pool p0 (fun _ -> ());
+  (* Pin released: the frame is evictable again. *)
+  Buffer_pool.with_page pool p1 (fun _ -> ());
+  Buffer_pool.with_page pool p0 (fun _ -> ());
+  (* And the pin is released on exception too. *)
+  (try Buffer_pool.with_page pool p1 (fun _ -> failwith "boom") with Failure _ -> ());
+  Buffer_pool.with_page pool p0 (fun _ -> ())
+
 let test_page_layout () =
   let l = Page.layout ~page_size:4096 ~record_width:51 in
   (* 4 header bytes + 51+1 per record: floor(4092/52) = 78 slots. *)
@@ -371,6 +558,22 @@ let suite =
     Alcotest.test_case "disk alloc/read/write" `Quick test_disk_alloc_read_write;
     Alcotest.test_case "disk bad page" `Quick test_disk_bad_page;
     Alcotest.test_case "disk many pages" `Quick test_disk_many_pages;
+    Alcotest.test_case "disk checksum roundtrip" `Quick test_disk_checksum_roundtrip;
+    Alcotest.test_case "disk crash at write k" `Quick test_disk_crash_at_write_k;
+    Alcotest.test_case "disk torn write detected" `Quick test_disk_torn_write_detected;
+    Alcotest.test_case "disk full-prefix write completes" `Quick
+      test_disk_full_prefix_write_is_complete;
+    Alcotest.test_case "disk injected read failure" `Quick test_disk_injected_read_failure;
+    Alcotest.test_case "disk clone independent" `Quick test_disk_clone_independent;
+    Alcotest.test_case "disk checksums off" `Quick test_disk_checksums_off;
+    Alcotest.test_case "disk first write after reset_stats" `Quick
+      test_disk_first_write_after_reset;
+    Alcotest.test_case "pool first write-back after reset_stats" `Quick
+      test_pool_first_writeback_after_reset;
+    Alcotest.test_case "pool pin survives nested access" `Quick
+      test_pool_pin_survives_nested_access;
+    Alcotest.test_case "pool all-pinned eviction raises" `Quick test_pool_all_pinned_raises;
+    Alcotest.test_case "pool unpins after callback" `Quick test_pool_unpinned_after_callback;
     Alcotest.test_case "page layout arithmetic" `Quick test_page_layout;
     Alcotest.test_case "page slot lifecycle" `Quick test_page_slots;
     Alcotest.test_case "page in-place overwrite" `Quick test_page_overwrite_in_place;
