@@ -1,0 +1,153 @@
+(* bench-compare: the CI regression gate over the committed BENCH_*.json
+   baselines.
+
+   `compare.exe --baseline DIR --fresh DIR` loads each committed baseline
+   from DIR(baseline) and the matching file a fresh `@bench-smoke` run left
+   in DIR(fresh), then checks:
+
+   - hard failures (exit 1): a file missing from either side, JSON that
+     does not parse, a baseline key absent from the fresh output, a value
+     changing JSON kind (schema drift), or a fresh file without a
+     non-empty registry-sourced "phases" section;
+   - soft warnings (exit 0): timing values (keys ending in _ms / _ns / _s,
+     and speedup ratios) drifting by more than 3x in either direction, and
+     phase-name or array-length differences inside "phases" — the smoke
+     run is deliberately tiny, so its timings gate nothing.
+
+   The asymmetry is the point: CI on a shared runner cannot hold timing
+   steady, but it can hold the *shape* of every benchmark artifact steady,
+   which is what downstream tooling parses. *)
+
+module Json = Vnl_obs.Json
+
+let bench_files = [ "BENCH_maintenance.json"; "BENCH_plans.json"; "BENCH_recovery.json" ]
+
+let errors = ref 0
+
+let warnings = ref 0
+
+let error fmt = Printf.ksprintf (fun s -> incr errors; Printf.printf "ERROR %s\n" s) fmt
+
+let warn fmt = Printf.ksprintf (fun s -> incr warnings; Printf.printf "warn  %s\n" s) fmt
+
+let kind = function
+  | Json.Null -> "null"
+  | Json.Bool _ -> "bool"
+  | Json.Num _ -> "number"
+  | Json.Str _ -> "string"
+  | Json.Arr _ -> "array"
+  | Json.Obj _ -> "object"
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+let is_timing_key k =
+  ends_with ~suffix:"_ms" k || ends_with ~suffix:"_ns" k || ends_with ~suffix:"_s" k
+  || String.equal k "speedup"
+
+let check_timing path b f =
+  if b > 0.0 && f > 0.0 then begin
+    let ratio = if f > b then f /. b else b /. f in
+    if ratio > 3.0 then warn "%s: timing drift %.3g -> %.3g (%.1fx)" path b f ratio
+  end
+
+(* Baseline-shape containment: every key path in the baseline must exist in
+   the fresh output with the same JSON kind.  Inside [lenient] subtrees
+   ("phases": span sets follow the exercised code paths, and the smoke run
+   is smaller) structural differences warn instead of fail. *)
+let rec walk ~lenient path (base : Json.t) (fresh : Json.t) =
+  match (base, fresh) with
+  | Json.Obj bfs, Json.Obj ffs ->
+    List.iter
+      (fun (k, bv) ->
+        let sub = path ^ "." ^ k in
+        match List.assoc_opt k ffs with
+        | None ->
+          if lenient then warn "%s: key missing from fresh output" sub
+          else error "%s: key missing from fresh output" sub
+        | Some fv -> walk ~lenient:(lenient || String.equal k "phases") sub bv fv)
+      bfs
+  | Json.Arr bs, Json.Arr fs ->
+    let nb = List.length bs and nf = List.length fs in
+    if nb <> nf then
+      if lenient then warn "%s: array length %d -> %d" path nb nf
+      else error "%s: array length %d -> %d (schema drift)" path nb nf;
+    List.iteri
+      (fun i bv ->
+        match List.nth_opt fs i with
+        | Some fv -> walk ~lenient (Printf.sprintf "%s[%d]" path i) bv fv
+        | None -> ())
+      bs
+  | Json.Num b, Json.Num f ->
+    let leaf =
+      match String.rindex_opt path '.' with
+      | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+      | None -> path
+    in
+    if is_timing_key leaf then check_timing path b f
+  | Json.Str _, Json.Str _ | Json.Bool _, Json.Bool _ | Json.Null, Json.Null -> ()
+  | _ ->
+    if lenient then warn "%s: kind changed %s -> %s" path (kind base) (kind fresh)
+    else error "%s: kind changed %s -> %s (schema drift)" path (kind base) (kind fresh)
+
+(* The acceptance shape of a registry-sourced phase summary (what
+   [Vnl_obs.Obs.phases_json] emits). *)
+let check_phases file (fresh : Json.t) =
+  match Json.member "phases" fresh with
+  | None -> error "%s: fresh output has no \"phases\" section" file
+  | Some (Json.Obj []) -> error "%s: fresh \"phases\" section is empty" file
+  | Some (Json.Obj entries) ->
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | Json.Obj fields ->
+          List.iter
+            (fun want ->
+              if not (List.mem_assoc want fields) then
+                error "%s: phase %S lacks %S" file name want)
+            [ "count"; "total_ms"; "mean_ms"; "p99_ms" ]
+        | _ -> error "%s: phase %S is not an object" file name)
+      entries
+  | Some j -> error "%s: \"phases\" is %s, expected object" file (kind j)
+
+let load side path =
+  if not (Sys.file_exists path) then begin
+    error "%s file %s is missing" side path;
+    None
+  end
+  else
+    match Json.parse_file path with
+    | j -> Some j
+    | exception Json.Parse_error msg ->
+      error "%s file %s does not parse: %s" side path msg;
+      None
+
+let compare_file ~baseline ~fresh file =
+  let b = load "baseline" (Filename.concat baseline file) in
+  let f = load "fresh" (Filename.concat fresh file) in
+  match (b, f) with
+  | Some b, Some f ->
+    check_phases file f;
+    walk ~lenient:false file b f
+  | _ -> ()
+
+let usage () =
+  prerr_endline "usage: compare.exe --baseline DIR --fresh DIR";
+  exit 2
+
+let () =
+  let baseline = ref "." and fresh = ref "" in
+  let rec parse = function
+    | "--baseline" :: dir :: rest -> baseline := dir; parse rest
+    | "--fresh" :: dir :: rest -> fresh := dir; parse rest
+    | [] -> ()
+    | arg :: _ -> Printf.eprintf "unknown argument %S\n" arg; usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if String.equal !fresh "" then usage ();
+  Printf.printf "bench-compare: baseline=%s fresh=%s\n" !baseline !fresh;
+  List.iter (compare_file ~baseline:!baseline ~fresh:!fresh) bench_files;
+  Printf.printf "bench-compare: %d error(s), %d warning(s) over %d file(s)\n" !errors
+    !warnings (List.length bench_files);
+  exit (if !errors > 0 then 1 else 0)

@@ -339,11 +339,17 @@ let write_json rows pools =
         p.pool_per_io.seq p.pool_per_io.rand p.pool_bat_io.seq p.pool_bat_io.rand
         (if i = List.length pools - 1 then "" else ","))
     pools;
-  Printf.fprintf oc "  ]\n}\n";
+  Printf.fprintf oc "  ],\n  \"phases\": %s\n}\n" (Vnl_obs.Obs.phases_json ());
   close_out oc
 
 let run () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  (* Spans on for the whole experiment: the "phases" section reports this
+     run's batch.group/resolve/fold/apply durations.  The spans fire once
+     per transaction (µs of Sys.time against ms-scale transactions), so
+     they do not disturb the per-op-vs-batched comparison. *)
+  Vnl_obs.Obs.enabled := true;
+  Vnl_obs.Obs.reset ();
   T.section "BATCH  batched vs per-op maintenance apply (net effect + page order)";
   Printf.printf
     "DailySales warehouse: %d days x %d groups preloaded; each transaction is one\n\

@@ -231,16 +231,23 @@ let write_json r ~checksum_on_s ~checksum_off_s ~pages =
      \"recovered_post\": %d, \"torn_points\": %d, \"torn_detected\": %d, \"torn_recovered\": %d},\n\
     \  \"recovery_ms\": {\"mean\": %.3f, \"max\": %.3f},\n\
     \  \"checksum_overhead\": {\"pages\": %d, \"on_ms\": %.3f, \"off_ms\": %.3f, \
-     \"overhead_pct\": %.1f}\n\
+     \"overhead_pct\": %.1f},\n\
+    \  \"phases\": %s\n\
      }\n"
     r.writes r.crash_points r.pre r.post r.writes r.torn_detected r.torn_recovered
     (1000.0 *. r.reopen_total_s /. float_of_int (r.crash_points + r.writes))
     (1000.0 *. r.reopen_max_s) pages (1000.0 *. checksum_on_s) (1000.0 *. checksum_off_s)
-    (if checksum_off_s > 0.0 then 100.0 *. ((checksum_on_s /. checksum_off_s) -. 1.0) else 0.0);
+    (if checksum_off_s > 0.0 then 100.0 *. ((checksum_on_s /. checksum_off_s) -. 1.0) else 0.0)
+    (Vnl_obs.Obs.phases_json ());
   close_out oc
 
 let run () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  (* Spans on for the whole experiment: the "phases" section reports the
+     maintenance.* and recovery.* durations across the sweep (including
+     the aborted spans of every injected crash). *)
+  Vnl_obs.Obs.enabled := true;
+  Vnl_obs.Obs.reset ();
   T.section "FAULTS  crash-recovery sweep and checksum overhead (§7)";
   let days = if smoke then 2 else 6 in
   let size = if smoke then 40 else 400 in

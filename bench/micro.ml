@@ -255,8 +255,10 @@ let bench_plan_pairs =
     plan_pairs
 
 (* Wall-clock ns/run with adaptive iteration counts; the warm-up calls also
-   populate the plan cache, so the prepared numbers measure steady state. *)
-let ns_per_run f =
+   populate the plan cache, so the prepared numbers measure steady state.
+   [min_time] is the sampling window per measurement — the smoke run
+   shrinks it so @bench-smoke still emits a (rough) BENCH_plans.json. *)
+let ns_per_run ?(min_time = 0.2) f =
   ignore (f ());
   ignore (f ());
   let rec go iters =
@@ -265,7 +267,7 @@ let ns_per_run f =
       ignore (f ())
     done;
     let dt = Sys.time () -. t0 in
-    if dt < 0.2 && iters < 8_388_608 then go (iters * 4)
+    if dt < min_time && iters < 8_388_608 then go (iters * 4)
     else dt *. 1e9 /. float_of_int iters
   in
   go 64
@@ -280,16 +282,34 @@ let write_plans_json results =
         name interp_ns prep_ns (interp_ns /. prep_ns)
         (if i = List.length results - 1 then "" else ","))
     results;
-  Printf.fprintf oc "  ]\n}\n";
+  Printf.fprintf oc "  ],\n  \"phases\": %s\n}\n" (Vnl_obs.Obs.phases_json ());
   close_out oc
 
-let run_plans_json () =
+let run_plans_json ?(smoke = false) () =
   Vnl_util.Ascii_table.section "PLANS  prepared statements vs parse+rewrite+interpret";
+  (* The timing loops run with observability off — a reader statement is
+     hundreds of ns, so even one Sys.time pair per call would distort the
+     committed numbers.  The phases come from a separate instrumented pass
+     below. *)
+  Vnl_obs.Obs.enabled := false;
+  let min_time = if smoke then 0.005 else 0.2 in
   let results =
     List.map
-      (fun (name, interp, prep) -> (name, ns_per_run interp, ns_per_run prep))
+      (fun (name, interp, prep) -> (name, ns_per_run ~min_time interp, ns_per_run ~min_time prep))
       plan_pairs
   in
+  (* Instrumented pass for the "phases" section: the same statements with
+     spans on, outside the timed region. *)
+  Vnl_obs.Obs.enabled := true;
+  Vnl_obs.Obs.reset ();
+  List.iter
+    (fun (_, interp, prep) ->
+      for _ = 1 to 100 do
+        ignore (interp ());
+        ignore (prep ())
+      done)
+    plan_pairs;
+  Vnl_obs.Obs.enabled := false;
   Vnl_util.Ascii_table.print
     ~header:[ "statement"; "interpreted ns"; "prepared ns"; "speedup" ]
     (List.map
@@ -354,7 +374,10 @@ let smoke () =
       f ();
       Printf.printf "  ok  %s\n" name)
     thunks;
-  print_endline "-> all microbenchmark workloads executed once."
+  print_endline "-> all microbenchmark workloads executed once.";
+  (* Short sampling windows: the smoke run still records BENCH_plans.json
+     (with its registry-sourced phases) for the bench-compare CI gate. *)
+  run_plans_json ~smoke:true ()
 
 let run ?(smoke_only = false) () =
   if smoke_only then smoke ()

@@ -215,6 +215,68 @@ let run_expiry gap txn_len session_len =
   Printf.printf "\nsmallest n for %d-minute sessions: %d\n" session_len
     (Expiry.versions_needed ~session_len ~gap ~txn_len)
 
+(* ---------- vnl stats ---------- *)
+
+module Obs = Vnl_obs.Obs
+
+(* A small but complete demo workload — initial load, three days of
+   on-line refresh with session-consistent reader queries, one GC pass —
+   so every instrumented layer (disk, pool, 2VNL core, batch apply,
+   maintenance protocol, reader path) contributes to the registry. *)
+let run_stats seed format =
+  Obs.enabled := true;
+  Obs.reset ();
+  let rng = Xorshift.create seed in
+  let wh = Warehouse.create ~pool_capacity:256 [ Sales_gen.daily_sales_view () ] in
+  Warehouse.queue_changes wh ~view:"DailySales"
+    (Sales_gen.initial_load rng ~days:5 ~sales_per_day:120);
+  ignore (Warehouse.refresh wh);
+  let analyst =
+    "SELECT city, state, SUM(total_sales) FROM DailySales GROUP BY city, state"
+  in
+  for day = 6 to 8 do
+    let src = Warehouse.source wh "DailySales" in
+    Warehouse.queue_changes wh ~view:"DailySales"
+      (Sales_gen.gen_batch rng src ~day ~inserts:70 ~updates:20 ~deletes:10);
+    let s = Warehouse.begin_session wh in
+    ignore (Warehouse.query wh s analyst);
+    ignore (Warehouse.refresh wh);
+    (* Second query of the pair: same session, post-refresh — the 2VNL
+       guarantee under observation. *)
+    ignore (Warehouse.query wh s analyst);
+    Warehouse.end_session wh s
+  done;
+  ignore (Warehouse.collect_garbage wh);
+  match format with
+  | `Json -> print_string (Obs.to_json ())
+  | `Prometheus -> print_string (Obs.to_prometheus ())
+  | `Table ->
+    print_endline
+      "registry after the demo workload (5-day load + 3 on-line refresh days):\n";
+    let live f l = List.filter f l in
+    T.print ~header:[ "counter"; "value" ]
+      (List.map
+         (fun c -> [ Obs.Counter.name c; string_of_int (Obs.Counter.get c) ])
+         (live (fun c -> Obs.Counter.get c <> 0) (Obs.Registry.counters Obs.Registry.default)));
+    print_newline ();
+    T.print ~header:[ "gauge"; "value" ]
+      (List.map
+         (fun g -> [ Obs.Gauge.name g; string_of_int (Obs.Gauge.get g) ])
+         (Obs.Registry.gauges Obs.Registry.default));
+    T.subsection "per-phase span breakdown";
+    T.print
+      ~header:[ "phase"; "count"; "total ms"; "mean ms"; "p99 ms" ]
+      (List.map
+         (fun (name, s) ->
+           [
+             name;
+             string_of_int s.Stats.n;
+             Printf.sprintf "%.3f" s.Stats.total;
+             Printf.sprintf "%.4f" s.Stats.mean;
+             Printf.sprintf "%.3f" s.Stats.p99;
+           ])
+         (Obs.phase_summaries ()))
+
 (* ---------- cmdliner wiring ---------- *)
 
 open Cmdliner
@@ -284,7 +346,28 @@ let expiry_cmd =
   in
   Cmd.v (Cmd.info "expiry" ~doc) Term.(const run_expiry $ gap $ txn_len $ session)
 
+let stats_cmd =
+  let doc =
+    "Run a demo warehouse workload with observability on and report the metric \
+     registry (counters, gauges, per-phase span breakdown)."
+  in
+  let format_term =
+    let json =
+      Arg.(value & flag & info [ "json" ] ~doc:"Emit the registry as JSON (Obs.to_json).")
+    in
+    let prometheus =
+      Arg.(value & flag
+           & info [ "prometheus" ] ~doc:"Emit Prometheus text exposition (Obs.to_prometheus).")
+    in
+    Term.(
+      const (fun json prometheus ->
+          if json then `Json else if prometheus then `Prometheus else `Table)
+      $ json $ prometheus)
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run_stats $ seed_term $ format_term)
+
 let () =
   let doc = "2VNL on-line warehouse view maintenance (Quass & Widom, SIGMOD 1997)" in
   let info = Cmd.info "vnl" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ shell_cmd; scenario_cmd; blocking_cmd; expiry_cmd ]))
+  exit
+    (Cmd.eval (Cmd.group info [ shell_cmd; scenario_cmd; blocking_cmd; expiry_cmd; stats_cmd ]))

@@ -3,6 +3,7 @@ module Value = Vnl_relation.Value
 module Schema = Vnl_relation.Schema
 module Table = Vnl_query.Table
 module Heap_file = Vnl_storage.Heap_file
+module Obs = Vnl_obs.Obs
 
 type op =
   | Insert of Tuple.t
@@ -86,6 +87,7 @@ let apply ?stats ?(on_over_delete = fun _ -> ()) ?(was_insert_over_delete = fun 
     let entries : entry Key_tbl.t = Key_tbl.create (max 64 (List.length ops)) in
     let order = ref [] and distinct = ref 0 and logical = ref 0 in
     let grouped =
+      Obs.with_span "batch.group" @@ fun () ->
       List.map
         (fun op ->
           incr logical;
@@ -125,7 +127,7 @@ let apply ?stats ?(on_over_delete = fun _ -> ()) ?(was_insert_over_delete = fun 
     (* 2. One sorted pass over the key index resolves every key -> rid and
        fetches the hit records in ascending (page, slot) order. *)
     let keys = Array.of_list (List.map (fun e -> e.key) order) in
-    let found = Table.find_many_by_key table keys in
+    let found = Obs.with_span "batch.resolve" (fun () -> Table.find_many_by_key table keys) in
     List.iteri
       (fun i e ->
         match found.(i) with
@@ -141,6 +143,7 @@ let apply ?stats ?(on_over_delete = fun _ -> ()) ?(was_insert_over_delete = fun 
        cost one physical action.  Nothing is written yet, so a rejected
        operation (Op.Impossible, non-updatable assignment) leaves the table
        untouched. *)
+    Obs.with_span "batch.fold" (fun () ->
     List.iter
       (fun (e, op) ->
         e.touched <- e.touched + 1;
@@ -171,7 +174,7 @@ let apply ?stats ?(on_over_delete = fun _ -> ()) ?(was_insert_over_delete = fun 
               Maintenance.delete_tuple ~insert_over_delete:e.over_delete ~own:e.owned ext ~vn
                 existing;
             e.owned <- true))
-      grouped;
+      grouped);
     (* 4. Page-ordered apply: one physical action per touched key, existing
        records in ascending (page, slot) order, then fresh inserts in
        first-touch order (matching the slots per-op application would have
@@ -193,22 +196,23 @@ let apply ?stats ?(on_over_delete = fun _ -> ()) ?(was_insert_over_delete = fun 
     let updates = List.sort (fun (a, _, _) (b, _, _) -> by_rid a b) !updates in
     let deletes = List.sort by_rid !deletes in
     let inserts = List.rev !inserts in
-    List.iter
-      (fun (rid, old, t) ->
-        st.Maintenance.physical_updates <- st.Maintenance.physical_updates + 1;
-        Table.update_in_place ?old table rid t)
-      updates;
-    List.iter
-      (fun rid ->
-        st.Maintenance.physical_deletes <- st.Maintenance.physical_deletes + 1;
-        Table.delete table rid)
-      deletes;
-    (* Keys were resolved absent by the sorted index pass and are distinct
-       per entry, so the duplicate probe is redundant and the index entries
-       can go in as one sorted batch. *)
-    st.Maintenance.physical_inserts <-
-      st.Maintenance.physical_inserts + List.length inserts;
-    Table.insert_many ~check:false table inserts;
+    Obs.with_span "batch.apply" (fun () ->
+        List.iter
+          (fun (rid, old, t) ->
+            st.Maintenance.physical_updates <- st.Maintenance.physical_updates + 1;
+            Table.update_in_place ?old table rid t)
+          updates;
+        List.iter
+          (fun rid ->
+            st.Maintenance.physical_deletes <- st.Maintenance.physical_deletes + 1;
+            Table.delete table rid)
+          deletes;
+        (* Keys were resolved absent by the sorted index pass and are distinct
+           per entry, so the duplicate probe is redundant and the index entries
+           can go in as one sorted batch. *)
+        st.Maintenance.physical_inserts <-
+          st.Maintenance.physical_inserts + List.length inserts;
+        Table.insert_many ~check:false table inserts);
     let physical = List.length updates + List.length deletes + List.length inserts in
     {
       logical_ops = !logical;

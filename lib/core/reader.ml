@@ -1,5 +1,13 @@
 module Tuple = Vnl_relation.Tuple
 module Value = Vnl_relation.Value
+module Obs = Vnl_obs.Obs
+
+(* Per-tuple visibility decisions made on the reader hot path (the engine
+   extraction that answers §4.1 full scans), and the share that fell off
+   the raw-record fast decode into the allocating slow path. *)
+let m_decodes = Obs.Registry.counter "reader.visibility_decodes"
+
+let m_slow_decodes = Obs.Registry.counter "reader.slow_decodes"
 
 exception Session_expired of { session_vn : int; tuple_vn : int }
 
@@ -62,14 +70,22 @@ let extract ext ~session_vn tuple =
 let visible_relation ext ~session_vn table =
   let extended = Schema_ext.extended ext in
   let acc = ref [] in
+  (* Local tallies, one gated record after the scan: the per-tuple cost of
+     the accounting is two register increments, not a global-ref load and
+     branch inside the hottest loop of the read path. *)
+  let decodes = ref 0 and slow = ref 0 in
   Vnl_query.Table.iter_records table (fun img off ->
+      incr decodes;
       match Schema_ext.decode_visible ext ~session_vn img off with
       | Schema_ext.Visible base -> acc := base :: !acc
       | Schema_ext.Invisible -> ()
       | Schema_ext.Slow -> (
+        incr slow;
         match extract ext ~session_vn (Tuple.decode_from extended img off) with
         | Some base -> acc := base :: !acc
         | None -> ()));
+  Obs.Counter.record m_decodes !decodes;
+  Obs.Counter.record m_slow_decodes !slow;
   List.rev !acc
 
 let expired_by_state ~session_vn ~current_vn ~maintenance_active =

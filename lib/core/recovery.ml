@@ -32,34 +32,44 @@ type outcome = {
    window in which mutations are durable but unflagged, which is the one
    state no-log recovery could not distinguish from health. *)
 
+module Obs = Vnl_obs.Obs
+
 let run_maintenance db vnl f =
+  Obs.with_span "maintenance.txn" @@ fun () ->
   let txn = Twovnl.Txn.begin_ vnl in
   (* Durability point 1: the flag (and current catalog) on disk before any
      maintenance mutation exists, so a crash during apply is detectable. *)
-  Database.save db;
-  let result = f txn in
+  Obs.with_span "maintenance.flag" (fun () -> Database.save db);
+  let result = Obs.with_span "maintenance.apply" (fun () -> f txn) in
   (* Durability point 2: mutated data pages, then the catalog naming any
      pages the transaction allocated.  [save] serializes the catalog and
      flushes every dirty frame, giving exactly apply -> flush ->
      catalog-write. *)
-  Buffer_pool.flush_all (Database.pool db);
-  Database.save db;
+  Obs.with_span "maintenance.flush" (fun () ->
+      Buffer_pool.flush_all (Database.pool db);
+      Database.save db);
   (* Durability point 3: publish.  Commit dirties only the Version page;
      the flush makes the new currentVN / cleared flag durable. *)
-  Twovnl.Txn.commit txn;
-  Buffer_pool.flush_all (Database.pool db);
+  Obs.with_span "maintenance.publish" (fun () ->
+      Twovnl.Txn.commit txn;
+      Buffer_pool.flush_all (Database.pool db));
   result
 
 let reopen ?pool_capacity ?n disk ~tables =
+  Obs.with_span "recovery.reopen" @@ fun () ->
   let db = Database.reopen ?pool_capacity disk in
   let vnl = Twovnl.attach db in
   List.iter (fun (name, base) -> ignore (Twovnl.attach_table vnl ?n ~name base)) tables;
   let interrupted = Version_state.maintenance_active (Twovnl.version_state vnl) in
-  let reverted = Twovnl.recover vnl in
-  if interrupted then begin
-    (* Make the repair durable so a second crash cannot resurrect the
-       interrupted transaction's stamps. *)
-    Database.save db;
-    Log.info (fun m -> m "recovered interrupted maintenance: %d tuples reverted" reverted)
-  end;
-  (vnl, { interrupted; reverted })
+  let outcome =
+    Obs.with_span "recovery.repair" @@ fun () ->
+    let reverted = Twovnl.recover vnl in
+    if interrupted then begin
+      (* Make the repair durable so a second crash cannot resurrect the
+         interrupted transaction's stamps. *)
+      Database.save db;
+      Log.info (fun m -> m "recovered interrupted maintenance: %d tuples reverted" reverted)
+    end;
+    { interrupted; reverted }
+  in
+  (vnl, outcome)

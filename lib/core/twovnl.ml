@@ -10,6 +10,28 @@ let log_src = Logs.Src.create "vnl.core" ~doc:"2VNL warehouse events"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+module Obs = Vnl_obs.Obs
+
+(* 2VNL session and maintenance telemetry (default registry, gated). *)
+let m_sessions_opened = Obs.Registry.counter "twovnl.sessions_opened"
+
+let m_sessions_expired = Obs.Registry.counter "twovnl.sessions_expired"
+
+let m_reader_queries = Obs.Registry.counter "twovnl.reader_queries"
+
+let m_maintenance_commits = Obs.Registry.counter "twovnl.maintenance_commits"
+
+let m_maintenance_aborts = Obs.Registry.counter "twovnl.maintenance_aborts"
+
+let m_gc_reclaimed = Obs.Registry.counter "twovnl.gc_reclaimed"
+
+let m_current_vn = Obs.Registry.gauge "twovnl.current_vn"
+
+(* The VN distribution: how far behind currentVN each reader query runs.
+   A 2VNL warehouse keeps this in {0, 1}; nVNL widens the band. *)
+let m_session_lag =
+  Obs.Registry.histogram ~buckets:[| 0.0; 1.0; 2.0; 3.0; 4.0; 6.0; 8.0 |] "twovnl.session_vn_lag"
+
 module Plan = Vnl_query.Plan
 
 type handle = { name : string; ext : Schema_ext.t; table : Table.t }
@@ -114,10 +136,12 @@ let min_session_vn t =
 let collect_garbage t =
   let horizon = min_session_vn t in
   let reclaimed =
-    List.fold_left
-      (fun acc h -> acc + Gc.collect h.ext h.table ~min_session_vn:horizon)
-      0 (handles t)
+    Obs.with_span "gc.collect" (fun () ->
+        List.fold_left
+          (fun acc h -> acc + Gc.collect h.ext h.table ~min_session_vn:horizon)
+          0 (handles t))
   in
+  Obs.Counter.record m_gc_reclaimed reclaimed;
   Log.debug (fun m -> m "gc at horizon %d reclaimed %d tuples" horizon reclaimed);
   reclaimed
 
@@ -147,6 +171,7 @@ module Session = struct
     let vn = current_vn t in
     let id = Vnl_util.Ids.next t.session_ids in
     Hashtbl.replace t.sessions id vn;
+    Obs.Counter.record m_sessions_opened 1;
     Log.debug (fun m -> m "session %d begins at version %d" id vn);
     { id; vn; owner = t }
 
@@ -172,12 +197,22 @@ module Session = struct
 
   let end_ t s = Hashtbl.remove t.sessions s.id
 
+  let expired t s =
+    Obs.Counter.record m_sessions_expired 1;
+    Log.info (fun m ->
+        m "session %d expired (version %d, currentVN %d)" s.id s.vn (current_vn t));
+    Expired { session_vn = s.vn; current_vn = current_vn t }
+
+  (* Returns the current VN so [query] can compute the session's lag
+     without a second version-state read (each read is a real buffer-pool
+     access, so an extra one would both slow the hot path and perturb the
+     I/O counters the differential tests hold identical). *)
   let check_valid t s =
-    if not (is_valid t s) then begin
-      Log.info (fun m ->
-          m "session %d expired (version %d, currentVN %d)" s.id s.vn (current_vn t));
-      raise (Expired { session_vn = s.vn; current_vn = current_vn t })
-    end
+    let n = min_n t in
+    let c = current_vn t in
+    let active = Version_state.maintenance_active t.version in
+    if c - s.vn + (if active then 1 else 0) > n - 1 then raise (expired t s);
+    c
 
   (* Compile-once reader sessions: the first execution of a statement
      parses, rewrites, and compiles it; re-executions run cached closures.
@@ -193,6 +228,7 @@ module Session = struct
         entry.generic <- Plan.prepare t.db entry.rewritten;
       entry
     | None ->
+      Obs.with_span "reader.prepare" @@ fun () ->
       let select = Vnl_sql.Parser.parse_select src in
       let rewritten = Rewrite.reader_select ~lookup:(lookup t) select in
       let generic = Plan.prepare t.db rewritten in
@@ -215,27 +251,34 @@ module Session = struct
       Hashtbl.add t.reader_plans src entry;
       entry
 
-  let query ?(params = []) t s src =
-    check_valid t s;
+  let query_body t s src params =
     let entry = reader_plan_for t src in
     let params = ("sessionVN", Value.Int s.vn) :: params in
     match entry.fast with
     | Some (h, vplan) when Plan.full_scan_only entry.generic ->
       let tuples =
         try Reader.visible_relation h.ext ~session_vn:s.vn h.table
-        with Reader.Session_expired _ ->
-          raise (Expired { session_vn = s.vn; current_vn = current_vn t })
+        with Reader.Session_expired _ -> raise (expired t s)
       in
       Plan.execute_view ~params vplan tuples
     | Some _ | None -> Plan.execute ~params entry.generic
 
+  let query ?(params = []) t s src =
+    let cvn = check_valid t s in
+    (* One enabled test for the whole statement: the disabled path is a
+       branch and a direct call — no span closure, no histogram math. *)
+    if not !Obs.enabled then query_body t s src params
+    else begin
+      Obs.Counter.add m_reader_queries 1;
+      Obs.Histogram.observe m_session_lag (float_of_int (cvn - s.vn));
+      Obs.with_span "reader.query" (fun () -> query_body t s src params)
+    end
+
   let read_table t s name =
     let h = handle_exn t name in
-    if not (valid_for t s ~n:(Schema_ext.n h.ext)) then
-      raise (Expired { session_vn = s.vn; current_vn = current_vn t });
+    if not (valid_for t s ~n:(Schema_ext.n h.ext)) then raise (expired t s);
     try Reader.visible_relation h.ext ~session_vn:s.vn h.table
-    with Reader.Session_expired _ ->
-      raise (Expired { session_vn = s.vn; current_vn = current_vn t })
+    with Reader.Session_expired _ -> raise (expired t s)
 end
 
 module Txn = struct
@@ -352,6 +395,8 @@ module Txn = struct
     m.finished <- true;
     m.owner.txn_active <- false;
     Version_state.commit_maintenance m.owner.version ~vn:m.txn_vn;
+    Obs.Counter.record m_maintenance_commits 1;
+    Obs.Gauge.record m_current_vn (current_vn m.owner);
     Log.info (fun m' ->
         let s = m.txn_stats in
         m' "maintenance transaction %d committed (%d ins / %d upd / %d del logical)" m.txn_vn
@@ -375,6 +420,7 @@ module Txn = struct
     in
     t.txn_active <- false;
     Version_state.abort_maintenance t.version;
+    Obs.Counter.record m_maintenance_aborts 1;
     Log.info (fun m' -> m' "maintenance transaction %d aborted; %d tuples reverted" m.txn_vn reverted);
     reverted
 end

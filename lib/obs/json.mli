@@ -1,0 +1,30 @@
+(** Minimal zero-dependency JSON: enough to parse the committed
+    [BENCH_*.json] records and the {!Obs} exports, and to re-render values
+    for reports.  Numbers are floats (JSON has one number type); object
+    member order is preserved as parsed. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Position and reason of the first syntax error. *)
+
+val parse : string -> t
+(** Parse one JSON value; trailing non-whitespace is an error. *)
+
+val parse_file : string -> t
+(** [parse] over the file's contents.  Raises [Sys_error] if unreadable. *)
+
+val member : string -> t -> t option
+(** Object member lookup; [None] on missing key or non-object. *)
+
+val escape : string -> string
+(** The JSON string literal for [s], including the surrounding quotes. *)
+
+val to_string : t -> string
+(** Compact single-line rendering; round-trips through {!parse}. *)

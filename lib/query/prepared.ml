@@ -1,3 +1,13 @@
+module Obs = Vnl_obs.Obs
+
+(* Aggregated over every database's cache, gated on [Obs.enabled]; the
+   per-cache [stats] record stays unconditional. *)
+let m_hits = Obs.Registry.counter "plan_cache.hits"
+
+let m_misses = Obs.Registry.counter "plan_cache.misses"
+
+let m_invalidations = Obs.Registry.counter "plan_cache.invalidations"
+
 type stats = { mutable hits : int; mutable misses : int; mutable invalidations : int }
 
 type entry = { plan : Plan.t; mutable stamp : int  (** Last-use clock tick. *) }
@@ -62,6 +72,7 @@ let prepare db src =
   | Some e when Plan.valid db e.plan ->
     e.stamp <- c.clock;
     c.stats.hits <- c.stats.hits + 1;
+    Obs.Counter.record m_hits 1;
     e.plan
   | Some _ ->
     (* Stale: the catalog changed under the plan (index DDL, or the table
@@ -69,9 +80,12 @@ let prepare db src =
     Hashtbl.remove c.entries src;
     c.stats.invalidations <- c.stats.invalidations + 1;
     c.stats.misses <- c.stats.misses + 1;
+    Obs.Counter.record m_invalidations 1;
+    Obs.Counter.record m_misses 1;
     compile ()
   | None ->
     c.stats.misses <- c.stats.misses + 1;
+    Obs.Counter.record m_misses 1;
     compile ()
 
 let exec db ?params src = Plan.execute ?params (prepare db src)

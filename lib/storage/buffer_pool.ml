@@ -1,3 +1,5 @@
+module Obs = Vnl_obs.Obs
+
 (* Frames form an intrusive doubly-linked list in recency order (head =
    most recent, tail = LRU victim), so touch and evict are O(1) pointer
    splices — the previous implementation scanned every frame with a
@@ -25,21 +27,64 @@ type stats = {
   physical_writes : int;
   seq_writes : int;
   rand_writes : int;
+  pin_waits : int;
 }
+
+(* Stack-wide mirrors in the default observability registry (aggregated
+   over every pool instance, gated on [Obs.enabled]).  The authoritative
+   per-pool cells live in each pool's private registry below and count
+   unconditionally: experiments compare by them with observability off. *)
+let g_hits = Obs.Registry.counter "pool.hits"
+
+let g_misses = Obs.Registry.counter "pool.misses"
+
+let g_evictions = Obs.Registry.counter "pool.evictions"
+
+let g_physical_writes = Obs.Registry.counter "pool.physical_writes"
+
+let g_pin_waits = Obs.Registry.counter "pool.pin_waits"
+
+(* Per-pool counter cells.  They live in one private [Obs.Registry.t] per
+   pool, which makes [Registry.reset] the single reset path: [reset_stats]
+   delegates to it and the [stats] accessors are thin reads of the same
+   cells — the seq/rand write counters (and the write-head gauge) can no
+   longer drift from the rest of the stats on reset. *)
+type metrics = {
+  registry : Obs.Registry.t;
+  logical_reads : Obs.Counter.t;
+  hits : Obs.Counter.t;
+  misses : Obs.Counter.t;
+  evictions : Obs.Counter.t;
+  physical_writes : Obs.Counter.t;
+  seq_writes : Obs.Counter.t;
+  rand_writes : Obs.Counter.t;
+  pin_waits : Obs.Counter.t;
+  last_write : Obs.Gauge.t;
+      (** Pid of this pool's last write-back; initial (and post-reset)
+          value -1 puts the head just before page 0. *)
+}
+
+let make_metrics () =
+  let registry = Obs.Registry.create () in
+  {
+    registry;
+    logical_reads = Obs.Registry.counter ~registry "pool.logical_reads";
+    hits = Obs.Registry.counter ~registry "pool.hits";
+    misses = Obs.Registry.counter ~registry "pool.misses";
+    evictions = Obs.Registry.counter ~registry "pool.evictions";
+    physical_writes = Obs.Registry.counter ~registry "pool.physical_writes";
+    seq_writes = Obs.Registry.counter ~registry "pool.seq_writes";
+    rand_writes = Obs.Registry.counter ~registry "pool.rand_writes";
+    pin_waits = Obs.Registry.counter ~registry "pool.pin_waits";
+    last_write = Obs.Registry.gauge ~registry ~initial:(-1) "pool.last_write";
+  }
 
 type t = {
   disk : Disk.t;
   capacity : int;
   frames : (int, frame) Hashtbl.t;
   nil : frame;  (** Sentinel: [nil.next] is the MRU frame, [nil.prev] the LRU. *)
-  mutable logical_reads : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
-  mutable physical_writes : int;
-  mutable seq_writes : int;
-  mutable rand_writes : int;
-  mutable last_write : int;  (** Pid of this pool's last write-back, -1 initially. *)
+  m : metrics;
 }
 
 let create ?(capacity = 64) disk =
@@ -47,20 +92,7 @@ let create ?(capacity = 64) disk =
   let rec nil =
     { pid = -1; image = Bytes.empty; dirty = false; pins = 0; prev = nil; next = nil }
   in
-  {
-    disk;
-    capacity;
-    frames = Hashtbl.create capacity;
-    nil;
-    logical_reads = 0;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
-    physical_writes = 0;
-    seq_writes = 0;
-    rand_writes = 0;
-    last_write = -1;
-  }
+  { disk; capacity; frames = Hashtbl.create capacity; nil; m = make_metrics () }
 
 let disk t = t.disk
 
@@ -83,11 +115,12 @@ let touch t frame =
 let write_back t frame =
   if frame.dirty then begin
     Disk.write t.disk frame.pid frame.image;
-    t.physical_writes <- t.physical_writes + 1;
-    if frame.pid = t.last_write || frame.pid = t.last_write + 1 then
-      t.seq_writes <- t.seq_writes + 1
-    else t.rand_writes <- t.rand_writes + 1;
-    t.last_write <- frame.pid;
+    Obs.Counter.incr t.m.physical_writes;
+    Obs.Counter.record g_physical_writes 1;
+    let last = Obs.Gauge.get t.m.last_write in
+    if frame.pid = last || frame.pid = last + 1 then Obs.Counter.incr t.m.seq_writes
+    else Obs.Counter.incr t.m.rand_writes;
+    Obs.Gauge.set t.m.last_write frame.pid;
     frame.dirty <- false
   end
 
@@ -101,13 +134,18 @@ let evict_lru t =
       failwith
         (Printf.sprintf "Buffer_pool: all %d frames pinned, cannot evict" t.capacity)
     else if f.pins = 0 then f
-    else victim f.prev
+    else begin
+      Obs.Counter.incr t.m.pin_waits;
+      Obs.Counter.record g_pin_waits 1;
+      victim f.prev
+    end
   in
   let v = victim t.nil.prev in
   write_back t v;
   unlink v;
   Hashtbl.remove t.frames v.pid;
-  t.evictions <- t.evictions + 1
+  Obs.Counter.incr t.m.evictions;
+  Obs.Counter.record g_evictions 1
 
 let install t frame =
   if Hashtbl.length t.frames >= t.capacity then evict_lru t;
@@ -115,14 +153,16 @@ let install t frame =
   Hashtbl.add t.frames frame.pid frame
 
 let load t pid =
-  t.logical_reads <- t.logical_reads + 1;
+  Obs.Counter.incr t.m.logical_reads;
   match Hashtbl.find_opt t.frames pid with
   | Some frame ->
-    t.hits <- t.hits + 1;
+    Obs.Counter.incr t.m.hits;
+    Obs.Counter.record g_hits 1;
     touch t frame;
     frame
   | None ->
-    t.misses <- t.misses + 1;
+    Obs.Counter.incr t.m.misses;
+    Obs.Counter.record g_misses 1;
     let frame =
       {
         pid;
@@ -171,24 +211,23 @@ let flush_all t =
 
 let stats t =
   {
-    logical_reads = t.logical_reads;
-    hits = t.hits;
-    misses = t.misses;
-    evictions = t.evictions;
-    physical_writes = t.physical_writes;
-    seq_writes = t.seq_writes;
-    rand_writes = t.rand_writes;
+    logical_reads = Obs.Counter.get t.m.logical_reads;
+    hits = Obs.Counter.get t.m.hits;
+    misses = Obs.Counter.get t.m.misses;
+    evictions = Obs.Counter.get t.m.evictions;
+    physical_writes = Obs.Counter.get t.m.physical_writes;
+    seq_writes = Obs.Counter.get t.m.seq_writes;
+    rand_writes = Obs.Counter.get t.m.rand_writes;
+    pin_waits = Obs.Counter.get t.m.pin_waits;
   }
 
+let metrics_registry t = t.m.registry
+
 let reset_stats t =
-  t.logical_reads <- 0;
-  t.hits <- 0;
-  t.misses <- 0;
-  t.evictions <- 0;
-  t.physical_writes <- 0;
-  t.seq_writes <- 0;
-  t.rand_writes <- 0;
-  t.last_write <- -1;
+  (* One reset path: every pool cell — including the seq/rand split and
+     the write-head gauge, which earlier revisions reset by hand — goes
+     through the pool's registry, so nothing can be missed. *)
+  Obs.Registry.reset t.m.registry;
   Disk.reset_stats t.disk
 
 let drop_cache t =

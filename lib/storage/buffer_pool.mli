@@ -31,6 +31,9 @@ type stats = {
           head sits before page 0: the first write-back is sequential iff it
           targets page 0. *)
   rand_writes : int;  (** Write-backs that moved the head. *)
+  pin_waits : int;
+      (** Pinned frames the eviction scan had to skip over — each skip is
+          a would-be wait for the pin to drain. *)
 }
 
 val create : ?capacity:int -> Disk.t -> t
@@ -59,11 +62,19 @@ val flush_all : t -> unit
     write order is deterministic. *)
 
 val stats : t -> stats
+(** Thin reads of the pool's metric cells (see [metrics_registry]). *)
+
+val metrics_registry : t -> Vnl_obs.Obs.Registry.t
+(** The pool's private metrics registry — the single source of truth for
+    the counters [stats] reads.  The cells count unconditionally
+    (regardless of [Obs.enabled]): the I/O accounting is experiment data,
+    not optional telemetry. *)
 
 val reset_stats : t -> unit
-(** Zero the pool counters and the underlying disk counters (cached pages
-    stay resident; experiments that want a cold cache should also call
-    [drop_cache]). *)
+(** Reset the pool's metrics registry (all counters, plus the write-head
+    gauge back to "before page 0") and the underlying disk counters.
+    Cached pages stay resident; experiments that want a cold cache should
+    also call [drop_cache]. *)
 
 val drop_cache : t -> unit
 (** Flush dirty frames (ascending page id, as [flush_all]) and empty the

@@ -1,3 +1,19 @@
+module Obs = Vnl_obs.Obs
+
+(* Stack-wide mirrors in the default observability registry, aggregated
+   across every disk instance; gated on [Obs.enabled].  The per-instance
+   counters below stay unconditional — experiments compare by them with
+   observability off. *)
+let m_reads = Obs.Registry.counter "disk.reads"
+
+let m_writes = Obs.Registry.counter "disk.writes"
+
+let m_allocs = Obs.Registry.counter "disk.allocs"
+
+let m_crashes = Obs.Registry.counter "disk.crashes"
+
+let m_checksum_failures = Obs.Registry.counter "disk.checksum_failures"
+
 type stats = {
   reads : int;
   writes : int;
@@ -101,6 +117,7 @@ let alloc t =
   if t.checksums then t.sums.(pid) <- crc32 img;
   t.used <- t.used + 1;
   t.allocations <- t.allocations + 1;
+  if !Obs.enabled then Obs.Counter.incr m_allocs;
   pid
 
 let check t pid =
@@ -109,14 +126,19 @@ let check t pid =
 
 let read t pid =
   check t pid;
-  if List.mem pid t.fault.fail_read_pids then
-    raise (Crash (Printf.sprintf "injected read failure on page %d" pid));
+  if List.mem pid t.fault.fail_read_pids then begin
+    if !Obs.enabled then Obs.Counter.incr m_crashes;
+    raise (Crash (Printf.sprintf "injected read failure on page %d" pid))
+  end;
   t.reads <- t.reads + 1;
+  if !Obs.enabled then Obs.Counter.incr m_reads;
   let img = t.pages.(pid) in
   if t.checksums then begin
     let computed = crc32 img in
-    if computed <> t.sums.(pid) then
+    if computed <> t.sums.(pid) then begin
+      if !Obs.enabled then Obs.Counter.incr m_checksum_failures;
       raise (Corrupt_page { pid; stored = t.sums.(pid); computed })
+    end
   end;
   Bytes.copy img
 
@@ -129,6 +151,7 @@ let write t pid img =
   if Bytes.length img <> t.page_size then
     invalid_arg "Disk.write: image size mismatch";
   t.writes <- t.writes + 1;
+  if !Obs.enabled then Obs.Counter.incr m_writes;
   if pid = t.last_write || pid = t.last_write + 1 then
     t.seq_writes <- t.seq_writes + 1
   else t.rand_writes <- t.rand_writes + 1;
@@ -152,6 +175,7 @@ let write t pid img =
       Bytes.blit img 0 torn 0 prefix;
       t.pages.(pid) <- torn
     end;
+    if !Obs.enabled then Obs.Counter.incr m_crashes;
     raise (Crash (Printf.sprintf "injected crash at write %d (page %d, %d/%d bytes applied)"
                     t.fault_writes pid prefix t.page_size))
   | Some _ | None -> ());

@@ -1,3 +1,13 @@
+module Obs = Vnl_obs.Obs
+
+(* Aggregated across all lock-manager instances, gated on [Obs.enabled];
+   the per-instance [acquisitions] field stays unconditional. *)
+let m_acquisitions = Obs.Registry.counter "lock.acquisitions"
+
+let m_waits = Obs.Registry.counter "lock.waits"
+
+let m_deadlocks = Obs.Registry.counter "lock.deadlocks"
+
 type mode = S | X
 
 type request = { txn : int; mode : mode }
@@ -52,11 +62,13 @@ let acquire t ~txn ~item mode =
     if (upgrade_ok && mode = X) || (held = None && e.queue = [] && grantable e req) then begin
       e.holders <- req :: List.filter (fun h -> h.txn <> txn) e.holders;
       t.acquisitions <- t.acquisitions + 1;
+      Obs.Counter.record m_acquisitions 1;
       `Granted
     end
     else begin
       e.queue <- e.queue @ [ req ];
       Hashtbl.replace t.waiting_on txn item;
+      Obs.Counter.record m_waits 1;
       `Blocked
     end)
 
@@ -71,6 +83,7 @@ let promote t item e =
         e.queue <- rest;
         e.holders <- req :: List.filter (fun h -> h.txn <> req.txn) e.holders;
         t.acquisitions <- t.acquisitions + 1;
+        Obs.Counter.record m_acquisitions 1;
         Hashtbl.remove t.waiting_on req.txn;
         granted := req.txn :: !granted;
         loop ()
@@ -154,6 +167,7 @@ let find_deadlock t =
     end
   in
   Hashtbl.iter (fun node _ -> if !result = None then dfs [] node) adj;
+  if !result <> None then Obs.Counter.record m_deadlocks 1;
   !result
 
 let lock_count t = Hashtbl.fold (fun _ e acc -> acc + List.length e.holders) t.items 0

@@ -61,6 +61,7 @@ let take_pending t ~view =
    refresh leaves a disk image {!Vnl_core.Recovery.reopen} repairs to
    either the pre- or post-refresh state. *)
 let refresh_with t extra =
+  Vnl_obs.Obs.with_span "warehouse.refresh" @@ fun () ->
   Vnl_core.Recovery.run_maintenance t.db t.vnl (fun txn ->
       let outcomes =
         List.map

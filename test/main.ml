@@ -23,4 +23,5 @@ let () =
       ("workload", Test_workload.suite);
       ("recovery", Test_recovery.suite);
       ("faults", Test_faults.suite);
+      ("obs", Test_obs.suite);
     ]
