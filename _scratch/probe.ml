@@ -1,0 +1,7 @@
+module Obs = Vnl_obs.Obs
+let () =
+  Obs.enabled := true;
+  Obs.with_span "first" (fun () -> ());
+  Obs.with_span "second" (fun () -> ());
+  Obs.with_span "third" (fun () -> ());
+  List.iter (fun sp -> print_endline sp.Obs.Span.name) (Obs.recent_spans ())
