@@ -20,7 +20,11 @@
 
 module Json = Vnl_obs.Json
 
-let bench_files = [ "BENCH_maintenance.json"; "BENCH_plans.json"; "BENCH_recovery.json" ]
+let bench_files =
+  [
+    "BENCH_maintenance.json"; "BENCH_plans.json"; "BENCH_recovery.json";
+    "BENCH_parallel.json";
+  ]
 
 let errors = ref 0
 

@@ -12,7 +12,7 @@
                     (what the @bench-smoke dune alias builds on)
      --only IDS     comma-separated group ids (figures, scenarios, storage,
                     io, batch, blocking, expiry, gc, ablation, indexing,
-                    faults, micro) *)
+                    faults, parallel, micro) *)
 
 let groups : (string * (unit -> unit)) list =
   [
@@ -27,6 +27,7 @@ let groups : (string * (unit -> unit)) list =
     ("ablation", Exp_ablation.run);
     ("indexing", Exp_indexing.run);
     ("faults", Exp_faults.run);
+    ("parallel", Exp_parallel.run);
   ]
 
 let () =

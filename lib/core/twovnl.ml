@@ -52,9 +52,15 @@ type t = {
   registry : (string, handle) Hashtbl.t;
   mutable registry_order : string list;
   sessions : (int, int) Hashtbl.t;  (** session id -> sessionVN *)
+  sess_mu : Mutex.t;
+      (** Guards [sessions] and [session_ids]: sessions begin and end on
+          every reader domain, and the GC horizon folds over the table. *)
   session_ids : Vnl_util.Ids.t;
   mutable txn_active : bool;
   reader_plans : (string, reader_plan) Hashtbl.t;
+  plans_mu : Mutex.t;
+      (** Guards [reader_plans]: first execution of a statement on any
+          reader domain compiles and caches its plan. *)
 }
 
 exception Expired of { session_vn : int; current_vn : int }
@@ -66,9 +72,11 @@ let make db version =
     registry = Hashtbl.create 8;
     registry_order = [];
     sessions = Hashtbl.create 16;
+    sess_mu = Mutex.create ();
     session_ids = Vnl_util.Ids.create ();
     txn_active = false;
     reader_plans = Hashtbl.create 16;
+    plans_mu = Mutex.create ();
   }
 
 let init db = make db (Version_state.install db)
@@ -89,7 +97,7 @@ let register_table t ?n ~name schema =
   let h = { name; ext; table } in
   Hashtbl.add t.registry name h;
   t.registry_order <- name :: t.registry_order;
-  Hashtbl.reset t.reader_plans;
+  Mutex.protect t.plans_mu (fun () -> Hashtbl.reset t.reader_plans);
   h
 
 let attach_table t ?n ~name base =
@@ -102,7 +110,7 @@ let attach_table t ?n ~name base =
   let h = { name; ext; table } in
   Hashtbl.add t.registry name h;
   t.registry_order <- name :: t.registry_order;
-  Hashtbl.reset t.reader_plans;
+  Mutex.protect t.plans_mu (fun () -> Hashtbl.reset t.reader_plans);
   h
 
 
@@ -131,7 +139,9 @@ let load_initial t name tuples =
     tuples
 
 let min_session_vn t =
-  Hashtbl.fold (fun _ vn acc -> min vn acc) t.sessions (current_vn t)
+  let c = current_vn t in
+  Mutex.protect t.sess_mu (fun () ->
+      Hashtbl.fold (fun _ vn acc -> min vn acc) t.sessions c)
 
 let collect_garbage t =
   let horizon = min_session_vn t in
@@ -169,8 +179,12 @@ module Session = struct
 
   let begin_ t =
     let vn = current_vn t in
-    let id = Vnl_util.Ids.next t.session_ids in
-    Hashtbl.replace t.sessions id vn;
+    let id =
+      Mutex.protect t.sess_mu (fun () ->
+          let id = Vnl_util.Ids.next t.session_ids in
+          Hashtbl.replace t.sessions id vn;
+          id)
+    in
     Obs.Counter.record m_sessions_opened 1;
     Log.debug (fun m -> m "session %d begins at version %d" id vn);
     { id; vn; owner = t }
@@ -195,7 +209,7 @@ module Session = struct
 
   let is_valid t s = valid_for t s ~n:(min_n t)
 
-  let end_ t s = Hashtbl.remove t.sessions s.id
+  let end_ t s = Mutex.protect t.sess_mu (fun () -> Hashtbl.remove t.sessions s.id)
 
   let expired t s =
     Obs.Counter.record m_sessions_expired 1;
@@ -222,6 +236,7 @@ module Session = struct
      {!Reader.visible_relation} — same pages, same row order, no per-tuple
      CASE/visibility evaluation in SQL. *)
   let reader_plan_for t src =
+    Mutex.protect t.plans_mu @@ fun () ->
     match Hashtbl.find_opt t.reader_plans src with
     | Some entry ->
       if not (Plan.valid t.db entry.generic) then

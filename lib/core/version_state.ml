@@ -12,32 +12,48 @@ let schema =
   Schema.make
     [ Schema.attr "currentVN" Dtype.Int; Schema.attr "maintenanceActive" Dtype.Bool ]
 
-type t = { table : Table.t; rid : Heap_file.rid }
+(* The stored tuple stays authoritative (it is what survives a crash and
+   what the §4.1 SQL rewrite joins against), but reads go through [cache]:
+   an [Atomic] holding the last written (currentVN, maintenanceActive)
+   pair.  Reader domains check session validity on every query — routing
+   that read through the buffer pool would both serialize readers on the
+   pool mutex and perturb the I/O counters experiments compare — while
+   the single maintenance domain updates the tuple and then publishes the
+   cache (boxed pair: one atomic store, never a torn pair). *)
+type t = { table : Table.t; rid : Heap_file.rid; cache : (int * bool) Atomic.t }
 
 let install db =
   let table = Database.create_table db table_name schema in
   let rid = Table.insert table (Tuple.make schema [ Value.Int 1; Value.Bool false ]) in
-  { table; rid }
+  { table; rid; cache = Atomic.make (1, false) }
 
-let attach db =
-  match Database.table db table_name with
-  | None -> failwith "Version_state.attach: no Version relation"
-  | Some table -> (
-    match Table.to_list table with
-    | [ (rid, _) ] -> { table; rid }
-    | _ -> failwith "Version_state.attach: Version relation must hold exactly one tuple")
-
-let read t =
-  match Table.get t.table t.rid with
+let read_stored table rid =
+  match Table.get table rid with
   | Some tuple -> (
     match (Tuple.get tuple 0, Tuple.get tuple 1) with
     | Value.Int vn, Value.Bool active -> (vn, active)
     | _ -> invalid_arg "Version_state: corrupt Version tuple")
   | None -> invalid_arg "Version_state: Version tuple missing"
 
+let attach db =
+  match Database.table db table_name with
+  | None -> failwith "Version_state.attach: no Version relation"
+  | Some table -> (
+    match Table.to_list table with
+    | [ (rid, _) ] -> { table; rid; cache = Atomic.make (read_stored table rid) }
+    | _ -> failwith "Version_state.attach: Version relation must hold exactly one tuple")
+
+let read t =
+  Vnl_util.Sched.yield ();
+  Atomic.get t.cache
+
 let write t vn active =
+  Vnl_util.Sched.yield ();
   Table.update_in_place t.table t.rid
-    (Tuple.make schema [ Value.Int vn; Value.Bool active ])
+    (Tuple.make schema [ Value.Int vn; Value.Bool active ]);
+  (* Publish after the tuple write: a concurrent reader sees the new state
+     no earlier than the stored tuple does. *)
+  Atomic.set t.cache (vn, active)
 
 let current_vn t = fst (read t)
 

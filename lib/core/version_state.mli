@@ -22,7 +22,11 @@ val attach : Vnl_query.Database.t -> t
     Raises [Failure] when the relation or its single tuple is missing. *)
 
 val current_vn : t -> int
-(** Read [currentVN] from the stored tuple (a real table read). *)
+(** Read [currentVN].  Served from an [Atomic] cache of the stored tuple
+    so reader domains validate sessions without touching the buffer pool;
+    the cache is published by every write (and re-primed by {!attach}),
+    and the boxed pair guarantees [currentVN] and [maintenanceActive] are
+    always read consistently. *)
 
 val maintenance_active : t -> bool
 

@@ -1,37 +1,41 @@
 let enabled = ref false
 
 module Counter = struct
-  type t = { name : string; mutable v : int }
+  (* [Atomic.t] rather than a mutable int: counters are bumped from every
+     reader domain on the hottest paths (buffer-pool hits, visibility
+     decodes), and a plain read-modify-write would drop increments under
+     contention.  A fetch-and-add is a single lock-free instruction. *)
+  type t = { name : string; v : int Atomic.t }
 
-  let make name = { name; v = 0 }
+  let make name = { name; v = Atomic.make 0 }
 
   let name c = c.name
 
-  let get c = c.v
+  let get c = Atomic.get c.v
 
-  let add c n = c.v <- c.v + n
+  let add c n = ignore (Atomic.fetch_and_add c.v n)
 
-  let incr c = c.v <- c.v + 1
+  let incr c = ignore (Atomic.fetch_and_add c.v 1)
 
-  let record c n = if !enabled then c.v <- c.v + n
+  let record c n = if !enabled then ignore (Atomic.fetch_and_add c.v n)
 
-  let reset c = c.v <- 0
+  let reset c = Atomic.set c.v 0
 end
 
 module Gauge = struct
-  type t = { name : string; initial : int; mutable v : int }
+  type t = { name : string; initial : int; v : int Atomic.t }
 
-  let make ?(initial = 0) name = { name; initial; v = initial }
+  let make ?(initial = 0) name = { name; initial; v = Atomic.make initial }
 
   let name g = g.name
 
-  let get g = g.v
+  let get g = Atomic.get g.v
 
-  let set g n = g.v <- n
+  let set g n = Atomic.set g.v n
 
-  let record g n = if !enabled then g.v <- n
+  let record g n = if !enabled then Atomic.set g.v n
 
-  let reset g = g.v <- g.initial
+  let reset g = Atomic.set g.v g.initial
 end
 
 module Histogram = struct
@@ -40,6 +44,11 @@ module Histogram = struct
      the summary's mean/stddev/extremes are not bucket-quantized. *)
   type t = {
     name : string;
+    mu : Mutex.t;
+        (** One histogram observation touches six fields; the mutex keeps
+            them mutually consistent when several reader domains observe at
+            once.  The critical section is a dozen arithmetic ops — far
+            cheaper than the query it annotates. *)
     bounds : float array;
     counts : int array;  (** length = Array.length bounds + 1 *)
     mutable n : int;
@@ -62,6 +71,7 @@ module Histogram = struct
     if not !ok then invalid_arg "Obs.Histogram: buckets must be non-empty and ascending";
     {
       name;
+      mu = Mutex.create ();
       bounds = buckets;
       counts = Array.make (Array.length buckets + 1) 0;
       n = 0;
@@ -81,6 +91,7 @@ module Histogram = struct
     go 0
 
   let observe h x =
+    Mutex.protect h.mu @@ fun () ->
     h.counts.(bucket_index h x) <- h.counts.(bucket_index h x) + 1;
     h.n <- h.n + 1;
     h.sum <- h.sum +. x;
@@ -112,6 +123,7 @@ module Histogram = struct
     end
 
   let summary h : Vnl_util.Stats.summary =
+    Mutex.protect h.mu @@ fun () : Vnl_util.Stats.summary ->
     if h.n = 0 then
       { n = 0; mean = 0.0; stddev = 0.0; min = 0.0; max = 0.0; p50 = 0.0; p90 = 0.0;
         p99 = 0.0; total = 0.0 }
@@ -133,6 +145,7 @@ module Histogram = struct
     end
 
   let reset h =
+    Mutex.protect h.mu @@ fun () ->
     Array.fill h.counts 0 (Array.length h.counts) 0;
     h.n <- 0;
     h.sum <- 0.0;
@@ -144,9 +157,13 @@ end
 module Registry = struct
   type metric = C of Counter.t | G of Gauge.t | H of Histogram.t
 
-  type t = { metrics : (string, metric) Hashtbl.t }
+  (* The mutex guards the name table only (Hashtbl resize under a
+     concurrent reader segfaults); the cells it hands out synchronize
+     themselves.  Registration is off every hot path — call sites hold the
+     cell, not the name. *)
+  type t = { metrics : (string, metric) Hashtbl.t; mu : Mutex.t }
 
-  let create () = { metrics = Hashtbl.create 32 }
+  let create () = { metrics = Hashtbl.create 32; mu = Mutex.create () }
 
   let default = create ()
 
@@ -157,6 +174,7 @@ module Registry = struct
       (Printf.sprintf "Obs.Registry: %S is already a %s, not a %s" name (kind found) want)
 
   let counter ?(registry = default) name =
+    Mutex.protect registry.mu @@ fun () ->
     match Hashtbl.find_opt registry.metrics name with
     | Some (C c) -> c
     | Some m -> clash name "counter" m
@@ -166,6 +184,7 @@ module Registry = struct
       c
 
   let gauge ?(registry = default) ?initial name =
+    Mutex.protect registry.mu @@ fun () ->
     match Hashtbl.find_opt registry.metrics name with
     | Some (G g) -> g
     | Some m -> clash name "gauge" m
@@ -175,6 +194,7 @@ module Registry = struct
       g
 
   let histogram ?(registry = default) ?buckets name =
+    Mutex.protect registry.mu @@ fun () ->
     match Hashtbl.find_opt registry.metrics name with
     | Some (H h) -> h
     | Some m -> clash name "histogram" m
@@ -184,6 +204,7 @@ module Registry = struct
       h
 
   let reset t =
+    Mutex.protect t.mu @@ fun () ->
     Hashtbl.iter
       (fun _ m ->
         match m with
@@ -195,15 +216,18 @@ module Registry = struct
   let sorted_by name_of xs = List.sort (fun a b -> compare (name_of a) (name_of b)) xs
 
   let counters t =
-    Hashtbl.fold (fun _ m acc -> match m with C c -> c :: acc | _ -> acc) t.metrics []
+    Mutex.protect t.mu (fun () ->
+        Hashtbl.fold (fun _ m acc -> match m with C c -> c :: acc | _ -> acc) t.metrics [])
     |> sorted_by Counter.name
 
   let gauges t =
-    Hashtbl.fold (fun _ m acc -> match m with G g -> g :: acc | _ -> acc) t.metrics []
+    Mutex.protect t.mu (fun () ->
+        Hashtbl.fold (fun _ m acc -> match m with G g -> g :: acc | _ -> acc) t.metrics [])
     |> sorted_by Gauge.name
 
   let histograms t =
-    Hashtbl.fold (fun _ m acc -> match m with H h -> h :: acc | _ -> acc) t.metrics []
+    Mutex.protect t.mu (fun () ->
+        Hashtbl.fold (fun _ m acc -> match m with H h -> h :: acc | _ -> acc) t.metrics [])
     |> sorted_by Histogram.name
 end
 
@@ -230,30 +254,57 @@ let span_prefix = "span."
 
 let sim_clock : Vnl_util.Sim_clock.t option ref = ref None
 
+(* One trace per domain.  Spans from two domains used to interleave in a
+   single shared ring and stack: a reader's end_span could pop the
+   maintainer's open span (corrupting every later depth) and concurrent
+   ring writes dropped entries.  Each domain now owns its ring and stack —
+   the begin/end hot path touches no shared state except the global [seq],
+   an atomic that gives the merged export a total begin order. *)
 type trace = {
   mutable ring : Span.t option array;
   mutable next : int;  (** Ring write cursor. *)
   mutable stack : Span.t list;  (** Open spans, innermost first. *)
-  mutable seq : int;
 }
 
-let trace = { ring = Array.make 256 None; next = 0; stack = []; seq = 0 }
+let seq = Atomic.make 0
+
+let trace_capacity = ref 256
+
+(* Every domain's trace, for merge-on-export; the list mutex is taken only
+   on domain-first-span, export, and reset. *)
+let traces : trace list ref = ref []
+
+let traces_mu = Mutex.create ()
+
+let trace_key =
+  Domain.DLS.new_key (fun () ->
+      let t = { ring = Array.make !trace_capacity None; next = 0; stack = [] } in
+      Mutex.protect traces_mu (fun () -> traces := t :: !traces);
+      t)
+
+let my_trace () = Domain.DLS.get trace_key
 
 let set_trace_capacity n =
   if n < 1 then invalid_arg "Obs.set_trace_capacity: capacity must be >= 1";
-  trace.ring <- Array.make n None;
-  trace.next <- 0
+  trace_capacity := n;
+  Mutex.protect traces_mu (fun () ->
+      List.iter
+        (fun t ->
+          t.ring <- Array.make n None;
+          t.next <- 0)
+        !traces)
 
 let set_sim_clock c = sim_clock := c
 
 let sim_now () = match !sim_clock with Some c -> Vnl_util.Sim_clock.now c | None -> 0
 
 let begin_span name =
+  let trace = my_trace () in
   let sp : Span.t =
     {
       name;
       depth = List.length trace.stack;
-      seq = trace.seq;
+      seq = Atomic.fetch_and_add seq 1;
       start_s = Sys.time ();
       stop_s = 0.0;
       status = Span.Closed;
@@ -261,11 +312,11 @@ let begin_span name =
       sim_stop = 0;
     }
   in
-  trace.seq <- trace.seq + 1;
   trace.stack <- sp :: trace.stack;
   sp
 
 let end_span ?(status = Span.Closed) (sp : Span.t) =
+  let trace = my_trace () in
   sp.stop_s <- Sys.time ();
   sp.sim_stop <- sim_now ();
   sp.status <- status;
@@ -292,9 +343,9 @@ let with_span name f =
       raise e
   end
 
-let open_spans () = List.length trace.stack
+let open_spans () = List.length (my_trace ()).stack
 
-let recent_spans () =
+let trace_spans trace =
   let n = Array.length trace.ring in
   let acc = ref [] in
   for i = n - 1 downto 0 do
@@ -304,10 +355,23 @@ let recent_spans () =
   done;
   List.rev !acc
 
+(* All domains' completed spans in global begin order.  On a single domain
+   this is exactly the old single-ring view; with several, each ring is
+   internally ordered by [seq] already, so the merge is a sort of the
+   concatenation. *)
+let recent_spans () =
+  let ts = Mutex.protect traces_mu (fun () -> !traces) in
+  List.concat_map trace_spans ts
+  |> List.sort (fun (a : Span.t) (b : Span.t) -> compare a.seq b.seq)
+
 let clear_spans () =
-  Array.fill trace.ring 0 (Array.length trace.ring) None;
-  trace.next <- 0;
-  trace.seq <- 0
+  Mutex.protect traces_mu (fun () ->
+      List.iter
+        (fun t ->
+          Array.fill t.ring 0 (Array.length t.ring) None;
+          t.next <- 0)
+        !traces);
+  Atomic.set seq 0
 
 let reset () =
   Registry.reset Registry.default;

@@ -16,7 +16,12 @@
     {!Counter.add}; global default-registry mirrors use {!Counter.record},
     which honours {!enabled}.
 
-    Single-threaded by design, like the rest of the reproduction. *)
+    Domain-safe: counters and gauges are lock-free atomics, histograms and
+    registries take a short private mutex per operation, and span traces
+    are {e domain-local} — each domain records into its own ring and
+    stack, merged into one begin-ordered view at export time
+    ({!recent_spans}).  Instrumentation sites therefore never contend
+    beyond a fetch-and-add unless they observe a histogram. *)
 
 val enabled : bool ref
 (** The master switch for all {e gated} recording ([record] operations and
@@ -149,13 +154,16 @@ val with_span : string -> (unit -> 'a) -> 'a
     propagates. *)
 
 val open_spans : unit -> int
-(** Currently open (begun, not yet ended) spans. *)
+(** Currently open (begun, not yet ended) spans {e of the calling
+    domain} — spans are domain-local, so a reader domain never observes
+    the maintainer's open spans. *)
 
 val recent_spans : unit -> Span.t list
-(** Completed spans, oldest first, bounded by {!set_trace_capacity}. *)
+(** Completed spans of {e every} domain merged into global begin order
+    (by {!Span.t.seq}), bounded per domain by {!set_trace_capacity}. *)
 
 val set_trace_capacity : int -> unit
-(** Resize (and clear) the completed-span ring.  Default 256. *)
+(** Resize (and clear) every domain's completed-span ring.  Default 256. *)
 
 val set_sim_clock : Vnl_util.Sim_clock.t option -> unit
 (** Attach a simulation clock; subsequent spans stamp [sim_start] /

@@ -1,20 +1,32 @@
 module Obs = Vnl_obs.Obs
+module Sched = Vnl_util.Sched
 
 (* Frames form an intrusive doubly-linked list in recency order (head =
    most recent, tail = LRU victim), so touch and evict are O(1) pointer
    splices — the previous implementation scanned every frame with a
    Hashtbl.fold per eviction.  [nil] is a self-linked sentinel: the list is
    circular through it, which removes every option/None case from the
-   splice code. *)
+   splice code.
+
+   Domain safety is split in two: the pool mutex guards the frame table,
+   the recency list, pin counts, and all disk traffic (load, write-back),
+   while each frame carries a reader-writer latch guarding its bytes.  A
+   page access pins its frame under the pool mutex, releases the mutex,
+   then runs the caller's callback under the frame latch — so the heavy
+   work (decoding a page of tuples) parallelizes across domains, pinned
+   frames are never evicted or written back mid-callback, and a reader
+   can never observe a torn tuple while the maintainer mutates the same
+   page. *)
 type frame = {
   mutable pid : int;
   mutable image : bytes;
   mutable dirty : bool;
   mutable pins : int;
-      (** Active [with_page]/[with_page_mut] callbacks over this frame.
-          Pinned frames are never evicted: a nested page access inside the
-          callback would otherwise evict the active frame and silently lose
-          the caller's mutations to a stale re-read. *)
+      (** Active [with_page]/[with_page_mut] callbacks over this frame,
+          updated under the pool mutex.  Pinned frames are never evicted:
+          eviction would hand the active caller's bytes to another page
+          (and a write-back would race the caller's mutations). *)
+  latch : Latch.t;  (** Shared for reads, exclusive for mutations. *)
   mutable prev : frame;
   mutable next : frame;
 }
@@ -82,6 +94,7 @@ let make_metrics () =
 type t = {
   disk : Disk.t;
   capacity : int;
+  mu : Mutex.t;  (** Guards [frames], the recency list, pins, and the disk. *)
   frames : (int, frame) Hashtbl.t;
   nil : frame;  (** Sentinel: [nil.next] is the MRU frame, [nil.prev] the LRU. *)
   m : metrics;
@@ -90,9 +103,18 @@ type t = {
 let create ?(capacity = 64) disk =
   if capacity < 1 then invalid_arg "Buffer_pool.create: capacity must be >= 1";
   let rec nil =
-    { pid = -1; image = Bytes.empty; dirty = false; pins = 0; prev = nil; next = nil }
+    {
+      pid = -1;
+      image = Bytes.empty;
+      dirty = false;
+      pins = 0;
+      latch = Latch.create "nil";
+      prev = nil;
+      next = nil;
+    }
   in
-  { disk; capacity; frames = Hashtbl.create capacity; nil; m = make_metrics () }
+  { disk; capacity; mu = Mutex.create (); frames = Hashtbl.create capacity; nil;
+    m = make_metrics () }
 
 let disk t = t.disk
 
@@ -112,17 +134,29 @@ let touch t frame =
     push_front t frame
   end
 
+(* A write-back must not race the frame's mutator: without the frame latch
+   it could push a half-written image to disk and — worse — clear [dirty]
+   over a mutation that lands just after the copy, silently losing the
+   update at the next clean eviction.  The shared latch is taken with
+   [try_shared]: an active mutator means the frame's contents are not a
+   committed state yet, so skipping it (leaving [dirty] set for the next
+   flush or eviction) is both safe and the only deadlock-free option while
+   the pool mutex is held. *)
 let write_back t frame =
-  if frame.dirty then begin
-    Disk.write t.disk frame.pid frame.image;
-    Obs.Counter.incr t.m.physical_writes;
-    Obs.Counter.record g_physical_writes 1;
-    let last = Obs.Gauge.get t.m.last_write in
-    if frame.pid = last || frame.pid = last + 1 then Obs.Counter.incr t.m.seq_writes
-    else Obs.Counter.incr t.m.rand_writes;
-    Obs.Gauge.set t.m.last_write frame.pid;
-    frame.dirty <- false
-  end
+  if frame.dirty && Latch.try_shared frame.latch then
+    Fun.protect
+      ~finally:(fun () -> Latch.release_shared frame.latch)
+      (fun () ->
+        if frame.dirty then begin
+          Disk.write t.disk frame.pid frame.image;
+          Obs.Counter.incr t.m.physical_writes;
+          Obs.Counter.record g_physical_writes 1;
+          let last = Obs.Gauge.get t.m.last_write in
+          if frame.pid = last || frame.pid = last + 1 then Obs.Counter.incr t.m.seq_writes
+          else Obs.Counter.incr t.m.rand_writes;
+          Obs.Gauge.set t.m.last_write frame.pid;
+          frame.dirty <- false
+        end)
 
 (* Walk tail -> head for the least-recently-used unpinned frame.  Pinned
    frames (a [with_page]* callback is live over their bytes) must stay
@@ -169,6 +203,7 @@ let load t pid =
         image = Disk.read t.disk pid;
         dirty = false;
         pins = 0;
+        latch = Latch.create (Printf.sprintf "page-%d" pid);
         prev = t.nil;
         next = t.nil;
       }
@@ -177,6 +212,8 @@ let load t pid =
     frame
 
 let alloc_page t =
+  Sched.yield ();
+  Mutex.protect t.mu @@ fun () ->
   let pid = Disk.alloc t.disk in
   let frame =
     {
@@ -184,6 +221,7 @@ let alloc_page t =
       image = Bytes.make (Disk.page_size t.disk) '\000';
       dirty = false;
       pins = 0;
+      latch = Latch.create (Printf.sprintf "page-%d" pid);
       prev = t.nil;
       next = t.nil;
     }
@@ -191,20 +229,44 @@ let alloc_page t =
   install t frame;
   pid
 
-let pinned frame f =
-  frame.pins <- frame.pins + 1;
-  Fun.protect ~finally:(fun () -> frame.pins <- frame.pins - 1) (fun () -> f frame.image)
+(* Pin under the pool mutex, run the callback under the frame latch with
+   the mutex released, unpin under the mutex again.  The pin keeps the
+   frame resident (and its latch meaningful) for exactly the callback's
+   lifetime; the latch mode decides reader concurrency on the bytes.
+   [dirty] is set inside the exclusive latch, not at pin time: a
+   concurrent [write_back] holds the shared latch while it tests-and-
+   clears the flag, so latch exclusion is what keeps a mutation from ever
+   sitting under a cleared flag. *)
+let pinned t ~exclusive pid f =
+  Sched.yield ();
+  let frame =
+    Mutex.protect t.mu (fun () ->
+        let frame = load t pid in
+        frame.pins <- frame.pins + 1;
+        frame)
+  in
+  Fun.protect
+    ~finally:(fun () -> Mutex.protect t.mu (fun () -> frame.pins <- frame.pins - 1))
+    (fun () ->
+      if exclusive then
+        Latch.with_latch frame.latch (fun () ->
+            frame.dirty <- true;
+            f frame.image)
+      else Latch.with_shared frame.latch (fun () -> f frame.image))
 
-let with_page t pid f = pinned (load t pid) f
+let with_page t pid f = pinned t ~exclusive:false pid f
 
-let with_page_mut t pid f =
-  let frame = load t pid in
-  frame.dirty <- true;
-  pinned frame f
+let with_page_mut t pid f = pinned t ~exclusive:true pid f
 
 (* Dirty frames are written back in ascending pid order: deterministic
-   (Hashtbl iteration order used to decide it) and sequential on disk. *)
+   (Hashtbl iteration order used to decide it) and sequential on disk.
+   Runs under the pool mutex; a frame whose mutator is still inside its
+   exclusive latch is skipped by [write_back] and stays dirty for the next
+   flush or eviction.  The maintenance flow is unaffected: its own writes
+   have released their latches by the time it flushes. *)
 let flush_all t =
+  Sched.yield ();
+  Mutex.protect t.mu @@ fun () ->
   let dirty = ref [] in
   Hashtbl.iter (fun _ frame -> if frame.dirty then dirty := frame :: !dirty) t.frames;
   List.iter (write_back t) (List.sort (fun a b -> compare a.pid b.pid) !dirty)
@@ -232,6 +294,7 @@ let reset_stats t =
 
 let drop_cache t =
   flush_all t;
+  Mutex.protect t.mu @@ fun () ->
   Hashtbl.reset t.frames;
   t.nil.next <- t.nil;
   t.nil.prev <- t.nil

@@ -15,7 +15,16 @@
     frames but never the pinned one, so mutations through the callback's
     bytes always reach the frame that will be written back.  If every frame
     is pinned when an eviction is needed, the pool raises [Failure] rather
-    than corrupt a live caller. *)
+    than corrupt a live caller.
+
+    Domain-safe: a pool mutex guards the frame table, recency list, pin
+    counts, and all disk traffic; each frame carries a reader-writer latch
+    guarding its bytes.  [with_page] callbacks of several reader domains
+    run concurrently on the same frame (shared latch) while
+    [with_page_mut] excludes them (exclusive latch), so a reader can never
+    decode a half-written tuple.  Counters are lock-free atomics and
+    always consistent ([hits + misses = logical_reads] even under
+    contention). *)
 
 type t
 

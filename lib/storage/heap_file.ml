@@ -4,11 +4,18 @@ module Iset = Set.Make (Int)
 
 type rid = { page : int; slot : int }
 
+(* [pages] is an [Atomic] holding an immutable list: reader domains scan
+   it while the maintenance domain appends freshly allocated pages.  The
+   atomic store publishes the new head after the page is initialized; a
+   reader that misses the newest page misses only tuples stamped with the
+   still-uncommitted maintenanceVN — invisible to its session anyway.
+   [free] and [count] stay plain: they are touched only by the single
+   maintenance domain (all mutation goes through the heap latch). *)
 type t = {
   pool : Buffer_pool.t;
   schema : Schema.t;
   layout : Page.layout;
-  mutable pages : int list;  (** All pages, newest first. *)
+  pages : int list Atomic.t;  (** All pages, newest first. *)
   mutable free : Iset.t;  (** Pages with at least one free slot. *)
   mutable count : int;
   latch : Latch.t;
@@ -19,7 +26,8 @@ let create pool schema =
     Page.layout ~page_size:(Disk.page_size (Buffer_pool.disk pool))
       ~record_width:(Schema.width schema)
   in
-  { pool; schema; layout; pages = []; free = Iset.empty; count = 0; latch = Latch.create "heap" }
+  { pool; schema; layout; pages = Atomic.make []; free = Iset.empty; count = 0;
+    latch = Latch.create "heap" }
 
 let schema t = t.schema
 
@@ -30,7 +38,7 @@ let tuples_per_page t = t.layout.Page.slots
 let alloc_page t =
   let pid = Buffer_pool.alloc_page t.pool in
   Buffer_pool.with_page_mut t.pool pid (fun img -> Page.init t.layout img);
-  t.pages <- pid :: t.pages;
+  Atomic.set t.pages (pid :: Atomic.get t.pages);
   t.free <- Iset.add pid t.free;
   pid
 
@@ -97,7 +105,7 @@ let scan t f =
             List.rev !acc)
       in
       List.iter (fun (slot, tuple) -> f { page = pid; slot } tuple) live)
-    (List.rev t.pages)
+    (List.rev (Atomic.get t.pages))
 
 let iter_tuples t f =
   List.iter
@@ -105,14 +113,14 @@ let iter_tuples t f =
       Buffer_pool.with_page t.pool pid (fun img ->
           Page.iter_used_offsets t.layout img (fun _slot off ->
               f (Tuple.decode_from t.schema img off))))
-    (List.rev t.pages)
+    (List.rev (Atomic.get t.pages))
 
 let iter_records t f =
   List.iter
     (fun pid ->
       Buffer_pool.with_page t.pool pid (fun img ->
           Page.iter_used_offsets t.layout img (fun _slot off -> f img off)))
-    (List.rev t.pages)
+    (List.rev (Atomic.get t.pages))
 
 let fold t ~init ~f =
   let acc = ref init in
@@ -131,7 +139,7 @@ let to_list t = List.rev (fold t ~init:[] ~f:(fun acc rid tuple -> (rid, tuple) 
 
 let tuple_count t = t.count
 
-let page_count t = List.length t.pages
+let page_count t = List.length (Atomic.get t.pages)
 
 let latch_acquisitions t = Latch.acquisitions t.latch
 
@@ -141,11 +149,11 @@ let pp_rid ppf rid = Format.fprintf ppf "(%d,%d)" rid.page rid.slot
 
 let buffer_pool t = t.pool
 
-let pages t = List.rev t.pages
+let pages t = List.rev (Atomic.get t.pages)
 
 let attach pool schema ~pages =
   let t = create pool schema in
-  t.pages <- List.rev pages;
+  Atomic.set t.pages (List.rev pages);
   List.iter
     (fun pid ->
       let used =

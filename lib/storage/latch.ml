@@ -1,15 +1,83 @@
-type t = { name : string; mutable held : bool; mutable acquisitions : int }
+(* A real reader-writer latch.  Until readers ran on their own domains the
+   latch only checked discipline; now it is genuine mutual exclusion:
+   shared (reader) holders coexist, an exclusive (writer) holder excludes
+   everyone.  Writers take priority over newly arriving readers so a
+   stream of page scans cannot starve the maintenance transaction. *)
 
-let create name = { name; held = false; acquisitions = 0 }
+type t = {
+  name : string;
+  mu : Mutex.t;
+  cond : Condition.t;
+  mutable writer : int;  (** Domain id of the exclusive holder, -1 if none. *)
+  mutable readers : int;  (** Current shared holders. *)
+  mutable writers_waiting : int;
+  mutable acquisitions : int;
+}
+
+let create name =
+  {
+    name;
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    writer = -1;
+    readers = 0;
+    writers_waiting = 0;
+    acquisitions = 0;
+  }
+
+let self () = (Domain.self () :> int)
 
 let acquire t =
-  if t.held then failwith (Printf.sprintf "Latch %s: re-entrant acquire" t.name);
-  t.held <- true;
-  t.acquisitions <- t.acquisitions + 1
+  let me = self () in
+  Mutex.protect t.mu (fun () ->
+      (* Same-domain re-entry would self-deadlock on a real latch; keep the
+         historical discipline error instead of hanging. *)
+      if t.writer = me then
+        failwith (Printf.sprintf "Latch %s: re-entrant acquire" t.name);
+      t.writers_waiting <- t.writers_waiting + 1;
+      while t.writer >= 0 || t.readers > 0 do
+        Condition.wait t.cond t.mu
+      done;
+      t.writers_waiting <- t.writers_waiting - 1;
+      t.writer <- me;
+      t.acquisitions <- t.acquisitions + 1)
 
 let release t =
-  if not t.held then failwith (Printf.sprintf "Latch %s: release while free" t.name);
-  t.held <- false
+  Mutex.protect t.mu (fun () ->
+      if t.writer < 0 then
+        failwith (Printf.sprintf "Latch %s: release while free" t.name);
+      t.writer <- -1);
+  Condition.broadcast t.cond
+
+let acquire_shared t =
+  let me = self () in
+  Mutex.protect t.mu (fun () ->
+      if t.writer = me then
+        failwith (Printf.sprintf "Latch %s: shared acquire under own exclusive" t.name);
+      while t.writer >= 0 || t.writers_waiting > 0 do
+        Condition.wait t.cond t.mu
+      done;
+      t.readers <- t.readers + 1;
+      t.acquisitions <- t.acquisitions + 1)
+
+(* Non-blocking shared acquire: fails only on an active exclusive holder.
+   Waiting writers are not a reason to refuse — the caller never blocks,
+   so it cannot starve them. *)
+let try_shared t =
+  Mutex.protect t.mu (fun () ->
+      if t.writer >= 0 then false
+      else begin
+        t.readers <- t.readers + 1;
+        t.acquisitions <- t.acquisitions + 1;
+        true
+      end)
+
+let release_shared t =
+  Mutex.protect t.mu (fun () ->
+      if t.readers <= 0 then
+        failwith (Printf.sprintf "Latch %s: shared release while free" t.name);
+      t.readers <- t.readers - 1);
+  Condition.broadcast t.cond
 
 let with_latch t f =
   acquire t;
@@ -21,6 +89,16 @@ let with_latch t f =
     release t;
     raise e
 
-let held t = t.held
+let with_shared t f =
+  acquire_shared t;
+  match f () with
+  | result ->
+    release_shared t;
+    result
+  | exception e ->
+    release_shared t;
+    raise e
+
+let held t = t.writer >= 0
 
 let acquisitions t = t.acquisitions

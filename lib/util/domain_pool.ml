@@ -1,0 +1,24 @@
+(* A small domain pool: spawn N domains, run one job on each, join all.
+
+   The parallel serving scenarios need exactly the fork-join shape — one
+   maintenance domain plus N reader domains over shared warehouse state —
+   and benchmarks need all participants to start together so the measured
+   window excludes domain spawn cost.  [run] provides the barrier: each
+   job receives a [start] thunk that blocks (spinning with
+   [Domain.cpu_relax]) until every domain has reached it. *)
+
+let parallel ~domains f =
+  if domains < 1 then invalid_arg "Domain_pool.parallel: need at least one domain";
+  let ds = Array.init domains (fun i -> Domain.spawn (fun () -> f i)) in
+  Array.map Domain.join ds
+
+let run ~domains f =
+  if domains < 1 then invalid_arg "Domain_pool.run: need at least one domain";
+  let arrived = Atomic.make 0 in
+  let start () =
+    Atomic.incr arrived;
+    while Atomic.get arrived < domains do
+      Domain.cpu_relax ()
+    done
+  in
+  parallel ~domains (fun i -> f ~start i)

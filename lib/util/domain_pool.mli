@@ -1,0 +1,16 @@
+(** A small fork-join domain pool.
+
+    Drives the parallel serving scenarios: one maintenance domain plus N
+    reader domains over shared warehouse state.  Results are joined into
+    an array indexed by domain rank; an exception in any job propagates
+    from the join. *)
+
+val parallel : domains:int -> (int -> 'a) -> 'a array
+(** [parallel ~domains f] spawns [domains] domains running [f rank]
+    (ranks [0 .. domains-1]) and joins them all.  Raises
+    [Invalid_argument] when [domains < 1]. *)
+
+val run : domains:int -> (start:(unit -> unit) -> int -> 'a) -> 'a array
+(** Like {!parallel}, but each job receives a [start] barrier: calling it
+    blocks until every domain has called it, so timed sections can begin
+    simultaneously after spawn overhead. *)

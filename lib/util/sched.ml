@@ -1,0 +1,79 @@
+(* Deterministic cooperative scheduler for concurrency testing.
+
+   Racy code cannot be validated on vibes: a bug that needs one particular
+   reader/maintainer interleaving will not show up under free-running
+   domains, and when it does it will not reproduce.  This scheduler runs a
+   set of tasks on ONE domain and drives them through their explicit yield
+   points ({!yield} calls instrumented into the storage and core layers)
+   with a seeded PRNG choosing which task advances next.  Same seed, same
+   task set => same interleaving => same verdict, so every failing schedule
+   is a regression test.
+
+   Tasks are plain thunks; {!yield} is an effect, caught by the handler
+   [run] installs, so the stack between yield points is a real one-shot
+   continuation — the full storage/core call stack suspends and resumes
+   exactly as written.  Outside [run] (production and free-running domain
+   tests) {!yield} is one load and one branch. *)
+
+type _ Effect.t += Yield : unit Effect.t
+
+(* True only while [run] is driving tasks on the current domain.  The flag
+   is a plain ref: harness runs are single-domain by construction, and
+   free-running domains only ever observe [false]. *)
+let active = ref false
+
+let yield () = if !active then Effect.perform Yield
+
+type pending = Start of (unit -> unit) | Resume of (unit, unit) Effect.Deep.continuation
+
+let run ~seed tasks =
+  if !active then invalid_arg "Sched.run: a schedule is already being driven";
+  let open Effect.Deep in
+  let rng = Xorshift.create seed in
+  let runnable = ref (List.map (fun (name, f) -> (name, Start f)) tasks) in
+  let steps = ref [] in
+  let enqueue name k = runnable := !runnable @ [ (name, Resume k) ] in
+  let step name p =
+    match p with
+    | Resume k -> continue k ()
+    | Start f ->
+      match_with f ()
+        {
+          retc = (fun () -> ());
+          exnc = raise;
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Yield -> Some (fun (k : (a, unit) continuation) -> enqueue name k)
+              | _ -> None);
+        }
+  in
+  (* If a task dies, the others' suspended continuations still hold latches
+     and pins behind Fun.protect finalizers; discontinue them so cleanup
+     runs before the failure propagates. *)
+  let discontinue_pending e =
+    List.iter
+      (fun (_, p) ->
+        match p with
+        | Resume k -> ( try discontinue k e with _ -> ())
+        | Start _ -> ())
+      !runnable;
+    runnable := []
+  in
+  active := true;
+  Fun.protect
+    ~finally:(fun () -> active := false)
+    (fun () ->
+      (try
+         while !runnable <> [] do
+           let n = List.length !runnable in
+           let i = Xorshift.int rng n in
+           let name, p = List.nth !runnable i in
+           runnable := List.filteri (fun j _ -> j <> i) !runnable;
+           steps := name :: !steps;
+           step name p
+         done
+       with e ->
+         discontinue_pending e;
+         raise e);
+      List.rev !steps)

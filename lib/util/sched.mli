@@ -1,0 +1,25 @@
+(** Deterministic cooperative scheduler for concurrency testing.
+
+    The parallel read path is validated two ways: free-running OCaml 5
+    domains (stress), and {e reproducible} interleavings driven by this
+    scheduler (oracle checks).  [run] executes a set of tasks on the
+    calling domain, suspending each at its {!yield} points via effects and
+    using a seeded PRNG to pick which task advances next — the same seed
+    always produces the same interleaving, so any failure is replayable.
+
+    The storage and core layers call {!yield} at their natural atomicity
+    boundaries (page accesses, version-state reads and writes); outside
+    [run] those calls are a single load-and-branch no-op. *)
+
+val yield : unit -> unit
+(** Explicit yield point.  Inside {!run}: suspend the current task and let
+    the scheduler pick the next step.  Outside: no-op. *)
+
+val run : seed:int -> (string * (unit -> unit)) list -> string list
+(** [run ~seed tasks] drives the named tasks to completion, interleaving
+    them at yield points under a PRNG seeded with [seed].  Returns the
+    step trace — the task name chosen at each scheduling decision — which
+    equal seeds reproduce exactly.  A task exception aborts the schedule:
+    the other tasks' pending continuations are discontinued (so their
+    cleanup handlers run) and the exception propagates.  Raises
+    [Invalid_argument] when called re-entrantly. *)

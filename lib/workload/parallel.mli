@@ -1,0 +1,41 @@
+(** Parallel reader serving: 1 maintenance domain + N reader domains.
+
+    Runs the Example 2.1 analyst workload (city total + product-line
+    drill-down, plus periodic full-view scans) on [readers] OCaml 5
+    domains while a maintenance domain applies random refresh batches
+    through {!Vnl_core.Recovery.run_maintenance}.  Every query pair is
+    checked for the 2VNL consistency criterion — the drill-down must sum
+    to the total — so a mixed-version or torn read shows up in
+    [inconsistent] rather than silently skewing throughput numbers. *)
+
+type config = {
+  readers : int;  (** Reader domains (>= 1); one maintenance domain rides along. *)
+  duration_s : float;  (** Measured wall-clock window. *)
+  days : int;  (** Days of history loaded before the run. *)
+  batch_size : int;  (** Logical ops per refresh batch. *)
+  n : int;  (** Version slots per table: 2 = 2VNL. *)
+  pool_capacity : int;
+  queries_per_session : int;  (** Query pairs before the session is reopened. *)
+  seed : int;
+}
+
+val default_config : config
+
+type report = {
+  readers : int;
+  elapsed_s : float;
+  reader_queries : int;  (** Completed query pairs across all reader domains. *)
+  per_reader : int array;  (** Query pairs completed by each reader domain. *)
+  rows_scanned : int;  (** Tuples returned by full-view scans. *)
+  sessions : int;  (** Reader sessions opened. *)
+  expired : int;  (** Sessions ended early by version expiry. *)
+  inconsistent : int;  (** Drill-downs that failed to sum to their total. *)
+  refreshes : int;  (** Maintenance transactions committed. *)
+  qps : float;  (** [reader_queries /. elapsed_s]. *)
+}
+
+val run : config -> report
+(** Build a fresh warehouse, then serve for [duration_s] with
+    [readers + 1] domains.  Deterministic in its inputs but not in its
+    schedule; use the [test/] interleaving harness for reproducible
+    interleavings. *)

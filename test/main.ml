@@ -24,4 +24,6 @@ let () =
       ("recovery", Test_recovery.suite);
       ("faults", Test_faults.suite);
       ("obs", Test_obs.suite);
+      ("parallel", Test_parallel.suite);
+      ("parallel-stress", Test_parallel_stress.suite);
     ]

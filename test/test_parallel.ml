@@ -1,0 +1,273 @@
+(* Deterministic interleaving harness over the parallel read path.
+
+   Free-running domains (test_parallel_stress) can hit a racy interleaving
+   but cannot replay it.  These tests drive reader and maintainer tasks
+   through {!Vnl_util.Sched}: every page access and version-state access
+   is a scheduling point, a seeded PRNG picks who advances, and the same
+   seed always reproduces the same interleaving.  At each step readers
+   check their whole view against the full-history {!Oracle} at their
+   sessionVN — the paper's consistency guarantee (§3), stated exactly. *)
+
+module Value = Vnl_relation.Value
+module Tuple = Vnl_relation.Tuple
+module Database = Vnl_query.Database
+module Executor = Vnl_query.Executor
+module Disk = Vnl_storage.Disk
+module Twovnl = Vnl_core.Twovnl
+module Batch = Vnl_core.Batch
+module Sched = Vnl_util.Sched
+module Xorshift = Vnl_util.Xorshift
+
+let check = Alcotest.check
+
+let table_name = "DailySales"
+
+(* --- the scheduler itself ------------------------------------------- *)
+
+let test_sched_runs_all_steps () =
+  let log = ref [] in
+  let task name =
+    ( name,
+      fun () ->
+        for i = 1 to 3 do
+          log := (name, i) :: !log;
+          Sched.yield ()
+        done )
+  in
+  let trace = Sched.run ~seed:1 [ task "a"; task "b" ] in
+  check Alcotest.int "every step of every task ran" 6 (List.length !log);
+  List.iter
+    (fun name ->
+      check (Alcotest.list Alcotest.int)
+        (name ^ " stepped in order")
+        [ 1; 2; 3 ]
+        (List.rev_map snd (List.filter (fun (n, _) -> n = name) !log)))
+    [ "a"; "b" ];
+  (* The trace is the schedule: replaying the seed replays it exactly. *)
+  let log2 = ref [] in
+  let task2 name = (name, fun () -> for i = 1 to 3 do log2 := (name, i) :: !log2; Sched.yield () done) in
+  let trace2 = Sched.run ~seed:1 [ task2 "a"; task2 "b" ] in
+  check (Alcotest.list Alcotest.string) "same seed, same trace" trace trace2;
+  check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "same seed, same step log" !log !log2
+
+let test_sched_seed_changes_schedule () =
+  let run seed =
+    let log = ref [] in
+    let task name =
+      (name, fun () -> for _ = 1 to 5 do log := name :: !log; Sched.yield () done)
+    in
+    ignore (Sched.run ~seed [ task "a"; task "b"; task "c" ]);
+    List.rev !log
+  in
+  Alcotest.(check bool) "different seeds interleave differently" false (run 1 = run 2)
+
+let test_sched_reentrant_rejected () =
+  Alcotest.check_raises "re-entrant run is refused"
+    (Invalid_argument "Sched.run: a schedule is already being driven")
+    (fun () ->
+      ignore
+        (Sched.run ~seed:1 [ ("outer", fun () -> ignore (Sched.run ~seed:2 [])) ]))
+
+let test_sched_exception_runs_cleanups () =
+  let cleaned = ref false in
+  (try
+     ignore
+       (Sched.run ~seed:3
+          [
+            ( "holder",
+              fun () ->
+                Fun.protect
+                  ~finally:(fun () -> cleaned := true)
+                  (fun () ->
+                    Sched.yield ();
+                    Sched.yield ()) );
+            ("bomb", fun () -> Sched.yield (); failwith "boom");
+          ]);
+     Alcotest.fail "exception did not propagate"
+   with Failure msg -> check Alcotest.string "task failure propagates" "boom" msg);
+  Alcotest.(check bool) "suspended task's cleanup ran" true !cleaned
+
+(* --- the 2VNL warehouse under scheduled interleavings ----------------- *)
+
+let groups =
+  [
+    ("San Jose", "CA", "golf equip");
+    ("Berkeley", "CA", "racquetball");
+    ("Novato", "CA", "rollerblades");
+    ("Fresno", "CA", "tennis");
+    ("Reno", "NV", "golf equip");
+    ("Tahoe", "NV", "skiing");
+  ]
+
+let key_of (city, state, pl) ~day =
+  [ Value.Str city; Value.Str state; Value.Str pl; Value.date_of_mdy 10 day 96 ]
+
+let row_of key sales = Tuple.make Fixtures.daily_sales (key @ [ Value.Int sales ])
+
+let initial_rows () =
+  List.concat_map
+    (fun g -> List.map (fun day -> row_of (key_of g ~day) 1000) [ 13; 14 ])
+    groups
+
+(* Randomized batches with disjoint per-key roles (every key appears in at
+   most one op per batch), tracked against a live-key set so the same ops
+   are always legal for both the warehouse and the oracle. *)
+let gen_batches rng ~batches =
+  let live = ref (List.concat_map (fun g -> [ key_of g ~day:13; key_of g ~day:14 ]) groups) in
+  let fresh_day = ref 20 in
+  List.init batches (fun _ ->
+      let pool = Array.of_list !live in
+      Xorshift.shuffle rng pool;
+      let n_upd = min (Array.length pool) (1 + Xorshift.int rng 3) in
+      let n_del = min (Array.length pool - n_upd) (Xorshift.int rng 2) in
+      let ops = ref [] in
+      for i = 0 to n_upd - 1 do
+        ops := Batch.Update (pool.(i), [ (4, Value.Int (Xorshift.int rng 50_000)) ]) :: !ops
+      done;
+      for i = n_upd to n_upd + n_del - 1 do
+        ops := Batch.Delete pool.(i) :: !ops;
+        live := List.filter (fun k -> k <> pool.(i)) !live
+      done;
+      let day = !fresh_day in
+      incr fresh_day;
+      List.iter
+        (fun g ->
+          if Xorshift.chance rng 0.4 then begin
+            let key = key_of g ~day in
+            ops := Batch.Insert (row_of key (Xorshift.int rng 9_000)) :: !ops;
+            live := key :: !live
+          end)
+        groups;
+      List.rev !ops)
+
+let oracle_op = function
+  | Batch.Insert t -> Oracle.Ins t
+  | Batch.Update (k, a) -> Oracle.Upd (k, a)
+  | Batch.Delete k -> Oracle.Del k
+
+let build () =
+  let db = Database.create ~pool_capacity:4 () in
+  let vnl = Twovnl.init db in
+  ignore (Twovnl.register_table vnl ~name:table_name Fixtures.daily_sales);
+  Twovnl.load_initial vnl table_name (initial_rows ());
+  let oracle = Oracle.create Fixtures.daily_sales in
+  Oracle.apply_txn oracle ~vn:1 (List.map (fun t -> Oracle.Ins t) (initial_rows ()));
+  (db, vnl, oracle)
+
+let sum_rows rows =
+  List.fold_left
+    (fun acc t -> match Tuple.get t 4 with Value.Int n -> acc + n | _ -> acc)
+    0 rows
+
+(* One reader pass: full-view engine read and compiled-SQL aggregate, both
+   checked against the oracle at this session's version.  Expiry is the
+   legal out (§2.1); any other divergence is a failure. *)
+let reader_pass vnl oracle ~reads =
+  let s = Twovnl.Session.begin_ vnl in
+  (try
+     for _ = 1 to reads do
+       let rows = Twovnl.Session.read_table vnl s table_name in
+       let expected = Oracle.visible oracle ~vn:(Twovnl.Session.vn s) in
+       if not (Oracle.equal_views rows expected) then
+         Alcotest.failf "session at vn %d saw %d rows, oracle has %d"
+           (Twovnl.Session.vn s) (List.length rows) (List.length expected);
+       let r =
+         Twovnl.Session.query vnl s
+           (Printf.sprintf "SELECT SUM(total_sales) FROM %s" table_name)
+       in
+       match r.Executor.rows with
+       | [ [ Value.Int total ] ] ->
+         if total <> sum_rows expected then
+           Alcotest.failf "SQL sum %d disagrees with oracle sum %d at vn %d" total
+             (sum_rows expected) (Twovnl.Session.vn s)
+       | [ [ Value.Null ] ] ->
+         if expected <> [] then
+           Alcotest.failf "SQL sum NULL but oracle has %d rows at vn %d"
+             (List.length expected) (Twovnl.Session.vn s)
+       | _ -> Alcotest.fail "sum query shape"
+     done
+   with Twovnl.Expired _ -> ());
+  Twovnl.Session.end_ vnl s
+
+(* The harness proper: one maintainer applying [batches] transactions, two
+   readers re-checking the oracle, all interleaved by [sched_seed]. *)
+let scheduled_run ~data_seed ~sched_seed ~batches =
+  let _db, vnl, oracle = build () in
+  let plans = gen_batches (Xorshift.create data_seed) ~batches in
+  let maintainer () =
+    List.iter
+      (fun ops ->
+        let m = Twovnl.Txn.begin_ vnl in
+        (* Recorded at begin: no reader can hold this vn before commit
+           publishes it, and earlier versions are immutable history. *)
+        Oracle.apply_txn oracle ~vn:(Twovnl.Txn.vn m) (List.map oracle_op ops);
+        ignore (Twovnl.Txn.apply_batch m ~table:table_name ops);
+        Twovnl.Txn.commit m)
+      plans
+  in
+  let reader name = (name, fun () -> for _ = 1 to 4 do reader_pass vnl oracle ~reads:2 done) in
+  Sched.run ~seed:sched_seed
+    [ ("maintainer", maintainer); reader "reader-1"; reader "reader-2" ]
+
+let test_oracle_many_interleavings () =
+  for sched_seed = 1 to 12 do
+    ignore (scheduled_run ~data_seed:42 ~sched_seed ~batches:4)
+  done
+
+let test_oracle_many_workloads () =
+  List.iter
+    (fun data_seed -> ignore (scheduled_run ~data_seed ~sched_seed:7 ~batches:5))
+    [ 3; 17; 99; 1234 ]
+
+let test_interleaving_deterministic () =
+  let t1 = scheduled_run ~data_seed:42 ~sched_seed:5 ~batches:4 in
+  let t2 = scheduled_run ~data_seed:42 ~sched_seed:5 ~batches:4 in
+  check (Alcotest.list Alcotest.string) "same seed, same schedule" t1 t2;
+  Alcotest.(check bool) "the schedule interleaves maintainer and readers" true
+    (List.exists (( = ) "maintainer") t1 && List.exists (( = ) "reader-1") t1);
+  let t3 = scheduled_run ~data_seed:42 ~sched_seed:6 ~batches:4 in
+  Alcotest.(check bool) "another seed schedules differently" false (t1 = t3)
+
+(* Single-task scheduling is the serial path: same answers, and the saved
+   database image is byte-identical to a run without the harness. *)
+let test_serial_byte_identity () =
+  let workload () =
+    let db, vnl, oracle = build () in
+    List.iter
+      (fun ops ->
+        let m = Twovnl.Txn.begin_ vnl in
+        Oracle.apply_txn oracle ~vn:(Twovnl.Txn.vn m) (List.map oracle_op ops);
+        ignore (Twovnl.Txn.apply_batch m ~table:table_name ops);
+        Twovnl.Txn.commit m)
+      (gen_batches (Xorshift.create 42) ~batches:3);
+    reader_pass vnl oracle ~reads:1;
+    Database.save db;
+    Database.disk db
+  in
+  let plain = workload () in
+  let scheduled = ref None in
+  ignore (Sched.run ~seed:11 [ ("all", fun () -> scheduled := Some (workload ())) ]);
+  let scheduled = Option.get !scheduled in
+  check Alcotest.int "same page count" (Disk.page_count plain) (Disk.page_count scheduled);
+  for pid = 0 to Disk.page_count plain - 1 do
+    if not (Bytes.equal (Disk.read plain pid) (Disk.read scheduled pid)) then
+      Alcotest.failf "page %d differs between plain and scheduled runs" pid
+  done
+
+let suite =
+  [
+    Alcotest.test_case "sched: runs every step of every task" `Quick test_sched_runs_all_steps;
+    Alcotest.test_case "sched: seed changes the schedule" `Quick test_sched_seed_changes_schedule;
+    Alcotest.test_case "sched: re-entrant run rejected" `Quick test_sched_reentrant_rejected;
+    Alcotest.test_case "sched: exception discontinues and cleans up" `Quick
+      test_sched_exception_runs_cleanups;
+    Alcotest.test_case "oracle holds across 12 interleavings" `Quick
+      test_oracle_many_interleavings;
+    Alcotest.test_case "oracle holds across randomized workloads" `Quick
+      test_oracle_many_workloads;
+    Alcotest.test_case "same seed reproduces the interleaving" `Quick
+      test_interleaving_deterministic;
+    Alcotest.test_case "single-task schedule is byte-identical to serial" `Quick
+      test_serial_byte_identity;
+  ]
