@@ -115,6 +115,33 @@ let check_phases file (fresh : Json.t) =
       entries
   | Some j -> error "%s: \"phases\" is %s, expected object" file (kind j)
 
+(* Scaling-floor gate over the fresh BENCH_parallel.json: the 8-reader
+   configuration must keep a minimum speedup over 1 reader and report zero
+   inconsistent query pairs.  The floor (--parallel-floor, default 1.5) is
+   deliberately far below the numbers a quiet machine produces — shared CI
+   runners cannot hold absolute timings, but a latch-reintroduction that
+   flattens the curve to ~1x must fail loudly, not warn. *)
+let check_parallel_floor ~floor (fresh : Json.t) =
+  let num = function Some (Json.Num n) -> Some n | _ -> None in
+  match Json.member "scaling" fresh with
+  | Some (Json.Arr rows) ->
+    let entry r =
+      match num (Json.member "readers" r) with Some n -> int_of_float n | None -> -1
+    in
+    (match List.find_opt (fun r -> entry r = 8) rows with
+    | None -> error "BENCH_parallel.json: no 8-reader row in \"scaling\""
+    | Some row ->
+      (match num (Json.member "speedup" row) with
+      | Some s when s < floor ->
+        error "BENCH_parallel.json: 8-reader speedup %.2fx below floor %.2fx" s floor
+      | Some s -> Printf.printf "ok    BENCH_parallel.json: 8-reader speedup %.2fx (floor %.2fx)\n" s floor
+      | None -> error "BENCH_parallel.json: 8-reader row lacks a numeric \"speedup\"");
+      (match num (Json.member "inconsistent" row) with
+      | Some 0.0 -> ()
+      | Some n -> error "BENCH_parallel.json: %g inconsistent query pairs at 8 readers" n
+      | None -> error "BENCH_parallel.json: 8-reader row lacks \"inconsistent\""))
+  | _ -> error "BENCH_parallel.json: no \"scaling\" array for the floor gate"
+
 let load side path =
   if not (Sys.file_exists path) then begin
     error "%s file %s is missing" side path;
@@ -137,14 +164,20 @@ let compare_file ~baseline ~fresh file =
   | _ -> ()
 
 let usage () =
-  prerr_endline "usage: compare.exe --baseline DIR --fresh DIR";
+  prerr_endline "usage: compare.exe --baseline DIR --fresh DIR [--parallel-floor X]";
   exit 2
 
 let () =
-  let baseline = ref "." and fresh = ref "" in
+  let baseline = ref "." and fresh = ref "" and floor = ref 1.5 in
   let rec parse = function
     | "--baseline" :: dir :: rest -> baseline := dir; parse rest
     | "--fresh" :: dir :: rest -> fresh := dir; parse rest
+    | "--parallel-floor" :: x :: rest -> (
+      match float_of_string_opt x with
+      | Some f when f > 0.0 -> floor := f; parse rest
+      | Some _ | None ->
+        Printf.eprintf "--parallel-floor: expected a positive number, got %S\n" x;
+        usage ())
     | [] -> ()
     | arg :: _ -> Printf.eprintf "unknown argument %S\n" arg; usage ()
   in
@@ -152,6 +185,8 @@ let () =
   if String.equal !fresh "" then usage ();
   Printf.printf "bench-compare: baseline=%s fresh=%s\n" !baseline !fresh;
   List.iter (compare_file ~baseline:!baseline ~fresh:!fresh) bench_files;
+  Option.iter (check_parallel_floor ~floor:!floor)
+    (load "fresh" (Filename.concat !fresh "BENCH_parallel.json"));
   Printf.printf "bench-compare: %d error(s), %d warning(s) over %d file(s)\n" !errors
     !warnings (List.length bench_files);
   exit (if !errors > 0 then 1 else 0)

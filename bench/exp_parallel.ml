@@ -21,12 +21,13 @@ let write_json (reports : Parallel.report list) ~base_qps =
   let oc = open_out "BENCH_parallel.json" in
   let entry (r : Parallel.report) =
     Printf.sprintf
-      "    {\"readers\": %d, \"qps\": %.1f, \"speedup\": %.2f, \"reader_queries\": %d, \
-       \"sessions\": %d, \"expired\": %d, \"inconsistent\": %d, \"refreshes\": %d, \
-       \"elapsed_s\": %.3f}"
+      "    {\"readers\": %d, \"qps\": %.1f, \"speedup\": %.2f, \"p50_ms\": %.3f, \
+       \"p99_ms\": %.3f, \"reader_queries\": %d, \"sessions\": %d, \"expired\": %d, \
+       \"inconsistent\": %d, \"refreshes\": %d, \"elapsed_s\": %.3f}"
       r.readers r.qps
       (if base_qps > 0.0 then r.qps /. base_qps else 0.0)
-      r.reader_queries r.sessions r.expired r.inconsistent r.refreshes r.elapsed_s
+      r.latency.Vnl_util.Stats.p50 r.latency.Vnl_util.Stats.p99 r.reader_queries r.sessions
+      r.expired r.inconsistent r.refreshes r.elapsed_s
   in
   Printf.fprintf oc
     "{\n\
@@ -59,16 +60,22 @@ let run () =
   in
   let reports = List.map (fun readers -> Parallel.run (config readers)) reader_counts in
   let base_qps = (List.hd reports).Parallel.qps in
-  print_endline "+---------+----------+---------+----------+---------+--------------+";
-  print_endline "| readers | qps      | speedup | sessions | expired | inconsistent |";
-  print_endline "+---------+----------+---------+----------+---------+--------------+";
+  print_endline
+    "+---------+----------+---------+---------+---------+----------+---------+--------------+";
+  print_endline
+    "| readers | qps      | speedup | p50 ms  | p99 ms  | sessions | expired | inconsistent |";
+  print_endline
+    "+---------+----------+---------+---------+---------+----------+---------+--------------+";
   List.iter
     (fun (r : Parallel.report) ->
-      Printf.printf "| %7d | %8.1f | %6.2fx | %8d | %7d | %12d |\n" r.readers r.qps
+      Printf.printf "| %7d | %8.1f | %6.2fx | %7.3f | %7.3f | %8d | %7d | %12d |\n" r.readers
+        r.qps
         (if base_qps > 0.0 then r.qps /. base_qps else 0.0)
-        r.sessions r.expired r.inconsistent)
+        r.latency.Vnl_util.Stats.p50 r.latency.Vnl_util.Stats.p99 r.sessions r.expired
+        r.inconsistent)
     reports;
-  print_endline "+---------+----------+---------+----------+---------+--------------+";
+  print_endline
+    "+---------+----------+---------+---------+---------+----------+---------+--------------+";
   let bad = List.fold_left (fun acc (r : Parallel.report) -> acc + r.inconsistent) 0 reports in
   if bad > 0 then
     failwith (Printf.sprintf "exp_parallel: %d inconsistent query pairs observed" bad);

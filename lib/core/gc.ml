@@ -1,4 +1,6 @@
 module Table = Vnl_query.Table
+module Tuple = Vnl_relation.Tuple
+module Heap_file = Vnl_storage.Heap_file
 
 let collectable ext ~min_session_vn tuple =
   match Schema_ext.operation ext ~slot:1 tuple with
@@ -8,9 +10,23 @@ let collectable ext ~min_session_vn tuple =
     | Some vn -> min_session_vn >= vn
     | None -> false)
 
+(* The collection scan decides almost every record from two fixed-offset
+   cells ({!Schema_ext.collectable_raw}) instead of decoding the full
+   extended tuple — under continuous refresh the scan runs once per
+   maintenance transaction, and its cost used to rival the refresh apply
+   itself.  Unusual cells fall back to the decoded [collectable], which
+   owns the error behavior. *)
 let collect ext table ~min_session_vn =
-  let victims = ref [] in
-  Table.scan table (fun rid tuple ->
-      if collectable ext ~min_session_vn tuple then victims := rid :: !victims);
-  List.iter (fun rid -> Table.delete table rid) !victims;
-  List.length !victims
+  let extended = Schema_ext.extended ext in
+  let victims =
+    Table.fold_raw table ~init:[] ~f:(fun acc ~page ~slot img off ->
+        match Schema_ext.collectable_raw ext ~min_session_vn img off with
+        | Schema_ext.Raw_keep -> acc
+        | Schema_ext.Raw_collect -> { Heap_file.page; slot } :: acc
+        | Schema_ext.Raw_unknown ->
+          if collectable ext ~min_session_vn (Tuple.decode_from extended img off)
+          then { Heap_file.page; slot } :: acc
+          else acc)
+  in
+  List.iter (fun rid -> Table.delete table rid) victims;
+  List.length victims

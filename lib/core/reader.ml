@@ -69,24 +69,27 @@ let extract ext ~session_vn tuple =
 
 let visible_relation ext ~session_vn table =
   let extended = Schema_ext.extended ext in
-  let acc = ref [] in
-  (* Local tallies, one gated record after the scan: the per-tuple cost of
-     the accounting is two register increments, not a global-ref load and
-     branch inside the hottest loop of the read path. *)
-  let decodes = ref 0 and slow = ref 0 in
-  Vnl_query.Table.iter_records table (fun img off ->
-      incr decodes;
-      match Schema_ext.decode_visible ext ~session_vn img off with
-      | Schema_ext.Visible base -> acc := base :: !acc
-      | Schema_ext.Invisible -> ()
-      | Schema_ext.Slow -> (
-        incr slow;
-        match extract ext ~session_vn (Tuple.decode_from extended img off) with
-        | Some base -> acc := base :: !acc
-        | None -> ()));
-  Obs.Counter.record m_decodes !decodes;
-  Obs.Counter.record m_slow_decodes !slow;
-  List.rev !acc
+  (* The scan runs on the latch-free [fold_records] path, so the per-tuple
+     work is a pure fold: rows and tallies travel in the accumulator, and
+     an attempt invalidated by a concurrent mutator is discarded wholesale
+     — nothing double-counts and no torn row can leak into the result.
+     The tallies hit the gated observability counters once, after the
+     fold, keeping the hottest loop of the read path free of global-ref
+     loads. *)
+  let rows, decodes, slow =
+    Vnl_query.Table.fold_records table ~init:([], 0, 0)
+      ~f:(fun (rows, decodes, slow) img off ->
+        match Schema_ext.decode_visible ext ~session_vn img off with
+        | Schema_ext.Visible base -> (base :: rows, decodes + 1, slow)
+        | Schema_ext.Invisible -> (rows, decodes + 1, slow)
+        | Schema_ext.Slow -> (
+          match extract ext ~session_vn (Tuple.decode_from extended img off) with
+          | Some base -> (base :: rows, decodes + 1, slow + 1)
+          | None -> (rows, decodes + 1, slow + 1)))
+  in
+  Obs.Counter.record m_decodes decodes;
+  Obs.Counter.record m_slow_decodes slow;
+  List.rev rows
 
 let expired_by_state ~session_vn ~current_vn ~maintenance_active =
   not

@@ -181,6 +181,23 @@ let decode_visible t ~session_vn buf off =
   end
   | _ -> Slow
 
+type raw_collectability = Raw_collect | Raw_keep | Raw_unknown
+
+let collectable_raw t ~min_session_vn buf off =
+  (* GC's analogue of [decode_visible]: the collectability of the common
+     record (live insert/update, or a delete with a readable slot-1 VN) is
+     decided from two fixed-offset cells, skipping the full extended
+     decode that used to dominate the collection scan. *)
+  let offs = Schema.cell_offsets t.extended in
+  match Bytes.get buf (off + Array.unsafe_get offs 1) with
+  | 'i' | 'u' -> Raw_keep
+  | 'd' -> begin
+    match Value.decode Dtype.Int buf (off + Array.unsafe_get offs 0) with
+    | Value.Int vn -> if min_session_vn >= vn then Raw_collect else Raw_keep
+    | _ -> Raw_unknown
+  end
+  | _ -> Raw_unknown
+
 let base_key_of t tuple =
   List.map (fun j -> Tuple.get tuple (base_index t j)) (Schema.key_indices t.base)
 

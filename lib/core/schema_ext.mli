@@ -103,6 +103,19 @@ val decode_visible : t -> session_vn:int -> bytes -> int -> visibility
     overwhelmingly common case).  Returns [Slow] — never raises — whenever
     the answer needs the real classification logic. *)
 
+type raw_collectability =
+  | Raw_collect  (** Expired delete: reclaimable at this horizon. *)
+  | Raw_keep  (** Live, or a delete some session may still read. *)
+  | Raw_unknown  (** Unusual cell: decide on the full decode. *)
+
+val collectable_raw : t -> min_session_vn:int -> bytes -> int -> raw_collectability
+(** [collectable_raw t ~min_session_vn buf off] decides GC collectability
+    of the extended record at [off] straight from its bytes — slot 1's
+    operation byte and version number sit at fixed offsets, so the
+    overwhelmingly common live tuple costs one byte read instead of a
+    full extended decode.  Never raises; [Raw_unknown] defers to the
+    caller's decoded path (which owns the error messages). *)
+
 val base_key_of : t -> Vnl_relation.Tuple.t -> Vnl_relation.Value.t list
 (** Unique-key values of an extended tuple (positions translated from the
     base schema). *)

@@ -5,6 +5,9 @@ module Database = Vnl_query.Database
 module Table = Vnl_query.Table
 module Executor = Vnl_query.Executor
 module Heap_file = Vnl_storage.Heap_file
+module Buffer_pool = Vnl_storage.Buffer_pool
+module Epoch = Vnl_util.Epoch
+module StrMap = Map.Make (String)
 
 let log_src = Logs.Src.create "vnl.core" ~doc:"2VNL warehouse events"
 
@@ -19,6 +22,8 @@ let m_sessions_expired = Obs.Registry.counter "twovnl.sessions_expired"
 
 let m_reader_queries = Obs.Registry.counter "twovnl.reader_queries"
 
+let m_view_cache_hits = Obs.Registry.counter "twovnl.view_cache_hits"
+
 let m_maintenance_commits = Obs.Registry.counter "twovnl.maintenance_commits"
 
 let m_maintenance_aborts = Obs.Registry.counter "twovnl.maintenance_aborts"
@@ -26,6 +31,11 @@ let m_maintenance_aborts = Obs.Registry.counter "twovnl.maintenance_aborts"
 let m_gc_reclaimed = Obs.Registry.counter "twovnl.gc_reclaimed"
 
 let m_current_vn = Obs.Registry.gauge "twovnl.current_vn"
+
+(* How far the GC horizon (minimum pinned session epoch) trails currentVN
+   when garbage collection runs: 0 means reclamation is fully caught up,
+   larger values mean long-lived sessions are holding history alive. *)
+let m_epoch_lag = Obs.Registry.gauge "twovnl.epoch_lag"
 
 (* The VN distribution: how far behind currentVN each reader query runs.
    A 2VNL warehouse keeps this in {0, 1}; nVNL widens the band. *)
@@ -43,40 +53,67 @@ type handle = { name : string; ext : Schema_ext.t; table : Table.t }
 type reader_plan = {
   rewritten : Vnl_sql.Ast.select;
   fast : (handle * Plan.t) option;
-  mutable generic : Plan.t;
+  generic : Plan.t Atomic.t;
+      (** Atomic so any reader domain can swap in a re-prepared plan after
+          index DDL without a cache-wide lock. *)
 }
 
+(* Both reader-facing shared structures are lock-free.
+
+   Sessions: a session is an epoch pin (see {!Vnl_util.Epoch}) — beginning
+   one CASes the session's VN into a slot of the epoch domain, ending one
+   releases the slot, and the GC horizon is a fold over the slots.  The
+   PR 5 mutex-guarded session table put a global lock on every session
+   open/expire (and the old lock-free sketch had a latent race: the VN was
+   read {e before} the table insert, so a refresh committing in between
+   could let GC advance past a session that was about to exist — the
+   epoch pin's store-then-revalidate protocol closes exactly that window).
+
+   Plan cache: an immutable [StrMap] behind an [Atomic], updated by CAS.
+   Lookups — the per-query operation — are one atomic load.  A losing
+   compiler either finds the winner's entry on retry or re-publishes; the
+   generation counter keeps an entry compiled against a stale registry
+   from surviving a concurrent [register_table] invalidation. *)
 type t = {
   db : Database.t;
   version : Version_state.t;
   registry : (string, handle) Hashtbl.t;
   mutable registry_order : string list;
-  sessions : (int, int) Hashtbl.t;  (** session id -> sessionVN *)
-  sess_mu : Mutex.t;
-      (** Guards [sessions] and [session_ids]: sessions begin and end on
-          every reader domain, and the GC horizon folds over the table. *)
-  session_ids : Vnl_util.Ids.t;
+  epochs : unit Epoch.t;
+      (** Session pins; the epoch is the warehouse VN.  Advanced at every
+          refresh commit. *)
+  next_session : int Atomic.t;
   mutable txn_active : bool;
-  reader_plans : (string, reader_plan) Hashtbl.t;
-  plans_mu : Mutex.t;
-      (** Guards [reader_plans]: first execution of a statement on any
-          reader domain compiles and caches its plan. *)
+  reader_plans : reader_plan StrMap.t Atomic.t;
+  plans_gen : int Atomic.t;
+      (** Bumped by every invalidation; publishers that began compiling under
+          an older generation do not cache their (possibly stale) entry. *)
+  last_gc_horizon : int Atomic.t;
+      (** Horizon of the last completed collection.  Garbage is only ever
+          created at the then-current VN, so until the horizon moves past
+          it there is nothing new to reclaim and the scan is elided. *)
 }
 
 exception Expired of { session_vn : int; current_vn : int }
 
 let make db version =
+  let pool = Database.pool db in
+  (* Evicted buffer frames join the epoch-gated retire bag instead of
+     being recycled immediately: a latch-free reader may still be
+     validating against them. *)
+  Buffer_pool.enable_epoch_reclamation pool;
+  Buffer_pool.advance_epoch pool (Version_state.current_vn version);
   {
     db;
     version;
     registry = Hashtbl.create 8;
     registry_order = [];
-    sessions = Hashtbl.create 16;
-    sess_mu = Mutex.create ();
-    session_ids = Vnl_util.Ids.create ();
+    epochs = Epoch.create ~initial:(Version_state.current_vn version) ();
+    next_session = Atomic.make 1;
     txn_active = false;
-    reader_plans = Hashtbl.create 16;
-    plans_mu = Mutex.create ();
+    reader_plans = Atomic.make StrMap.empty;
+    plans_gen = Atomic.make 0;
+    last_gc_horizon = Atomic.make min_int;
   }
 
 let init db = make db (Version_state.install db)
@@ -90,14 +127,20 @@ let version_state t = t.version
 let current_vn t = Version_state.current_vn t.version
 
 (* Registration changes what the reader rewrite produces for queries
-   naming this table, so cached reader plans must not survive it. *)
+   naming this table, so cached reader plans must not survive it.  The
+   generation bump happens first: a compile that started before this
+   invalidation sees the changed generation and declines to publish. *)
+let invalidate_plans t =
+  Atomic.incr t.plans_gen;
+  Atomic.set t.reader_plans StrMap.empty
+
 let register_table t ?n ~name schema =
   let ext = Schema_ext.extend ?n schema in
   let table = Database.create_table t.db name (Schema_ext.extended ext) in
   let h = { name; ext; table } in
   Hashtbl.add t.registry name h;
   t.registry_order <- name :: t.registry_order;
-  Mutex.protect t.plans_mu (fun () -> Hashtbl.reset t.reader_plans);
+  invalidate_plans t;
   h
 
 let attach_table t ?n ~name base =
@@ -110,7 +153,7 @@ let attach_table t ?n ~name base =
   let h = { name; ext; table } in
   Hashtbl.add t.registry name h;
   t.registry_order <- name :: t.registry_order;
-  Mutex.protect t.plans_mu (fun () -> Hashtbl.reset t.reader_plans);
+  invalidate_plans t;
   h
 
 
@@ -139,21 +182,38 @@ let load_initial t name tuples =
     tuples
 
 let min_session_vn t =
-  let c = current_vn t in
-  Mutex.protect t.sess_mu (fun () ->
-      Hashtbl.fold (fun _ vn acc -> min vn acc) t.sessions c)
+  (* The epoch fold already bounds the result by its own published epoch;
+     taking the min with currentVN keeps the horizon correct even if the
+     epoch domain briefly trails the version state (advance happens after
+     commit). *)
+  min (current_vn t) (Epoch.min_pinned t.epochs)
 
 let collect_garbage t =
+  let c = current_vn t in
+  Epoch.advance t.epochs c;
+  Buffer_pool.advance_epoch (Database.pool t.db) c;
   let horizon = min_session_vn t in
-  let reclaimed =
-    Obs.with_span "gc.collect" (fun () ->
-        List.fold_left
-          (fun acc h -> acc + Gc.collect h.ext h.table ~min_session_vn:horizon)
-          0 (handles t))
-  in
-  Obs.Counter.record m_gc_reclaimed reclaimed;
-  Log.debug (fun m -> m "gc at horizon %d reclaimed %d tuples" horizon reclaimed);
-  reclaimed
+  Obs.Gauge.record m_epoch_lag (c - horizon);
+  (* Garbage is stamped with the VN current at its creation, which is at
+     or above the horizon of the previous collection — so if the horizon
+     has not advanced since then, the full-table scan cannot find
+     anything and is skipped.  (Under continuous refresh with pinned
+     readers this elides most collections.) *)
+  if horizon <= Atomic.get t.last_gc_horizon then 0
+  else begin
+    Atomic.set t.last_gc_horizon horizon;
+    let reclaimed =
+      Obs.with_span "gc.collect" (fun () ->
+          List.fold_left
+            (fun acc h -> acc + Gc.collect h.ext h.table ~min_session_vn:horizon)
+            0 (handles t))
+    in
+    let frames = Buffer_pool.reclaim_frames (Database.pool t.db) ~horizon in
+    Obs.Counter.record m_gc_reclaimed reclaimed;
+    Log.debug (fun m ->
+        m "gc at horizon %d reclaimed %d tuples, %d retired frames" horizon reclaimed frames);
+    reclaimed
+  end
 
 (* §7 no-log crash recovery: an interrupted maintenance transaction's vn is
    currentVN + 1; every touched tuple carries its pre-update version, so the
@@ -175,19 +235,33 @@ let recover t =
   end
 
 module Session = struct
-  type s = { id : int; vn : int; owner : t }
+  type s = {
+    id : int;
+    vn : int;
+    slot : Epoch.slot;
+    closed : bool Atomic.t;
+    views : (string * Tuple.t list) list Atomic.t;
+        (** Per-table memo of the session's visible relation.  A session's
+            view is immutable for its whole lifetime — pre-states survive
+            until the maintenance transaction that also expires the session
+            (the 2VNL guarantee the [gc_preserves_reader_view] test pins
+            down) — so the first extraction can serve every later read.
+            Concurrent fills race benignly: both compute the same relation
+            and the last published list wins. *)
+  }
 
+  (* Lock-free open: pin the warehouse epoch.  [Epoch.pin]'s
+     store-then-revalidate protocol guarantees the pinned VN is the
+     currentVN at some instant after the pin became visible to the GC
+     horizon fold — a refresh that commits mid-open either bumps the
+     session onto the new VN or is ordered after the pin, so GC can never
+     reclaim a version this session is entitled to read. *)
   let begin_ t =
-    let vn = current_vn t in
-    let id =
-      Mutex.protect t.sess_mu (fun () ->
-          let id = Vnl_util.Ids.next t.session_ids in
-          Hashtbl.replace t.sessions id vn;
-          id)
-    in
+    let slot, vn = Epoch.pin ~current:(fun () -> current_vn t) t.epochs in
+    let id = Atomic.fetch_and_add t.next_session 1 in
     Obs.Counter.record m_sessions_opened 1;
     Log.debug (fun m -> m "session %d begins at version %d" id vn);
-    { id; vn; owner = t }
+    { id; vn; slot; closed = Atomic.make false; views = Atomic.make [] }
 
   let vn s = s.vn
 
@@ -209,7 +283,9 @@ module Session = struct
 
   let is_valid t s = valid_for t s ~n:(min_n t)
 
-  let end_ t s = Mutex.protect t.sess_mu (fun () -> Hashtbl.remove t.sessions s.id)
+  (* [exchange] makes a double-end harmless: the slot is released exactly
+     once, never yanking a pin a later session acquired in the same slot. *)
+  let end_ _t s = if not (Atomic.exchange s.closed true) then Epoch.unpin s.slot
 
   let expired t s =
     Obs.Counter.record m_sessions_expired 1;
@@ -236,47 +312,85 @@ module Session = struct
      {!Reader.visible_relation} — same pages, same row order, no per-tuple
      CASE/visibility evaluation in SQL. *)
   let reader_plan_for t src =
-    Mutex.protect t.plans_mu @@ fun () ->
-    match Hashtbl.find_opt t.reader_plans src with
+    match StrMap.find_opt src (Atomic.get t.reader_plans) with
     | Some entry ->
-      if not (Plan.valid t.db entry.generic) then
-        entry.generic <- Plan.prepare t.db entry.rewritten;
+      let generic = Atomic.get entry.generic in
+      if not (Plan.valid t.db generic) then
+        (* Concurrent re-preparations are idempotent: each produces a
+           valid plan for the current catalog and the last store wins. *)
+        Atomic.set entry.generic (Plan.prepare t.db entry.rewritten);
       entry
     | None ->
-      Obs.with_span "reader.prepare" @@ fun () ->
-      let select = Vnl_sql.Parser.parse_select src in
-      let rewritten = Rewrite.reader_select ~lookup:(lookup t) select in
-      let generic = Plan.prepare t.db rewritten in
-      let fast =
-        if Plan.full_scan_only generic then
-          match Rewrite.reader_fast_path ~lookup:(lookup t) select with
-          | Some (name, label) ->
-            let h = handle_exn t name in
-            (* The rewrite leaves bare items unaliased, so the generic
-               plan's labels (e.g. "col0" for a CASE-translated column)
-               are authoritative; the view plan reproduces them. *)
-            Some
-              ( h,
-                Plan.prepare_view ~label ~columns:(Plan.columns generic)
-                  (Schema_ext.base h.ext) select )
-          | None -> None
-        else None
+      let gen0 = Atomic.get t.plans_gen in
+      let entry =
+        Obs.with_span "reader.prepare" @@ fun () ->
+        let select = Vnl_sql.Parser.parse_select src in
+        let rewritten = Rewrite.reader_select ~lookup:(lookup t) select in
+        let generic = Plan.prepare t.db rewritten in
+        let fast =
+          if Plan.full_scan_only generic then
+            match Rewrite.reader_fast_path ~lookup:(lookup t) select with
+            | Some (name, label) ->
+              let h = handle_exn t name in
+              (* The rewrite leaves bare items unaliased, so the generic
+                 plan's labels (e.g. "col0" for a CASE-translated column)
+                 are authoritative; the view plan reproduces them. *)
+              Some
+                ( h,
+                  Plan.prepare_view ~label ~columns:(Plan.columns generic)
+                    (Schema_ext.base h.ext) select )
+            | None -> None
+          else None
+        in
+        { rewritten; fast; generic = Atomic.make generic }
       in
-      let entry = { rewritten; fast; generic } in
-      Hashtbl.add t.reader_plans src entry;
-      entry
+      (* Publish by CAS into the immutable map.  A racing compiler of the
+         same statement loses and adopts the winner's entry; a racing
+         invalidation (generation changed) means this entry may reflect a
+         stale registry, so it is used once but not cached. *)
+      let rec publish () =
+        let cur = Atomic.get t.reader_plans in
+        match StrMap.find_opt src cur with
+        | Some winner -> winner
+        | None ->
+          if Atomic.get t.plans_gen <> gen0 then entry
+          else if Atomic.compare_and_set t.reader_plans cur (StrMap.add src entry cur)
+          then begin
+            (* An invalidation that slipped between the generation check
+               and the CAS must still win: clear again on its behalf. *)
+            if Atomic.get t.plans_gen <> gen0 then
+              Atomic.set t.reader_plans StrMap.empty;
+            entry
+          end
+          else publish ()
+      in
+      publish ()
 
-  let query_body t s src params =
-    let entry = reader_plan_for t src in
-    let params = ("sessionVN", Value.Int s.vn) :: params in
-    match entry.fast with
-    | Some (h, vplan) when Plan.full_scan_only entry.generic ->
-      let tuples =
+  (* Extract [h]'s visible relation for the session, memoized in the
+     session (see the [views] field).  The validity check stays with the
+     caller: an expired session must raise even when the answer is still
+     sitting in its cache, or expiry would become unobservable. *)
+  let visible t s h =
+    match List.assoc_opt h.name (Atomic.get s.views) with
+    | Some rows ->
+      Obs.Counter.record m_view_cache_hits 1;
+      rows
+    | None ->
+      let rows =
         try Reader.visible_relation h.ext ~session_vn:s.vn h.table
         with Reader.Session_expired _ -> raise (expired t s)
       in
-      Plan.execute_view ~params vplan tuples
-    | Some _ | None -> Plan.execute ~params entry.generic
+      Atomic.set s.views ((h.name, rows) :: Atomic.get s.views);
+      rows
+
+  let query_body t s src params =
+    let entry = reader_plan_for t src in
+    let generic = Atomic.get entry.generic in
+    let params = ("sessionVN", Value.Int s.vn) :: params in
+    match entry.fast with
+    | Some (h, vplan) when Plan.full_scan_only generic ->
+      Plan.execute_view ~params vplan (visible t s h)
+    | Some _ | None -> Plan.execute ~params generic
 
   let query ?(params = []) t s src =
     let cvn = check_valid t s in
@@ -292,8 +406,7 @@ module Session = struct
   let read_table t s name =
     let h = handle_exn t name in
     if not (valid_for t s ~n:(Schema_ext.n h.ext)) then raise (expired t s);
-    try Reader.visible_relation h.ext ~session_vn:s.vn h.table
-    with Reader.Session_expired _ -> raise (expired t s)
+    visible t s h
 end
 
 module Txn = struct
@@ -410,6 +523,10 @@ module Txn = struct
     m.finished <- true;
     m.owner.txn_active <- false;
     Version_state.commit_maintenance m.owner.version ~vn:m.txn_vn;
+    (* Publish the committed VN as the new epoch: sessions opened from
+       here pin it, and frames evicted from here retire under it. *)
+    Epoch.advance m.owner.epochs m.txn_vn;
+    Buffer_pool.advance_epoch (Database.pool m.owner.db) m.txn_vn;
     Obs.Counter.record m_maintenance_commits 1;
     Obs.Gauge.record m_current_vn (current_vn m.owner);
     Log.info (fun m' ->

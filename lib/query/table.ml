@@ -182,6 +182,10 @@ let iter_tuples t f = Heap_file.iter_tuples t.heap f
 
 let iter_records t f = Heap_file.iter_records t.heap f
 
+let fold_records t ~init ~f = Heap_file.fold_records t.heap ~init ~f
+
+let fold_raw t ~init ~f = Heap_file.fold_raw t.heap ~init ~f
+
 let to_list t = Heap_file.to_list t.heap
 
 let tuple_count t = Heap_file.tuple_count t.heap

@@ -1,5 +1,6 @@
 module Obs = Vnl_obs.Obs
 module Sched = Vnl_util.Sched
+module Epoch = Vnl_util.Epoch
 
 (* Frames form an intrusive doubly-linked list in recency order (head =
    most recent, tail = LRU victim), so touch and evict are O(1) pointer
@@ -8,15 +9,21 @@ module Sched = Vnl_util.Sched
    circular through it, which removes every option/None case from the
    splice code.
 
-   Domain safety is split in two: the pool mutex guards the frame table,
-   the recency list, pin counts, and all disk traffic (load, write-back),
-   while each frame carries a reader-writer latch guarding its bytes.  A
-   page access pins its frame under the pool mutex, releases the mutex,
-   then runs the caller's callback under the frame latch — so the heavy
-   work (decoding a page of tuples) parallelizes across domains, pinned
-   frames are never evicted or written back mid-callback, and a reader
-   can never observe a torn tuple while the maintainer mutates the same
-   page. *)
+   Domain safety is split in three layers.  The pool mutex guards the
+   frame table, the recency list, pin counts, and all disk traffic (load,
+   write-back).  Each frame carries a reader-writer latch guarding its
+   bytes for the pessimistic path: [with_page]/[with_page_mut] pin the
+   frame under the mutex, release it, and run the callback under the
+   latch.  On top of that, each frame carries an atomic version {e stamp}
+   (seqlock discipline: even = stable, odd = a mutator is inside its
+   exclusive latch), and [read_page] uses it for an optimistic latch-free
+   read: snapshot the stamp, run the callback on the raw bytes with no
+   latch, no pin, and no pool mutex, then re-validate the stamp.  An
+   unchanged even stamp proves no mutation overlapped the read; any
+   change forces a retry, bounded before falling back to the latched
+   path.  OCaml's memory model makes the racy byte reads safe (no crash,
+   no type confusion) — a torn decode yields garbage values or an
+   exception, both of which the failed validation discards. *)
 type frame = {
   mutable pid : int;
   mutable image : bytes;
@@ -27,6 +34,13 @@ type frame = {
           eviction would hand the active caller's bytes to another page
           (and a write-back would race the caller's mutations). *)
   latch : Latch.t;  (** Shared for reads, exclusive for mutations. *)
+  stamp : int Atomic.t;
+      (** Version stamp.  Even: stable; odd: being mutated.  Mutators bump
+          it to odd before touching the bytes and back to even after, both
+          inside the exclusive latch.  Eviction kills the frame by forcing
+          the stamp odd forever, so a reader holding a stale frame whose
+          page was reloaded and mutated elsewhere can never validate
+          pre-eviction bytes as current. *)
   mutable prev : frame;
   mutable next : frame;
 }
@@ -40,6 +54,10 @@ type stats = {
   seq_writes : int;
   rand_writes : int;
   pin_waits : int;
+  opt_reads : int;
+  opt_retries : int;
+  opt_fallbacks : int;
+  frames_reclaimed : int;
 }
 
 (* Stack-wide mirrors in the default observability registry (aggregated
@@ -56,6 +74,10 @@ let g_physical_writes = Obs.Registry.counter "pool.physical_writes"
 
 let g_pin_waits = Obs.Registry.counter "pool.pin_waits"
 
+let g_opt_retries = Obs.Registry.counter "pool.opt_retries"
+
+let g_opt_fallbacks = Obs.Registry.counter "pool.opt_fallbacks"
+
 (* Per-pool counter cells.  They live in one private [Obs.Registry.t] per
    pool, which makes [Registry.reset] the single reset path: [reset_stats]
    delegates to it and the [stats] accessors are thin reads of the same
@@ -71,6 +93,16 @@ type metrics = {
   seq_writes : Obs.Counter.t;
   rand_writes : Obs.Counter.t;
   pin_waits : Obs.Counter.t;
+  opt_reads : Obs.Counter.t;  (** Latch-free reads that validated. *)
+  opt_retries : Obs.Counter.t;
+      (** Optimistic attempts discarded (odd stamp, or changed between
+          snapshot and validate). *)
+  opt_fallbacks : Obs.Counter.t;
+      (** Reads that exhausted their optimistic budget (or missed the
+          resident map) and took the latched path. *)
+  frames_reclaimed : Obs.Counter.t;
+      (** Evicted frames whose retire epoch fell behind the minimum pinned
+          epoch and were handed back for reuse. *)
   last_write : Obs.Gauge.t;
       (** Pid of this pool's last write-back; initial (and post-reset)
           value -1 puts the head just before page 0. *)
@@ -88,6 +120,10 @@ let make_metrics () =
     seq_writes = Obs.Registry.counter ~registry "pool.seq_writes";
     rand_writes = Obs.Registry.counter ~registry "pool.rand_writes";
     pin_waits = Obs.Registry.counter ~registry "pool.pin_waits";
+    opt_reads = Obs.Registry.counter ~registry "pool.opt_reads";
+    opt_retries = Obs.Registry.counter ~registry "pool.opt_retries";
+    opt_fallbacks = Obs.Registry.counter ~registry "pool.opt_fallbacks";
+    frames_reclaimed = Obs.Registry.counter ~registry "pool.frames_reclaimed";
     last_write = Obs.Registry.gauge ~registry ~initial:(-1) "pool.last_write";
   }
 
@@ -96,7 +132,20 @@ type t = {
   capacity : int;
   mu : Mutex.t;  (** Guards [frames], the recency list, pins, and the disk. *)
   frames : (int, frame) Hashtbl.t;
+  map : frame option Atomic.t array Atomic.t;
+      (** Lock-free resident map for the optimistic path, indexed by pid.
+          Written only under the pool mutex (install, evict, drop_cache);
+          read by any domain with no lock.  Grows by publishing a larger
+          array that shares the existing cells, so readers holding the old
+          array keep seeing updates; a pid beyond a reader's array simply
+          misses to the latched path. *)
   nil : frame;  (** Sentinel: [nil.next] is the MRU frame, [nil.prev] the LRU. *)
+  mutable retired : frame Epoch.t option;
+      (** When epoch reclamation is enabled, evicted frames are retired
+          here stamped with the warehouse epoch ([advance_epoch]) and
+          recycled ([reclaim_frames]) only once the minimum pinned session
+          epoch has moved past their retirement — the buffer-reuse
+          analogue of tuple GC. *)
   m : metrics;
 }
 
@@ -109,14 +158,55 @@ let create ?(capacity = 64) disk =
       dirty = false;
       pins = 0;
       latch = Latch.create "nil";
+      stamp = Atomic.make 1;  (* dead: never validates *)
       prev = nil;
       next = nil;
     }
   in
-  { disk; capacity; mu = Mutex.create (); frames = Hashtbl.create capacity; nil;
-    m = make_metrics () }
+  {
+    disk;
+    capacity;
+    mu = Mutex.create ();
+    frames = Hashtbl.create capacity;
+    map = Atomic.make (Array.init (max capacity 16) (fun _ -> Atomic.make None));
+    nil;
+    retired = None;
+    m = make_metrics ();
+  }
 
 let disk t = t.disk
+
+let enable_epoch_reclamation t =
+  if t.retired = None then t.retired <- Some (Epoch.create ())
+
+let advance_epoch t e =
+  match t.retired with Some bag -> Epoch.advance bag e | None -> ()
+
+(* ---------- lock-free resident map ---------- *)
+
+(* Only called under the pool mutex, so there is exactly one grower. *)
+let map_cell t pid =
+  let arr = Atomic.get t.map in
+  let arr =
+    if pid < Array.length arr then arr
+    else begin
+      let n = ref (2 * Array.length arr) in
+      while pid >= !n do
+        n := 2 * !n
+      done;
+      let bigger =
+        Array.init !n (fun i ->
+            if i < Array.length arr then arr.(i) else Atomic.make None)
+      in
+      Atomic.set t.map bigger;
+      bigger
+    end
+  in
+  arr.(pid)
+
+let map_lookup t pid =
+  let arr = Atomic.get t.map in
+  if pid < Array.length arr then Atomic.get arr.(pid) else None
 
 let unlink frame =
   frame.prev.next <- frame.next;
@@ -178,13 +268,24 @@ let evict_lru t =
   write_back t v;
   unlink v;
   Hashtbl.remove t.frames v.pid;
+  (* Kill the frame for optimistic readers {e before} its page can be
+     reloaded (install runs under this same mutex): force the stamp odd,
+     permanently.  A reader that snapshotted the old even stamp and
+     validates after this point retries; one that validated before read
+     pre-eviction bytes, which still equal the page's committed content.
+     Without the kill, a reload-and-mutate through a fresh frame would
+     leave this frame's stamp even and its stale bytes "valid". *)
+  Atomic.set v.stamp (Atomic.get v.stamp lor 1);
+  Atomic.set (map_cell t v.pid) None;
+  (match t.retired with Some bag -> Epoch.retire bag v | None -> ());
   Obs.Counter.incr t.m.evictions;
   Obs.Counter.record g_evictions 1
 
 let install t frame =
   if Hashtbl.length t.frames >= t.capacity then evict_lru t;
   push_front t frame;
-  Hashtbl.add t.frames frame.pid frame
+  Hashtbl.add t.frames frame.pid frame;
+  Atomic.set (map_cell t frame.pid) (Some frame)
 
 let load t pid =
   Obs.Counter.incr t.m.logical_reads;
@@ -204,6 +305,7 @@ let load t pid =
         dirty = false;
         pins = 0;
         latch = Latch.create (Printf.sprintf "page-%d" pid);
+        stamp = Atomic.make 0;
         prev = t.nil;
         next = t.nil;
       }
@@ -222,6 +324,7 @@ let alloc_page t =
       dirty = false;
       pins = 0;
       latch = Latch.create (Printf.sprintf "page-%d" pid);
+      stamp = Atomic.make 0;
       prev = t.nil;
       next = t.nil;
     }
@@ -250,13 +353,95 @@ let pinned t ~exclusive pid f =
     (fun () ->
       if exclusive then
         Latch.with_latch frame.latch (fun () ->
-            frame.dirty <- true;
-            f frame.image)
+            (* Seqlock write side: odd while the bytes are in flux, back to
+               even (two higher) when stable again.  Both bumps happen
+               inside the exclusive latch, so stamp parity exactly tracks
+               "a mutator may be mid-write".  The closing bump runs even if
+               [f] raises — a half-applied mutation must not leave the
+               stamp odd forever (the heap layer treats such exceptions as
+               aborts and the page as garbage until rewritten), but it
+               {e does} leave the stamp changed, so any overlapping
+               optimistic read is discarded. *)
+            Atomic.incr frame.stamp;
+            Fun.protect
+              ~finally:(fun () -> Atomic.incr frame.stamp)
+              (fun () ->
+                frame.dirty <- true;
+                f frame.image))
       else Latch.with_shared frame.latch (fun () -> f frame.image))
 
 let with_page t pid f = pinned t ~exclusive:false pid f
 
 let with_page_mut t pid f = pinned t ~exclusive:true pid f
+
+(* How many optimistic attempts before conceding to the latched path.  A
+   retry is cheap (no lock traffic), but under a continuously mutating
+   page the latched path is the only guaranteed progress, so the budget
+   stays small. *)
+let max_optimistic_attempts = 3
+
+(* The latch-free read.  No pool mutex, no pin, no latch: look the frame
+   up in the lock-free resident map, snapshot its stamp, run [f] on the
+   raw bytes, and validate that the stamp has not moved.  The [Sched.yield]
+   calls bracket the racy section so the deterministic interleaving
+   harness can force a mutator between snapshot and validate.
+
+   [f] may run over bytes mid-mutation, so it must be pure with respect to
+   external state: it can be re-run after a failed validation, and any
+   value it returned — or exception it raised — during an invalidated
+   attempt is discarded, never surfaced.  The caller sees only results
+   produced by an attempt whose stamp validated (or by the latched
+   fallback).
+
+   A validated optimistic read counts one [logical_read] and one [hit]
+   (it can only succeed against a resident frame), keeping
+   [hits + misses = logical_reads] and the compiled-vs-interpreted I/O
+   parity intact; it deliberately skips the LRU touch — recency
+   maintenance is what the mutex was protecting, and hot pages are kept
+   resident by the misses and mutations that do touch. *)
+let read_page t pid f =
+  let fallback () =
+    Obs.Counter.incr t.m.opt_fallbacks;
+    Obs.Counter.record g_opt_fallbacks 1;
+    pinned t ~exclusive:false pid f
+  in
+  let retry () =
+    Obs.Counter.incr t.m.opt_retries;
+    Obs.Counter.record g_opt_retries 1
+  in
+  let rec attempt n =
+    if n >= max_optimistic_attempts then fallback ()
+    else
+      match map_lookup t pid with
+      | None -> fallback ()  (* not resident: the miss needs the mutex + disk *)
+      | Some frame ->
+        Sched.yield ();
+        let s0 = Atomic.get frame.stamp in
+        if s0 land 1 = 1 then begin
+          (* A mutator is mid-write (or the frame was evicted): reading
+             now could only be wasted work. *)
+          retry ();
+          attempt (n + 1)
+        end
+        else begin
+          let result =
+            match f frame.image with v -> Ok v | exception e -> Error e
+          in
+          Sched.yield ();
+          if Atomic.get frame.stamp = s0 then begin
+            Obs.Counter.incr t.m.logical_reads;
+            Obs.Counter.incr t.m.hits;
+            Obs.Counter.record g_hits 1;
+            Obs.Counter.incr t.m.opt_reads;
+            match result with Ok v -> v | Error e -> raise e
+          end
+          else begin
+            retry ();
+            attempt (n + 1)
+          end
+        end
+  in
+  attempt 0
 
 (* Dirty frames are written back in ascending pid order: deterministic
    (Hashtbl iteration order used to decide it) and sequential on disk.
@@ -271,6 +456,22 @@ let flush_all t =
   Hashtbl.iter (fun _ frame -> if frame.dirty then dirty := frame :: !dirty) t.frames;
   List.iter (write_back t) (List.sort (fun a b -> compare a.pid b.pid) !dirty)
 
+(* Pull evicted frames out of the retire bag once no pinned session epoch
+   can still reach them.  The frames' byte buffers become garbage here
+   (the OCaml GC frees them); what the epoch gate buys is the guarantee
+   that no optimistic reader is still running [f] over those bytes — the
+   protocol a real allocator-recycling pool needs, exercised and counted
+   so the QCheck suite can drive it.  [horizon] is the warehouse's minimum
+   pinned session epoch (Twovnl.min_session_vn); pins placed directly on
+   the pool's own bag (tests) bound it too. *)
+let reclaim_frames t ~horizon =
+  match t.retired with
+  | None -> 0
+  | Some bag ->
+    let freed = List.length (Epoch.reclaim_before bag ~horizon) in
+    if freed > 0 then Obs.Counter.add t.m.frames_reclaimed freed;
+    freed
+
 let stats t =
   {
     logical_reads = Obs.Counter.get t.m.logical_reads;
@@ -281,6 +482,10 @@ let stats t =
     seq_writes = Obs.Counter.get t.m.seq_writes;
     rand_writes = Obs.Counter.get t.m.rand_writes;
     pin_waits = Obs.Counter.get t.m.pin_waits;
+    opt_reads = Obs.Counter.get t.m.opt_reads;
+    opt_retries = Obs.Counter.get t.m.opt_retries;
+    opt_fallbacks = Obs.Counter.get t.m.opt_fallbacks;
+    frames_reclaimed = Obs.Counter.get t.m.frames_reclaimed;
   }
 
 let metrics_registry t = t.m.registry
@@ -295,10 +500,20 @@ let reset_stats t =
 let drop_cache t =
   flush_all t;
   Mutex.protect t.mu @@ fun () ->
+  Hashtbl.iter
+    (fun pid frame ->
+      (* Same kill as eviction: the dropped frames must never validate. *)
+      Atomic.set frame.stamp (Atomic.get frame.stamp lor 1);
+      Atomic.set (map_cell t pid) None;
+      match t.retired with Some bag -> Epoch.retire bag frame | None -> ())
+    t.frames;
   Hashtbl.reset t.frames;
   t.nil.next <- t.nil;
   t.nil.prev <- t.nil
 
 let pp_stats ppf (s : stats) =
-  Format.fprintf ppf "logical=%d hits=%d misses=%d evictions=%d phys_writes=%d (%d seq / %d rand)"
-    s.logical_reads s.hits s.misses s.evictions s.physical_writes s.seq_writes s.rand_writes
+  Format.fprintf ppf
+    "logical=%d hits=%d misses=%d evictions=%d phys_writes=%d (%d seq / %d rand) \
+     opt=%d (%d retries / %d fallbacks)"
+    s.logical_reads s.hits s.misses s.evictions s.physical_writes s.seq_writes
+    s.rand_writes s.opt_reads s.opt_retries s.opt_fallbacks

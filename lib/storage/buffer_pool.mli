@@ -24,7 +24,15 @@
     [with_page_mut] excludes them (exclusive latch), so a reader can never
     decode a half-written tuple.  Counters are lock-free atomics and
     always consistent ([hits + misses = logical_reads] even under
-    contention). *)
+    contention).
+
+    On top of the latched protocol sits the optimistic path: every frame
+    carries an atomic version stamp (even = stable, odd = mutating) that
+    [with_page_mut] bumps around its mutation, and {!read_page} reads
+    resident pages with no latch, no pin, and no pool mutex by validating
+    the stamp around the callback — retrying on conflict and falling back
+    to the latched path after a bounded number of attempts (or when the
+    page is not resident).  See DESIGN.md §12 for the full protocol. *)
 
 type t
 
@@ -43,6 +51,18 @@ type stats = {
   pin_waits : int;
       (** Pinned frames the eviction scan had to skip over — each skip is
           a would-be wait for the pin to drain. *)
+  opt_reads : int;
+      (** [read_page] calls whose stamp validated: served latch-free.
+          Each also counts one logical read and one hit. *)
+  opt_retries : int;
+      (** Optimistic attempts discarded — odd stamp at snapshot, or a
+          stamp change between snapshot and validate. *)
+  opt_fallbacks : int;
+      (** [read_page] calls served by the latched path instead: page not
+          resident, or the retry budget ran out under mutation pressure. *)
+  frames_reclaimed : int;
+      (** Evicted frames recycled by {!reclaim_frames} once past the
+          epoch horizon. *)
 }
 
 val create : ?capacity:int -> Disk.t -> t
@@ -63,7 +83,45 @@ val with_page : t -> int -> (bytes -> 'a) -> 'a
 
 val with_page_mut : t -> int -> (bytes -> 'a) -> 'a
 (** Like [with_page] but marks the frame dirty; mutations through [f] reach
-    disk on eviction or flush. *)
+    disk on eviction or flush.  Bumps the frame's version stamp to odd
+    before [f] and back to even after, inside the exclusive latch, so
+    concurrent {!read_page} attempts over the same frame are discarded. *)
+
+val read_page : t -> int -> (bytes -> 'a) -> 'a
+(** [read_page t pid f] is [with_page t pid f] served latch-free when it
+    can be: if the page is resident, [f] runs directly on the frame bytes
+    with no latch, pin, or pool mutex, bracketed by a version-stamp
+    snapshot/validate (seqlock read side).  On validation failure it
+    retries a bounded number of times, then — or when the page is not
+    resident — falls back to the latched [with_page] path, so it always
+    makes progress under continuous mutation.
+
+    [f] must tolerate re-execution and may observe bytes mid-mutation
+    during an attempt that subsequently fails validation: it must be pure
+    (no external side effects, accumulate locally) and must not crash on
+    garbage input — page decoding is bounds-checked, so torn images
+    produce wrong values or exceptions, both discarded with the failed
+    attempt.  Results (and exceptions) are surfaced only from a validated
+    attempt or from the latched fallback.
+
+    Unlike [with_page], a validated optimistic read does not touch the
+    LRU recency list. *)
+
+val enable_epoch_reclamation : t -> unit
+(** Switch eviction to epoch-gated frame retirement: evicted (and
+    dropped) frames go to a retire bag stamped with the current epoch
+    instead of being released immediately.  Idempotent. *)
+
+val advance_epoch : t -> int -> unit
+(** Publish the warehouse epoch (version number) to the retire bag;
+    monotone, no-op when reclamation is not enabled.  The warehouse calls
+    this at each refresh commit. *)
+
+val reclaim_frames : t -> horizon:int -> int
+(** Drain the retire bag of evicted frames whose retire epoch is strictly
+    below [min horizon (minimum pin on the bag)], returning how many were
+    freed.  [horizon] is the warehouse's minimum pinned session epoch.
+    Returns 0 when reclamation is not enabled. *)
 
 val flush_all : t -> unit
 (** Write every dirty frame back to disk in ascending page-id order, so a

@@ -1,0 +1,21 @@
+(** Page checksums.
+
+    [crc32c] is the production checksum: CRC-32C (Castagnoli polynomial)
+    computed with slicing-by-8 — one loop iteration folds eight bytes
+    through eight precomputed tables, breaking the per-byte dependency
+    chain of the classic table-driven loop.  [crc32_ieee] is the previous
+    generation (byte-at-a-time CRC-32, IEEE polynomial), kept as the
+    reference side of the differential torn-page tests.  [crc32c_bytewise]
+    is the byte-at-a-time CRC-32C oracle the sliced implementation is
+    checked against. *)
+
+val crc32c : bytes -> int
+(** Slicing-by-8 CRC-32C of the whole buffer.
+    [crc32c (Bytes.of_string "123456789") = 0xE3069283]. *)
+
+val crc32c_bytewise : bytes -> int
+(** Byte-at-a-time CRC-32C; same function as {!crc32c}, used as its
+    differential oracle. *)
+
+val crc32_ieee : bytes -> int
+(** The pre-PR 6 checksum (CRC-32, polynomial 0xedb88320), byte-at-a-time. *)

@@ -39,7 +39,7 @@ type t = {
   checksums : bool;
   mutable pages : bytes array;
   mutable sums : int array;
-      (** Per-page CRC-32 of the last {e completed} write (the on-platter
+      (** Per-page CRC-32C of the last {e completed} write (the on-platter
           sector CRC).  A torn write updates the image prefix but not the
           checksum, which is how the tear is detected on the next read. *)
   mutable used : int;
@@ -53,27 +53,9 @@ type t = {
   mutable fault_writes : int;  (** Physical writes since the policy was armed. *)
 }
 
-(* ---------- CRC-32 (IEEE 802.3), table-driven ---------- *)
-
-let crc_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
-         done;
-         !c))
-
-let crc32 img =
-  let table = Lazy.force crc_table in
-  let c = ref 0xffffffff in
-  for i = 0 to Bytes.length img - 1 do
-    (* The index is masked to [0, 255], so the table access needs no check. *)
-    c :=
-      Array.unsafe_get table ((!c lxor Char.code (Bytes.unsafe_get img i)) land 0xff)
-      lxor (!c lsr 8)
-  done;
-  !c lxor 0xffffffff
+(* Sector checksum: slicing-by-8 CRC-32C (see [Crc]).  Checksums live only
+   in memory, so swapping the polynomial has no persistence-format cost. *)
+let crc32 = Crc.crc32c
 
 let create ?(page_size = 4096) ?(checksums = true) () =
   {

@@ -66,7 +66,9 @@ let insert t tuple =
   { page = pid; slot }
 
 let get t rid =
-  Buffer_pool.with_page t.pool rid.page (fun img ->
+  (* Optimistic: decoding one tuple is pure and bounds-checked, so a torn
+     attempt is safely discarded and re-run by [read_page]. *)
+  Buffer_pool.read_page t.pool rid.page (fun img ->
       if Page.slot_used t.layout img rid.slot then
         Some (Tuple.decode_from t.schema img (Page.record_offset t.layout rid.slot))
       else None)
@@ -96,9 +98,12 @@ let scan t f =
   List.iter
     (fun pid ->
       (* Decode the page's live tuples up front (straight from the frame
-         image, no record copies) so [f] may modify the page. *)
+         image, no record copies) so [f] may modify the page.  The decode
+         pass is pure per page, which also makes it safe on the
+         latch-free [read_page] path: an attempt that raced a mutator is
+         discarded wholesale, and [f] only ever sees a validated batch. *)
       let live =
-        Buffer_pool.with_page t.pool pid (fun img ->
+        Buffer_pool.read_page t.pool pid (fun img ->
             let acc = ref [] in
             Page.iter_used_offsets t.layout img (fun slot off ->
                 acc := (slot, Tuple.decode_from t.schema img off) :: !acc);
@@ -110,16 +115,48 @@ let scan t f =
 let iter_tuples t f =
   List.iter
     (fun pid ->
-      Buffer_pool.with_page t.pool pid (fun img ->
-          Page.iter_used_offsets t.layout img (fun _slot off ->
-              f (Tuple.decode_from t.schema img off))))
+      (* Same decode-locally-then-iterate shape as [scan]: the page
+         callback is pure, so [f]'s side effects run only on validated
+         tuples. *)
+      let live =
+        Buffer_pool.read_page t.pool pid (fun img ->
+            let acc = ref [] in
+            Page.iter_used_offsets t.layout img (fun _slot off ->
+                acc := Tuple.decode_from t.schema img off :: !acc);
+            List.rev !acc)
+      in
+      List.iter f live)
     (List.rev (Atomic.get t.pages))
 
 let iter_records t f =
+  (* [f] sees the raw frame image, so its effects cannot be unwound after
+     a failed validation: this stays on the latched path.  Readers that
+     can accumulate purely should use [fold_records]. *)
   List.iter
     (fun pid ->
       Buffer_pool.with_page t.pool pid (fun img ->
           Page.iter_used_offsets t.layout img (fun _slot off -> f img off)))
+    (List.rev (Atomic.get t.pages))
+
+let fold_records t ~init ~f =
+  List.fold_left
+    (fun acc pid ->
+      Buffer_pool.read_page t.pool pid (fun img ->
+          let a = ref acc in
+          Page.iter_used_offsets t.layout img (fun _slot off -> a := f !a img off);
+          !a))
+    init
+    (List.rev (Atomic.get t.pages))
+
+let fold_raw t ~init ~f =
+  List.fold_left
+    (fun acc pid ->
+      Buffer_pool.read_page t.pool pid (fun img ->
+          let a = ref acc in
+          Page.iter_used_offsets t.layout img (fun slot off ->
+              a := f !a ~page:pid ~slot img off);
+          !a))
+    init
     (List.rev (Atomic.get t.pages))
 
 let fold t ~init ~f =

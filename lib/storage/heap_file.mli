@@ -40,19 +40,37 @@ val delete_then_insert : t -> rid -> Vnl_relation.Tuple.t -> rid
     delete and re-insert, possibly at a different rid. *)
 
 val scan : t -> (rid -> Vnl_relation.Tuple.t -> unit) -> unit
-(** Visit every live tuple in page/slot order. *)
+(** Visit every live tuple in page/slot order.  Each page is decoded into
+    a snapshot first (latch-free via {!Buffer_pool.read_page}), so [f] may
+    modify this file. *)
 
 val iter_tuples : t -> (Vnl_relation.Tuple.t -> unit) -> unit
-(** Like {!scan} but without rids and without the per-page snapshot: [f]
-    runs while the page is resident, so it must be read-only — it must not
-    modify this file or touch the storage layer at all.  The reader hot
-    path. *)
+(** Like {!scan} but without rids.  Pages are read latch-free and decoded
+    into a per-page batch before [f] runs, so [f] only ever observes
+    validated tuples. *)
 
 val iter_records : t -> (bytes -> int -> unit) -> unit
 (** Visit every live record as [(page image, byte offset)] without
-    decoding, in page/slot order.  Same read-only restriction as
-    {!iter_tuples}; the image bytes are only meaningful until [f]
-    returns. *)
+    decoding, in page/slot order.  [f] runs under the page's shared latch
+    (the pessimistic path — its effects cannot be unwound on a failed
+    optimistic validation): it must be read-only, must not touch the
+    storage layer, and the image bytes are only meaningful until [f]
+    returns.  Latch-free readers that can accumulate purely should use
+    {!fold_records}. *)
+
+val fold_records : t -> init:'a -> f:('a -> bytes -> int -> 'a) -> 'a
+(** Fold [f] over every live record as [(page image, byte offset)] in
+    page/slot order, latch-free: each page's sub-fold runs under
+    {!Buffer_pool.read_page}, so [f] must be pure (it may be re-run
+    against a torn image and its results discarded) and must not retain
+    the image.  The reader hot path. *)
+
+val fold_raw :
+  t -> init:'a -> f:('a -> page:int -> slot:int -> bytes -> int -> 'a) -> 'a
+(** {!fold_records} with the record's page id and slot, for callers that
+    need to address records (e.g. GC building a victim list) without the
+    per-record allocation of a {!rid}.  Same purity contract as
+    {!fold_records}. *)
 
 val fold : t -> init:'a -> f:('a -> rid -> Vnl_relation.Tuple.t -> 'a) -> 'a
 

@@ -76,6 +76,10 @@ type report = {
   inconsistent : int;  (** Drill-downs that failed to sum to their total. *)
   refreshes : int;  (** Maintenance transactions committed. *)
   qps : float;  (** reader_queries / elapsed_s. *)
+  latency : Vnl_util.Stats.summary;
+      (** Wall-clock per-query-pair latency in milliseconds, pooled over
+          all reader domains — the tail (p99) is where reader-side lock
+          convoys show up long before mean qps moves. *)
 }
 
 (* A warehouse with [days] of history, built and loaded single-domain. *)
@@ -153,6 +157,9 @@ type reader_tally = {
   mutable opened : int;
   mutable expirations : int;
   mutable bad : int;
+  mutable latencies_ms : float list;
+      (** Per-query-pair wall-clock samples, newest first.  Owned by one
+          reader domain during the run; read after the domains join. *)
 }
 
 let reader_loop vnl ~stop ~rng ~queries_per_session tally =
@@ -165,7 +172,9 @@ let reader_loop vnl ~stop ~rng ~queries_per_session tally =
        while (not (Atomic.get stop)) && !q < queries_per_session do
          incr q;
          let city = Xorshift.pick rng cities in
+         let t0 = Unix.gettimeofday () in
          let total, drill = query_pair vnl session city in
+         tally.latencies_ms <- ((Unix.gettimeofday () -. t0) *. 1e3) :: tally.latencies_ms;
          if total <> drill then tally.bad <- tally.bad + 1;
          (* Every few pairs, a full-view scan through the engine
             extraction — the §4.1 pattern the fast path serves. *)
@@ -201,7 +210,7 @@ let run (config : config) =
   let stop = Atomic.make false in
   let tallies =
     Array.init config.readers (fun _ ->
-        { queries = 0; rows = 0; opened = 0; expirations = 0; bad = 0 })
+        { queries = 0; rows = 0; opened = 0; expirations = 0; bad = 0; latencies_ms = [] })
   in
   let rngs = Array.init (config.readers + 1) (fun i -> Xorshift.create (config.seed + i)) in
   let t0 = ref 0.0 in
@@ -236,4 +245,7 @@ let run (config : config) =
     inconsistent = sum (fun t -> t.bad);
     refreshes = results.(0);
     qps = (if elapsed > 0.0 then float_of_int queries /. elapsed else 0.0);
+    latency =
+      Vnl_util.Stats.summarize
+        (Array.fold_left (fun acc t -> List.rev_append t.latencies_ms acc) [] tallies);
   }

@@ -32,6 +32,10 @@ type report = {
   inconsistent : int;  (** Drill-downs that failed to sum to their total. *)
   refreshes : int;  (** Maintenance transactions committed. *)
   qps : float;  (** [reader_queries /. elapsed_s]. *)
+  latency : Vnl_util.Stats.summary;
+      (** Per-query-pair wall-clock latency in milliseconds, pooled over
+          all reader domains; p50/p99 expose reader-side convoys that
+          mean throughput hides. *)
 }
 
 val run : config -> report

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "vnl"
     [
       ("util", Test_util.suite);
+      ("epoch", Test_epoch.suite);
       ("relation", Test_relation.suite);
       ("storage", Test_storage.suite);
       ("index", Test_index.suite);

@@ -13,10 +13,12 @@ module Tuple = Vnl_relation.Tuple
 module Database = Vnl_query.Database
 module Executor = Vnl_query.Executor
 module Disk = Vnl_storage.Disk
+module Buffer_pool = Vnl_storage.Buffer_pool
 module Twovnl = Vnl_core.Twovnl
 module Batch = Vnl_core.Batch
 module Sched = Vnl_util.Sched
 module Xorshift = Vnl_util.Xorshift
+module Domain_pool = Vnl_util.Domain_pool
 
 let check = Alcotest.check
 
@@ -193,7 +195,7 @@ let reader_pass vnl oracle ~reads =
 (* The harness proper: one maintainer applying [batches] transactions, two
    readers re-checking the oracle, all interleaved by [sched_seed]. *)
 let scheduled_run ~data_seed ~sched_seed ~batches =
-  let _db, vnl, oracle = build () in
+  let db, vnl, oracle = build () in
   let plans = gen_batches (Xorshift.create data_seed) ~batches in
   let maintainer () =
     List.iter
@@ -207,8 +209,11 @@ let scheduled_run ~data_seed ~sched_seed ~batches =
       plans
   in
   let reader name = (name, fun () -> for _ = 1 to 4 do reader_pass vnl oracle ~reads:2 done) in
-  Sched.run ~seed:sched_seed
-    [ ("maintainer", maintainer); reader "reader-1"; reader "reader-2" ]
+  let trace =
+    Sched.run ~seed:sched_seed
+      [ ("maintainer", maintainer); reader "reader-1"; reader "reader-2" ]
+  in
+  (trace, db)
 
 let test_oracle_many_interleavings () =
   for sched_seed = 1 to 12 do
@@ -221,13 +226,161 @@ let test_oracle_many_workloads () =
     [ 3; 17; 99; 1234 ]
 
 let test_interleaving_deterministic () =
-  let t1 = scheduled_run ~data_seed:42 ~sched_seed:5 ~batches:4 in
-  let t2 = scheduled_run ~data_seed:42 ~sched_seed:5 ~batches:4 in
+  let t1, _ = scheduled_run ~data_seed:42 ~sched_seed:5 ~batches:4 in
+  let t2, _ = scheduled_run ~data_seed:42 ~sched_seed:5 ~batches:4 in
   check (Alcotest.list Alcotest.string) "same seed, same schedule" t1 t2;
   Alcotest.(check bool) "the schedule interleaves maintainer and readers" true
     (List.exists (( = ) "maintainer") t1 && List.exists (( = ) "reader-1") t1);
-  let t3 = scheduled_run ~data_seed:42 ~sched_seed:6 ~batches:4 in
+  let t3, _ = scheduled_run ~data_seed:42 ~sched_seed:6 ~batches:4 in
   Alcotest.(check bool) "another seed schedules differently" false (t1 = t3)
+
+(* --- the optimistic read path under forced interleavings --------------- *)
+
+(* Pool-level seqlock check: a reader decoding two mirrored counters races
+   a mutator updating both.  The scheduler can (and, across seeds, does)
+   run the mutator between the reader's stamp snapshot and its validate,
+   which must discard the attempt — a validated read never returns a torn
+   pair, and enough seeds force both the retry and the exhausted-budget
+   latched fallback. *)
+let test_forced_read_validate_retry () =
+  let retries = ref 0 and fallbacks = ref 0 and opt = ref 0 in
+  for seed = 1 to 40 do
+    let pool = Buffer_pool.create ~capacity:4 (Disk.create ()) in
+    let pid = Buffer_pool.alloc_page pool in
+    Buffer_pool.with_page_mut pool pid (fun img ->
+        Bytes.set_int64_be img 0 0L;
+        Bytes.set_int64_be img 8 0L);
+    let observed = ref [] in
+    ignore
+      (Sched.run ~seed
+         [
+           ( "reader",
+             fun () ->
+               for _ = 1 to 8 do
+                 let pair =
+                   Buffer_pool.read_page pool pid (fun img ->
+                       (Bytes.get_int64_be img 0, Bytes.get_int64_be img 8))
+                 in
+                 observed := pair :: !observed;
+                 Sched.yield ()
+               done );
+           ( "mutator",
+             fun () ->
+               for i = 1 to 8 do
+                 Buffer_pool.with_page_mut pool pid (fun img ->
+                     Bytes.set_int64_be img 0 (Int64.of_int i);
+                     Bytes.set_int64_be img 8 (Int64.of_int i));
+                 Sched.yield ()
+               done );
+         ]);
+    List.iter
+      (fun (a, b) ->
+        if a <> b then
+          Alcotest.failf "seed %d: torn read (%Ld, %Ld) survived validation" seed a b)
+      !observed;
+    (* Within one reader the observed values are monotone: each validated
+       (or latched) read is a consistent snapshot of a single writer. *)
+    ignore
+      (List.fold_left
+         (fun later (a, _) ->
+           if a > later then
+             Alcotest.failf "seed %d: reads went backwards (%Ld after %Ld)" seed a later;
+           a)
+         Int64.max_int !observed);
+    let s = Buffer_pool.stats pool in
+    retries := !retries + s.opt_retries;
+    fallbacks := !fallbacks + s.opt_fallbacks;
+    opt := !opt + s.opt_reads
+  done;
+  Alcotest.(check bool) "optimistic reads validated across the sweep" true (!opt > 0);
+  Alcotest.(check bool) "some schedule forced a stamp-change retry" true (!retries > 0);
+  Alcotest.(check bool) "some schedule exhausted the retry budget into the latched path"
+    true (!fallbacks > 0)
+
+(* The same guarantee end-to-end: under the scheduled warehouse runs the
+   readers go through the optimistic path (the oracle equality inside
+   [reader_pass] is the correctness check); across the interleaving sweep
+   the conflict path must actually fire. *)
+let test_warehouse_optimistic_path_exercised () =
+  let opt = ref 0 and retries = ref 0 in
+  for sched_seed = 1 to 12 do
+    let _, db = scheduled_run ~data_seed:42 ~sched_seed ~batches:4 in
+    let s = Buffer_pool.stats (Database.pool db) in
+    opt := !opt + s.opt_reads;
+    retries := !retries + s.opt_retries
+  done;
+  Alcotest.(check bool) "warehouse reads are served latch-free" true (!opt > 0);
+  Alcotest.(check bool) "maintenance forced read-validate-retry at least once" true
+    (!retries > 0)
+
+(* Starvation: a reader racing a continuously-mutating writer on real
+   domains must complete every query — via validated optimistic reads when
+   the stamp holds, via the latched fallback when it never does — and no
+   completed read may be torn. *)
+let test_reader_progress_under_continuous_mutation () =
+  let pool = Buffer_pool.create ~capacity:8 (Disk.create ()) in
+  let pid = Buffer_pool.alloc_page pool in
+  Buffer_pool.with_page_mut pool pid (fun img ->
+      Bytes.set_int64_be img 0 0L;
+      Bytes.set_int64_be img 8 0L);
+  let stop = Atomic.make false in
+  let queries = 2_000 in
+  let torn =
+    Domain_pool.run ~domains:2 (fun ~start rank ->
+        start ();
+        if rank = 0 then begin
+          let i = ref 0L in
+          while not (Atomic.get stop) do
+            i := Int64.add !i 1L;
+            Buffer_pool.with_page_mut pool pid (fun img ->
+                Bytes.set_int64_be img 0 !i;
+                Bytes.set_int64_be img 8 !i)
+          done;
+          0
+        end
+        else begin
+          let torn = ref 0 in
+          for _ = 1 to queries do
+            let a, b =
+              Buffer_pool.read_page pool pid (fun img ->
+                  (Bytes.get_int64_be img 0, Bytes.get_int64_be img 8))
+            in
+            if a <> b then incr torn
+          done;
+          Atomic.set stop true;
+          !torn
+        end)
+  in
+  check Alcotest.int "no torn read completed" 0 torn.(1);
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check bool) "every query completed (progress under mutation)" true
+    (s.opt_reads + s.opt_fallbacks >= queries)
+
+(* The fallback is also the not-resident path, which we can hit
+   deterministically: evict the page, and [read_page] must detour through
+   the latched reload and still return current bytes. *)
+let test_fallback_on_nonresident_page () =
+  let pool = Buffer_pool.create ~capacity:2 (Disk.create ()) in
+  let target = Buffer_pool.alloc_page pool in
+  Buffer_pool.with_page_mut pool target (fun img -> Bytes.set_int64_be img 0 77L);
+  check Alcotest.int "resident read is optimistic" 77
+    (Int64.to_int (Buffer_pool.read_page pool target (fun img -> Bytes.get_int64_be img 0)));
+  let before = Buffer_pool.stats pool in
+  check Alcotest.int "no fallback yet" 0 before.opt_fallbacks;
+  (* Two fresh pages through a 2-frame pool evict [target]. *)
+  let p1 = Buffer_pool.alloc_page pool in
+  let p2 = Buffer_pool.alloc_page pool in
+  Buffer_pool.with_page_mut pool p1 (fun img -> Bytes.set_int64_be img 0 1L);
+  Buffer_pool.with_page_mut pool p2 (fun img -> Bytes.set_int64_be img 0 2L);
+  check Alcotest.int "evicted page reads correctly through the fallback" 77
+    (Int64.to_int (Buffer_pool.read_page pool target (fun img -> Bytes.get_int64_be img 0)));
+  let after = Buffer_pool.stats pool in
+  Alcotest.(check bool) "the not-resident fallback fired" true (after.opt_fallbacks > 0);
+  (* Reloaded by the fallback, the page is resident again: optimistic. *)
+  ignore (Buffer_pool.read_page pool target (fun img -> Bytes.get_int64_be img 0));
+  let final = Buffer_pool.stats pool in
+  Alcotest.(check bool) "subsequent reads are optimistic again" true
+    (final.opt_reads > after.opt_reads)
 
 (* Single-task scheduling is the serial path: same answers, and the saved
    database image is byte-identical to a run without the harness. *)
@@ -270,4 +423,12 @@ let suite =
       test_interleaving_deterministic;
     Alcotest.test_case "single-task schedule is byte-identical to serial" `Quick
       test_serial_byte_identity;
+    Alcotest.test_case "forced interleavings: read-validate-retry never tears" `Quick
+      test_forced_read_validate_retry;
+    Alcotest.test_case "warehouse readers take the optimistic path" `Quick
+      test_warehouse_optimistic_path_exercised;
+    Alcotest.test_case "reader progress under continuous mutation" `Quick
+      test_reader_progress_under_continuous_mutation;
+    Alcotest.test_case "not-resident fallback reloads through the latched path" `Quick
+      test_fallback_on_nonresident_page;
   ]

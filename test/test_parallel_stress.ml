@@ -25,10 +25,18 @@ module Domain_pool = Vnl_util.Domain_pool
 
 let check = Alcotest.check
 
+(* Strict: a set-but-invalid knob is a configuration mistake (a typo'd CI
+   matrix entry) and must fail loudly, not silently run at the default. *)
 let env_int name default =
-  match int_of_string_opt (try Sys.getenv name with Not_found -> "") with
-  | Some n when n > 0 -> n
-  | _ -> default
+  match Sys.getenv_opt name with
+  | None | Some "" -> default
+  | Some raw -> (
+    match int_of_string_opt (String.trim raw) with
+    | Some n when n > 0 -> n
+    | Some n ->
+      Printf.ksprintf failwith "%s=%d: must be a positive integer" name n
+    | None ->
+      Printf.ksprintf failwith "%s=%S: not an integer (expected a positive count)" name raw)
 
 let stress_domains = env_int "VNL_STRESS_DOMAINS" 2
 
