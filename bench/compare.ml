@@ -23,7 +23,7 @@ module Json = Vnl_obs.Json
 let bench_files =
   [
     "BENCH_maintenance.json"; "BENCH_plans.json"; "BENCH_recovery.json";
-    "BENCH_parallel.json";
+    "BENCH_parallel.json"; "BENCH_pipeline.json";
   ]
 
 let errors = ref 0
@@ -142,6 +142,35 @@ let check_parallel_floor ~floor (fresh : Json.t) =
       | None -> error "BENCH_parallel.json: 8-reader row lacks \"inconsistent\""))
   | _ -> error "BENCH_parallel.json: no \"scaling\" array for the floor gate"
 
+(* The maintainer-side twin of [check_parallel_floor], over the fresh
+   BENCH_pipeline.json: the 4-worker configuration must keep a minimum
+   batch-drain speedup over the serial baseline (workers = 0) and report
+   zero inconsistent reader pairs.  The floor (--pipeline-floor, default
+   1.2) again sits well under a quiet machine's numbers (~2x): the gate is
+   for a regression that flattens pipelining back to serial — a lost
+   netting window, a partitioner that stops splitting, or a stripe
+   protocol change that re-serializes the round. *)
+let check_pipeline_floor ~floor (fresh : Json.t) =
+  let num = function Some (Json.Num n) -> Some n | _ -> None in
+  match Json.member "scaling" fresh with
+  | Some (Json.Arr rows) ->
+    let entry r =
+      match num (Json.member "workers" r) with Some n -> int_of_float n | None -> -1
+    in
+    (match List.find_opt (fun r -> entry r = 4) rows with
+    | None -> error "BENCH_pipeline.json: no 4-worker row in \"scaling\""
+    | Some row ->
+      (match num (Json.member "speedup" row) with
+      | Some s when s < floor ->
+        error "BENCH_pipeline.json: 4-worker speedup %.2fx below floor %.2fx" s floor
+      | Some s -> Printf.printf "ok    BENCH_pipeline.json: 4-worker speedup %.2fx (floor %.2fx)\n" s floor
+      | None -> error "BENCH_pipeline.json: 4-worker row lacks a numeric \"speedup\"");
+      (match num (Json.member "inconsistent" row) with
+      | Some 0.0 -> ()
+      | Some n -> error "BENCH_pipeline.json: %g inconsistent query pairs at 4 workers" n
+      | None -> error "BENCH_pipeline.json: 4-worker row lacks \"inconsistent\""))
+  | _ -> error "BENCH_pipeline.json: no \"scaling\" array for the floor gate"
+
 let load side path =
   if not (Sys.file_exists path) then begin
     error "%s file %s is missing" side path;
@@ -164,20 +193,27 @@ let compare_file ~baseline ~fresh file =
   | _ -> ()
 
 let usage () =
-  prerr_endline "usage: compare.exe --baseline DIR --fresh DIR [--parallel-floor X]";
+  prerr_endline
+    "usage: compare.exe --baseline DIR --fresh DIR [--parallel-floor X] [--pipeline-floor X]";
   exit 2
 
 let () =
-  let baseline = ref "." and fresh = ref "" and floor = ref 1.5 in
+  let baseline = ref "." and fresh = ref "" in
+  let floor = ref 1.5 and pipeline_floor = ref 1.2 in
+  let positive name x k =
+    match float_of_string_opt x with
+    | Some f when f > 0.0 -> k f
+    | Some _ | None ->
+      Printf.eprintf "%s: expected a positive number, got %S\n" name x;
+      usage ()
+  in
   let rec parse = function
     | "--baseline" :: dir :: rest -> baseline := dir; parse rest
     | "--fresh" :: dir :: rest -> fresh := dir; parse rest
-    | "--parallel-floor" :: x :: rest -> (
-      match float_of_string_opt x with
-      | Some f when f > 0.0 -> floor := f; parse rest
-      | Some _ | None ->
-        Printf.eprintf "--parallel-floor: expected a positive number, got %S\n" x;
-        usage ())
+    | "--parallel-floor" :: x :: rest ->
+      positive "--parallel-floor" x (fun f -> floor := f; parse rest)
+    | "--pipeline-floor" :: x :: rest ->
+      positive "--pipeline-floor" x (fun f -> pipeline_floor := f; parse rest)
     | [] -> ()
     | arg :: _ -> Printf.eprintf "unknown argument %S\n" arg; usage ()
   in
@@ -187,6 +223,8 @@ let () =
   List.iter (compare_file ~baseline:!baseline ~fresh:!fresh) bench_files;
   Option.iter (check_parallel_floor ~floor:!floor)
     (load "fresh" (Filename.concat !fresh "BENCH_parallel.json"));
+  Option.iter (check_pipeline_floor ~floor:!pipeline_floor)
+    (load "fresh" (Filename.concat !fresh "BENCH_pipeline.json"));
   Printf.printf "bench-compare: %d error(s), %d warning(s) over %d file(s)\n" !errors
     !warnings (List.length bench_files);
   exit (if !errors > 0 then 1 else 0)

@@ -12,7 +12,7 @@
                     (what the @bench-smoke dune alias builds on)
      --only IDS     comma-separated group ids (figures, scenarios, storage,
                     io, batch, blocking, expiry, gc, ablation, indexing,
-                    faults, parallel, micro) *)
+                    faults, parallel, pipeline, micro) *)
 
 let groups : (string * (unit -> unit)) list =
   [
@@ -28,6 +28,7 @@ let groups : (string * (unit -> unit)) list =
     ("indexing", Exp_indexing.run);
     ("faults", Exp_faults.run);
     ("parallel", Exp_parallel.run);
+    ("pipeline", Exp_pipeline.run);
   ]
 
 let () =

@@ -36,6 +36,19 @@ type entry = {
   mutable touched : int;
 }
 
+(* The write plan a [stage] pass produces: every physical action decided,
+   nothing written.  Updates and deletes are already rid-sorted, inserts
+   are extended tuples in first-touch order — [apply_staged] just executes
+   the lists, which is what lets the pipelined path stage every partition
+   up front and apply them on worker domains. *)
+type staged = {
+  s_updates : (Heap_file.rid * Tuple.t option * Tuple.t) list;
+  s_deletes : Heap_file.rid list;
+  s_inserts : Tuple.t list;
+  s_logical : int;
+  s_distinct : int;
+}
+
 let op_key base = function
   | Insert t -> Tuple.key_of base t
   | Update (key, _) | Delete key -> key
@@ -53,38 +66,43 @@ module Key_tbl = Hashtbl.Make (struct
 end)
 
 (* Tables without a unique key admit only inserts (there is no key to net
-   over), each necessarily fresh: apply them directly, in order. *)
-let apply_keyless ?stats ext table ~vn ops =
-  let n =
-    List.fold_left
-      (fun n op ->
+   over), each necessarily fresh: stage them directly, in order. *)
+let stage_keyless ?stats ext ~vn ops =
+  let st = match stats with Some s -> s | None -> Maintenance.fresh_stats () in
+  let inserts =
+    List.map
+      (fun op ->
         match op with
         | Insert base ->
-          ignore (Maintenance.apply_insert ?stats ext table ~vn base);
-          n + 1
+          st.Maintenance.logical_inserts <- st.Maintenance.logical_inserts + 1;
+          Maintenance.insert_tuple ext ~vn None base
         | Update _ | Delete _ ->
           invalid_arg "Batch.apply: update/delete requires a unique key")
-      0 ops
+      ops
   in
   {
-    logical_ops = n;
-    distinct_keys = n;
-    folded_ops = 0;
-    physical_inserts = n;
-    physical_updates = 0;
-    physical_deletes = 0;
+    s_updates = [];
+    s_deletes = [];
+    s_inserts = inserts;
+    s_logical = List.length inserts;
+    s_distinct = List.length inserts;
   }
 
-let apply ?stats ?(on_over_delete = fun _ -> ()) ?(was_insert_over_delete = fun _ -> false)
-    ext table ~vn ops =
-  if not (Table.has_key table) then apply_keyless ?stats ext table ~vn ops
+let stage ?stats ?resolve ?(prenetted = false) ?(on_over_delete = fun _ -> ())
+    ?(was_insert_over_delete = fun _ -> false) ext table ~vn ops =
+  if not (Table.has_key table) then stage_keyless ?stats ext ~vn ops
   else begin
     let base = Schema_ext.base ext in
     let key_positions = Schema.key_indices base in
     let st = match stats with Some s -> s | None -> Maintenance.fresh_stats () in
     (* 1. Net-effect grouping: collect each key's operations, in order,
-       before any storage access. *)
-    let entries : entry Key_tbl.t = Key_tbl.create (max 64 (List.length ops)) in
+       before any storage access.  A caller that already folded the batch
+       to one operation per key (the pipelined refresh stages the output
+       of {!net_group_deltas} classification) promises so via [prenetted]
+       and the hash-grouping pass degenerates to entry construction. *)
+    let entries : entry Key_tbl.t =
+      Key_tbl.create (if prenetted then 0 else max 64 (List.length ops))
+    in
     let order = ref [] and distinct = ref 0 and logical = ref 0 in
     let grouped =
       Obs.with_span "batch.group" @@ fun () ->
@@ -100,34 +118,48 @@ let apply ?stats ?(on_over_delete = fun _ -> ()) ?(was_insert_over_delete = fun 
               assignments
           | Insert _ | Delete _ -> ());
           let key = op_key base op in
+          let fresh () =
+            let e =
+              {
+                key;
+                rid = None;
+                orig = None;
+                cur = None;
+                over_delete = false;
+                owned = false;
+                touched = 0;
+              }
+            in
+            order := e :: !order;
+            incr distinct;
+            e
+          in
           let entry =
-            match Key_tbl.find_opt entries key with
-            | Some e -> e
-            | None ->
-              let e =
-                {
-                  key;
-                  rid = None;
-                  orig = None;
-                  cur = None;
-                  over_delete = false;
-                  owned = false;
-                  touched = 0;
-                }
-              in
-              Key_tbl.add entries key e;
-              order := e :: !order;
-              incr distinct;
-              e
+            if prenetted then fresh ()
+            else
+              match Key_tbl.find_opt entries key with
+              | Some e -> e
+              | None ->
+                let e = fresh () in
+                Key_tbl.add entries key e;
+                e
           in
           (entry, op))
         ops
     in
     let order = List.rev !order in
     (* 2. One sorted pass over the key index resolves every key -> rid and
-       fetches the hit records in ascending (page, slot) order. *)
+       fetches the hit records in ascending (page, slot) order.  A caller
+       that already resolved these keys against the same table state (the
+       pipelined refresh classifies the whole batch first) passes
+       [resolve] and the index pass is skipped. *)
     let keys = Array.of_list (List.map (fun e -> e.key) order) in
-    let found = Obs.with_span "batch.resolve" (fun () -> Table.find_many_by_key table keys) in
+    let found =
+      Obs.with_span "batch.resolve" (fun () ->
+          match resolve with
+          | Some f -> Array.map f keys
+          | None -> Table.find_many_by_key table keys)
+    in
     List.iteri
       (fun i e ->
         match found.(i) with
@@ -175,10 +207,10 @@ let apply ?stats ?(on_over_delete = fun _ -> ()) ?(was_insert_over_delete = fun 
                 existing;
             e.owned <- true))
       grouped);
-    (* 4. Page-ordered apply: one physical action per touched key, existing
-       records in ascending (page, slot) order, then fresh inserts in
-       first-touch order (matching the slots per-op application would have
-       assigned them). *)
+    (* 4. Order the write plan: one physical action per touched key,
+       existing records in ascending (page, slot) order, then fresh inserts
+       in first-touch order (matching the slots per-op application would
+       have assigned them). *)
     let updates = ref [] and deletes = ref [] and inserts = ref [] in
     List.iter
       (fun e ->
@@ -193,36 +225,68 @@ let apply ?stats ?(on_over_delete = fun _ -> ()) ?(was_insert_over_delete = fun 
       let c = Int.compare a.Heap_file.page b.Heap_file.page in
       if c <> 0 then c else Int.compare a.Heap_file.slot b.Heap_file.slot
     in
-    let updates = List.sort (fun (a, _, _) (b, _, _) -> by_rid a b) !updates in
-    let deletes = List.sort by_rid !deletes in
-    let inserts = List.rev !inserts in
-    Obs.with_span "batch.apply" (fun () ->
-        List.iter
-          (fun (rid, old, t) ->
-            st.Maintenance.physical_updates <- st.Maintenance.physical_updates + 1;
-            Table.update_in_place ?old table rid t)
-          updates;
-        List.iter
-          (fun rid ->
-            st.Maintenance.physical_deletes <- st.Maintenance.physical_deletes + 1;
-            Table.delete table rid)
-          deletes;
-        (* Keys were resolved absent by the sorted index pass and are distinct
-           per entry, so the duplicate probe is redundant and the index entries
-           can go in as one sorted batch. *)
-        st.Maintenance.physical_inserts <-
-          st.Maintenance.physical_inserts + List.length inserts;
-        Table.insert_many ~check:false table inserts);
-    let physical = List.length updates + List.length deletes + List.length inserts in
     {
-      logical_ops = !logical;
-      distinct_keys = !distinct;
-      folded_ops = !logical - physical;
-      physical_inserts = List.length inserts;
-      physical_updates = List.length updates;
-      physical_deletes = List.length deletes;
+      s_updates = List.sort (fun (a, _, _) (b, _, _) -> by_rid a b) !updates;
+      s_deletes = List.sort by_rid !deletes;
+      s_inserts = List.rev !inserts;
+      s_logical = !logical;
+      s_distinct = !distinct;
     }
   end
+
+let staged_ops s = List.length s.s_updates + List.length s.s_deletes + List.length s.s_inserts
+
+let staged_outcome s =
+  {
+    logical_ops = s.s_logical;
+    distinct_keys = s.s_distinct;
+    folded_ops = s.s_logical - staged_ops s;
+    physical_inserts = List.length s.s_inserts;
+    physical_updates = List.length s.s_updates;
+    physical_deletes = List.length s.s_deletes;
+  }
+
+let apply_updates ?stats table s =
+  let st = match stats with Some s -> s | None -> Maintenance.fresh_stats () in
+  List.map
+    (fun (rid, old, t) ->
+      st.Maintenance.physical_updates <- st.Maintenance.physical_updates + 1;
+      Table.update_in_place ?old table rid t;
+      rid)
+    s.s_updates
+
+let apply_structural ?stats table s =
+  let st = match stats with Some s -> s | None -> Maintenance.fresh_stats () in
+  List.iter
+    (fun rid ->
+      st.Maintenance.physical_deletes <- st.Maintenance.physical_deletes + 1;
+      Table.delete table rid)
+    s.s_deletes;
+  (* Keys were resolved absent by the sorted index pass and are distinct
+     per entry, so the duplicate probe is redundant and the index entries
+     can go in as one sorted batch. *)
+  st.Maintenance.physical_inserts <-
+    st.Maintenance.physical_inserts + List.length s.s_inserts;
+  let inserted = Table.insert_many ~check:false table s.s_inserts in
+  s.s_deletes @ inserted
+
+let apply_staged ?stats table s =
+  let written =
+    Obs.with_span "batch.apply" (fun () ->
+        let updated = apply_updates ?stats table s in
+        let structural = apply_structural ?stats table s in
+        updated @ structural)
+  in
+  (staged_outcome s, written)
+
+let apply ?stats ?on_over_delete ?was_insert_over_delete ext table ~vn ops =
+  let s = stage ?stats ?on_over_delete ?was_insert_over_delete ext table ~vn ops in
+  fst (apply_staged ?stats table s)
+
+let key_table_of_pairs pairs =
+  let tbl = Key_tbl.create (max 16 (List.length pairs)) in
+  List.iter (fun (k, v) -> Key_tbl.replace tbl k v) pairs;
+  fun key -> Option.join (Key_tbl.find_opt tbl key)
 
 let pp_outcome ppf o =
   Format.fprintf ppf "logical=%d keys=%d folded=%d phys(i/u/d)=%d/%d/%d" o.logical_ops

@@ -57,6 +57,91 @@ type outcome = {
   physical_deletes : int;
 }
 
+type staged
+(** A batch's complete write plan: grouped, resolved, and folded, with every
+    physical action decided but nothing written.  Updates and deletes are
+    rid-sorted, fresh inserts carry their extended tuples in first-touch
+    order.  Staging reads the table (index probes, record fetches); a staged
+    plan is only valid against the table state it was staged from — apply it
+    before any other writer touches the relation.  The pipelined maintenance
+    path stages every partition up front (serially, against the pre-round
+    state, which partition key-disjointness makes sound) and ships the plans
+    to worker domains. *)
+
+val stage :
+  ?stats:Maintenance.stats ->
+  ?resolve:
+    (Vnl_relation.Value.t list ->
+    (Vnl_storage.Heap_file.rid * Vnl_relation.Tuple.t) option) ->
+  ?prenetted:bool ->
+  ?on_over_delete:(Vnl_storage.Heap_file.rid -> unit) ->
+  ?was_insert_over_delete:(Vnl_storage.Heap_file.rid -> bool) ->
+  Schema_ext.t ->
+  Vnl_query.Table.t ->
+  vn:int ->
+  op list ->
+  staged
+(** Group, resolve, and fold a batch at maintenance version [vn] without
+    writing.  [resolve], when given, replaces the sorted index pass: it must
+    return each key's stored record exactly as {!Vnl_query.Table.find_many_by_key}
+    would against the {e same} table state (raw, including logically
+    deleted records) — the pipelined refresh passes the lookups its
+    classification pass already performed.  [prenetted] promises the batch
+    already carries at most one operation per key (e.g. it came out of a
+    net-effect classification), which lets grouping skip its hash table; a
+    false promise stages one physical action per duplicate and corrupts
+    the net effect.  [on_over_delete] and
+    [was_insert_over_delete] carry the transaction-level bookkeeping for
+    inserts over older logical deletes (exactly as in
+    {!Maintenance.apply_insert} / [apply_delete]); within the batch that
+    bookkeeping is tracked automatically.  [stats] receives the logical
+    counts.  A rejected operation (impossible transition, assignment to a
+    key or non-updatable attribute) raises here, before any write. *)
+
+val key_table_of_pairs :
+  (Vnl_relation.Value.t list * (Vnl_storage.Heap_file.rid * Vnl_relation.Tuple.t) option) list ->
+  Vnl_relation.Value.t list ->
+  (Vnl_storage.Heap_file.rid * Vnl_relation.Tuple.t) option
+(** Build a [resolve] function from already-performed lookups (one
+    [(key, found)] pair per key, later pairs winning).  Keys absent from
+    the pairs resolve to [None], so the pairs must cover every key the
+    staged operations touch. *)
+
+val staged_ops : staged -> int
+(** Physical actions the plan will perform (the pipeline's skew measure). *)
+
+val staged_outcome : staged -> outcome
+(** The outcome applying the plan will produce, computed without
+    applying. *)
+
+val apply_updates :
+  ?stats:Maintenance.stats -> Vnl_query.Table.t -> staged -> Vnl_storage.Heap_file.rid list
+(** Execute only the plan's in-place updates (rid order); returns the rids
+    written.  Updates never change keys or slot occupancy, so — when the
+    plan's index footprint is empty — this phase is safe to run on a worker
+    domain concurrently with other partitions' update phases: the heap
+    latch serializes the byte writes and no shared index is touched. *)
+
+val apply_structural :
+  ?stats:Maintenance.stats -> Vnl_query.Table.t -> staged -> Vnl_storage.Heap_file.rid list
+(** Execute the plan's deletes (rid order) then fresh inserts (one batched
+    {!Vnl_query.Table.insert_many}); returns every rid written.  Structural
+    actions move slots and mutate the unique index, so the pipeline runs
+    them inside the serialized in-order token section — which is also what
+    keeps slot assignment byte-identical to the serial reference. *)
+
+val apply_staged :
+  ?stats:Maintenance.stats ->
+  Vnl_query.Table.t ->
+  staged ->
+  outcome * Vnl_storage.Heap_file.rid list
+(** Execute a staged plan: updates in rid order, then deletes in rid order,
+    then fresh inserts as one batched insert ({!Vnl_query.Table.insert_many}).
+    [stats] receives the physical counts.  Returns the batch outcome and
+    {e every} rid physically written — updated, deleted, and freshly
+    inserted — which is exactly the page set the pipelined path must flush
+    before publishing the stripe's VN. *)
+
 val apply :
   ?stats:Maintenance.stats ->
   ?on_over_delete:(Vnl_storage.Heap_file.rid -> unit) ->
@@ -66,12 +151,8 @@ val apply :
   vn:int ->
   op list ->
   outcome
-(** Apply a whole batch at maintenance version [vn].  [on_over_delete] and
-    [was_insert_over_delete] carry the transaction-level bookkeeping for
-    inserts over older logical deletes (exactly as in
-    {!Maintenance.apply_insert} / [apply_delete]); within the batch that
-    bookkeeping is tracked automatically.  [stats] receives the same
-    logical counts as per-op application and the {e reduced} physical
-    counts. *)
+(** [stage] then [apply_staged] back to back: apply a whole batch at
+    maintenance version [vn].  [stats] receives the same logical counts as
+    per-op application and the {e reduced} physical counts. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,406 @@
+module Database = Vnl_query.Database
+module Table = Vnl_query.Table
+module Buffer_pool = Vnl_storage.Buffer_pool
+module Disk = Vnl_storage.Disk
+module Heap_file = Vnl_storage.Heap_file
+module Sched = Vnl_util.Sched
+module Domain_pool = Vnl_util.Domain_pool
+module Obs = Vnl_obs.Obs
+
+let log_src = Logs.Src.create "vnl.pipeline" ~doc:"pipelined maintenance rounds"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let m_rounds = Obs.Registry.counter "pipeline.rounds"
+
+let m_stripes = Obs.Registry.counter "pipeline.stripes"
+
+(* Load imbalance across a round's stripes: largest stripe's operation
+   count over the mean.  1.0 is a perfectly even split; a heavy tail here
+   means partition merging (shared keys or index footprints) is
+   serializing the round. *)
+let m_skew =
+  Obs.Registry.histogram
+    ~buckets:[| 1.0; 1.25; 1.5; 2.0; 3.0; 5.0; 10.0 |]
+    "pipeline.partition_skew"
+
+type stripe = {
+  vn : int;
+  parts : (Twovnl.handle * Sched_batch.partition) list;
+  stats : Maintenance.stats;
+  mutable staged : (Twovnl.handle * Batch.staged) list;
+      (** Filled by this stripe's worker during the fold phase. *)
+}
+
+type resolver =
+  Vnl_relation.Value.t list -> (Heap_file.rid * Vnl_relation.Tuple.t) option
+
+type plan = {
+  owner : Twovnl.t;
+  round : Twovnl.Round.r;
+  stripes : stripe array;
+  resolvers : (string * resolver) list;
+      (** Pre-round key lookups by relation, replayed into {!Batch.stage}
+          so stripes skip the second index pass. *)
+  prenetted : bool;
+      (** The caller promised one operation per key (see {!Batch.stage}). *)
+  partition_counts : (string * int) list;
+  tables : Twovnl.handle array;
+  page_counts : int array;
+      (** Per-[tables] heap page counts as last made durable; compared and
+          updated only inside token sections, so plain mutation is safe. *)
+  staged_done : int Atomic.t;
+  published : int Atomic.t;
+  failure : exn option Atomic.t;
+  mu : Mutex.t;
+  progress : Condition.t;
+      (** Broadcast (under [mu]) whenever [staged_done], [published], or
+          [failure] advances, so waiting workers park on the OS instead of
+          spinning a core the working stripe needs. *)
+}
+
+type report = {
+  stripes : int;
+  base_vn : int;
+  partition_counts : (string * int) list;
+  outcomes : (string * Batch.outcome) list;
+}
+
+let min_n t =
+  List.fold_left (fun acc h -> min acc (Schema_ext.n (Twovnl.ext h))) max_int (Twovnl.handles t)
+  |> fun n -> if n = max_int then 2 else n
+
+let plan ?(resolvers = []) ?(prenetted = false) t ~workers per_table =
+  if workers < 1 then invalid_arg "Pipeline.plan: workers must be >= 1";
+  Obs.with_span "pipeline.plan" @@ fun () ->
+  let handles = List.map (fun (name, ops) -> (Twovnl.handle_exn t name, ops)) per_table in
+  (* nVNL sizing (§5): a round of c stripes keeps c VNs outstanding, and
+     only n >= c + 1 lets a session opened at round begin stay valid to
+     round end — so the stripe count is capped at min(workers, n - 1)
+     rather than silently expiring every reader each round. *)
+  let cap = max 1 (min workers (min_n t - 1)) in
+  let parted =
+    Obs.with_span "pipeline.partition" (fun () ->
+        List.map
+          (fun (h, ops) ->
+            (h, Sched_batch.partition (Twovnl.ext h) (Twovnl.table h) ~max_parts:cap ops))
+          handles)
+  in
+  let count = List.fold_left (fun acc (_, ps) -> max acc (List.length ps)) 1 parted in
+  let total_ops =
+    List.fold_left
+      (fun acc (_, ps) ->
+        List.fold_left (fun a p -> a + p.Sched_batch.op_count) acc ps)
+      0 parted
+  in
+  let stripe_ops i =
+    List.fold_left
+      (fun acc (_, ps) ->
+        match List.nth_opt ps i with Some p -> acc + p.Sched_batch.op_count | None -> acc)
+      0 parted
+  in
+  if total_ops > 0 then begin
+    let heaviest = ref 0 in
+    for i = 0 to count - 1 do
+      heaviest := max !heaviest (stripe_ops i)
+    done;
+    Obs.Histogram.observe m_skew
+      (float_of_int (!heaviest * count) /. float_of_int total_ops)
+  end;
+  Obs.Counter.record m_rounds 1;
+  Obs.Counter.record m_stripes count;
+  let round = Twovnl.Round.begin_ t ~count in
+  (* §7 durability point 1 (see {!Recovery.run_maintenance}): the raised
+     flag and current catalog reach disk before any worker writes a
+     tuple. *)
+  (try Obs.with_span "maintenance.flag" (fun () -> Database.save (Twovnl.database t))
+   with e ->
+     (try ignore (Twovnl.Round.abort round) with _ -> ());
+     raise e);
+  let stripes =
+    Array.init count (fun i ->
+        let parts =
+          List.filter_map (fun (h, ps) -> Option.map (fun p -> (h, p)) (List.nth_opt ps i)) parted
+        in
+        { vn = Twovnl.Round.vn round i; parts; stats = Maintenance.fresh_stats (); staged = [] })
+  in
+  Log.info (fun m ->
+      m "pipelined round planned: %d stripes, %d logical ops, VNs %d..%d" count total_ops
+        (Twovnl.Round.vn round 0)
+        (Twovnl.Round.vn round (count - 1)));
+  {
+    owner = t;
+    round;
+    stripes;
+    resolvers;
+    prenetted;
+    partition_counts = List.map (fun (h, ps) -> (Twovnl.handle_name h, List.length ps)) parted;
+    tables = Array.of_list (List.map fst handles);
+    page_counts =
+      Array.of_list (List.map (fun (h, _) -> Table.page_count (Twovnl.table h)) handles);
+    staged_done = Atomic.make 0;
+    published = Atomic.make 0;
+    failure = Atomic.make None;
+    mu = Mutex.create ();
+    progress = Condition.create ();
+  }
+
+let stripe_count (p : plan) = Array.length p.stripes
+
+let stripe_ops (p : plan) =
+  Array.to_list
+    (Array.map
+       (fun s ->
+         ( s.vn,
+           List.map (fun (h, part) -> (Twovnl.handle_name h, part.Sched_batch.ops)) s.parts ))
+       p.stripes)
+
+let failed (p : plan) = Option.is_some (Atomic.get p.failure)
+
+(* Advance a progress atomic and wake every parked waiter.  The update
+   happens under [mu] so a waiter cannot re-check its predicate between
+   the update and the broadcast and then sleep through the wakeup. *)
+let signal (p : plan) advance =
+  Mutex.lock p.mu;
+  advance ();
+  Condition.broadcast p.progress;
+  Mutex.unlock p.mu
+
+let record_failure (p : plan) e =
+  signal p (fun () -> ignore (Atomic.compare_and_set p.failure None (Some e)))
+
+let pages_of rids = List.map (fun (r : Heap_file.rid) -> r.Heap_file.page) rids
+
+(* One stripe's worker, from fold to publish.  The phases:
+
+   1. fold: stage the stripe's partitions — index probes and record
+      fetches against the {e pre-round} state (all workers fold before any
+      applies, enforced by the barrier; key-disjoint partitions make the
+      pre-round reads exact regardless of the other stripes' later
+      writes).  Reads race only reads, which the optimistic page path and
+      the immutable-during-phase B+-tree support.
+   2. apply: in-place updates, concurrently across workers.  Safe because
+      partitions are key-disjoint (no shared rid), updates never move
+      slots or touch the unique index, and the partitioner merged any two
+      partitions whose updates share a secondary index.
+   3. token (strictly in stripe order): structural deletes/inserts (slot
+      and unique-index mutations — serialized, so slot assignment is
+      byte-identical to the serial reference), then the stripe's §7
+      durability ladder: targeted flush of every page it wrote, catalog
+      save when a heap grew, VN publish, flush of the Version page. *)
+let fold_stripe (p : plan) i =
+  let stripe = p.stripes.(i) in
+  Obs.with_span "pipeline.fold" (fun () ->
+      stripe.staged <-
+        List.map
+          (fun (h, part) ->
+            let name = Twovnl.handle_name h in
+            let s =
+              Batch.stage ~stats:stripe.stats
+                ?resolve:(List.assoc_opt name p.resolvers)
+                ~prenetted:p.prenetted
+                ~on_over_delete:(fun rid -> Twovnl.Round.record_over_delete p.round name rid)
+                ~was_insert_over_delete:(fun rid ->
+                  Twovnl.Round.was_insert_over_delete p.round name rid)
+                (Twovnl.ext h) (Twovnl.table h) ~vn:stripe.vn part.Sched_batch.ops
+            in
+            (h, s))
+          stripe.parts;
+      signal p (fun () -> Atomic.incr p.staged_done))
+
+let apply_stripe (p : plan) i =
+  let stripe = p.stripes.(i) in
+  Obs.with_span "pipeline.apply" (fun () ->
+      List.concat_map
+        (fun (h, s) -> pages_of (Batch.apply_updates ~stats:stripe.stats (Twovnl.table h) s))
+        stripe.staged)
+
+let token_stripe (p : plan) i update_pages =
+  let stripe = p.stripes.(i) in
+  let t = p.owner in
+  let db = Twovnl.database t in
+  let pool = Database.pool db in
+  Obs.with_span "pipeline.token" (fun () ->
+      let structural_pages =
+        List.concat_map
+          (fun (h, s) ->
+            pages_of (Batch.apply_structural ~stats:stripe.stats (Twovnl.table h) s))
+          stripe.staged
+      in
+      (* Data pages durable before the catalog names any new ones, catalog
+         durable before the publish — per stripe. *)
+      Buffer_pool.flush_pages pool
+        (List.sort_uniq Int.compare (update_pages @ structural_pages));
+      let grew = ref false in
+      Array.iteri
+        (fun j h ->
+          let pc = Table.page_count (Twovnl.table h) in
+          if pc <> p.page_counts.(j) then begin
+            p.page_counts.(j) <- pc;
+            grew := true
+          end)
+        p.tables;
+      if !grew then Database.save ~mode:`Catalog_only db;
+      Twovnl.Round.publish p.round ~vn:stripe.vn;
+      Buffer_pool.flush_pages pool [ Version_state.storage_page (Twovnl.version_state t) ];
+      signal p (fun () -> Atomic.incr p.published))
+
+let worker (p : plan) i =
+  (* Under the deterministic scheduler every stripe is a fiber on one
+     domain: waiting must stay a pure [Sched.yield] spin (blocking on a
+     condition would deadlock the only domain).  On real domains a brief
+     spin catches the common hand-off, then the worker parks on
+     [progress] — with more worker domains than cores (always, on the
+     single-core CI box) a spinner would burn the timeslice the working
+     stripe needs, and a poll-sleep pays its wakeup quantum at every
+     phase boundary. *)
+  let await ~until =
+    if Sched.driving () then
+      while not (until ()) && not (failed p) do
+        Sched.yield ()
+      done
+    else begin
+      let spins = ref 0 in
+      while not (until ()) && not (failed p) && !spins < 200 do
+        incr spins;
+        Domain.cpu_relax ()
+      done;
+      if not (until ()) && not (failed p) then begin
+        Mutex.lock p.mu;
+        while not (until ()) && not (failed p) do
+          Condition.wait p.progress p.mu
+        done;
+        Mutex.unlock p.mu
+      end
+    end
+  in
+  try
+    fold_stripe p i;
+    await ~until:(fun () -> Atomic.get p.staged_done >= Array.length p.stripes);
+    if not (failed p) then begin
+      let update_pages = apply_stripe p i in
+      Obs.with_span "pipeline.publish_wait" (fun () ->
+          await ~until:(fun () -> Atomic.get p.published >= i));
+      if not (failed p) then token_stripe p i update_pages
+    end
+  with e -> record_failure p e
+
+(* Canonical in-order schedule of the same task system, on the calling
+   domain alone: every stripe folds (all against the pre-round state),
+   then each stripe applies and runs its token section in stripe order.
+   Byte-identical writes and the identical publish order — it is one of
+   the schedules the barrier/token protocol admits — without any
+   cross-domain coordination.  [run] picks it when the hardware has no
+   parallelism to offer: with more worker domains than cores the domain
+   path only adds handoff latency and stop-the-world pauses. *)
+let run_sequential (p : plan) =
+  try
+    Array.iteri (fun i _ -> if not (failed p) then fold_stripe p i) p.stripes;
+    Array.iteri
+      (fun i _ ->
+        if not (failed p) then begin
+          let update_pages = apply_stripe p i in
+          if not (failed p) then token_stripe p i update_pages
+        end)
+      p.stripes
+  with e -> record_failure p e
+
+let add_outcome (a : Batch.outcome) (b : Batch.outcome) =
+  {
+    Batch.logical_ops = a.Batch.logical_ops + b.Batch.logical_ops;
+    distinct_keys = a.Batch.distinct_keys + b.Batch.distinct_keys;
+    folded_ops = a.Batch.folded_ops + b.Batch.folded_ops;
+    physical_inserts = a.Batch.physical_inserts + b.Batch.physical_inserts;
+    physical_updates = a.Batch.physical_updates + b.Batch.physical_updates;
+    physical_deletes = a.Batch.physical_deletes + b.Batch.physical_deletes;
+  }
+
+let zero_outcome =
+  {
+    Batch.logical_ops = 0;
+    distinct_keys = 0;
+    folded_ops = 0;
+    physical_inserts = 0;
+    physical_updates = 0;
+    physical_deletes = 0;
+  }
+
+let finish (p : plan) =
+  match Atomic.get p.failure with
+  | Some e ->
+    (match e with
+    | Disk.Crash _ ->
+      (* The disk is gone; repair belongs to {!Recovery.reopen}, which
+         reverts everything above the last durably published VN. *)
+      ()
+    | _ ->
+      (* Live failure: revert the unpublished suffix (the published prefix
+         is exactly what a shorter round would have committed) and make the
+         repair durable so a later crash cannot resurrect the stamps. *)
+      (try
+         ignore (Twovnl.Round.abort p.round);
+         Database.save (Twovnl.database p.owner)
+       with _ -> ()));
+    raise e
+  | None ->
+    if Atomic.get p.published <> Array.length p.stripes then
+      failwith "Pipeline.finish: round incomplete without a recorded failure";
+    let outcomes =
+      Array.to_list p.tables
+      |> List.map (fun h ->
+             let name = Twovnl.handle_name h in
+             let total =
+               Array.fold_left
+                 (fun acc stripe ->
+                   List.fold_left
+                     (fun acc (h', s) ->
+                       if Twovnl.handle_name h' = name then
+                         add_outcome acc (Batch.staged_outcome s)
+                       else acc)
+                     acc stripe.staged)
+                 zero_outcome p.stripes
+             in
+             (name, total))
+    in
+    {
+      stripes = Array.length p.stripes;
+      base_vn = Twovnl.Round.base_vn p.round;
+      partition_counts = p.partition_counts;
+      outcomes;
+    }
+
+let tasks (p : plan) =
+  Array.to_list
+    (Array.mapi (fun i _ -> (Printf.sprintf "stripe-%d" i, fun () -> worker p i)) p.stripes)
+
+(* Worker domains are reused across rounds: spawning and joining domains
+   costs milliseconds per round — more than a round's useful work — so
+   [run] draws on a process-wide pool, grown when a wider round appears.
+   Only one round can be active at a time (maintenance is exclusive), so a
+   single shared pool suffices; parked helpers never hold work and do not
+   block process exit. *)
+let pool_mu = Mutex.create ()
+
+let pool : Domain_pool.Persistent.t option ref = ref None
+
+let get_pool domains =
+  Mutex.protect pool_mu (fun () ->
+      match !pool with
+      | Some q when Domain_pool.Persistent.size q >= domains -> q
+      | prev ->
+        (match prev with Some q -> Domain_pool.Persistent.shutdown q | None -> ());
+        let q = Domain_pool.Persistent.create ~domains in
+        pool := Some q;
+        q)
+
+let run (p : plan) =
+  Obs.with_span "pipeline.round" @@ fun () ->
+  (match Array.length p.stripes with
+  | 1 ->
+    (* A single stripe needs no second domain (and keeps the degenerate
+       case on the calling domain, where the deterministic scheduler can
+       see it). *)
+    worker p 0
+  | _ when Domain.recommended_domain_count () <= 1 -> run_sequential p
+  | c -> Domain_pool.Persistent.parallel (get_pool c) ~domains:c (worker p));
+  finish p

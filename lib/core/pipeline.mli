@@ -1,0 +1,91 @@
+(** Pipelined parallel maintenance: one refresh as a {e round} of k
+    dependency-disjoint stripes, applied by k workers under nVNL with VNs
+    published strictly in order.
+
+    The classic refresh ({!Recovery.run_maintenance}) is one maintenance
+    transaction: flag → apply → flush → catalog → publish.  This driver
+    splits the refresh's net-effect batch with {!Sched_batch.partition}
+    into key- and index-footprint-disjoint partitions, reserves one VN per
+    stripe ({!Twovnl.Round}), and runs the stripes on worker domains:
+
+    - {b fold} (parallel): each worker stages its partitions
+      ({!Batch.stage}) against the pre-round state — partitions are
+      key-disjoint, so the pre-round reads are exact no matter how the
+      round later interleaves; a barrier keeps every fold ahead of the
+      first apply.
+    - {b apply} (parallel): in-place updates, which never move slots nor
+      touch shared index trees (the partitioner merged any two partitions
+      sharing a secondary index).
+    - {b token} (serialized, stripe order): structural deletes/inserts,
+      then the stripe's own §7 durability ladder — targeted flush of every
+      page the stripe wrote ({!Vnl_storage.Buffer_pool.flush_pages}),
+      catalog save when a heap grew ([`Catalog_only]), VN publish, Version
+      page flush.  In-order publication keeps every prefix of the round a
+      state some serial execution would have produced, which is what makes
+      a mid-round crash land on a VN boundary ({!Twovnl.recover}).
+
+    Readers run throughout: session validity charges the round's
+    outstanding VNs ([currentVN - sessionVN + outstanding <= n - 1]), so
+    with n >= k + 1 a session opened at round begin survives the whole
+    round; the stripe count is capped at n - 1.
+
+    Failure of any worker parks the round: remaining workers drain, the
+    unpublished suffix is reverted ({!Twovnl.Round.abort} — the published
+    prefix is exactly a shorter round's commit), and the exception
+    re-raises from {!finish}.  A {!Vnl_storage.Disk.Crash} skips the
+    in-place repair; {!Recovery.reopen} repairs the disk image instead. *)
+
+type plan
+
+type report = {
+  stripes : int;
+  base_vn : int;  (** currentVN when the round began. *)
+  partition_counts : (string * int) list;  (** Partitions per relation. *)
+  outcomes : (string * Batch.outcome) list;
+      (** Per-relation totals across all stripes. *)
+}
+
+type resolver =
+  Vnl_relation.Value.t list ->
+  (Vnl_storage.Heap_file.rid * Vnl_relation.Tuple.t) option
+
+val plan :
+  ?resolvers:(string * resolver) list ->
+  ?prenetted:bool ->
+  Twovnl.t ->
+  workers:int ->
+  (string * Batch.op list) list ->
+  plan
+(** Partition each relation's batch (at most [min workers (n - 1)]
+    partitions), begin the round, and make the raised maintenance flag
+    durable.  No tuple is written yet.  [resolvers] optionally replays
+    per-relation key lookups a classification pass already performed
+    against the pre-round state (see {!Batch.stage}'s [resolve]), sparing
+    every stripe a second index pass; [prenetted] likewise promises one
+    operation per key ({!Batch.stage}).  Raises [Invalid_argument] when
+    [workers < 1], a relation is unregistered, or maintenance is already
+    active; if beginning the round fails after the flag write, the round
+    is aborted before the exception escapes. *)
+
+val stripe_count : plan -> int
+
+val stripe_ops : plan -> (int * (string * Batch.op list) list) list
+(** Each stripe's (vn, per-relation operations) — the serial reference
+    schedule: applying stripe i's operations as one classic transaction
+    committing at vn_i, in order, must produce the same warehouse state.
+    The differential and crash-sweep tests replay exactly this. *)
+
+val tasks : plan -> (string * (unit -> unit)) list
+(** The stripe workers as named thunks for {!Vnl_util.Sched.run}: a
+    deterministic single-domain interleaving of the whole round (workers
+    never block — they spin through {!Vnl_util.Sched.yield} — so any
+    schedule drives the round to completion).  Call {!finish} afterwards. *)
+
+val finish : plan -> report
+(** Join the round: re-raise a worker failure (after reverting the
+    unpublished suffix), or return the report. *)
+
+val run : plan -> report
+(** Execute the round on [stripe_count] domains
+    ({!Vnl_util.Domain_pool.parallel}; inline on the calling domain when
+    the round has a single stripe) and {!finish} it. *)

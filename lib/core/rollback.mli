@@ -40,3 +40,15 @@ val revert_all :
     the number reverted.  [over_deleted] tells apart fresh inserts from
     inserts over deleted keys (in-memory transaction bookkeeping, not a
     log). *)
+
+val revert_above :
+  Schema_ext.t ->
+  Vnl_query.Table.t ->
+  current:int ->
+  over_deleted:(Vnl_storage.Heap_file.rid -> bool) ->
+  int
+(** Generalized repair for pipelined rounds: revert every tuple whose
+    slot-1 version exceeds [current] (the last {e published} VN), each at
+    its own stamp.  Sound because a round's partitions are key-disjoint —
+    no tuple carries more than one unpublished VN.  With a round of one
+    this is exactly [revert_all ~vn:(current + 1)]. *)

@@ -215,22 +215,25 @@ let collect_garbage t =
     reclaimed
   end
 
-(* §7 no-log crash recovery: an interrupted maintenance transaction's vn is
-   currentVN + 1; every touched tuple carries its pre-update version, so the
-   database state is repaired exactly like an abort — without any log. *)
+(* §7 no-log crash recovery: every touched tuple carries its pre-update
+   version, so the database state is repaired exactly like an abort —
+   without any log.  Generalized for pipelined rounds: the stored currentVN
+   is the last {e published} VN, and every tuple stamped above it belongs
+   to an unpublished stripe (a classic single transaction is the special
+   case where the only such stamp is currentVN + 1). *)
 let recover t =
   if not (Version_state.maintenance_active t.version) then 0
   else begin
-    let vn = Version_state.current_vn t.version + 1 in
+    let current = Version_state.current_vn t.version in
     let reverted =
       List.fold_left
         (fun acc h ->
-          acc + Rollback.revert_all h.ext h.table ~vn ~over_deleted:(fun _ -> false))
+          acc + Rollback.revert_above h.ext h.table ~current ~over_deleted:(fun _ -> false))
         0 (handles t)
     in
     Version_state.abort_maintenance t.version;
     Log.info (fun m ->
-        m "crash recovery: reverted %d tuples of interrupted transaction %d" reverted vn);
+        m "crash recovery: reverted %d tuples of work past published VN %d" reverted current);
     reverted
   end
 
@@ -276,10 +279,16 @@ module Session = struct
     List.fold_left (fun acc h -> min acc (Schema_ext.n h.ext)) max_int (handles t)
     |> fun n -> if n = max_int then 2 else n
 
+  (* One atomic read of (currentVN, outstanding): under a pipelined round
+     [outstanding] counts the begun-but-unpublished VNs, so the §4.1 bound
+     charges the session for every version slot the round may consume.
+     [c - s.vn + outstanding] is constant across a round's publishes (each
+     publish increments c and decrements outstanding together), so a
+     session valid at round begin stays valid to round end whenever
+     n >= count + 1 — the nVNL sizing rule the pipeline enforces. *)
   let valid_for t s ~n =
-    let c = current_vn t in
-    let active = Version_state.maintenance_active t.version in
-    c - s.vn + (if active then 1 else 0) <= n - 1
+    let c, outstanding = Version_state.read_outstanding t.version in
+    c - s.vn + outstanding <= n - 1
 
   let is_valid t s = valid_for t s ~n:(min_n t)
 
@@ -299,9 +308,8 @@ module Session = struct
      I/O counters the differential tests hold identical). *)
   let check_valid t s =
     let n = min_n t in
-    let c = current_vn t in
-    let active = Version_state.maintenance_active t.version in
-    if c - s.vn + (if active then 1 else 0) > n - 1 then raise (expired t s);
+    let c, outstanding = Version_state.read_outstanding t.version in
+    if c - s.vn + outstanding > n - 1 then raise (expired t s);
     c
 
   (* Compile-once reader sessions: the first execution of a statement
@@ -554,5 +562,99 @@ module Txn = struct
     Version_state.abort_maintenance t.version;
     Obs.Counter.record m_maintenance_aborts 1;
     Log.info (fun m' -> m' "maintenance transaction %d aborted; %d tuples reverted" m.txn_vn reverted);
+    reverted
+end
+
+module Round = struct
+  type r = {
+    owner : t;
+    base_vn : int;
+    count : int;
+    mutable published : int;
+    over_mu : Mutex.t;
+        (** Guards [over_deleted]: workers on different domains record
+            over-delete re-inserts concurrently. *)
+    mutable over_deleted : (string * Heap_file.rid) list;
+    mutable finished : bool;
+  }
+
+  let begin_ t ~count =
+    if count < 1 then invalid_arg "Twovnl.Round: count must be >= 1";
+    let base_vn = Version_state.begin_round t.version ~count in
+    t.txn_active <- true;
+    Log.info (fun m ->
+        m "maintenance round begins: %d stripes over VNs %d..%d" count (base_vn + 1)
+          (base_vn + count));
+    {
+      owner = t;
+      base_vn;
+      count;
+      published = 0;
+      over_mu = Mutex.create ();
+      over_deleted = [];
+      finished = false;
+    }
+
+  let base_vn r = r.base_vn
+
+  let count r = r.count
+
+  let vn r i =
+    if i < 0 || i >= r.count then invalid_arg "Twovnl.Round.vn: stripe out of range";
+    r.base_vn + 1 + i
+
+  let record_over_delete r name rid =
+    Mutex.protect r.over_mu (fun () -> r.over_deleted <- (name, rid) :: r.over_deleted)
+
+  let was_insert_over_delete r name rid =
+    Mutex.protect r.over_mu (fun () ->
+        List.exists
+          (fun (tn, rr) -> String.equal tn name && Heap_file.rid_equal rr rid)
+          r.over_deleted)
+
+  (* Publish stripe VNs strictly in order; called by the token holder, so
+     publishes never race each other (readers race them, which is the whole
+     point).  Each publish is one maintenance-transaction commit for the
+     telemetry and the epoch machinery, exactly as [Txn.commit]. *)
+  let publish r ~vn:v =
+    if r.finished then invalid_arg "Twovnl.Round: round already finished";
+    if v <> r.base_vn + 1 + r.published then
+      invalid_arg
+        (Printf.sprintf "Twovnl.Round.publish: vn %d out of order (next is %d)" v
+           (r.base_vn + 1 + r.published));
+    Version_state.publish r.owner.version ~vn:v;
+    r.published <- r.published + 1;
+    if r.published = r.count then begin
+      r.finished <- true;
+      r.owner.txn_active <- false
+    end;
+    Epoch.advance r.owner.epochs v;
+    Buffer_pool.advance_epoch (Database.pool r.owner.db) v;
+    Obs.Counter.record m_maintenance_commits 1;
+    Obs.Gauge.record m_current_vn v;
+    Log.info (fun m -> m "round stripe published at VN %d (%d/%d)" v r.published r.count)
+
+  (* Abort the unpublished remainder: revert every tuple stamped above the
+     last published VN (key-disjoint stripes ⇒ at most one unpublished
+     stamp per tuple) and clear the outstanding count.  The published
+     prefix stays committed — in-order publication means it is exactly the
+     state a shorter round would have left. *)
+  let abort r =
+    if r.finished then invalid_arg "Twovnl.Round: round already finished";
+    r.finished <- true;
+    let t = r.owner in
+    let current = Version_state.current_vn t.version in
+    let reverted =
+      List.fold_left
+        (fun acc h ->
+          let over_deleted rid = was_insert_over_delete r h.name rid in
+          acc + Rollback.revert_above h.ext h.table ~current ~over_deleted)
+        0 (handles t)
+    in
+    t.txn_active <- false;
+    Version_state.abort_maintenance t.version;
+    Obs.Counter.record m_maintenance_aborts 1;
+    Log.info (fun m ->
+        m "maintenance round aborted past VN %d; %d tuples reverted" current reverted);
     reverted
 end

@@ -50,12 +50,16 @@ val attach_table : t -> ?n:int -> name:string -> Vnl_relation.Schema.t -> handle
     stored schema does not equal the extension of [base] with this [n]. *)
 
 val recover : t -> int
-(** No-log crash recovery: if the Version relation says a maintenance
-    transaction was active at the crash, revert every tuple it touched from
-    the tuples' own pre-update versions (no log consulted) and clear the
-    flag; returns the number of tuples reverted.  Tuples whose slot-1
-    operation is insert are treated as fresh inserts and physically removed
-    — correct for every live session, see DESIGN.md §6. *)
+(** No-log crash recovery: if the Version relation says maintenance work
+    was outstanding at the crash, revert every tuple stamped {e above} the
+    stored currentVN (the last published VN) from the tuples' own
+    pre-update versions (no log consulted) and clear the flag; returns the
+    number of tuples reverted.  For a classic single transaction the only
+    such stamp is currentVN + 1; for an interrupted pipelined round
+    ({!Round}) the unpublished stripes are reverted and the published
+    prefix survives.  Tuples whose slot-1 operation is insert are treated
+    as fresh inserts and physically removed — correct for every live
+    session, see DESIGN.md §6. *)
 
 val handle : t -> string -> handle option
 
@@ -169,4 +173,50 @@ module Txn : sig
   val abort : m -> int
   (** No-log rollback (§7): revert every touched tuple; returns the number
       reverted. *)
+end
+
+(** A pipelined maintenance {e round}: [count] version numbers begun
+    together and published strictly in order (the {!Pipeline} driver's
+    commit protocol).  While the round runs, the Version state's
+    outstanding count is [count - published], so session validity charges
+    readers for every slot the round may still consume — with
+    n >= count + 1 a session opened at round begin survives the whole
+    round.  A round of one is exactly {!Txn}'s begin/commit envelope. *)
+module Round : sig
+  type r
+
+  val begin_ : t -> count:int -> r
+  (** Reserve VNs [currentVN + 1 .. currentVN + count].  Raises
+      [Invalid_argument] if maintenance is already active or [count < 1].
+      The caller must make the raised maintenance flag durable (a catalog
+      save) before mutating any tuple, as {!Recovery.run_maintenance}
+      does. *)
+
+  val base_vn : r -> int
+  (** The currentVN at round begin; stripe [i] commits at
+      [base_vn + 1 + i]. *)
+
+  val count : r -> int
+
+  val vn : r -> int -> int
+  (** [vn r i] is stripe [i]'s version number.  Raises [Invalid_argument]
+      outside [0 .. count - 1]. *)
+
+  val record_over_delete : r -> string -> Vnl_storage.Heap_file.rid -> unit
+  (** Record an insert-over-delete for no-log rollback (thread-safe; the
+      round-wide analogue of {!Txn}'s bookkeeping). *)
+
+  val was_insert_over_delete : r -> string -> Vnl_storage.Heap_file.rid -> bool
+
+  val publish : r -> vn:int -> unit
+  (** Publish the next stripe's VN: Version update, epoch advance, commit
+      telemetry — one maintenance commit, exactly like {!Txn.commit}.
+      Raises [Invalid_argument] unless [vn] is the round's next unpublished
+      VN (in-order publication is the pipeline's invariant, not a
+      convenience). *)
+
+  val abort : r -> int
+  (** Revert every tuple stamped above the last published VN and clear the
+      outstanding count; the published prefix stays committed.  Returns the
+      number of tuples reverted. *)
 end

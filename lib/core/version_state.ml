@@ -14,24 +14,33 @@ let schema =
 
 (* The stored tuple stays authoritative (it is what survives a crash and
    what the §4.1 SQL rewrite joins against), but reads go through [cache]:
-   an [Atomic] holding the last written (currentVN, maintenanceActive)
-   pair.  Reader domains check session validity on every query — routing
-   that read through the buffer pool would both serialize readers on the
-   pool mutex and perturb the I/O counters experiments compare — while
-   the single maintenance domain updates the tuple and then publishes the
-   cache (boxed pair: one atomic store, never a torn pair). *)
-type t = { table : Table.t; rid : Heap_file.rid; cache : (int * bool) Atomic.t }
+   an [Atomic] holding the last written (currentVN, outstanding) pair.
+   Reader domains check session validity on every query — routing that
+   read through the buffer pool would both serialize readers on the pool
+   mutex and perturb the I/O counters experiments compare — while the
+   maintenance side updates the tuple and then publishes the cache (boxed
+   pair: one atomic store, never a torn pair).
+
+   [outstanding] generalizes the paper's boolean [maintenanceActive] to
+   the pipelined nVNL round: it counts maintenance VNs begun but not yet
+   published (the classic single transaction is a round of one, so the
+   counter is 0 or 1 there).  The {e stored} attribute keeps the paper's
+   Bool layout — [outstanding > 0] — so the disk format, [attach], and the
+   SQL rewrite are unchanged; after a crash the exact count is
+   unrecoverable and unnecessary, since §7 repair reverts {e every} tuple
+   stamped above the stored currentVN. *)
+type t = { table : Table.t; rid : Heap_file.rid; cache : (int * int) Atomic.t }
 
 let install db =
   let table = Database.create_table db table_name schema in
   let rid = Table.insert table (Tuple.make schema [ Value.Int 1; Value.Bool false ]) in
-  { table; rid; cache = Atomic.make (1, false) }
+  { table; rid; cache = Atomic.make (1, 0) }
 
 let read_stored table rid =
   match Table.get table rid with
   | Some tuple -> (
     match (Tuple.get tuple 0, Tuple.get tuple 1) with
-    | Value.Int vn, Value.Bool active -> (vn, active)
+    | Value.Int vn, Value.Bool active -> (vn, if active then 1 else 0)
     | _ -> invalid_arg "Version_state: corrupt Version tuple")
   | None -> invalid_arg "Version_state: Version tuple missing"
 
@@ -45,35 +54,49 @@ let attach db =
 
 let read t =
   Vnl_util.Sched.yield ();
+  let vn, outstanding = Atomic.get t.cache in
+  (vn, outstanding > 0)
+
+let read_outstanding t =
+  Vnl_util.Sched.yield ();
   Atomic.get t.cache
 
-let write t vn active =
+let write t vn outstanding =
   Vnl_util.Sched.yield ();
   Table.update_in_place t.table t.rid
-    (Tuple.make schema [ Value.Int vn; Value.Bool active ]);
+    (Tuple.make schema [ Value.Int vn; Value.Bool (outstanding > 0) ]);
   (* Publish after the tuple write: a concurrent reader sees the new state
      no earlier than the stored tuple does. *)
-  Atomic.set t.cache (vn, active)
+  Atomic.set t.cache (vn, outstanding)
+
+let storage_page t = t.rid.Heap_file.page
 
 let current_vn t = fst (read t)
 
 let maintenance_active t = snd (read t)
 
-let begin_maintenance t =
-  let vn, active = read t in
-  if active then invalid_arg "Version_state: a maintenance transaction is already active";
-  write t vn true;
-  vn + 1
+let outstanding t = snd (read_outstanding t)
 
-let commit_maintenance t ~vn =
-  let current, active = read t in
-  if not active then invalid_arg "Version_state: no active maintenance transaction";
+let begin_round t ~count =
+  if count < 1 then invalid_arg "Version_state.begin_round: count must be >= 1";
+  let vn, o = read_outstanding t in
+  if o > 0 then invalid_arg "Version_state: a maintenance transaction is already active";
+  write t vn count;
+  vn
+
+let publish t ~vn =
+  let current, o = read_outstanding t in
+  if o = 0 then invalid_arg "Version_state: no active maintenance transaction";
   if vn <> current + 1 then
     invalid_arg
       (Printf.sprintf "Version_state: commit vn %d does not follow currentVN %d" vn current);
-  write t vn false
+  write t vn (o - 1)
+
+let begin_maintenance t = 1 + begin_round t ~count:1
+
+let commit_maintenance t ~vn = publish t ~vn
 
 let abort_maintenance t =
-  let current, active = read t in
-  if not active then invalid_arg "Version_state: no active maintenance transaction";
-  write t current false
+  let current, o = read_outstanding t in
+  if o = 0 then invalid_arg "Version_state: no active maintenance transaction";
+  write t current 0

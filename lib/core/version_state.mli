@@ -1,11 +1,22 @@
-(** The global Version relation (§4).
+(** The global Version relation (§4), generalized for pipelined nVNL
+    rounds.
 
     [currentVN] and [maintenanceActive] are stored in a single-tuple,
     two-attribute relation inside the DBMS itself, read by readers and
     updated by maintenance transactions — exactly the implementation the
     paper prescribes for a query-rewrite deployment.  Following §4's
     abort-visibility remark, the commit protocol updates [currentVN] only
-    {e after} the maintenance work is complete. *)
+    {e after} the maintenance work is complete.
+
+    On top of the paper's single-transaction protocol sits the {e round}
+    API for pipelined maintenance: a round begins [count] consecutive
+    maintenance VNs at once ([currentVN + 1 .. currentVN + count]) and
+    publishes them strictly in order, each publish advancing [currentVN]
+    by one and decrementing the outstanding count.  The stored attribute
+    remains the paper's Bool ([outstanding > 0]), so the disk format and
+    the §4.1 SQL rewrite are unchanged, and §7 crash repair — which
+    reverts every tuple stamped above the stored [currentVN] — needs no
+    per-round bookkeeping to survive. *)
 
 type t
 
@@ -19,22 +30,37 @@ val install : Vnl_query.Database.t -> t
 
 val attach : Vnl_query.Database.t -> t
 (** Re-attach to an existing Version relation (after {!Vnl_query.Database.reopen}).
-    Raises [Failure] when the relation or its single tuple is missing. *)
+    Raises [Failure] when the relation or its single tuple is missing.
+    A stored [maintenanceActive = true] attaches as one outstanding VN —
+    the exact pre-crash count is irrelevant to repair. *)
 
 val current_vn : t -> int
 (** Read [currentVN].  Served from an [Atomic] cache of the stored tuple
     so reader domains validate sessions without touching the buffer pool;
     the cache is published by every write (and re-primed by {!attach}),
-    and the boxed pair guarantees [currentVN] and [maintenanceActive] are
-    always read consistently. *)
+    and the boxed pair guarantees [currentVN] and the outstanding count
+    are always read consistently. *)
 
 val maintenance_active : t -> bool
+(** [outstanding t > 0]. *)
+
+val outstanding : t -> int
+(** Maintenance VNs begun but not yet published: 0 when idle, 1 under the
+    classic protocol, up to the round's [count] under pipelining. *)
+
+val read_outstanding : t -> int * int
+(** One consistent read of [(currentVN, outstanding)] — the pair readers
+    need for the generalized expiry check, from a single atomic load. *)
+
+val storage_page : t -> int
+(** The heap page holding the Version tuple; the publish step flushes
+    exactly this page. *)
 
 val begin_maintenance : t -> int
 (** Set [maintenanceActive] and return the transaction's
-    [maintenanceVN = currentVN + 1].  Raises [Invalid_argument] if a
-    maintenance transaction is already active (the external protocol of
-    §2.2 admits one at a time). *)
+    [maintenanceVN = currentVN + 1] (a round of one).  Raises
+    [Invalid_argument] if a maintenance transaction is already active (the
+    external protocol of §2.2 admits one at a time). *)
 
 val commit_maintenance : t -> vn:int -> unit
 (** Publish [currentVN := vn] and clear [maintenanceActive].  Raises
@@ -42,4 +68,18 @@ val commit_maintenance : t -> vn:int -> unit
     active. *)
 
 val abort_maintenance : t -> unit
-(** Clear [maintenanceActive] leaving [currentVN] unchanged. *)
+(** Clear the outstanding count leaving [currentVN] unchanged — under a
+    round, this abandons {e every} unpublished VN (published prefixes
+    stay committed). *)
+
+val begin_round : t -> count:int -> int
+(** Begin [count] consecutive maintenance VNs and return the base — the
+    round's VNs are [base + 1 .. base + count].  Raises
+    [Invalid_argument] when a transaction or round is already active, or
+    [count < 1]. *)
+
+val publish : t -> vn:int -> unit
+(** Publish the round's next VN: requires [vn = currentVN + 1] and an
+    outstanding count > 0, advances [currentVN] to [vn] and decrements the
+    count (the stored flag clears with the last publish).  In-order
+    publication is enforced by the [vn] check. *)

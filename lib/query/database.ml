@@ -99,7 +99,7 @@ let entries t =
    as "pages 5 1").  The first flush also carries every other dirty frame,
    which is exactly the apply -> flush -> catalog-write -> publish ordering
    {!Vnl_core.Recovery} relies on. *)
-let save t =
+let save ?(mode = `Full) t =
   let text = Catalog.serialize (entries t) in
   let page_size = Disk.page_size (disk t) in
   let needed = max 1 ((String.length text + page_size - 1) / page_size) in
@@ -116,7 +116,14 @@ let save t =
             Bytes.blit_string text off img 0 len
           end))
     t.spare_pages;
-  Buffer_pool.flush_all t.pool;
+  (* [`Full] doubles as the caller's data-durability point (every dirty
+     frame reaches disk before the header flip).  [`Catalog_only] flushes
+     just the catalog content pages — the pipelined path has already made
+     its partition's data pages durable with a targeted blocking flush and
+     must not sweep up other in-flight partitions' half-applied pages. *)
+  (match mode with
+  | `Full -> Buffer_pool.flush_all t.pool
+  | `Catalog_only -> Buffer_pool.flush_pages t.pool t.spare_pages);
   (* Header page 0: magic, content length, content page ids, then the
      retired generation's pages so a reopened database keeps reusing them. *)
   let live = t.spare_pages and retired = t.catalog_pages in
@@ -129,7 +136,9 @@ let save t =
       in
       if String.length header > page_size then failwith "Database.save: header overflow";
       Bytes.blit_string header 0 img 0 (String.length header));
-  Buffer_pool.flush_all t.pool;
+  (match mode with
+  | `Full -> Buffer_pool.flush_all t.pool
+  | `Catalog_only -> Buffer_pool.flush_pages t.pool [ 0 ]);
   t.catalog_pages <- live;
   t.spare_pages <- retired
 

@@ -38,14 +38,19 @@ val drop_cache : t -> unit
 (** Flush and empty the buffer pool so the next accesses are cold; used by
     the I/O experiments. *)
 
-val save : t -> unit
+val save : ?mode:[ `Full | `Catalog_only ] -> t -> unit
 (** Persist the catalog (schemas, heap pages, index definitions) into
-    reserved catalog pages and flush every dirty page, making the disk
-    image self-describing.  The update is crash-atomic: the new catalog
-    generation is written to a spare page set and flushed before the
-    single-page header flips to it, so a crash mid-save leaves either the
-    old or the new catalog on disk, never a mixture (see
-    {!Vnl_core.Recovery}). *)
+    reserved catalog pages, making the disk image self-describing.  The
+    update is crash-atomic: the new catalog generation is written to a
+    spare page set and flushed before the single-page header flips to it,
+    so a crash mid-save leaves either the old or the new catalog on disk,
+    never a mixture (see {!Vnl_core.Recovery}).
+
+    [`Full] (the default) flushes {e every} dirty page around the header
+    flip, doubling as the caller's data-durability point.  [`Catalog_only]
+    flushes only the catalog content pages and the header: the pipelined
+    maintenance path uses it after targeted data flushes, when a full
+    sweep would entangle other partitions' in-flight pages. *)
 
 val disk : t -> Vnl_storage.Disk.t
 

@@ -78,7 +78,7 @@ let insert ?(check = true) t tuple =
 
 let insert_many ?(check = true) t tuples =
   match t.index with
-  | None -> List.iter (fun tuple -> ignore (insert ~check:false t tuple)) tuples
+  | None -> List.map (fun tuple -> insert ~check:false t tuple) tuples
   | Some index ->
     (* Heap inserts happen in list order (so rid assignment matches per-
        tuple insertion); the index entries then go in as one sorted batch
@@ -97,7 +97,8 @@ let insert_many ?(check = true) t tuples =
     in
     let arr = Array.of_list pairs in
     Array.sort (fun (a, _) (b, _) -> Bptree.compare_keys a b) arr;
-    Bptree.insert_batch index arr
+    Bptree.insert_batch index arr;
+    List.map snd pairs
 
 let update_in_place ?old t rid tuple =
   (* [old], when the caller already holds the stored tuple, skips the
@@ -116,8 +117,19 @@ let update_in_place ?old t rid tuple =
   | (Some _ | None), _ -> ());
   (match old with
   | Some old ->
-    sec_remove t old rid;
-    sec_insert t tuple rid
+    (* Per-index change test: an update that leaves an index's attributes
+       untouched leaves that tree alone entirely.  Beyond saving two tree
+       operations per update, this is what the pipelined maintenance path
+       leans on — an update whose assignments avoid every indexed
+       attribute has an empty index footprint and may run on a worker
+       domain while another partition owns the trees. *)
+    iter_secondaries t (fun sec ->
+        let old_key = sec_entry_key sec old rid in
+        let new_key = sec_entry_key sec tuple rid in
+        if not (List.for_all2 Vnl_relation.Value.equal old_key new_key) then begin
+          ignore (Bptree.remove sec.tree old_key);
+          Bptree.insert sec.tree new_key ()
+        end)
   | None -> ());
   Heap_file.update_in_place t.heap rid tuple
 

@@ -42,14 +42,17 @@ val insert : ?check:bool -> t -> Vnl_relation.Tuple.t -> Vnl_storage.Heap_file.r
     for callers that just resolved the key against the index themselves and
     found it absent. *)
 
-val insert_many : ?check:bool -> t -> Vnl_relation.Tuple.t list -> unit
+val insert_many :
+  ?check:bool -> t -> Vnl_relation.Tuple.t list -> Vnl_storage.Heap_file.rid list
 (** Insert the tuples in list order (rids are assigned exactly as repeated
-    {!insert} would), then enter their keys into the unique index as one
-    sorted batch ({!Vnl_index.Bptree.insert_batch}).  [check] as in
-    {!insert}; it does not detect duplicates *within* the list — those
-    raise [Invalid_argument] from the index.  The batched maintenance
-    path's fresh-insert sweep, whose keys are distinct and pre-resolved
-    absent, is the intended caller. *)
+    {!insert} would, and are returned in the same order), then enter their
+    keys into the unique index as one sorted batch
+    ({!Vnl_index.Bptree.insert_batch}).  [check] as in {!insert}; it does
+    not detect duplicates *within* the list — those raise
+    [Invalid_argument] from the index.  The batched maintenance path's
+    fresh-insert sweep, whose keys are distinct and pre-resolved absent,
+    is the intended caller; the pipelined path additionally uses the
+    returned rids to target its durability flush. *)
 
 val update_in_place :
   ?old:Vnl_relation.Tuple.t -> t -> Vnl_storage.Heap_file.rid -> Vnl_relation.Tuple.t -> unit

@@ -456,6 +456,50 @@ let flush_all t =
   Hashtbl.iter (fun _ frame -> if frame.dirty then dirty := frame :: !dirty) t.frames;
   List.iter (write_back t) (List.sort (fun a b -> compare a.pid b.pid) !dirty)
 
+(* Targeted, {e blocking} write-back for the pipelined maintenance path.
+   [flush_all]'s skip-on-active-mutator rule is correct for a full sweep
+   (the frame stays dirty for the next flush) but not for a durability
+   point: a concurrent applier from another partition holding a boundary
+   page's latch would let this partition publish with one of its own pages
+   still volatile.  So each target page is pinned (under the mutex, so it
+   cannot be evicted out from under us), then the shared latch is acquired
+   {e blocking} — waiting out any mutator — and the write happens back
+   under the mutex (all disk traffic stays mutex-serialized).  Lock order
+   is latch -> mutex, which cannot deadlock: no mutex critical section in
+   this module blocks on a latch ([write_back] uses [try_shared]). *)
+let flush_pages t pids =
+  Sched.yield ();
+  let flush_one pid =
+    let frame =
+      Mutex.protect t.mu (fun () ->
+          match Hashtbl.find_opt t.frames pid with
+          | Some frame when frame.dirty ->
+            frame.pins <- frame.pins + 1;
+            Some frame
+          | Some _ | None -> None)
+    in
+    match frame with
+    | None -> () (* Not resident (write-back already happened) or clean. *)
+    | Some frame ->
+      Fun.protect
+        ~finally:(fun () -> Mutex.protect t.mu (fun () -> frame.pins <- frame.pins - 1))
+        (fun () ->
+          Latch.with_shared frame.latch (fun () ->
+              Mutex.protect t.mu (fun () ->
+                  if frame.dirty then begin
+                    Disk.write t.disk frame.pid frame.image;
+                    Obs.Counter.incr t.m.physical_writes;
+                    Obs.Counter.record g_physical_writes 1;
+                    let last = Obs.Gauge.get t.m.last_write in
+                    if frame.pid = last || frame.pid = last + 1 then
+                      Obs.Counter.incr t.m.seq_writes
+                    else Obs.Counter.incr t.m.rand_writes;
+                    Obs.Gauge.set t.m.last_write frame.pid;
+                    frame.dirty <- false
+                  end)))
+  in
+  List.iter flush_one (List.sort_uniq Int.compare pids)
+
 (* Pull evicted frames out of the retire bag once no pinned session epoch
    can still reach them.  The frames' byte buffers become garbage here
    (the OCaml GC frees them); what the epoch gate buys is the guarantee

@@ -128,6 +128,16 @@ val flush_all : t -> unit
     flush after page-ordered maintenance is one sequential sweep and the
     write order is deterministic. *)
 
+val flush_pages : t -> int list -> unit
+(** [flush_pages t pids] writes exactly the named pages back (ascending,
+    duplicates ignored); non-resident or clean pages are no-ops.  Unlike
+    {!flush_all} — whose sweep {e skips} a frame whose mutator is still
+    inside its exclusive latch — this call {e blocks} until each target
+    frame's mutator drains, so on return every named page is durably on
+    disk.  This is the per-partition durability point of the pipelined
+    maintenance path: a concurrent applier touching a shared boundary page
+    delays the flush briefly but can never cause it to be skipped. *)
+
 val stats : t -> stats
 (** Thin reads of the pool's metric cells (see [metrics_registry]). *)
 

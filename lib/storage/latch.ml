@@ -25,22 +25,45 @@ let create name =
     acquisitions = 0;
   }
 
-let self () = (Domain.self () :> int)
+module Sched = Vnl_util.Sched
+
+(* Under the deterministic scheduler every task is a fiber of one domain:
+   the holder identity must be the fiber, not the domain (two fibers are
+   two lock holders), and waiting must hand control back through
+   {!Sched.yield} — parking on the condvar would sleep the only domain
+   that could ever release the latch.  Fiber ids are offset out of the
+   domain-id range so the two namespaces cannot collide. *)
+let fiber_offset = 0x4000_0000
+
+let self () =
+  if Sched.driving () then fiber_offset + Sched.fiber () else (Domain.self () :> int)
 
 let acquire t =
   let me = self () in
-  Mutex.protect t.mu (fun () ->
-      (* Same-domain re-entry would self-deadlock on a real latch; keep the
-         historical discipline error instead of hanging. *)
-      if t.writer = me then
-        failwith (Printf.sprintf "Latch %s: re-entrant acquire" t.name);
-      t.writers_waiting <- t.writers_waiting + 1;
-      while t.writer >= 0 || t.readers > 0 do
-        Condition.wait t.cond t.mu
-      done;
-      t.writers_waiting <- t.writers_waiting - 1;
-      t.writer <- me;
-      t.acquisitions <- t.acquisitions + 1)
+  if Sched.driving () then begin
+    if t.writer = me then
+      failwith (Printf.sprintf "Latch %s: re-entrant acquire" t.name);
+    t.writers_waiting <- t.writers_waiting + 1;
+    while t.writer >= 0 || t.readers > 0 do
+      Sched.yield ()
+    done;
+    t.writers_waiting <- t.writers_waiting - 1;
+    t.writer <- me;
+    t.acquisitions <- t.acquisitions + 1
+  end
+  else
+    Mutex.protect t.mu (fun () ->
+        (* Same-domain re-entry would self-deadlock on a real latch; keep the
+           historical discipline error instead of hanging. *)
+        if t.writer = me then
+          failwith (Printf.sprintf "Latch %s: re-entrant acquire" t.name);
+        t.writers_waiting <- t.writers_waiting + 1;
+        while t.writer >= 0 || t.readers > 0 do
+          Condition.wait t.cond t.mu
+        done;
+        t.writers_waiting <- t.writers_waiting - 1;
+        t.writer <- me;
+        t.acquisitions <- t.acquisitions + 1)
 
 let release t =
   Mutex.protect t.mu (fun () ->
@@ -51,14 +74,24 @@ let release t =
 
 let acquire_shared t =
   let me = self () in
-  Mutex.protect t.mu (fun () ->
-      if t.writer = me then
-        failwith (Printf.sprintf "Latch %s: shared acquire under own exclusive" t.name);
-      while t.writer >= 0 || t.writers_waiting > 0 do
-        Condition.wait t.cond t.mu
-      done;
-      t.readers <- t.readers + 1;
-      t.acquisitions <- t.acquisitions + 1)
+  if Sched.driving () then begin
+    if t.writer = me then
+      failwith (Printf.sprintf "Latch %s: shared acquire under own exclusive" t.name);
+    while t.writer >= 0 || t.writers_waiting > 0 do
+      Sched.yield ()
+    done;
+    t.readers <- t.readers + 1;
+    t.acquisitions <- t.acquisitions + 1
+  end
+  else
+    Mutex.protect t.mu (fun () ->
+        if t.writer = me then
+          failwith (Printf.sprintf "Latch %s: shared acquire under own exclusive" t.name);
+        while t.writer >= 0 || t.writers_waiting > 0 do
+          Condition.wait t.cond t.mu
+        done;
+        t.readers <- t.readers + 1;
+        t.acquisitions <- t.acquisitions + 1)
 
 (* Non-blocking shared acquire: fails only on an active exclusive holder.
    Waiting writers are not a reason to refuse — the caller never blocks,

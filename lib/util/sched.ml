@@ -24,16 +24,26 @@ let active = ref false
 
 let yield () = if !active then Effect.perform Yield
 
+let driving () = !active
+
+(* Identity of the task currently being driven (its index in [run]'s task
+   list), -1 outside a schedule.  Latches use it to tell two fibers of the
+   same domain apart. *)
+let current = ref (-1)
+
+let fiber () = !current
+
 type pending = Start of (unit -> unit) | Resume of (unit, unit) Effect.Deep.continuation
 
 let run ~seed tasks =
   if !active then invalid_arg "Sched.run: a schedule is already being driven";
   let open Effect.Deep in
   let rng = Xorshift.create seed in
-  let runnable = ref (List.map (fun (name, f) -> (name, Start f)) tasks) in
+  let runnable = ref (List.mapi (fun id (name, f) -> (name, id, Start f)) tasks) in
   let steps = ref [] in
-  let enqueue name k = runnable := !runnable @ [ (name, Resume k) ] in
-  let step name p =
+  let enqueue name id k = runnable := !runnable @ [ (name, id, Resume k) ] in
+  let step name id p =
+    current := id;
     match p with
     | Resume k -> continue k ()
     | Start f ->
@@ -44,7 +54,7 @@ let run ~seed tasks =
           effc =
             (fun (type a) (eff : a Effect.t) ->
               match eff with
-              | Yield -> Some (fun (k : (a, unit) continuation) -> enqueue name k)
+              | Yield -> Some (fun (k : (a, unit) continuation) -> enqueue name id k)
               | _ -> None);
         }
   in
@@ -53,7 +63,7 @@ let run ~seed tasks =
      runs before the failure propagates. *)
   let discontinue_pending e =
     List.iter
-      (fun (_, p) ->
+      (fun (_, _, p) ->
         match p with
         | Resume k -> ( try discontinue k e with _ -> ())
         | Start _ -> ())
@@ -62,16 +72,18 @@ let run ~seed tasks =
   in
   active := true;
   Fun.protect
-    ~finally:(fun () -> active := false)
+    ~finally:(fun () ->
+      active := false;
+      current := -1)
     (fun () ->
       (try
          while !runnable <> [] do
            let n = List.length !runnable in
            let i = Xorshift.int rng n in
-           let name, p = List.nth !runnable i in
+           let name, id, p = List.nth !runnable i in
            runnable := List.filteri (fun j _ -> j <> i) !runnable;
            steps := name :: !steps;
-           step name p
+           step name id p
          done
        with e ->
          discontinue_pending e;

@@ -15,6 +15,17 @@ val yield : unit -> unit
 (** Explicit yield point.  Inside {!run}: suspend the current task and let
     the scheduler pick the next step.  Outside: no-op. *)
 
+val driving : unit -> bool
+(** True while {!run} is driving tasks on the current domain.  Spin loops
+    use this to suppress OS-level backoff (sleeps) under the deterministic
+    scheduler, where {!yield} already hands control to the peer task. *)
+
+val fiber : unit -> int
+(** Identity of the task {!run} is currently driving (its index in the
+    task list), or -1 outside a schedule.  Because every fiber shares one
+    domain, code that distinguishes lock holders by [Domain.self] must use
+    this instead while {!driving} — see {!Vnl_storage.Latch}. *)
+
 val run : seed:int -> (string * (unit -> unit)) list -> string list
 (** [run ~seed tasks] drives the named tasks to completion, interleaving
     them at yield points under a PRNG seeded with [seed].  Returns the

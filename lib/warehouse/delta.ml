@@ -9,40 +9,44 @@ type group_delta = {
   count_delta : int;
 }
 
-module Keymap = Map.Make (struct
+module Key_tbl = Hashtbl.Make (struct
   type t = Value.t list
 
-  let compare a b =
+  let equal a b =
     let rec loop xs ys =
       match (xs, ys) with
-      | [], [] -> 0
-      | [], _ -> -1
-      | _, [] -> 1
-      | x :: xs, y :: ys ->
-        let c = Value.compare x y in
-        if c <> 0 then c else loop xs ys
+      | [], [] -> true
+      | x :: xs, y :: ys -> Value.equal x y && loop xs ys
+      | _ -> false
     in
     loop a b
+
+  let hash (k : t) = Hashtbl.hash k
 end)
 
+(* One mutable accumulator per group, updated in place: netting a
+   warehouse-sized batch is the first pass of every refresh, and a
+   persistent map would rebuild a tree path (and allocate its spine) per
+   source change. *)
+type acc = { sums : Value.t array; mutable count : int }
+
 let net_group_deltas view changes =
-  let acc = ref Keymap.empty and order = ref [] in
-  let touch key f =
-    let current =
-      match Keymap.find_opt key !acc with
-      | Some entry -> entry
-      | None ->
-        order := key :: !order;
-        (View_def.zero_contribution view, 0)
-    in
-    acc := Keymap.add key (f current) !acc
-  in
+  let acc = Key_tbl.create 1024 and order = ref [] in
   let add_row sign row =
     let key = View_def.group_key view row in
     let contrib = View_def.contribution view row in
-    touch key (fun (sums, count) ->
-        let op = if sign > 0 then Value.add else Value.sub in
-        (List.map2 op sums contrib, count + sign))
+    let entry =
+      match Key_tbl.find_opt acc key with
+      | Some entry -> entry
+      | None ->
+        let entry = { sums = Array.of_list (View_def.zero_contribution view); count = 0 } in
+        Key_tbl.add acc key entry;
+        order := key :: !order;
+        entry
+    in
+    let op = if sign > 0 then Value.add else Value.sub in
+    List.iteri (fun i v -> entry.sums.(i) <- op entry.sums.(i) v) contrib;
+    entry.count <- entry.count + sign
   in
   List.iter
     (fun change ->
@@ -58,9 +62,9 @@ let net_group_deltas view changes =
   in
   List.rev !order
   |> List.filter_map (fun key ->
-         let sums, count = Keymap.find key !acc in
-         if count = 0 && List.for_all is_zero sums then None
-         else Some { key; agg_delta = sums; count_delta = count })
+         let { sums; count } = Key_tbl.find acc key in
+         if count = 0 && Array.for_all is_zero sums then None
+         else Some { key; agg_delta = Array.to_list sums; count_delta = count })
 
 let pp_change ppf = function
   | Insert t -> Format.fprintf ppf "insert %s" (String.concat "," (Tuple.to_strings t))

@@ -21,8 +21,11 @@ let apply_batch txn view changes =
   let agg_names = List.map fst (View_def.aggregates view) in
   let key_arity = List.length (View_def.group_by view) in
   let inserted = ref 0 and updated = ref 0 and deleted = ref 0 in
-  let deltas = Delta.net_group_deltas view changes in
+  let deltas =
+    Vnl_obs.Obs.with_span "summary.net_deltas" (fun () -> Delta.net_group_deltas view changes)
+  in
   let ops =
+    Vnl_obs.Obs.with_span "summary.classify" @@ fun () ->
     List.filter_map
       (fun { Delta.key; agg_delta; count_delta } ->
         match Twovnl.Txn.read_current txn ~table ~key with
@@ -58,6 +61,77 @@ let apply_batch txn view changes =
   in
   ignore (Twovnl.Txn.apply_batch txn ~table ops);
   { groups_inserted = !inserted; groups_updated = !updated; groups_deleted = !deleted }
+
+(* Classification without a transaction, for the pipelined refresh: the
+   same absent/adjust/drop-support decisions as [apply_batch], against raw
+   index probes ({!Vnl_query.Table.find_by_key}) whose results are kept
+   and replayed into the stripes' {!Batch.stage} — the serial path resolves
+   every key twice (once to classify, once inside [Batch.apply]); here the
+   round resolves each distinct key of the whole window once.  Must run
+   against the pre-round table state (before any stripe applies), which is
+   exactly when the pipeline driver needs the operation lists anyway. *)
+let plan_batch vnl view changes =
+  let module Table = Vnl_query.Table in
+  let module Schema_ext = Vnl_core.Schema_ext in
+  let module Maintenance = Vnl_core.Maintenance in
+  let h = Twovnl.handle_exn vnl (View_def.name view) in
+  let ext = Twovnl.ext h and table = Twovnl.table h in
+  let target = View_def.target_schema view in
+  let agg_names = List.map fst (View_def.aggregates view) in
+  let key_arity = List.length (View_def.group_by view) in
+  let inserted = ref 0 and updated = ref 0 and deleted = ref 0 in
+  let deltas =
+    Vnl_obs.Obs.with_span "summary.net_deltas" (fun () -> Delta.net_group_deltas view changes)
+  in
+  let found =
+    Vnl_obs.Obs.with_span "summary.resolve" (fun () ->
+        Array.of_list (List.map (fun d -> Table.find_by_key table d.Delta.key) deltas))
+  in
+  let ops =
+    Vnl_obs.Obs.with_span "summary.classify" @@ fun () ->
+    List.filter_map
+      (fun (i, { Delta.key; agg_delta; count_delta }) ->
+        let current =
+          match found.(i) with
+          | Some (_, tuple) when Maintenance.is_logically_live ext tuple ->
+            Some (Tuple.make target (Schema_ext.current_values ext tuple))
+          | Some _ | None -> None
+        in
+        match current with
+        | None ->
+          if count_delta < 0 then
+            invalid_arg "Summary.plan_batch: negative delta for absent group";
+          if count_delta > 0 then begin
+            incr inserted;
+            Some (Batch.Insert (Tuple.make target (key @ agg_delta)))
+          end
+          else None
+        | Some current ->
+          let old_aggs =
+            List.mapi (fun i _ -> Tuple.get current (key_arity + i)) agg_names
+          in
+          let new_aggs = List.map2 Value.add old_aggs agg_delta in
+          let support =
+            if View_def.has_count view then
+              match List.rev new_aggs with
+              | Value.Int c :: _ -> Some c
+              | _ -> invalid_arg "Summary.plan_batch: corrupt row_count"
+            else None
+          in
+          (match support with
+          | Some c when c <= 0 ->
+            incr deleted;
+            Some (Batch.Delete key)
+          | Some _ | None ->
+            incr updated;
+            let assignments = List.mapi (fun i v -> (key_arity + i, v)) new_aggs in
+            Some (Batch.Update (key, assignments))))
+      (List.mapi (fun i d -> (i, d)) deltas)
+  in
+  let resolve =
+    Batch.key_table_of_pairs (List.mapi (fun i d -> (d.Delta.key, found.(i))) deltas)
+  in
+  (ops, resolve, { groups_inserted = !inserted; groups_updated = !updated; groups_deleted = !deleted })
 
 let pp_outcome ppf o =
   Format.fprintf ppf "inserted=%d updated=%d deleted=%d" o.groups_inserted o.groups_updated

@@ -21,4 +21,22 @@ val apply_batch :
     deletion inference, or if a delta would drive an aggregate of an absent
     group (inconsistent source batch). *)
 
+val plan_batch :
+  Vnl_core.Twovnl.t ->
+  View_def.t ->
+  Delta.change list ->
+  Vnl_core.Batch.op list
+  * (Vnl_relation.Value.t list ->
+    (Vnl_storage.Heap_file.rid * Vnl_relation.Tuple.t) option)
+  * outcome
+(** Classify the batch's net group deltas against the view table's current
+    state {e without} applying anything: the same decisions as
+    {!apply_batch} (absent group → insert, present → aggregate adjust,
+    support to zero → delete), with the raw lookups kept.  Returns the
+    logical operation list for the pipelined refresh driver, a [resolve]
+    function replaying the pass's raw lookups (for {!Vnl_core.Batch.stage},
+    so the stripes do not resolve the same keys a second time), and the
+    would-be outcome.  Must be called outside any maintenance mutation (it reads
+    the pre-refresh state). *)
+
 val pp_outcome : Format.formatter -> outcome -> unit

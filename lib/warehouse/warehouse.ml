@@ -76,6 +76,30 @@ let refresh_with t extra =
 
 let refresh t = refresh_with t (fun _ -> ())
 
+(* Pipelined refresh: classify every view's queued batch in one batched
+   pass ({!Summary.plan_batch}), partition the operation lists, and drive
+   the round through {!Vnl_core.Pipeline} — k worker stripes, one VN each,
+   published in order under the same flag → data → catalog → publish
+   ladder as the serial path, held per stripe. *)
+let refresh_pipelined ?(workers = 2) t =
+  Vnl_obs.Obs.with_span "warehouse.refresh_pipelined" @@ fun () ->
+  let planned =
+    List.map
+      (fun (name, e) ->
+        let batch = List.rev e.queue in
+        e.queue <- [];
+        let ops, resolve, outcome = Summary.plan_batch t.vnl e.def batch in
+        (name, ops, resolve, outcome))
+      t.entries
+  in
+  let plan =
+    Vnl_core.Pipeline.plan t.vnl ~workers ~prenetted:true
+      ~resolvers:(List.map (fun (n, _, r, _) -> (n, r)) planned)
+      (List.map (fun (n, ops, _, _) -> (n, ops)) planned)
+  in
+  ignore (Vnl_core.Pipeline.run plan);
+  List.map (fun (_, _, _, o) -> o) planned
+
 let begin_session t = Twovnl.Session.begin_ t.vnl
 
 let end_session t s = Twovnl.Session.end_ t.vnl s

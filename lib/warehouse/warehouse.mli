@@ -49,6 +49,19 @@ val refresh_with : t -> (Vnl_core.Twovnl.Txn.m -> unit) -> Summary.outcome list
 (** Like {!refresh} but also runs the given extra maintenance work inside
     the same transaction (used by experiments to stretch transactions). *)
 
+val refresh_pipelined : ?workers:int -> t -> Summary.outcome list
+(** Propagate every queued batch as one pipelined round
+    ({!Vnl_core.Pipeline}): net deltas are classified in a single batched
+    index pass per view ({!Summary.plan_batch}), partitioned into
+    dependency-disjoint stripes (at most [workers], default 2, further
+    capped at n - 1), and applied by one worker domain per stripe with VNs
+    published strictly in order.  Readers run throughout; with the
+    warehouse created at [n >= workers + 1], sessions opened at round
+    begin stay valid across the whole round.  Same logical result as
+    {!refresh}; a crash at any write leaves a disk image
+    {!Vnl_core.Recovery.reopen} repairs to a VN-prefix boundary of the
+    round. *)
+
 val begin_session : t -> Vnl_core.Twovnl.Session.s
 
 val end_session : t -> Vnl_core.Twovnl.Session.s -> unit

@@ -204,6 +204,139 @@ let maintainer_loop vnl ~stop ~until_s ~rng ~days ~batch_size =
   Atomic.set stop true;
   !refreshes
 
+(* ------------------------------------------------------------------ *)
+(* Maintainer-side scaling: the serial warehouse refresh
+   ({!Vnl_warehouse.Warehouse.refresh} — per-group probes, one
+   transaction, full flushes) vs pipelined rounds
+   ({!Vnl_warehouse.Warehouse.refresh_pipelined} — batched
+   classification, k dependency-disjoint stripes, targeted flushes) over
+   a fixed number of identical pre-generated source batches (same seed =>
+   same batches at every k, so the comparison is fair).  Optional reader
+   domains run the Example 2.1 consistency pair throughout — the point of
+   pipelining under nVNL is that reader service never stops. *)
+
+type pipeline_config = {
+  workers : int;  (** 0 = serial {!Recovery.run_maintenance} baseline. *)
+  rounds : int;  (** Refresh rounds to drive (the measured work). *)
+  readers : int;  (** Concurrent reader domains (0 = none). *)
+  days : int;
+  batch_size : int;
+  n : int;  (** Version slots; pipelining wants n >= workers + 1. *)
+  pool_capacity : int;
+  queries_per_session : int;
+  seed : int;
+}
+
+let default_pipeline_config =
+  {
+    workers = 0;
+    rounds = 40;
+    readers = 0;
+    days = 4;
+    batch_size = 1000;
+    n = 2;
+    pool_capacity = 256;
+    queries_per_session = 8;
+    seed = 11;
+  }
+
+type pipeline_report = {
+  p_workers : int;
+  p_rounds : int;
+  p_elapsed_s : float;
+  p_refreshes_per_s : float;  (** Maintenance transactions (rounds) per second. *)
+  p_ops_per_s : float;  (** Logical operations propagated per second. *)
+  p_stripes : int;  (** Total stripes (published VNs) across all rounds. *)
+  p_reader_queries : int;
+  p_inconsistent : int;
+  p_expired : int;
+}
+
+let run_pipeline (config : pipeline_config) =
+  if config.rounds < 1 then invalid_arg "Parallel.run_pipeline: need at least one round";
+  let module Warehouse = Vnl_warehouse.Warehouse in
+  let module Delta = Vnl_warehouse.Delta in
+  let wh =
+    Warehouse.create ~n:config.n ~pool_capacity:config.pool_capacity
+      [ Sales_gen.daily_sales_view () ]
+  in
+  let vnl = Warehouse.vnl wh in
+  let rng = Xorshift.create config.seed in
+  Warehouse.queue_changes wh ~view:view_name
+    (Sales_gen.initial_load rng ~days:config.days ~sales_per_day:100);
+  ignore (Warehouse.refresh wh);
+  (* Pre-generate every round's source batch (insert-only: sales landing
+     in existing groups become view updates, fresh-day sales become view
+     inserts) so generation cost and content are identical across
+     configurations. *)
+  let batches =
+    Array.init config.rounds (fun i ->
+        List.init config.batch_size (fun _ ->
+            let day =
+              if Xorshift.chance rng 0.3 then config.days + i else Xorshift.int rng config.days
+            in
+            Delta.Insert (Sales_gen.gen_sale rng ~day)))
+  in
+  let vn0 = Vnl_core.Version_state.current_vn (Twovnl.version_state vnl) in
+  let stop = Atomic.make false in
+  let tallies =
+    Array.init (max 1 config.readers) (fun _ ->
+        { queries = 0; rows = 0; opened = 0; expirations = 0; bad = 0; latencies_ms = [] })
+  in
+  let rngs = Array.init (config.readers + 1) (fun i -> Xorshift.create (config.seed + 100 + i)) in
+  let elapsed = ref 0.0 in
+  (* Serial drains the backlog one refresh per batch — the classic
+     operating mode, one maintenance transaction each.  The pipelined
+     maintainer admits a window of up to [workers] queued batches per
+     round: the round nets the window's changes together (each hot group
+     written and flushed once instead of once per batch), partitions them
+     into key-disjoint stripes, and publishes one VN per stripe in order —
+     so readers see intermediate consistent states at the same granularity
+     serial refreshes would give them, which a single fat serial batch
+     cannot do. *)
+  let window = if config.workers < 1 then 1 else config.workers in
+  let maintain () =
+    let t0 = Unix.gettimeofday () in
+    let i = ref 0 in
+    while !i < config.rounds do
+      let w = min window (config.rounds - !i) in
+      for j = !i to !i + w - 1 do
+        Warehouse.queue_changes wh ~view:view_name batches.(j)
+      done;
+      if config.workers < 1 then ignore (Warehouse.refresh wh)
+      else ignore (Warehouse.refresh_pipelined ~workers:config.workers wh);
+      ignore (Warehouse.collect_garbage wh);
+      i := !i + w
+    done;
+    elapsed := Unix.gettimeofday () -. t0;
+    Atomic.set stop true
+  in
+  if config.readers < 1 then maintain ()
+  else
+    ignore
+      (Domain_pool.run ~domains:(config.readers + 1) (fun ~start rank ->
+           start ();
+           if rank = 0 then maintain ()
+           else
+             reader_loop vnl ~stop ~rng:rngs.(rank)
+               ~queries_per_session:config.queries_per_session
+               tallies.(rank - 1)));
+  let sum f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
+  {
+    p_workers = config.workers;
+    p_rounds = config.rounds;
+    p_elapsed_s = !elapsed;
+    p_refreshes_per_s =
+      (if !elapsed > 0.0 then float_of_int config.rounds /. !elapsed else 0.0);
+    p_ops_per_s =
+      (if !elapsed > 0.0 then float_of_int (config.rounds * config.batch_size) /. !elapsed
+       else 0.0);
+    p_stripes = Vnl_core.Version_state.current_vn (Twovnl.version_state vnl) - vn0;
+    p_reader_queries = sum (fun t -> t.queries);
+    p_inconsistent = sum (fun t -> t.bad);
+    p_expired = sum (fun t -> t.expirations);
+  }
+
 let run (config : config) =
   if config.readers < 1 then invalid_arg "Parallel.run: need at least one reader";
   let vnl = build ~config in

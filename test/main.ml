@@ -25,6 +25,8 @@ let () =
       ("recovery", Test_recovery.suite);
       ("faults", Test_faults.suite);
       ("obs", Test_obs.suite);
+      ("nvnl", Test_nvnl.suite);
+      ("pipeline", Test_pipeline.suite);
       ("parallel", Test_parallel.suite);
       ("parallel-stress", Test_parallel_stress.suite);
     ]

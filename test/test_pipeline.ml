@@ -1,0 +1,445 @@
+(* The pipelined maintenance round: partitioning laws, differential
+   equivalence against the serial reference schedule, deterministic
+   reader/worker interleavings against the full-history oracle, and the
+   crash-at-every-write sweep landing on a VN (stripe) boundary.
+
+   The serial reference for a round is {!Vnl_core.Pipeline.stripe_ops}:
+   applying stripe i's operations as one classic transaction committing at
+   vn_i, in stripe order.  Everything here is phrased against that
+   reference — the pipelined executor may only reorder what the reference
+   proves independent. *)
+
+module Value = Vnl_relation.Value
+module Tuple = Vnl_relation.Tuple
+module Database = Vnl_query.Database
+module Table = Vnl_query.Table
+module Disk = Vnl_storage.Disk
+module Twovnl = Vnl_core.Twovnl
+module Batch = Vnl_core.Batch
+module Sched_batch = Vnl_core.Sched_batch
+module Pipeline = Vnl_core.Pipeline
+module Recovery = Vnl_core.Recovery
+module Sched = Vnl_util.Sched
+module Xorshift = Vnl_util.Xorshift
+
+let check = Alcotest.check
+
+let table_name = "DailySales"
+
+let cities = [| "San Jose"; "Berkeley"; "Novato"; "Fresno"; "Reno"; "Tahoe" |]
+
+let key_of i day =
+  [
+    Value.Str cities.(i mod Array.length cities);
+    Value.Str "CA";
+    Value.Str (Printf.sprintf "line-%d" (i / Array.length cities));
+    Value.date_of_mdy 10 day 96;
+  ]
+
+let row_of key sales = Tuple.make Fixtures.daily_sales (key @ [ Value.Int sales ])
+
+let initial_keys = List.init 18 (fun i -> key_of i 13)
+
+let initial_rows = List.map (fun k -> row_of k 1000) initial_keys
+
+let build ?n () =
+  let db = Database.create ~pool_capacity:4 () in
+  let vnl = Twovnl.init db in
+  ignore (Twovnl.register_table vnl ?n ~name:table_name Fixtures.daily_sales);
+  Twovnl.load_initial vnl table_name initial_rows;
+  (db, vnl)
+
+(* A random batch with at most one op per key — the shape the pipeline
+   receives from net-effect classification.  Updates and deletes draw from
+   the initial keys, inserts take fresh day-20 keys. *)
+let gen_net_ops rng =
+  let shuffled = Array.of_list initial_keys in
+  Xorshift.shuffle rng shuffled;
+  let n_upd = 4 + Xorshift.int rng 8 in
+  let n_del = 1 + Xorshift.int rng 3 in
+  let ops = ref [] in
+  for i = 0 to n_upd - 1 do
+    ops := Batch.Update (shuffled.(i), [ (4, Value.Int (Xorshift.int rng 50_000)) ]) :: !ops
+  done;
+  for i = n_upd to n_upd + n_del - 1 do
+    ops := Batch.Delete shuffled.(i) :: !ops
+  done;
+  for i = 0 to 3 + Xorshift.int rng 6 do
+    ops := Batch.Insert (row_of (key_of i 20) (Xorshift.int rng 9_000)) :: !ops
+  done;
+  List.rev !ops
+
+let op_key = function
+  | Batch.Insert t -> Tuple.key_of Fixtures.daily_sales t
+  | Batch.Update (k, _) | Batch.Delete k -> k
+
+(* --- partitioning laws ------------------------------------------------ *)
+
+let qcheck_partition_laws =
+  QCheck.Test.make ~name:"partitions are key-disjoint, ordered, and complete" ~count:100
+    (QCheck.make
+       QCheck.Gen.(pair (int_range 1 1_000_000) (int_range 1 6))
+       ~print:(fun (s, p) -> Printf.sprintf "seed=%d max_parts=%d" s p))
+    (fun (seed, max_parts) ->
+      let _, vnl = build () in
+      let h = Twovnl.handle_exn vnl table_name in
+      let rng = Xorshift.create seed in
+      (* Duplicate some keys on purpose: the partitioner must keep every
+         key's ops together and in order even when the batch is not net. *)
+      let base = gen_net_ops rng in
+      let dups =
+        List.filter_map
+          (fun op ->
+            match op with
+            | Batch.Update (k, _) when Xorshift.bool rng ->
+              Some (Batch.Update (k, [ (4, Value.Int (Xorshift.int rng 99)) ]))
+            | _ -> None)
+          base
+      in
+      let ops = base @ dups in
+      let parts = Sched_batch.partition (Twovnl.ext h) (Twovnl.table h) ~max_parts ops in
+      (* Bounded. *)
+      List.length parts <= max_parts
+      (* Complete and order-preserving: each partition is a subsequence,
+         and together they tile the batch. *)
+      && List.concat_map (fun p -> p.Sched_batch.ops) parts
+         |> List.for_all (fun op -> List.memq op ops)
+      && List.length (List.concat_map (fun p -> p.Sched_batch.ops) parts) = List.length ops
+      && List.for_all
+           (fun p ->
+             let rec subseq xs ys =
+               match (xs, ys) with
+               | [], _ -> true
+               | _, [] -> false
+               | x :: xs', y :: ys' -> if x == y then subseq xs' ys' else subseq xs ys'
+             in
+             subseq p.Sched_batch.ops ops)
+           parts
+      (* Key-disjoint. *)
+      && (let seen = Hashtbl.create 64 in
+          List.for_all
+            (fun (i, p) ->
+              List.for_all
+                (fun op ->
+                  let k = op_key op in
+                  match Hashtbl.find_opt seen k with
+                  | Some j -> j = i
+                  | None ->
+                    Hashtbl.add seen k i;
+                    true)
+                p.Sched_batch.ops)
+            (List.mapi (fun i p -> (i, p)) parts))
+      (* Counts are truthful. *)
+      && List.for_all
+           (fun p ->
+             p.Sched_batch.op_count = List.length p.Sched_batch.ops
+             && p.Sched_batch.key_count
+                = List.length
+                    (List.sort_uniq compare (List.map op_key p.Sched_batch.ops)))
+           parts)
+
+(* A secondary index is a shared structure: updates assigning an indexed
+   attribute from different seed buckets must collapse into one partition,
+   and structural ops touch every index.  With an index on total_sales,
+   every operation of this batch shares a footprint — the partitioner must
+   refuse to split it no matter how many workers ask. *)
+let test_secondary_index_forces_merge () =
+  let _, vnl = build () in
+  let h = Twovnl.handle_exn vnl table_name in
+  let ops =
+    List.init 12 (fun i -> Batch.Update (key_of i 13, [ (4, Value.Int (100 + i)) ]))
+  in
+  let before = Sched_batch.partition (Twovnl.ext h) (Twovnl.table h) ~max_parts:4 ops in
+  Alcotest.(check bool) "without the index the batch splits" true (List.length before > 1);
+  Table.create_index (Twovnl.table h) ~name:"by_sales" [ "total_sales" ];
+  let after = Sched_batch.partition (Twovnl.ext h) (Twovnl.table h) ~max_parts:4 ops in
+  check Alcotest.int "the shared index footprint merges every partition" 1 (List.length after);
+  (* Mixed batch: inserts enter every index, so they too glue partitions. *)
+  let mixed = Batch.Insert (row_of (key_of 0 20) 5) :: List.tl ops in
+  let merged = Sched_batch.partition (Twovnl.ext h) (Twovnl.table h) ~max_parts:4 mixed in
+  check Alcotest.int "structural ops share every index footprint" 1 (List.length merged)
+
+(* --- differential equivalence ----------------------------------------- *)
+
+let visible vnl =
+  let s = Twovnl.Session.begin_ vnl in
+  let rows = Twovnl.Session.read_table vnl s table_name in
+  Twovnl.Session.end_ vnl s;
+  List.sort Tuple.compare rows
+
+(* Parse a saved image's catalog header: text length, live content pages,
+   spare (retired generation) pages. *)
+let catalog_of disk =
+  let raw = Bytes.to_string (Disk.read disk 0) in
+  let first, rest =
+    match String.split_on_char '\n' raw with
+    | first :: rest -> (first, rest)
+    | [] -> Alcotest.fail "empty catalog header"
+  in
+  let length, live =
+    match String.split_on_char ' ' first with
+    | _magic :: len :: pids -> (int_of_string len, List.filter_map int_of_string_opt pids)
+    | _ -> Alcotest.fail "bad catalog header"
+  in
+  let spare =
+    match rest with
+    | line :: _ when String.length line >= 5 && String.sub line 0 5 = "spare" ->
+      List.filter_map int_of_string_opt
+        (String.split_on_char ' ' (String.sub line 5 (String.length line - 5)))
+    | _ -> []
+  in
+  let buf = Buffer.create length in
+  List.iter
+    (fun pid ->
+      let img = Disk.read disk pid in
+      Buffer.add_subbytes buf img 0 (min (Bytes.length img) (length - Buffer.length buf)))
+    live;
+  (Buffer.contents buf, List.sort_uniq compare (0 :: live @ spare))
+
+(* Byte identity modulo the catalog's double buffering: the two schedules
+   save the catalog a different number of times (the serial path saves per
+   transaction, a pipelined stripe only when its heap grew), so which of
+   the two generations is "live" is schedule-dependent by design.  The
+   live catalog text must still be equal, and every page outside the
+   catalog set — heap data and the Version page — byte-identical. *)
+let check_bytes_identical ctx db_a db_b =
+  Database.save db_a;
+  Database.save db_b;
+  let da = Database.disk db_a and db' = Database.disk db_b in
+  check Alcotest.int (ctx ^ ": page counts") (Disk.page_count da) (Disk.page_count db');
+  let cat_a, meta_a = catalog_of da in
+  let cat_b, meta_b = catalog_of db' in
+  check Alcotest.string (ctx ^ ": catalog text") cat_b cat_a;
+  check (Alcotest.list Alcotest.int) (ctx ^ ": catalog page set") meta_b meta_a;
+  for pid = 0 to Disk.page_count da - 1 do
+    if (not (List.mem pid meta_a)) && not (Bytes.equal (Disk.read da pid) (Disk.read db' pid))
+    then Alcotest.fail (Printf.sprintf "%s: page %d bytes differ" ctx pid)
+  done
+
+(* The pipelined round against its own serial reference schedule: the same
+   stripes applied as classic one-VN transactions, in order, on a twin
+   warehouse.  Slot assignment, version stamps, page images — everything
+   must come out byte-identical. *)
+let run_differential ~workers seed =
+  let db_p, vnl_p = build ~n:(workers + 1) () in
+  let db_s, vnl_s = build ~n:(workers + 1) () in
+  let ops = gen_net_ops (Xorshift.create seed) in
+  let plan = Pipeline.plan vnl_p ~workers [ (table_name, ops) ] in
+  let reference = Pipeline.stripe_ops plan in
+  let report = Pipeline.run plan in
+  check Alcotest.int "every stripe published" report.Pipeline.stripes
+    (List.length reference);
+  List.iter
+    (fun (vn, per_table) ->
+      ignore
+        (Recovery.run_maintenance db_s vnl_s (fun txn ->
+             check Alcotest.int "reference txn lands at the stripe's vn" vn
+               (Twovnl.Txn.vn txn);
+             List.iter
+               (fun (name, ops) -> ignore (Twovnl.Txn.apply_batch txn ~table:name ops))
+               per_table)))
+    reference;
+  Alcotest.(check bool) "reader-visible states agree" true
+    (List.equal Tuple.equal (visible vnl_p) (visible vnl_s));
+  check_bytes_identical (Printf.sprintf "workers=%d seed=%d" workers seed) db_p db_s
+
+let test_differential_single_stripe () = run_differential ~workers:1 7
+
+let test_differential_multi_stripe () =
+  List.iter (fun seed -> run_differential ~workers:3 seed) [ 1; 2; 42 ]
+
+let qcheck_pipelined_equals_serial =
+  QCheck.Test.make ~name:"pipelined round byte-identical to serial stripe replay" ~count:25
+    (QCheck.make
+       QCheck.Gen.(pair (int_range 1 1_000_000) (int_range 2 4))
+       ~print:(fun (s, w) -> Printf.sprintf "seed=%d workers=%d" s w))
+    (fun (seed, workers) ->
+      run_differential ~workers seed;
+      true)
+
+(* --- deterministic interleavings with readers ------------------------- *)
+
+let sum_rows rows =
+  List.fold_left
+    (fun acc t -> match Tuple.get t 4 with Value.Int n -> acc + n | _ -> acc)
+    0 rows
+
+let oracle_op = function
+  | Batch.Insert t -> Oracle.Ins t
+  | Batch.Update (k, a) -> Oracle.Upd (k, a)
+  | Batch.Delete k -> Oracle.Del k
+
+(* Workers and readers as fibers of the deterministic scheduler: every
+   interleaving the seed picks must show each reader exactly its session's
+   oracle state, no matter where between stripe publishes it looks. *)
+let scheduled_round ~data_seed ~sched_seed ~workers =
+  let _, vnl = build ~n:(workers + 1) () in
+  let oracle = Oracle.create Fixtures.daily_sales in
+  Oracle.apply_txn oracle ~vn:1 (List.map (fun t -> Oracle.Ins t) initial_rows);
+  let ops = gen_net_ops (Xorshift.create data_seed) in
+  let plan = Pipeline.plan vnl ~workers [ (table_name, ops) ] in
+  List.iter
+    (fun (vn, per_table) ->
+      List.iter
+        (fun (_, ops) -> Oracle.apply_txn oracle ~vn (List.map oracle_op ops))
+        per_table)
+    (Pipeline.stripe_ops plan);
+  let reader name =
+    ( name,
+      fun () ->
+        for _ = 1 to 3 do
+          let s = Twovnl.Session.begin_ vnl in
+          (try
+             let rows = Twovnl.Session.read_table vnl s table_name in
+             let expected = Oracle.visible oracle ~vn:(Twovnl.Session.vn s) in
+             if not (Oracle.equal_views rows expected) then
+               Alcotest.failf "%s at vn %d saw %d rows, oracle has %d" name
+                 (Twovnl.Session.vn s) (List.length rows) (List.length expected);
+             if sum_rows rows <> sum_rows expected then
+               Alcotest.failf "%s at vn %d sum mismatch" name (Twovnl.Session.vn s)
+           with Twovnl.Expired _ -> ());
+          Twovnl.Session.end_ vnl s;
+          Sched.yield ()
+        done )
+  in
+  let trace =
+    Sched.run ~seed:sched_seed (Pipeline.tasks plan @ [ reader "reader-1"; reader "reader-2" ])
+  in
+  let report = Pipeline.finish plan in
+  check Alcotest.int "all stripes published" (Pipeline.stripe_count plan)
+    report.Pipeline.stripes;
+  let final = Oracle.visible oracle ~vn:(report.Pipeline.base_vn + report.Pipeline.stripes) in
+  Alcotest.(check bool) "final state equals oracle" true
+    (Oracle.equal_views (visible vnl) final);
+  trace
+
+let test_scheduled_interleavings () =
+  for sched_seed = 1 to 10 do
+    ignore (scheduled_round ~data_seed:42 ~sched_seed ~workers:3)
+  done
+
+let test_scheduled_workloads () =
+  List.iter
+    (fun data_seed -> ignore (scheduled_round ~data_seed ~sched_seed:5 ~workers:2))
+    [ 3; 17; 99 ]
+
+let test_scheduled_deterministic () =
+  let t1 = scheduled_round ~data_seed:42 ~sched_seed:9 ~workers:3 in
+  let t2 = scheduled_round ~data_seed:42 ~sched_seed:9 ~workers:3 in
+  check (Alcotest.list Alcotest.string) "same seed, same schedule" t1 t2
+
+(* A session opened at round begin outlives the whole round at n = k + 1
+   (the plan caps stripes accordingly), and keeps reading the pre-round
+   state while stripes publish past it. *)
+let test_session_survives_round () =
+  let _, vnl = build ~n:4 () in
+  let pre = visible vnl in
+  let s = Twovnl.Session.begin_ vnl in
+  let ops = gen_net_ops (Xorshift.create 11) in
+  let plan = Pipeline.plan vnl ~workers:3 [ (table_name, ops) ] in
+  let report = Pipeline.run plan in
+  check Alcotest.int "round used every slot n - 1 allows" 3 report.Pipeline.stripes;
+  Alcotest.(check bool) "round-begin session survives the round" true
+    (Twovnl.Session.is_valid vnl s);
+  Alcotest.(check bool) "and still reads the pre-round state" true
+    (List.equal Tuple.equal pre
+       (List.sort Tuple.compare (Twovnl.Session.read_table vnl s table_name)));
+  Twovnl.Session.end_ vnl s
+
+(* --- crash sweep: every crash lands on a stripe boundary -------------- *)
+
+let tables = [ (table_name, Fixtures.daily_sales) ]
+
+(* Build a cleanly saved base image holding the initial rows. *)
+let build_base () =
+  let db = Database.create ~pool_capacity:4 () in
+  let vnl = Twovnl.init db in
+  ignore (Twovnl.register_table vnl ~n:4 ~name:table_name Fixtures.daily_sales);
+  Twovnl.load_initial vnl table_name initial_rows;
+  Database.save db;
+  Database.disk db
+
+let reopen disk = Recovery.reopen ~pool_capacity:4 ~n:4 disk ~tables
+
+let run_pipelined_round vnl ops ~workers =
+  let plan = Pipeline.plan vnl ~workers [ (table_name, ops) ] in
+  (Pipeline.stripe_ops plan, Pipeline.run plan)
+
+(* Crash at every physical write of a pipelined round; §7 adapted to
+   rounds: recovery must land exactly on a published-VN prefix — the state
+   after stripes 0..j for some j (j = -1 is the pre-round state), never a
+   mixture of two stripes. *)
+let test_crash_sweep_lands_on_stripe_boundary () =
+  let base = build_base () in
+  let workers = 3 in
+  let ops = gen_net_ops (Xorshift.create 23) in
+  (* Fault-free dry run: write count plus each stripe-prefix state, taken
+     by replaying the reference schedule one stripe at a time. *)
+  let reference, writes =
+    let d = Disk.clone base in
+    let vnl, out = reopen d in
+    Alcotest.(check bool) "clean image needs no repair" false out.Recovery.interrupted;
+    Disk.reset_stats d;
+    let reference, _ = run_pipelined_round vnl ops ~workers in
+    (reference, (Disk.stats d).Disk.writes)
+  in
+  let prefixes =
+    let d = Disk.clone base in
+    let vnl, _ = reopen d in
+    let states = ref [ visible vnl ] in
+    List.iter
+      (fun (_, per_table) ->
+        let m = Twovnl.Txn.begin_ vnl in
+        List.iter
+          (fun (name, ops) -> ignore (Twovnl.Txn.apply_batch m ~table:name ops))
+          per_table;
+        Twovnl.Txn.commit m;
+        states := visible vnl :: !states)
+      reference;
+    List.rev !states
+  in
+  check Alcotest.int "round split into multiple stripes"
+    (List.length reference + 1) (List.length prefixes);
+  Alcotest.(check bool) "protocol writes enough to sweep" true (writes > 5);
+  let hit = Array.make (List.length prefixes) 0 in
+  for k = 1 to writes do
+    let d = Disk.clone base in
+    let vnl, _ = reopen d in
+    Disk.set_faults d { Disk.no_faults with Disk.crash_at_write = Some k };
+    (try
+       ignore (run_pipelined_round vnl ops ~workers);
+       Alcotest.failf "crash point %d did not fire" k
+     with Disk.Crash _ -> ());
+    Disk.clear_faults d;
+    let vnl2, _ = reopen d in
+    let state = visible vnl2 in
+    (match List.find_index (fun p -> List.equal Tuple.equal p state) prefixes with
+    | Some j -> hit.(j) <- hit.(j) + 1
+    | None ->
+      Alcotest.failf "crash at write %d recovered to a state on no stripe boundary" k)
+  done;
+  (* The sweep must actually exercise more than one boundary. *)
+  Alcotest.(check bool) "several distinct boundaries were hit" true
+    (Array.fold_left (fun acc c -> acc + min c 1) 0 hit >= 2)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_partition_laws;
+    Alcotest.test_case "secondary-index footprint forces partition merge" `Quick
+      test_secondary_index_forces_merge;
+    Alcotest.test_case "single-stripe round equals serial transaction" `Quick
+      test_differential_single_stripe;
+    Alcotest.test_case "multi-stripe round equals serial stripe replay" `Quick
+      test_differential_multi_stripe;
+    QCheck_alcotest.to_alcotest qcheck_pipelined_equals_serial;
+    Alcotest.test_case "scheduled interleavings keep readers on the oracle" `Quick
+      test_scheduled_interleavings;
+    Alcotest.test_case "scheduled interleavings across workloads" `Quick
+      test_scheduled_workloads;
+    Alcotest.test_case "scheduled round is deterministic per seed" `Quick
+      test_scheduled_deterministic;
+    Alcotest.test_case "round-begin session survives a full round (n = k+1)" `Quick
+      test_session_survives_round;
+    Alcotest.test_case "crash sweep lands on a stripe boundary" `Quick
+      test_crash_sweep_lands_on_stripe_boundary;
+  ]
