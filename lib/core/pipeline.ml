@@ -15,6 +15,11 @@ let m_rounds = Obs.Registry.counter "pipeline.rounds"
 
 let m_stripes = Obs.Registry.counter "pipeline.stripes"
 
+(* Round.abort itself failing while handling a primary failure: the
+   primary exception still propagates, but the repair did not land — the
+   warehouse may need a reopen.  Loud in the log, countable here. *)
+let m_abort_failures = Obs.Registry.counter "pipeline.abort_failures"
+
 (* Load imbalance across a round's stripes: largest stripe's operation
    count over the mean.  1.0 is a perfectly even split; a heavy tail here
    means partition merging (shared keys or index footprints) is
@@ -35,7 +40,13 @@ type stripe = {
 type resolver =
   Vnl_relation.Value.t list -> (Heap_file.rid * Vnl_relation.Tuple.t) option
 
+type phase = [ `Fold | `Apply | `Token ]
+
 type plan = {
+  on_phase : (phase -> stripe:int -> unit) option;
+      (** Deterministic fault-injection hook: called at the start of every
+          stripe phase; raising aborts the round exactly as a worker
+          failure at that point would. *)
   owner : Twovnl.t;
   round : Twovnl.Round.r;
   stripes : stripe array;
@@ -70,7 +81,23 @@ let min_n t =
   List.fold_left (fun acc h -> min acc (Schema_ext.n (Twovnl.ext h))) max_int (Twovnl.handles t)
   |> fun n -> if n = max_int then 2 else n
 
-let plan ?(resolvers = []) ?(prenetted = false) t ~workers per_table =
+(* Abort the round's unpublished suffix on behalf of a failure we are
+   about to re-raise.  The abort's own failure must stay subordinate to
+   the primary error — but not silently ([m_abort_failures] + log), and
+   never by swallowing an asynchronous fatal ([Out_of_memory] /
+   [Stack_overflow]), which would hide that the process heap is gone. *)
+let abort_subordinate ?(save = false) t round context =
+  try
+    ignore (Twovnl.Round.abort round);
+    if save then Database.save (Twovnl.database t)
+  with
+  | (Out_of_memory | Stack_overflow) as fatal -> raise fatal
+  | secondary ->
+    Obs.Counter.record m_abort_failures 1;
+    Log.err (fun m ->
+        m "round abort failed while handling %s: %s" context (Printexc.to_string secondary))
+
+let plan ?on_phase ?(resolvers = []) ?(prenetted = false) t ~workers per_table =
   if workers < 1 then invalid_arg "Pipeline.plan: workers must be >= 1";
   Obs.with_span "pipeline.plan" @@ fun () ->
   let handles = List.map (fun (name, ops) -> (Twovnl.handle_exn t name, ops)) per_table in
@@ -115,7 +142,7 @@ let plan ?(resolvers = []) ?(prenetted = false) t ~workers per_table =
      tuple. *)
   (try Obs.with_span "maintenance.flag" (fun () -> Database.save (Twovnl.database t))
    with e ->
-     (try ignore (Twovnl.Round.abort round) with _ -> ());
+     abort_subordinate t round "the flag save";
      raise e);
   let stripes =
     Array.init count (fun i ->
@@ -129,6 +156,7 @@ let plan ?(resolvers = []) ?(prenetted = false) t ~workers per_table =
         (Twovnl.Round.vn round 0)
         (Twovnl.Round.vn round (count - 1)));
   {
+    on_phase;
     owner = t;
     round;
     stripes;
@@ -156,6 +184,11 @@ let stripe_ops (p : plan) =
        p.stripes)
 
 let failed (p : plan) = Option.is_some (Atomic.get p.failure)
+
+let published (p : plan) = Atomic.get p.published
+
+let enter_phase (p : plan) phase i =
+  match p.on_phase with None -> () | Some f -> f phase ~stripe:i
 
 (* Advance a progress atomic and wake every parked waiter.  The update
    happens under [mu] so a waiter cannot re-check its predicate between
@@ -190,6 +223,7 @@ let pages_of rids = List.map (fun (r : Heap_file.rid) -> r.Heap_file.page) rids
       save when a heap grew, VN publish, flush of the Version page. *)
 let fold_stripe (p : plan) i =
   let stripe = p.stripes.(i) in
+  enter_phase p `Fold i;
   Obs.with_span "pipeline.fold" (fun () ->
       stripe.staged <-
         List.map
@@ -210,6 +244,7 @@ let fold_stripe (p : plan) i =
 
 let apply_stripe (p : plan) i =
   let stripe = p.stripes.(i) in
+  enter_phase p `Apply i;
   Obs.with_span "pipeline.apply" (fun () ->
       List.concat_map
         (fun (h, s) -> pages_of (Batch.apply_updates ~stats:stripe.stats (Twovnl.table h) s))
@@ -217,6 +252,7 @@ let apply_stripe (p : plan) i =
 
 let token_stripe (p : plan) i update_pages =
   let stripe = p.stripes.(i) in
+  enter_phase p `Token i;
   let t = p.owner in
   let db = Twovnl.database t in
   let pool = Database.pool db in
@@ -337,10 +373,7 @@ let finish (p : plan) =
       (* Live failure: revert the unpublished suffix (the published prefix
          is exactly what a shorter round would have committed) and make the
          repair durable so a later crash cannot resurrect the stamps. *)
-      (try
-         ignore (Twovnl.Round.abort p.round);
-         Database.save (Twovnl.database p.owner)
-       with _ -> ()));
+      abort_subordinate ~save:true p.owner p.round "a worker failure");
     raise e
   | None ->
     if Atomic.get p.published <> Array.length p.stripes then

@@ -49,7 +49,11 @@ type resolver =
   Vnl_relation.Value.t list ->
   (Vnl_storage.Heap_file.rid * Vnl_relation.Tuple.t) option
 
+type phase = [ `Fold | `Apply | `Token ]
+(** A stripe worker's three phases, in execution order. *)
+
 val plan :
+  ?on_phase:(phase -> stripe:int -> unit) ->
   ?resolvers:(string * resolver) list ->
   ?prenetted:bool ->
   Twovnl.t ->
@@ -65,9 +69,20 @@ val plan :
     operation per key ({!Batch.stage}).  Raises [Invalid_argument] when
     [workers < 1], a relation is unregistered, or maintenance is already
     active; if beginning the round fails after the flag write, the round
-    is aborted before the exception escapes. *)
+    is aborted before the exception escapes.
+
+    [on_phase], when given, is invoked at the start of every stripe phase
+    (fold, apply, token — before any of that phase's work).  It exists for
+    deterministic fault injection: raising from the hook aborts the round
+    exactly as a worker failure at that point would, which is how the
+    abort/requeue tests sweep every failure point of a round. *)
 
 val stripe_count : plan -> int
+
+val published : plan -> int
+(** Stripes published so far (the committed prefix).  After a failed
+    {!run} this tells the caller exactly which prefix of {!stripe_ops}
+    landed — the unpublished suffix was reverted by the abort. *)
 
 val stripe_ops : plan -> (int * (string * Batch.op list) list) list
 (** Each stripe's (vn, per-relation operations) — the serial reference
@@ -83,7 +98,10 @@ val tasks : plan -> (string * (unit -> unit)) list
 
 val finish : plan -> report
 (** Join the round: re-raise a worker failure (after reverting the
-    unpublished suffix), or return the report. *)
+    unpublished suffix), or return the report.  If the revert itself fails
+    the primary exception still propagates; the secondary failure is
+    logged and counted ([pipeline.abort_failures]) — except asynchronous
+    fatals ([Out_of_memory], [Stack_overflow]), which take precedence. *)
 
 val run : plan -> report
 (** Execute the round on [stripe_count] domains

@@ -296,6 +296,28 @@ module Session = struct
      once, never yanking a pin a later session acquired in the same slot. *)
   let end_ _t s = if not (Atomic.exchange s.closed true) then Epoch.unpin s.slot
 
+  (* Cross-shard snapshot vector: one session per warehouse instance, each
+     pinned under its own epoch.  There is no global clock to agree on —
+     consistency of the vector means each component is a consistent
+     snapshot of its shard and stays readable for the reader's lifetime,
+     which each epoch pin guarantees independently.  If a later begin
+     fails (a shard mid-crash), the earlier pins are released before the
+     exception escapes so no GC horizon is held hostage. *)
+  let begin_vector ts =
+    let opened = ref [] in
+    (try List.iter (fun t -> opened := (t, begin_ t) :: !opened) ts
+     with e ->
+       List.iter (fun (t, s) -> end_ t s) !opened;
+       raise e);
+    List.rev_map snd !opened
+
+  let end_vector ts sessions =
+    if List.compare_lengths ts sessions <> 0 then
+      invalid_arg "Twovnl.Session.end_vector: length mismatch";
+    List.iter2 end_ ts sessions
+
+  let vn_vector sessions = List.map vn sessions
+
   let expired t s =
     Obs.Counter.record m_sessions_expired 1;
     Log.info (fun m ->

@@ -28,7 +28,14 @@ end)
    warehouse-sized batch is the first pass of every refresh, and a
    persistent map would rebuild a tree path (and allocate its spine) per
    source change. *)
-type acc = { sums : Value.t array; mutable count : int }
+type acc = { sums : Value.t array; mags : float array; mutable count : int }
+
+(* Relative tolerance for float cancellation residues.  A group whose rows
+   net to nothing still accumulates rounding error proportional to the
+   magnitudes summed ((0.1 +. 0.2) -. 0.3 <> 0.), so "zero" for a float
+   sum is judged against the running sum of |contribution|, not
+   absolutely. *)
+let residue_eps = 1e-12
 
 let net_group_deltas view changes =
   let acc = Key_tbl.create 1024 and order = ref [] in
@@ -39,13 +46,20 @@ let net_group_deltas view changes =
       match Key_tbl.find_opt acc key with
       | Some entry -> entry
       | None ->
-        let entry = { sums = Array.of_list (View_def.zero_contribution view); count = 0 } in
+        let zeros = Array.of_list (View_def.zero_contribution view) in
+        let entry = { sums = zeros; mags = Array.make (Array.length zeros) 0.; count = 0 } in
         Key_tbl.add acc key entry;
         order := key :: !order;
         entry
     in
     let op = if sign > 0 then Value.add else Value.sub in
-    List.iteri (fun i v -> entry.sums.(i) <- op entry.sums.(i) v) contrib;
+    List.iteri
+      (fun i v ->
+        entry.sums.(i) <- op entry.sums.(i) v;
+        match v with
+        | Value.Float f -> entry.mags.(i) <- entry.mags.(i) +. Float.abs f
+        | _ -> ())
+      contrib;
     entry.count <- entry.count + sign
   in
   List.iter
@@ -62,7 +76,20 @@ let net_group_deltas view changes =
   in
   List.rev !order
   |> List.filter_map (fun key ->
-         let { sums; count } = Key_tbl.find acc key in
+         let { sums; mags; count } = Key_tbl.find acc key in
+         (* A count-0 group's rows cancelled exactly; any float sum left is
+            rounding residue.  Clean residues within tolerance so the group
+            drops out as the phantom delta it is, instead of surviving to
+            smear epsilon onto (or no-op against) a target the round never
+            logically touched. *)
+         if count = 0 then
+           Array.iteri
+             (fun i v ->
+               match v with
+               | Value.Float f when Float.abs f <= residue_eps *. mags.(i) ->
+                 sums.(i) <- Value.Float 0.0
+               | _ -> ())
+             sums;
          if count = 0 && Array.for_all is_zero sums then None
          else Some { key; agg_delta = Array.to_list sums; count_delta = count })
 

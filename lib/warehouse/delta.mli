@@ -20,7 +20,12 @@ type group_delta = {
 
 val net_group_deltas : View_def.t -> change list -> group_delta list
 (** Net per-group deltas of a batch, in first-touched order.  Groups whose
-    net delta is entirely zero (including count) are dropped. *)
+    net delta is entirely zero (including count) are dropped.  A group
+    whose [count_delta] is 0 had its rows cancel exactly, so float sums
+    within a relative tolerance of the accumulated magnitude (e.g. the
+    [(0.1 +. 0.2) -. 0.3] cancellation residue) are cleaned to zero first
+    — without this the phantom delta survives netting and smears epsilon
+    onto groups the batch never logically changed. *)
 
 val pp_change : Format.formatter -> change -> unit
 

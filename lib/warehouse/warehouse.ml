@@ -1,58 +1,70 @@
 module Twovnl = Vnl_core.Twovnl
 module Database = Vnl_query.Database
+module Pipeline = Vnl_core.Pipeline
+module Batch = Vnl_core.Batch
+module Tuple = Vnl_relation.Tuple
+module Value = Vnl_relation.Value
 
 type entry = {
   def : View_def.t;
   source : Source.t;
   mutable queue : Delta.change list;  (** Reverse order. *)
+  mutable queue_len : int;
+      (** Maintained alongside [queue] so {!pending} is O(1) — the sharded
+          facade polls every shard's every view per drain decision. *)
 }
 
 type t = {
   vnl : Twovnl.t;
   db : Database.t;
-  entries : (string * entry) list;
+  entries : (string, entry) Hashtbl.t;
+  order : string list;  (** View names in registration order. *)
 }
 
 let create ?n ?page_size ?pool_capacity defs =
   let db = Database.create ?page_size ?pool_capacity () in
   let vnl = Twovnl.init db in
-  let entries =
-    List.map
-      (fun def ->
-        ignore
-          (Twovnl.register_table vnl ?n ~name:(View_def.name def)
-             (View_def.target_schema def));
-        (View_def.name def, { def; source = Source.create (View_def.source def); queue = [] }))
-      defs
-  in
-  { vnl; db; entries }
+  let entries = Hashtbl.create (max 8 (List.length defs)) in
+  List.iter
+    (fun def ->
+      ignore
+        (Twovnl.register_table vnl ?n ~name:(View_def.name def)
+           (View_def.target_schema def));
+      Hashtbl.replace entries (View_def.name def)
+        { def; source = Source.create (View_def.source def); queue = []; queue_len = 0 })
+    defs;
+  { vnl; db; entries; order = List.map View_def.name defs }
 
 let vnl t = t.vnl
 
 let database t = t.db
 
 let entry t name =
-  match List.assoc_opt name t.entries with
+  match Hashtbl.find_opt t.entries name with
   | Some e -> e
   | None -> failwith (Printf.sprintf "Warehouse: unknown view %S" name)
 
 let view t name = (entry t name).def
 
-let views t = List.map (fun (_, e) -> e.def) t.entries
+let views t = List.map (fun name -> (entry t name).def) t.order
 
 let source t name = (entry t name).source
 
 let queue_changes t ~view changes =
   let e = entry t view in
   Source.apply e.source changes;
-  e.queue <- List.rev_append changes e.queue
+  e.queue <- List.rev_append changes e.queue;
+  e.queue_len <- e.queue_len + List.length changes
 
-let pending t ~view = List.length (entry t view).queue
+let pending t ~view = (entry t view).queue_len
+
+let peek_pending t ~view = List.rev (entry t view).queue
 
 let take_pending t ~view =
   let e = entry t view in
   let batch = List.rev e.queue in
   e.queue <- [];
+  e.queue_len <- 0;
   batch
 
 (* One maintenance transaction under the crash-safe write ordering of
@@ -65,40 +77,137 @@ let refresh_with t extra =
   Vnl_core.Recovery.run_maintenance t.db t.vnl (fun txn ->
       let outcomes =
         List.map
-          (fun (_, e) ->
+          (fun name ->
+            let e = entry t name in
             let batch = List.rev e.queue in
             e.queue <- [];
+            e.queue_len <- 0;
             Summary.apply_batch txn e.def batch)
-          t.entries
+          t.order
       in
       extra txn;
       outcomes)
 
 let refresh t = refresh_with t (fun _ -> ())
 
+(* The group keys a batch operation targets are exactly the view-table key
+   values — for net deltas, one operation per group. *)
+let op_group_key target = function
+  | Batch.Insert tuple -> Tuple.key_of target tuple
+  | Batch.Update (key, _) | Batch.Delete key -> key
+
+(* The source changes a failed round did NOT durably propagate, in their
+   original arrival order.  [published] holds the group keys of every
+   operation in the round's published stripe prefix: those groups'
+   net deltas committed, everything else was reverted by the abort.  A
+   change whose groups all published is dropped; one whose groups all
+   missed is requeued whole; an update straddling the boundary (its old
+   and new rows in different groups, one published) is requeued as only
+   its unpublished half — re-running the published half would double-apply
+   it. *)
+let unpublished_suffix def published batch =
+  let mem row = Hashtbl.mem published (View_def.group_key def row) in
+  List.filter_map
+    (fun change ->
+      match change with
+      | Delta.Insert row | Delta.Delete row -> if mem row then None else Some change
+      | Delta.Update (old_row, new_row) -> (
+        match (mem old_row, mem new_row) with
+        | true, true -> None
+        | false, false -> Some change
+        | true, false -> Some (Delta.Insert new_row)
+        | false, true -> Some (Delta.Delete old_row)))
+    batch
+
+(* Put a failed round's unapplied changes back at the FRONT of each queue
+   (the queue list is newest-first, so the front of the logical queue is
+   the tail of the list), preserving their original order ahead of
+   anything queued since the drain. *)
+let requeue_unpublished planned published_ops =
+  List.iter
+    (fun (name, e, batch, _, _) ->
+      let published = Hashtbl.create 64 in
+      (match List.assoc_opt name published_ops with
+      | None -> ()
+      | Some ops ->
+        let target = View_def.target_schema e.def in
+        List.iter (fun op -> Hashtbl.replace published (op_group_key target op) ()) ops);
+      let residual = unpublished_suffix e.def published batch in
+      e.queue <- e.queue @ List.rev residual;
+      e.queue_len <- e.queue_len + List.length residual)
+    planned
+
 (* Pipelined refresh: classify every view's queued batch in one batched
    pass ({!Summary.plan_batch}), partition the operation lists, and drive
    the round through {!Vnl_core.Pipeline} — k worker stripes, one VN each,
    published in order under the same flag → data → catalog → publish
-   ladder as the serial path, held per stripe. *)
-let refresh_pipelined ?(workers = 2) t =
+   ladder as the serial path, held per stripe.
+
+   Failure handling is the part the serial path gets for free from its
+   single transaction: a worker failure aborts the round back to the
+   published stripe prefix, but the queues were already drained and the
+   simulated sources already mutated.  Before re-raising, the unpublished
+   suffix's source changes are re-enqueued at the front of each affected
+   view's queue (original order preserved), so a follow-up refresh
+   converges to the expected view — no batch is ever lost. *)
+let refresh_pipelined ?(workers = 2) ?on_phase ?(run = Pipeline.run) t =
   Vnl_obs.Obs.with_span "warehouse.refresh_pipelined" @@ fun () ->
   let planned =
     List.map
-      (fun (name, e) ->
-        let batch = List.rev e.queue in
-        e.queue <- [];
-        let ops, resolve, outcome = Summary.plan_batch t.vnl e.def batch in
-        (name, ops, resolve, outcome))
-      t.entries
+      (fun name ->
+        let e = entry t name in
+        let batch = take_pending t ~view:name in
+        let ops, resolve, _ = Summary.plan_batch t.vnl e.def batch in
+        (name, e, batch, ops, resolve))
+      t.order
   in
   let plan =
-    Vnl_core.Pipeline.plan t.vnl ~workers ~prenetted:true
-      ~resolvers:(List.map (fun (n, _, r, _) -> (n, r)) planned)
-      (List.map (fun (n, ops, _, _) -> (n, ops)) planned)
+    match
+      Pipeline.plan t.vnl ?on_phase ~workers ~prenetted:true
+        ~resolvers:(List.map (fun (n, _, _, _, r) -> (n, r)) planned)
+        (List.map (fun (n, _, _, ops, _) -> (n, ops)) planned)
+    with
+    | plan -> plan
+    | exception e ->
+      (* Planning failed before any stripe ran: nothing published. *)
+      requeue_unpublished planned [];
+      raise e
   in
-  ignore (Vnl_core.Pipeline.run plan);
-  List.map (fun (_, _, _, o) -> o) planned
+  let report =
+    match run plan with
+    | report -> report
+    | exception e ->
+      (* The published stripe prefix committed; collect its operations per
+         view and requeue everything the reverted suffix carried. *)
+      let stripes = Pipeline.stripe_ops plan in
+      let prefix = List.filteri (fun i _ -> i < Pipeline.published plan) stripes in
+      let published_ops =
+        List.concat_map (fun (_, per_table) -> per_table) prefix
+        |> List.fold_left
+             (fun acc (name, ops) ->
+               match List.assoc_opt name acc with
+               | Some prev -> (name, prev @ ops) :: List.remove_assoc name acc
+               | None -> (name, ops) :: acc)
+             []
+      in
+      requeue_unpublished planned published_ops;
+      raise e
+  in
+  (* Report what actually landed, not what planning predicted: the per-view
+     physical action counts of the staged stripes (prenetted rounds apply
+     one physical action per classified group, so the counts line up with
+     the serial path's classification totals). *)
+  List.map
+    (fun name ->
+      match List.assoc_opt name report.Pipeline.outcomes with
+      | Some (o : Batch.outcome) ->
+        {
+          Summary.groups_inserted = o.Batch.physical_inserts;
+          groups_updated = o.Batch.physical_updates;
+          groups_deleted = o.Batch.physical_deletes;
+        }
+      | None -> { Summary.groups_inserted = 0; groups_updated = 0; groups_deleted = 0 })
+    t.order
 
 let begin_session t = Twovnl.Session.begin_ t.vnl
 

@@ -30,7 +30,11 @@ val queue_changes : t -> view:string -> Delta.change list -> unit
     the simulated source so ground-truth recomputation stays in step). *)
 
 val pending : t -> view:string -> int
-(** Queued changes not yet propagated. *)
+(** Queued changes not yet propagated (O(1)). *)
+
+val peek_pending : t -> view:string -> Delta.change list
+(** The queued changes in arrival order, without draining them (the
+    abort/requeue tests inspect the queue after a failed round). *)
 
 val take_pending : t -> view:string -> Delta.change list
 (** Drain the view's queue, returning the batch in arrival order; used by
@@ -49,7 +53,12 @@ val refresh_with : t -> (Vnl_core.Twovnl.Txn.m -> unit) -> Summary.outcome list
 (** Like {!refresh} but also runs the given extra maintenance work inside
     the same transaction (used by experiments to stretch transactions). *)
 
-val refresh_pipelined : ?workers:int -> t -> Summary.outcome list
+val refresh_pipelined :
+  ?workers:int ->
+  ?on_phase:(Vnl_core.Pipeline.phase -> stripe:int -> unit) ->
+  ?run:(Vnl_core.Pipeline.plan -> Vnl_core.Pipeline.report) ->
+  t ->
+  Summary.outcome list
 (** Propagate every queued batch as one pipelined round
     ({!Vnl_core.Pipeline}): net deltas are classified in a single batched
     index pass per view ({!Summary.plan_batch}), partitioned into
@@ -60,7 +69,24 @@ val refresh_pipelined : ?workers:int -> t -> Summary.outcome list
     begin stay valid across the whole round.  Same logical result as
     {!refresh}; a crash at any write leaves a disk image
     {!Vnl_core.Recovery.reopen} repairs to a VN-prefix boundary of the
-    round. *)
+    round.
+
+    Returned outcomes reflect what the round actually applied (the run
+    report's per-view physical action counts), not the planning pass's
+    prediction.
+
+    If the round fails, the published stripe prefix stays committed and
+    the source changes the reverted suffix carried are re-enqueued at the
+    front of each affected view's queue in their original order before the
+    exception re-raises — no queued change is ever lost, and a follow-up
+    {!refresh} converges to {!expected_view}.  (A change whose net effect
+    straddles the published boundary is requeued as just its unpublished
+    half.)
+
+    [on_phase] is forwarded to {!Vnl_core.Pipeline.plan} (deterministic
+    fault injection); [run] (default {!Vnl_core.Pipeline.run}) lets tests
+    drive the round through {!Vnl_util.Sched} via
+    {!Vnl_core.Pipeline.tasks}/{!Vnl_core.Pipeline.finish}. *)
 
 val begin_session : t -> Vnl_core.Twovnl.Session.s
 

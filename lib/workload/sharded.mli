@@ -1,0 +1,37 @@
+(** Multi-tenant sharded warehouse scenario: a routed source feed drained
+    by per-shard maintenance streams (round-robin cadence, so [k] shards
+    net ~[k] rounds of backlog per refresh), with optional cross-shard
+    reader domains validating VN-vector snapshot consistency by reading
+    the union view twice per session and demanding identical answers. *)
+
+type config = {
+  shards : int;  (** Independent warehouse shards (>= 1). *)
+  domains : int;  (** Maintenance domains for cross-shard refresh fan-out. *)
+  rounds : int;  (** Source batches fed (and refreshes driven, round-robin). *)
+  readers : int;  (** Cross-shard reader domains (0 = none). *)
+  days : int;
+  batch_size : int;  (** Source changes per round (split across shards). *)
+  n : int;
+  pool_capacity : int;
+  seed : int;
+}
+
+val default_config : config
+
+type report = {
+  s_shards : int;
+  s_rounds : int;
+  s_elapsed_s : float;
+  s_ops_per_s : float;  (** Source changes drained per second. *)
+  s_refreshes : int;  (** Per-shard maintenance transactions committed. *)
+  s_refreshes_per_s : float;
+  s_reader_queries : int;  (** Cross-shard union query pairs completed. *)
+  s_inconsistent : int;  (** Pairs whose two union reads disagreed. *)
+  s_expired : int;  (** Reader sessions ended by component expiry. *)
+  s_union_groups : int;  (** Groups in the final union view. *)
+}
+
+val run : config -> report
+(** Drive the scenario: same seed =>  same source batches at every shard
+    count, so drain throughput is comparable across configurations.  All
+    queues are fully drained before throughput is scored. *)

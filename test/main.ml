@@ -29,4 +29,5 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("parallel", Test_parallel.suite);
       ("parallel-stress", Test_parallel_stress.suite);
+      ("shard", Test_shard.suite);
     ]
