@@ -24,6 +24,7 @@ let bench_files =
   [
     "BENCH_maintenance.json"; "BENCH_plans.json"; "BENCH_recovery.json";
     "BENCH_parallel.json"; "BENCH_pipeline.json"; "BENCH_shard.json";
+    "BENCH_net.json";
   ]
 
 let errors = ref 0
@@ -198,6 +199,48 @@ let check_shard_floor ~floor (fresh : Json.t) =
       | None -> error "BENCH_shard.json: 4-shard row lacks \"inconsistent\""))
   | _ -> error "BENCH_shard.json: no \"scaling\" array for the floor gate"
 
+(* The serving gate, over BENCH_net.json.  Unlike the speedup floors this
+   one is a *ratio against the committed baseline*: fresh totals.qps must
+   reach at least [floor] (default 0.05) of the baseline's — absolute
+   throughput varies wildly across runners, but a 20x collapse means the
+   select loop serialized or the server is shedding everything.  Two
+   hard zeros ride along: totals.inconsistent (a query pair disagreed
+   within one session over the wire — the 2VNL guarantee broke) and
+   totals.horizon_lag (session pins still held after shutdown — a leaked
+   epoch pin would stall GC forever). *)
+let check_net_floor ~floor ~(baseline : Json.t option) (fresh : Json.t) =
+  let num j k = match Json.member k j with Some (Json.Num n) -> Some n | _ -> None in
+  match Json.member "totals" fresh with
+  | Some totals ->
+    (match num totals "qps" with
+    | Some f_qps -> (
+      match baseline with
+      | None -> ()
+      | Some b -> (
+        match Json.member "totals" b with
+        | Some bt -> (
+          match num bt "qps" with
+          | Some b_qps when b_qps > 0.0 ->
+            let ratio = f_qps /. b_qps in
+            if ratio < floor then
+              error "BENCH_net.json: qps %.0f is %.3fx of baseline %.0f (floor %.3fx)"
+                f_qps ratio b_qps floor
+            else
+              Printf.printf "ok    BENCH_net.json: qps %.0f, %.2fx of baseline %.0f (floor %.3fx)\n"
+                f_qps ratio b_qps floor
+          | _ -> error "BENCH_net.json: baseline \"totals\" lacks a positive \"qps\"")
+        | None -> error "BENCH_net.json: baseline has no \"totals\" section"))
+    | None -> error "BENCH_net.json: fresh \"totals\" lacks a numeric \"qps\"");
+    (match num totals "inconsistent" with
+    | Some 0.0 -> ()
+    | Some n -> error "BENCH_net.json: %g inconsistent query pairs over the wire" n
+    | None -> error "BENCH_net.json: \"totals\" lacks \"inconsistent\"");
+    (match num totals "horizon_lag" with
+    | Some 0.0 -> ()
+    | Some n -> error "BENCH_net.json: horizon lag %g after shutdown (leaked session pins)" n
+    | None -> error "BENCH_net.json: \"totals\" lacks \"horizon_lag\"")
+  | None -> error "BENCH_net.json: no \"totals\" section for the floor gate"
+
 let load side path =
   if not (Sys.file_exists path) then begin
     error "%s file %s is missing" side path;
@@ -222,12 +265,13 @@ let compare_file ~baseline ~fresh file =
 let usage () =
   prerr_endline
     "usage: compare.exe --baseline DIR --fresh DIR [--parallel-floor X] [--pipeline-floor X] \
-     [--shard-floor X]";
+     [--shard-floor X] [--net-floor X]";
   exit 2
 
 let () =
   let baseline = ref "." and fresh = ref "" in
   let floor = ref 1.5 and pipeline_floor = ref 1.2 and shard_floor = ref 1.3 in
+  let net_floor = ref 0.05 in
   let positive name x k =
     match float_of_string_opt x with
     | Some f when f > 0.0 -> k f
@@ -244,6 +288,8 @@ let () =
       positive "--pipeline-floor" x (fun f -> pipeline_floor := f; parse rest)
     | "--shard-floor" :: x :: rest ->
       positive "--shard-floor" x (fun f -> shard_floor := f; parse rest)
+    | "--net-floor" :: x :: rest ->
+      positive "--net-floor" x (fun f -> net_floor := f; parse rest)
     | [] -> ()
     | arg :: _ -> Printf.eprintf "unknown argument %S\n" arg; usage ()
   in
@@ -257,6 +303,10 @@ let () =
     (load "fresh" (Filename.concat !fresh "BENCH_pipeline.json"));
   Option.iter (check_shard_floor ~floor:!shard_floor)
     (load "fresh" (Filename.concat !fresh "BENCH_shard.json"));
+  Option.iter
+    (check_net_floor ~floor:!net_floor
+       ~baseline:(load "baseline" (Filename.concat !baseline "BENCH_net.json")))
+    (load "fresh" (Filename.concat !fresh "BENCH_net.json"));
   Printf.printf "bench-compare: %d error(s), %d warning(s) over %d file(s)\n" !errors
     !warnings (List.length bench_files);
   exit (if !errors > 0 then 1 else 0)

@@ -1,0 +1,140 @@
+(* NET: wire-protocol serving under session churn and on-line maintenance.
+
+   Start the session-multiplexing server in-process on an ephemeral TCP
+   port, churn the warehouse from a maintainer domain (refresh every few
+   milliseconds), and drive the open-loop load generator at increasing
+   client concurrency.  Every session runs the Example 2.1 query pair over
+   the wire — same statement twice in one session — and any disagreement
+   not explained by expiry counts as inconsistent.  A slice of sessions
+   vanishes abruptly mid-cursor; after the run the server is stopped and
+   the session horizon must equal currentVN (no leaked epoch pins).
+
+   Results go to BENCH_net.json; compare.ml gates totals.qps with
+   --net-floor and hard-zeroes totals.inconsistent and totals.horizon_lag.
+
+   Knobs (hardened parsing, Load.env_int / Load.env_float): VNL_NET_SESSIONS (per
+   concurrency level), VNL_NET_PORT (0 = ephemeral), VNL_NET_CHURN_MS. *)
+
+module Warehouse = Vnl_warehouse.Warehouse
+module Sales_gen = Vnl_workload.Sales_gen
+module Twovnl = Vnl_core.Twovnl
+module Xorshift = Vnl_util.Xorshift
+module Obs = Vnl_obs.Obs
+module Server = Vnl_net.Server
+module Load = Vnl_net.Load
+
+let concurrencies = [ 1; 2; 4 ]
+
+let write_json (rows : (int * Load.report) list) ~horizon_lag =
+  let oc = open_out "BENCH_net.json" in
+  let entry (c, (r : Load.report)) =
+    Printf.sprintf
+      "    {\"sessions\": %d, \"concurrency\": %d, \"qps\": %.0f, \
+       \"sessions_per_s\": %.0f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, \
+       \"errors\": %d, \"expired\": %d, \"disconnects\": %d, \"busy\": %d, \
+       \"shed\": %d, \"inconsistent\": %d, \"elapsed_s\": %.3f}"
+      r.Load.l_sessions c r.Load.l_qps r.Load.l_sessions_per_s r.Load.l_p50_ms
+      r.Load.l_p99_ms r.Load.l_errors r.Load.l_expired r.Load.l_disconnected
+      r.Load.l_busy r.Load.l_shed r.Load.l_inconsistent r.Load.l_elapsed_s
+  in
+  let sum f = List.fold_left (fun t (_, r) -> t + f r) 0 rows in
+  let elapsed = List.fold_left (fun t (_, r) -> t +. r.Load.l_elapsed_s) 0.0 rows in
+  let requests = sum (fun r -> r.Load.l_requests) in
+  Printf.fprintf oc
+    "{\n\
+    \  \"description\": \"wire-protocol serving: open-loop session churn (query pairs, \
+     abrupt mid-cursor disconnects) against the select-loop server while a maintainer \
+     domain refreshes the warehouse; consistency checked per session over the wire, \
+     session horizon checked after shutdown\",\n\
+    \  \"scaling\": [\n%s\n  ],\n\
+    \  \"totals\": {\"qps\": %.0f, \"sessions\": %d, \"requests\": %d, \
+     \"inconsistent\": %d, \"horizon_lag\": %d},\n\
+    \  \"phases\": %s\n\
+     }\n"
+    (String.concat ",\n" (List.map entry rows))
+    (if elapsed > 0.0 then float_of_int requests /. elapsed else 0.0)
+    (sum (fun r -> r.Load.l_sessions))
+    requests
+    (sum (fun r -> r.Load.l_inconsistent))
+    horizon_lag
+    (Obs.phases_json ());
+  close_out oc
+
+let run () =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  Obs.enabled := true;
+  Obs.reset ();
+  print_endline "\n==============================================================";
+  print_endline "=== NET  wire-protocol serving under churn + maintenance   ===";
+  print_endline "==============================================================";
+  let sessions = Load.env_int "VNL_NET_SESSIONS" (if smoke then 120 else 400) in
+  let port = Load.env_int ~least:0 "VNL_NET_PORT" 0 in
+  let churn_ms = Load.env_float ~least:0.1 "VNL_NET_CHURN_MS" 5.0 in
+  let rng = Xorshift.create 19 in
+  let wh = Warehouse.create ~pool_capacity:512 [ Sales_gen.daily_sales_view () ] in
+  Warehouse.queue_changes wh ~view:"DailySales"
+    (Sales_gen.initial_load rng ~days:5 ~sales_per_day:120);
+  ignore (Warehouse.refresh wh);
+  let vnl = Warehouse.vnl wh in
+  let srv = Server.start (Server.Tcp { host = "127.0.0.1"; port }) vnl in
+  let port = Server.port srv in
+  let stop = Atomic.make false in
+  let maintainer =
+    Domain.spawn (fun () ->
+        let day = ref 6 in
+        let n = ref 0 in
+        while not (Atomic.get stop) do
+          Unix.sleepf (churn_ms /. 1000.0);
+          let src = Warehouse.source wh "DailySales" in
+          Warehouse.queue_changes wh ~view:"DailySales"
+            (Sales_gen.gen_batch rng src ~day:!day ~inserts:28 ~updates:8 ~deletes:4);
+          incr day;
+          ignore (Warehouse.refresh wh);
+          incr n
+        done;
+        !n)
+  in
+  let rows =
+    List.map
+      (fun c ->
+        let r =
+          Load.run
+            {
+              Load.default_config with
+              Load.addr = Vnl_net.Client.Tcp ("127.0.0.1", port);
+              sessions;
+              concurrency = c;
+              fetch_size = 32;
+              disconnect_prob = 0.1;
+              seed = 31 + c;
+            }
+        in
+        (c, r))
+      concurrencies
+  in
+  Atomic.set stop true;
+  let refreshes = Domain.join maintainer in
+  Server.stop srv;
+  ignore (Warehouse.collect_garbage wh);
+  let horizon_lag = Twovnl.current_vn vnl - Twovnl.min_session_vn vnl in
+  print_endline
+    "+-------------+----------+--------+--------+---------+---------+---------+--------------+";
+  print_endline
+    "| concurrency | sessions | qps    | p50 ms | p99 ms  | expired | dropped | inconsistent |";
+  print_endline
+    "+-------------+----------+--------+--------+---------+---------+---------+--------------+";
+  List.iter
+    (fun (c, (r : Load.report)) ->
+      Printf.printf "| %-11d | %-8d | %-6.0f | %-6.3f | %-7.3f | %-7d | %-7d | %-12d |\n" c
+        r.Load.l_sessions r.Load.l_qps r.Load.l_p50_ms r.Load.l_p99_ms r.Load.l_expired
+        (r.Load.l_disconnected + r.Load.l_shed + r.Load.l_busy)
+        r.Load.l_inconsistent)
+    rows;
+  print_endline
+    "+-------------+----------+--------+--------+---------+---------+---------+--------------+";
+  write_json rows ~horizon_lag;
+  Printf.printf
+    "-> %d maintenance commits during serving; post-shutdown horizon lag %d \
+     (0 = every session pin released); results written to BENCH_net.json.\n"
+    refreshes horizon_lag;
+  if horizon_lag <> 0 then failwith "exp_net: leaked session pins after shutdown"

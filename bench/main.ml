@@ -12,7 +12,7 @@
                     (what the @bench-smoke dune alias builds on)
      --only IDS     comma-separated group ids (figures, scenarios, storage,
                     io, batch, blocking, expiry, gc, ablation, indexing,
-                    faults, parallel, pipeline, shard, micro) *)
+                    faults, parallel, pipeline, shard, net, micro) *)
 
 let groups : (string * (unit -> unit)) list =
   [
@@ -30,6 +30,7 @@ let groups : (string * (unit -> unit)) list =
     ("parallel", Exp_parallel.run);
     ("pipeline", Exp_pipeline.run);
     ("shard", Exp_shard.run);
+    ("net", Exp_net.run);
   ]
 
 let () =

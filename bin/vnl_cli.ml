@@ -5,7 +5,10 @@
                     with reader sessions and on-line maintenance
      vnl scenario   run a Figure 1 / Figure 2 operating-mode simulation
      vnl blocking   run the concurrency-control blocking comparison
-     vnl expiry     evaluate the nVNL no-expiry formula for a workload *)
+     vnl expiry     evaluate the nVNL no-expiry formula for a workload
+     vnl stats      run a demo workload and dump the metric registry
+     vnl serve      serve the demo warehouse over the wire protocol
+     vnl load       open-loop session-churn load generator against serve *)
 
 module Value = Vnl_relation.Value
 module Executor = Vnl_query.Executor
@@ -277,6 +280,132 @@ let run_stats seed format =
            ])
          (Obs.phase_summaries ()))
 
+(* ---------- vnl serve / vnl load ---------- *)
+
+module Server = Vnl_net.Server
+module Load = Vnl_net.Load
+
+(* Flags win; otherwise the hardened VNL_NET_* knobs; otherwise built-in
+   defaults.  Env parsing fails loudly on non-numeric/non-positive values
+   (Load.env_int / Load.env_float). *)
+let or_env_int ?least flag name default =
+  match flag with Some v -> v | None -> Load.env_int ?least name default
+
+let or_env_float ?least flag name default =
+  match flag with Some v -> v | None -> Load.env_float ?least name default
+
+let run_serve seed port unix_path workers max_sessions churn_every_ms churn_batch
+    duration_s =
+  let port = or_env_int ~least:0 port "VNL_NET_PORT" 7781 in
+  let workers = or_env_int workers "VNL_NET_WORKERS" 2 in
+  let max_sessions = or_env_int max_sessions "VNL_NET_MAX_SESSIONS" 1024 in
+  let churn_every_ms = or_env_float churn_every_ms "VNL_NET_CHURN_MS" 50.0 in
+  let rng = Xorshift.create seed in
+  let wh = Warehouse.create ~pool_capacity:512 [ Sales_gen.daily_sales_view () ] in
+  Warehouse.queue_changes wh ~view:"DailySales"
+    (Sales_gen.initial_load rng ~days:5 ~sales_per_day:120);
+  ignore (Warehouse.refresh wh);
+  let vnl = Warehouse.vnl wh in
+  let listen =
+    match unix_path with
+    | Some path -> Server.Unix_path path
+    | None -> Server.Tcp { host = "127.0.0.1"; port }
+  in
+  let config = { Server.default_config with workers; max_connections = max_sessions } in
+  let srv = Server.start ~config listen vnl in
+  let stop = Atomic.make false in
+  let on_signal = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+  Sys.set_signal Sys.sigterm on_signal;
+  Sys.set_signal Sys.sigint on_signal;
+  Printf.printf
+    "serving DailySales on %s: workers=%d max-sessions=%d churn every %gms x %d changes%s\n%!"
+    (match listen with
+    | Server.Tcp _ -> Printf.sprintf "127.0.0.1:%d" (Server.port srv)
+    | Server.Unix_path p -> p)
+    workers max_sessions churn_every_ms churn_batch
+    (match duration_s with
+    | Some d -> Printf.sprintf " for %gs" d
+    | None -> " until SIGTERM/SIGINT");
+  let t0 = Unix.gettimeofday () in
+  let deadline = match duration_s with Some d -> t0 +. d | None -> infinity in
+  let day = ref 6 in
+  let refreshes = ref 0 in
+  while (not (Atomic.get stop)) && Unix.gettimeofday () < deadline do
+    (try Unix.sleepf (churn_every_ms /. 1000.0)
+     with Unix.Unix_error (EINTR, _, _) -> ());
+    if churn_batch > 0 && not (Atomic.get stop) then begin
+      let src = Warehouse.source wh "DailySales" in
+      Warehouse.queue_changes wh ~view:"DailySales"
+        (Sales_gen.gen_batch rng src ~day:!day ~inserts:(churn_batch * 7 / 10)
+           ~updates:(churn_batch * 2 / 10) ~deletes:(churn_batch / 10));
+      incr day;
+      ignore (Warehouse.refresh wh);
+      incr refreshes
+    end
+  done;
+  Server.stop srv;
+  ignore (Warehouse.collect_garbage wh);
+  (* The acceptance check: with every connection closed, every session pin
+     must be released — the GC horizon catches up to currentVN. *)
+  let current = Twovnl.current_vn vnl in
+  let horizon = Twovnl.min_session_vn vnl in
+  let leaked = current - horizon in
+  Printf.printf
+    "stopped after %d maintenance commits: currentVN=%d session horizon=%d (%d leaked pins)\n%!"
+    !refreshes current horizon leaked;
+  if leaked <> 0 then exit 1
+
+let run_load host port unix_path sessions concurrency rate fetch_size think_ms
+    disconnect_prob seed sql =
+  let port = or_env_int ~least:0 port "VNL_NET_PORT" 7781 in
+  let sessions = or_env_int sessions "VNL_NET_SESSIONS" 200 in
+  let concurrency = or_env_int concurrency "VNL_NET_CONCURRENCY" 2 in
+  let rate = or_env_float ~least:0.0 rate "VNL_NET_RATE" 0.0 in
+  let addr =
+    match unix_path with
+    | Some path -> Vnl_net.Client.Unix_path path
+    | None -> Vnl_net.Client.Tcp (host, port)
+  in
+  let cfg =
+    {
+      Load.addr;
+      sessions;
+      concurrency;
+      rate;
+      fetch_size;
+      think_ms;
+      disconnect_prob;
+      seed;
+      sql = (match sql with Some s -> s | None -> Load.default_sql);
+    }
+  in
+  let r = Load.run cfg in
+  T.print ~header:[ "metric"; "value" ]
+    [
+      [ "sessions attempted"; string_of_int r.Load.l_sessions ];
+      [ "completed (orderly Bye)"; string_of_int r.Load.l_completed ];
+      [ "abrupt disconnects (intended)"; string_of_int r.Load.l_disconnected ];
+      [ "busy-rejected"; string_of_int r.Load.l_busy ];
+      [ "shed by server"; string_of_int r.Load.l_shed ];
+      [ "expired"; string_of_int r.Load.l_expired ];
+      [ "errors"; string_of_int r.Load.l_errors ];
+      [ "inconsistent query pairs"; string_of_int r.Load.l_inconsistent ];
+      [ "requests"; string_of_int r.Load.l_requests ];
+      [ "rows fetched"; string_of_int r.Load.l_rows ];
+      [ "late open-loop starts"; string_of_int r.Load.l_late_starts ];
+      [ "elapsed s"; Printf.sprintf "%.3f" r.Load.l_elapsed_s ];
+      [ "requests/s"; Printf.sprintf "%.0f" r.Load.l_qps ];
+      [ "sessions/s"; Printf.sprintf "%.0f" r.Load.l_sessions_per_s ];
+      [ "p50 ms"; Printf.sprintf "%.3f" r.Load.l_p50_ms ];
+      [ "p99 ms"; Printf.sprintf "%.3f" r.Load.l_p99_ms ];
+    ];
+  if r.Load.l_inconsistent > 0 then begin
+    Printf.eprintf
+      "FAIL: %d query pairs disagreed within one session without expiry\n%!"
+      r.Load.l_inconsistent;
+    exit 1
+  end
+
 (* ---------- cmdliner wiring ---------- *)
 
 open Cmdliner
@@ -366,8 +495,98 @@ let stats_cmd =
   in
   Cmd.v (Cmd.info "stats" ~doc) Term.(const run_stats $ seed_term $ format_term)
 
+let unix_term =
+  Arg.(value & opt (some string) None
+       & info [ "unix" ] ~docv:"PATH" ~doc:"Use a Unix-domain socket at $(docv) instead of TCP.")
+
+let port_term =
+  Arg.(value & opt (some int) None
+       & info [ "port" ] ~docv:"PORT"
+           ~doc:"TCP port (0 binds an ephemeral one); default \\$VNL_NET_PORT or 7781.")
+
+let serve_cmd =
+  let doc =
+    "Serve the demo DailySales warehouse over the wire protocol while a \
+     maintainer churns it (on-line refresh every --churn-every ms), until \
+     --duration elapses or SIGTERM/SIGINT.  Exits non-zero if any session \
+     pin is still held after shutdown (a leaked epoch pin)."
+  in
+  let workers =
+    Arg.(value & opt (some int) None
+         & info [ "workers" ] ~docv:"N" ~doc:"Worker domains; default \\$VNL_NET_WORKERS or 2.")
+  in
+  let max_sessions =
+    Arg.(value & opt (some int) None
+         & info [ "max-sessions" ] ~docv:"N"
+             ~doc:"Admission-control connection cap; default \\$VNL_NET_MAX_SESSIONS or 1024.")
+  in
+  let churn_every =
+    Arg.(value & opt (some float) None
+         & info [ "churn-every" ] ~docv:"MS"
+             ~doc:"Maintenance refresh period; default \\$VNL_NET_CHURN_MS or 50.")
+  in
+  let churn_batch =
+    Arg.(value & opt int 50
+         & info [ "churn-batch" ] ~docv:"N" ~doc:"Source changes per refresh (0 = no churn).")
+  in
+  let duration =
+    Arg.(value & opt (some float) None
+         & info [ "duration" ] ~docv:"S" ~doc:"Stop after $(docv) seconds (default: run until signal).")
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run_serve $ seed_term $ port_term $ unix_term $ workers $ max_sessions
+      $ churn_every $ churn_batch $ duration)
+
+let load_cmd =
+  let doc =
+    "Open-loop load generator: a population of short-lived reader sessions \
+     (connect/hello/query-pair/fetch/bye) with optional abrupt mid-cursor \
+     disconnects, against a running $(b,vnl serve).  Exits non-zero on any \
+     within-session inconsistency."
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Server host.")
+  in
+  let sessions =
+    Arg.(value & opt (some int) None
+         & info [ "sessions" ] ~docv:"N" ~doc:"Session lifecycles; default \\$VNL_NET_SESSIONS or 200.")
+  in
+  let concurrency =
+    Arg.(value & opt (some int) None
+         & info [ "concurrency" ] ~docv:"N"
+             ~doc:"Generator domains; default \\$VNL_NET_CONCURRENCY or 2.")
+  in
+  let rate =
+    Arg.(value & opt (some float) None
+         & info [ "rate" ] ~docv:"PER_S"
+             ~doc:"Open-loop session arrivals per second (0 = unpaced); default \\$VNL_NET_RATE or 0.")
+  in
+  let fetch_size =
+    Arg.(value & opt int 64 & info [ "fetch-size" ] ~docv:"ROWS" ~doc:"Rows per Fetch request.")
+  in
+  let think_ms =
+    Arg.(value & opt float 0.0
+         & info [ "think-ms" ] ~docv:"MS" ~doc:"Client stall between fetches (slow client).")
+  in
+  let disconnect_prob =
+    Arg.(value & opt float 0.0
+         & info [ "disconnect-prob" ] ~docv:"P"
+             ~doc:"Probability a session vanishes abruptly mid-cursor.")
+  in
+  let sql =
+    Arg.(value & opt (some string) None
+         & info [ "sql" ] ~docv:"SELECT" ~doc:"Statement for the query pair (default: demo roll-up).")
+  in
+  Cmd.v (Cmd.info "load" ~doc)
+    Term.(
+      const run_load $ host $ port_term $ unix_term $ sessions $ concurrency $ rate
+      $ fetch_size $ think_ms $ disconnect_prob $ seed_term $ sql)
+
 let () =
   let doc = "2VNL on-line warehouse view maintenance (Quass & Widom, SIGMOD 1997)" in
   let info = Cmd.info "vnl" ~version:"1.0.0" ~doc in
   exit
-    (Cmd.eval (Cmd.group info [ shell_cmd; scenario_cmd; blocking_cmd; expiry_cmd; stats_cmd ]))
+    (Cmd.eval
+       (Cmd.group info
+          [ shell_cmd; scenario_cmd; blocking_cmd; expiry_cmd; stats_cmd; serve_cmd; load_cmd ]))

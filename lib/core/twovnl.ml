@@ -292,6 +292,16 @@ module Session = struct
 
   let is_valid t s = valid_for t s ~n:(min_n t)
 
+  (* The push-notification probe: same arithmetic as [valid_for], but the
+     caller learns how close the session is to expiry instead of a bare
+     bool, and an expired session yields the exception payload without
+     raising (the network server turns it into a wire frame). *)
+  let validity t s =
+    let n = min_n t in
+    let c, outstanding = Version_state.read_outstanding t.version in
+    let slack = n - 1 - (c - s.vn + outstanding) in
+    if slack >= 0 then `Valid slack else `Expired (s.vn, c)
+
   (* [exchange] makes a double-end harmless: the slot is released exactly
      once, never yanking a pin a later session acquired in the same slot. *)
   let end_ _t s = if not (Atomic.exchange s.closed true) then Epoch.unpin s.slot

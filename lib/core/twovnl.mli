@@ -103,6 +103,15 @@ module Session : sig
       smallest version count among registered tables; the paper's §4.1
       condition when n = 2). *)
 
+  val validity : t -> s -> [ `Valid of int | `Expired of int * int ]
+  (** Non-raising probe of the same check, for servers that must {e push}
+      expiry to remote readers instead of waiting for the next query to
+      raise: [`Valid slack] is the number of further maintenance commits
+      the session survives (0 = expires at the next publish), [`Expired
+      (session_vn, current_vn)] carries the payload of the {!Expired}
+      exception.  Does not count as an expiry observation in the metrics —
+      the caller decides whether the session is being retired. *)
+
   val end_ : t -> s -> unit
 
   val begin_vector : t list -> s list

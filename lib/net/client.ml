@@ -1,0 +1,133 @@
+(* Blocking wire-protocol client; see the .mli. *)
+
+type addr = Tcp of string * int | Unix_path of string
+
+type error = { code : Wire.error_code; message : string }
+
+exception Disconnected of string
+
+type t = {
+  fd : Unix.file_descr;
+  dec : Wire.response Wire.Decoder.t;
+  scratch : bytes;
+  mutable notice : (int * int) option;
+  mutable alive : bool;
+}
+
+let connect ?(timeout_s = 10.0) addr =
+  if Sys.unix then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let domain, sockaddr =
+    match addr with
+    | Tcp (host, port) ->
+      (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+    | Unix_path path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  in
+  let fd = Unix.socket ~cloexec:true domain SOCK_STREAM 0 in
+  (try
+     Unix.connect fd sockaddr;
+     Unix.setsockopt_float fd SO_RCVTIMEO timeout_s;
+     Unix.setsockopt_float fd SO_SNDTIMEO timeout_s
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; dec = Wire.Decoder.response (); scratch = Bytes.create 65536; notice = None; alive = true }
+
+let disconnect t =
+  if t.alive then begin
+    t.alive <- false;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let fail t msg =
+  disconnect t;
+  raise (Disconnected msg)
+
+let send t frame =
+  if not t.alive then raise (Disconnected "already closed");
+  let len = Bytes.length frame in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write t.fd frame !off (len - !off) with
+    | 0 -> fail t "short write"
+    | n -> off := !off + n
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+      fail t "connection closed by server"
+  done
+
+(* Receive the next frame that is not an [Expired] push (pushes are
+   recorded and skipped — they answer no request). *)
+let rec recv t =
+  match Wire.Decoder.next t.dec with
+  | `Msg (Wire.Expired { session_vn; current_vn }) ->
+    t.notice <- Some (session_vn, current_vn);
+    recv t
+  | `Msg resp -> resp
+  | `Corrupt msg -> fail t (Printf.sprintf "corrupt response stream: %s" msg)
+  | `Await -> (
+    match Unix.read t.fd t.scratch 0 (Bytes.length t.scratch) with
+    | 0 -> fail t "connection closed by server"
+    | n ->
+      Wire.Decoder.feed t.dec t.scratch 0 n;
+      recv t
+    | exception Unix.Unix_error (EINTR, _, _) -> recv t
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> fail t "receive timeout"
+    | exception Unix.Unix_error ((ECONNRESET | EPIPE | EBADF), _, _) ->
+      fail t "connection closed by server")
+
+let unexpected t resp =
+  let what =
+    match resp with
+    | Wire.Hello_ok _ -> "Hello_ok"
+    | Wire.Result _ -> "Result"
+    | Wire.Rows _ -> "Rows"
+    | Wire.Ok_ -> "Ok"
+    | Wire.Error_ _ -> "Error"
+    | Wire.Expired _ -> "Expired"
+  in
+  fail t (Printf.sprintf "unexpected %s response" what)
+
+let hello ?(name = "vnl-client") t =
+  send t (Wire.encode_request (Wire.Hello name));
+  match recv t with
+  | Wire.Hello_ok { session_id; session_vn } ->
+    t.notice <- None;
+    Ok (session_id, session_vn)
+  | Wire.Error_ { code; message } -> Error { code; message }
+  | resp -> unexpected t resp
+
+let query t sql =
+  send t (Wire.encode_request (Wire.Query sql));
+  match recv t with
+  | Wire.Result { cursor; columns; total_rows } -> Ok (cursor, columns, total_rows)
+  | Wire.Error_ { code; message } -> Error { code; message }
+  | resp -> unexpected t resp
+
+let fetch t ~cursor ~max_rows =
+  (* 0 asks for the server's default chunk; the wire field is a u16. *)
+  let max_rows = max 0 (min max_rows 0xffff) in
+  send t (Wire.encode_request (Wire.Fetch { cursor; max_rows }));
+  match recv t with
+  | Wire.Rows { rows; last; _ } -> Ok (rows, last)
+  | Wire.Error_ { code; message } -> Error { code; message }
+  | resp -> unexpected t resp
+
+let close_cursor t cursor =
+  send t (Wire.encode_request (Wire.Close_cursor cursor));
+  match recv t with
+  | Wire.Ok_ -> Ok ()
+  | Wire.Error_ { code; message } -> Error { code; message }
+  | resp -> unexpected t resp
+
+let bye t =
+  send t (Wire.encode_request Wire.Bye);
+  match recv t with
+  | Wire.Ok_ ->
+    disconnect t;
+    Ok ()
+  | Wire.Error_ { code; message } ->
+    disconnect t;
+    Error { code; message }
+  | resp -> unexpected t resp
+
+let expired_notice t = t.notice

@@ -1,0 +1,48 @@
+(** A small blocking client for the wire protocol.
+
+    One synchronous request at a time over one socket; used by the load
+    generator, the CLI, and the end-to-end tests.  Server-pushed
+    [Expired] frames can arrive between or instead of responses — the
+    client records the most recent one ({!expired_notice}) and keeps
+    waiting for the actual reply, which is how a remote reader learns its
+    session died without polling. *)
+
+type addr = Tcp of string * int | Unix_path of string
+
+type error = { code : Wire.error_code; message : string }
+
+exception Disconnected of string
+(** The server (or the transport) closed the connection; also raised on a
+    receive timeout.  An abrupt server-side shed surfaces here. *)
+
+type t
+
+val connect : ?timeout_s:float -> addr -> t
+(** Blocking connect; [timeout_s] (default 10s) bounds every receive so a
+    hung server cannot hang the client.  Raises [Unix.Unix_error] when
+    the server refuses the connection. *)
+
+val hello : ?name:string -> t -> (int * int, error) result
+(** Open a reader session: [(session_id, session_vn)].  Clears any
+    recorded expiry notice. *)
+
+val query : t -> string -> (int * string list * int, error) result
+(** Execute a SELECT: [(cursor, columns, total_rows)]. *)
+
+val fetch :
+  t -> cursor:int -> max_rows:int -> (Vnl_relation.Value.t list list * bool, error) result
+(** Next chunk: [(rows, last)].  [max_rows <= 0] requests the server's
+    default chunk. *)
+
+val close_cursor : t -> int -> (unit, error) result
+
+val bye : t -> (unit, error) result
+(** Orderly close: awaits the acknowledgement, then closes the socket. *)
+
+val disconnect : t -> unit
+(** Abrupt close — no [Bye], mid-cursor or mid-anything.  The load
+    generator uses this to model vanishing clients.  Idempotent. *)
+
+val expired_notice : t -> (int * int) option
+(** Most recent server-pushed expiry as [(session_vn, current_vn)],
+    whether it arrived unsolicited or alongside an error reply. *)

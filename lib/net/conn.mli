@@ -1,0 +1,72 @@
+(** The per-connection protocol state machine — no I/O.
+
+    A [Conn.t] consumes raw bytes from the transport ({!on_input}), runs
+    requests against a {!Vnl_core.Twovnl} warehouse through one epoch-pinned
+    reader session, and queues encoded response frames for the transport
+    to drain ({!peek_output}/{!consume_output}).  Keeping it free of
+    sockets makes the whole protocol deterministic under test: the fuzz
+    suite feeds it arbitrary byte streams, the expiry suite interleaves it
+    with maintenance commits, and the server is a thin select loop around
+    it.
+
+    Guarantees the tests pin down:
+    - no exception ever escapes {!on_input} — malformed input produces an
+      [Error] frame (and marks the connection for close when the stream is
+      desynchronized), SQL failures produce [Query_failed];
+    - the session's epoch pin is released the moment the session expires
+      or the connection closes, never later — a dead or fuzzed connection
+      cannot stall the GC/epoch horizon;
+    - expiry is {e pushed}: when {!on_version_change} finds the session
+      expired, an [Expired] frame is queued once and every later
+      [Query]/[Fetch] answers [Session_expired] until a fresh [Hello]. *)
+
+type config = {
+  fetch_chunk : int;  (** Row cap per [Rows] frame (and [Fetch] default). *)
+  max_cursors : int;  (** Open cursors per connection. *)
+  max_output : int;
+      (** Pending-output bytes above which the connection counts as
+          {e overflowed} — a slow client the server sheds rather than
+          buffering unboundedly (backpressure). *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> Vnl_core.Twovnl.t -> t
+
+val on_input : t -> bytes -> int -> int -> unit
+(** Feed received bytes and process every complete frame.  Never raises
+    on content (only [Invalid_argument] on a bad range, as
+    {!Wire.Decoder.feed}). *)
+
+val on_version_change : t -> unit
+(** Re-check session validity after the maintainer published; queues the
+    [Expired] push and releases the pin if the session just expired. *)
+
+val pending_output : t -> int
+
+val peek_output : t -> (bytes * int * int) option
+(** The queued output as [(buf, off, len)], valid until the next mutating
+    call; [None] when empty. *)
+
+val consume_output : t -> int -> unit
+(** Mark [n] output bytes as written. *)
+
+val overflowed : t -> bool
+(** Pending output exceeded [max_output]: the server should shed this
+    connection. *)
+
+val want_close : t -> bool
+(** An orderly [Bye] was answered or the stream is corrupt: close once
+    the output drains. *)
+
+val closed : t -> bool
+
+val close : t -> unit
+(** Release the session pin and all cursors.  Idempotent; called by the
+    server on disconnect, shed, or shutdown. *)
+
+val session_vn : t -> int option
+(** The live session's version, [None] before [Hello], after expiry, or
+    after close (diagnostics). *)

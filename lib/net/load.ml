@@ -1,0 +1,248 @@
+(* Open-loop session-churn load generator; see the .mli. *)
+
+module Domain_pool = Vnl_util.Domain_pool
+module Xorshift = Vnl_util.Xorshift
+module Stats = Vnl_util.Stats
+module Value = Vnl_relation.Value
+
+type config = {
+  addr : Client.addr;
+  sessions : int;
+  concurrency : int;
+  rate : float;
+  fetch_size : int;
+  think_ms : float;
+  disconnect_prob : float;
+  seed : int;
+  sql : string;
+}
+
+let default_sql =
+  "SELECT city, state, SUM(total_sales) FROM DailySales GROUP BY city, state"
+
+let default_config =
+  {
+    addr = Client.Tcp ("127.0.0.1", 7781);
+    sessions = 200;
+    concurrency = 2;
+    rate = 0.0;
+    fetch_size = 64;
+    think_ms = 0.0;
+    disconnect_prob = 0.0;
+    seed = 7;
+    sql = default_sql;
+  }
+
+type report = {
+  l_sessions : int;
+  l_completed : int;
+  l_disconnected : int;
+  l_busy : int;
+  l_shed : int;
+  l_expired : int;
+  l_errors : int;
+  l_inconsistent : int;
+  l_requests : int;
+  l_rows : int;
+  l_late_starts : int;
+  l_elapsed_s : float;
+  l_qps : float;
+  l_sessions_per_s : float;
+  l_p50_ms : float;
+  l_p99_ms : float;
+}
+
+(* ---------- hardened env knobs (the VNL_STRESS_* discipline) ---------- *)
+
+let env_int ?(least = 1) name default =
+  match Sys.getenv_opt name with
+  | None | Some "" -> default
+  | Some raw -> (
+    match int_of_string_opt (String.trim raw) with
+    | Some n when n >= least -> n
+    | Some n -> Printf.ksprintf failwith "%s=%d: must be an integer >= %d" name n least
+    | None -> Printf.ksprintf failwith "%s=%S: not an integer" name raw)
+
+let env_float ?(least = epsilon_float) name default =
+  match Sys.getenv_opt name with
+  | None | Some "" -> default
+  | Some raw -> (
+    match float_of_string_opt (String.trim raw) with
+    | Some f when f >= least -> f
+    | Some f -> Printf.ksprintf failwith "%s=%g: must be a number >= %g" name f least
+    | None -> Printf.ksprintf failwith "%s=%S: not a number" name raw)
+
+(* ---------- one generator domain ---------- *)
+
+type acc = {
+  mutable a_sessions : int;
+  mutable a_completed : int;
+  mutable a_disconnected : int;
+  mutable a_busy : int;
+  mutable a_shed : int;
+  mutable a_expired : int;
+  mutable a_errors : int;
+  mutable a_inconsistent : int;
+  mutable a_requests : int;
+  mutable a_rows : int;
+  mutable a_late : int;
+  mutable a_lat : float list;
+}
+
+let fresh_acc () =
+  {
+    a_sessions = 0;
+    a_completed = 0;
+    a_disconnected = 0;
+    a_busy = 0;
+    a_shed = 0;
+    a_expired = 0;
+    a_errors = 0;
+    a_inconsistent = 0;
+    a_requests = 0;
+    a_rows = 0;
+    a_late = 0;
+    a_lat = [];
+  }
+
+let timed acc f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  acc.a_requests <- acc.a_requests + 1;
+  acc.a_lat <- ((Unix.gettimeofday () -. t0) *. 1000.0) :: acc.a_lat;
+  r
+
+let sort_rows rows = List.sort (List.compare Value.compare) rows
+
+(* Run the full query + fetch loop; [Ok rows] on completion, [`Expired]
+   when the session died (notice or documented error), [`Err] otherwise. *)
+let run_query cfg acc c =
+  match timed acc (fun () -> Client.query c cfg.sql) with
+  | Error { code = Wire.Session_expired; _ } -> `Expired
+  | Error _ -> `Err
+  | Ok (cursor, _cols, _total) ->
+    let rec fetch_all rows =
+      if cfg.think_ms > 0.0 then Unix.sleepf (cfg.think_ms /. 1000.0);
+      match timed acc (fun () -> Client.fetch c ~cursor ~max_rows:cfg.fetch_size) with
+      | Error { code = Wire.Session_expired; _ } -> `Expired
+      | Error _ -> `Err
+      | Ok (chunk, last) ->
+        let rows = List.rev_append chunk rows in
+        acc.a_rows <- acc.a_rows + List.length chunk;
+        if last then `Rows (sort_rows rows) else fetch_all rows
+    in
+    fetch_all []
+
+let one_session cfg acc rng =
+  acc.a_sessions <- acc.a_sessions + 1;
+  match Client.connect ~timeout_s:30.0 cfg.addr with
+  | exception Unix.Unix_error ((ECONNREFUSED | ECONNRESET | ENOENT | EAGAIN), _, _) ->
+    acc.a_busy <- acc.a_busy + 1
+  | c -> (
+    try
+      match timed acc (fun () -> Client.hello c) with
+      | Error { code = Wire.Server_busy; _ } ->
+        acc.a_busy <- acc.a_busy + 1;
+        Client.disconnect c
+      | Error _ ->
+        acc.a_errors <- acc.a_errors + 1;
+        Client.disconnect c
+      | Ok (_sid, _vn) -> (
+        (* Abrupt mid-cursor disconnect: start the query, take one chunk,
+           vanish.  The server must shrug (close, release the pin). *)
+        if cfg.disconnect_prob > 0.0 && Xorshift.float rng 1.0 < cfg.disconnect_prob then begin
+          (match timed acc (fun () -> Client.query c cfg.sql) with
+          | Ok (cursor, _, _) ->
+            (match timed acc (fun () -> Client.fetch c ~cursor ~max_rows:cfg.fetch_size) with
+            | Ok (chunk, _) -> acc.a_rows <- acc.a_rows + List.length chunk
+            | Error _ -> ())
+          | Error _ -> ());
+          Client.disconnect c;
+          acc.a_disconnected <- acc.a_disconnected + 1
+        end
+        else
+          (* The Example 2.1 pair over the wire: same statement twice in
+             one session must agree unless the session expired. *)
+          match run_query cfg acc c with
+          | `Expired ->
+            acc.a_expired <- acc.a_expired + 1;
+            ignore (timed acc (fun () -> Client.bye c));
+            acc.a_completed <- acc.a_completed + 1
+          | `Err ->
+            acc.a_errors <- acc.a_errors + 1;
+            Client.disconnect c
+          | `Rows first -> (
+            match run_query cfg acc c with
+            | `Expired ->
+              acc.a_expired <- acc.a_expired + 1;
+              ignore (timed acc (fun () -> Client.bye c));
+              acc.a_completed <- acc.a_completed + 1
+            | `Err ->
+              acc.a_errors <- acc.a_errors + 1;
+              Client.disconnect c
+            | `Rows second ->
+              if
+                not
+                  (List.equal (List.equal Value.equal) first second
+                  || Client.expired_notice c <> None)
+              then acc.a_inconsistent <- acc.a_inconsistent + 1;
+              if Client.expired_notice c <> None then acc.a_expired <- acc.a_expired + 1;
+              ignore (timed acc (fun () -> Client.bye c));
+              acc.a_completed <- acc.a_completed + 1))
+    with
+    | Client.Disconnected _ ->
+      (* Server-side close: shed under backpressure or shutdown. *)
+      acc.a_shed <- acc.a_shed + 1;
+      Client.disconnect c
+    | Unix.Unix_error _ ->
+      acc.a_shed <- acc.a_shed + 1;
+      Client.disconnect c)
+
+let run cfg =
+  if cfg.sessions < 1 then invalid_arg "Load.run: need at least one session";
+  if cfg.concurrency < 1 then invalid_arg "Load.run: need at least one domain";
+  let t0 = Unix.gettimeofday () in
+  let accs =
+    Domain_pool.run ~domains:cfg.concurrency (fun ~start rank ->
+        let acc = fresh_acc () in
+        let rng = Xorshift.create (cfg.seed + (rank * 7919) + 1) in
+        start ();
+        let i = ref rank in
+        while !i < cfg.sessions do
+          (if cfg.rate > 0.0 then begin
+             (* Open-loop pacing: session !i is due at t0 + i/rate no
+                matter how long earlier sessions took. *)
+             let due = t0 +. (float_of_int !i /. cfg.rate) in
+             let now = Unix.gettimeofday () in
+             if now < due then Unix.sleepf (due -. now)
+             else if now -. due > 0.005 then acc.a_late <- acc.a_late + 1
+           end);
+          one_session cfg acc rng;
+          i := !i + cfg.concurrency
+        done;
+        acc)
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let sum f = Array.fold_left (fun t a -> t + f a) 0 accs in
+  let lat = Array.fold_left (fun t a -> List.rev_append a.a_lat t) [] accs in
+  let s = Stats.summarize lat in
+  let requests = sum (fun a -> a.a_requests) in
+  {
+    l_sessions = sum (fun a -> a.a_sessions);
+    l_completed = sum (fun a -> a.a_completed);
+    l_disconnected = sum (fun a -> a.a_disconnected);
+    l_busy = sum (fun a -> a.a_busy);
+    l_shed = sum (fun a -> a.a_shed);
+    l_expired = sum (fun a -> a.a_expired);
+    l_errors = sum (fun a -> a.a_errors);
+    l_inconsistent = sum (fun a -> a.a_inconsistent);
+    l_requests = requests;
+    l_rows = sum (fun a -> a.a_rows);
+    l_late_starts = sum (fun a -> a.a_late);
+    l_elapsed_s = elapsed;
+    l_qps = (if elapsed > 0.0 then float_of_int requests /. elapsed else 0.0);
+    l_sessions_per_s =
+      (if elapsed > 0.0 then float_of_int cfg.sessions /. elapsed else 0.0);
+    l_p50_ms = s.Stats.p50;
+    l_p99_ms = s.Stats.p99;
+  }

@@ -1,0 +1,64 @@
+(** The open-loop load generator: session churn against a live server.
+
+    Simulates a population of short-lived reader sessions — the scenario
+    family the in-process simulator cannot express: real connects, slow
+    clients, abrupt disconnects mid-cursor, and server-pushed expiry under
+    concurrent maintenance.  [concurrency] generator domains each run
+    their share of [sessions] connect/hello/query/fetch/bye lifecycles;
+    with [rate > 0] session {e starts} follow the open-loop schedule
+    [t0 + i/rate] regardless of completions (lateness is reported, not
+    absorbed, which is what makes it open-loop).
+
+    Consistency is checked per session, the paper's Example 2.1 pair
+    discipline over the wire: the same query is executed twice in one
+    session and must return identical row multisets unless the session
+    expired in between — any other difference counts as [inconsistent]
+    and fails the serving CI job. *)
+
+type config = {
+  addr : Client.addr;
+  sessions : int;
+  concurrency : int;  (** Generator domains. *)
+  rate : float;  (** Session arrivals/s across the run; 0 = unpaced. *)
+  fetch_size : int;  (** Rows per Fetch. *)
+  think_ms : float;  (** Client-side stall between fetches (slow client). *)
+  disconnect_prob : float;  (** Abrupt mid-cursor disconnect probability. *)
+  seed : int;
+  sql : string;
+}
+
+val default_sql : string
+(** The analyst roll-up over DailySales used by the demo server. *)
+
+val default_config : config
+(** 200 sessions, 2 domains, unpaced, against TCP 127.0.0.1:7781. *)
+
+type report = {
+  l_sessions : int;  (** Lifecycles attempted. *)
+  l_completed : int;  (** Reached orderly [Bye]. *)
+  l_disconnected : int;  (** Abrupt client-side disconnects (intended). *)
+  l_busy : int;  (** Admission-control rejects / refused connects. *)
+  l_shed : int;  (** Server closed on us mid-session (backpressure). *)
+  l_expired : int;  (** Sessions that saw expiry (push or error). *)
+  l_errors : int;  (** Unexpected protocol/query errors. *)
+  l_inconsistent : int;  (** Query pairs that disagreed without expiry. *)
+  l_requests : int;
+  l_rows : int;
+  l_late_starts : int;  (** Open-loop arrivals behind schedule. *)
+  l_elapsed_s : float;
+  l_qps : float;  (** Requests per second across the run. *)
+  l_sessions_per_s : float;
+  l_p50_ms : float;  (** Per-request wire latency percentiles. *)
+  l_p99_ms : float;
+}
+
+val run : config -> report
+
+val env_int : ?least:int -> string -> int -> int
+(** Environment knob with the hardened parsing the stress knobs use:
+    unset returns the default, anything non-numeric or below [least]
+    (default 1) fails loudly instead of being silently clamped or
+    ignored.  Used for [VNL_NET_PORT], [VNL_NET_SESSIONS], ... *)
+
+val env_float : ?least:float -> string -> float -> float
+(** Same contract for fractional knobs ([VNL_NET_CHURN_MS], rates). *)

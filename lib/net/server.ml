@@ -1,0 +1,344 @@
+(* Accept + worker select loops around {!Conn}; see the .mli.
+
+   Shapes that matter:
+   - sockets are nonblocking everywhere; EAGAIN is "try next loop", and a
+     worker blocks only in [select] with the tick timeout;
+   - hand-off from the accept domain is a mutexed queue per worker plus a
+     wake pipe, so an idle worker picks a new connection up immediately
+     instead of at the next tick;
+   - expiry pushes ride the version number: each worker remembers the last
+     currentVN it saw (an atomic-cached read, no buffer-pool traffic) and
+     walks its connections only when the maintainer published;
+   - shedding beats buffering: a connection is closed the moment its
+     pending output crosses the bound, its epoch pin released with it. *)
+
+module Twovnl = Vnl_core.Twovnl
+module Domain_pool = Vnl_util.Domain_pool
+module Obs = Vnl_obs.Obs
+
+let m_accepted = Obs.Registry.counter "net.accepted"
+
+let m_rejected_busy = Obs.Registry.counter "net.rejected_busy"
+
+let m_shed_slow = Obs.Registry.counter "net.shed_slow"
+
+let m_disconnects = Obs.Registry.counter "net.disconnects"
+
+let g_connections = Obs.Registry.gauge "net.connections"
+
+let g_queue_depth = Obs.Registry.gauge "net.queue_depth"
+
+type listen = Tcp of { host : string; port : int } | Unix_path of string
+
+type config = {
+  workers : int;
+  max_connections : int;
+  accept_queue : int;
+  tick_s : float;
+  conn : Conn.config;
+}
+
+let default_config =
+  {
+    workers = 2;
+    max_connections = 1024;
+    accept_queue = 128;
+    tick_s = 0.02;
+    conn = Conn.default_config;
+  }
+
+type worker = {
+  mu : Mutex.t;
+  inbox : Unix.file_descr Queue.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+}
+
+type t = {
+  vnl : Twovnl.t;
+  config : config;
+  listener : Unix.file_descr;
+  bound_port : int;
+  unix_path : string option;
+  stopping : bool Atomic.t;
+  conn_count : int Atomic.t;
+  queued : int Atomic.t;
+  next_worker : int Atomic.t;
+  workers : worker array;
+  mutable domains : Domain_pool.Group.t option;
+  mutable stopped : bool;
+}
+
+(* Best-effort write used where blocking is unacceptable (busy rejects,
+   wake bytes): whatever does not fit is dropped. *)
+let write_nonblock fd buf off len =
+  match Unix.write fd buf off len with
+  | n -> n
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR | EPIPE | ECONNRESET), _, _) -> len
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let busy_frame =
+  lazy
+    (Wire.encode_response
+       (Wire.Error_ { code = Wire.Server_busy; message = "server at connection limit" }))
+
+let reject_busy fd =
+  Obs.Counter.record m_rejected_busy 1;
+  let b = Lazy.force busy_frame in
+  ignore (write_nonblock fd b 0 (Bytes.length b));
+  close_quiet fd
+
+let wake w = ignore (write_nonblock w.wake_w (Bytes.make 1 '!') 0 1)
+
+(* ---------- accept loop ---------- *)
+
+let accept_loop t =
+  while not (Atomic.get t.stopping) do
+    match Unix.select [ t.listener ] [] [] t.config.tick_s with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+      match Unix.accept ~cloexec:true t.listener with
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR | ECONNABORTED), _, _) ->
+        ()
+      | fd, _ ->
+        Unix.set_nonblock fd;
+        if Atomic.get t.conn_count + Atomic.get t.queued >= t.config.max_connections then
+          reject_busy fd
+        else begin
+          (* Round-robin hand-off; a full inbox (stalled worker) rejects
+             rather than queueing unboundedly. *)
+          let w = t.workers.(Atomic.fetch_and_add t.next_worker 1 mod Array.length t.workers) in
+          let accepted =
+            Mutex.protect w.mu (fun () ->
+                if Queue.length w.inbox >= t.config.accept_queue then false
+                else begin
+                  Queue.add fd w.inbox;
+                  true
+                end)
+          in
+          if accepted then begin
+            Atomic.incr t.queued;
+            Obs.Counter.record m_accepted 1;
+            Obs.Gauge.record g_queue_depth (Atomic.get t.queued);
+            wake w
+          end
+          else reject_busy fd
+        end)
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+  done
+
+(* ---------- worker loop ---------- *)
+
+let scratch_len = 1 lsl 16
+
+let worker_loop t rank =
+  let w = t.workers.(rank) in
+  let conns : (Unix.file_descr, Conn.t) Hashtbl.t = Hashtbl.create 64 in
+  let scratch = Bytes.create scratch_len in
+  let last_vn = ref (Twovnl.current_vn t.vnl) in
+  let close_conn fd conn =
+    Conn.close conn;
+    Hashtbl.remove conns fd;
+    close_quiet fd;
+    Atomic.decr t.conn_count;
+    Obs.Gauge.record g_connections (Atomic.get t.conn_count)
+  in
+  let drain_inbox () =
+    let incoming =
+      Mutex.protect w.mu (fun () ->
+          let xs = List.of_seq (Queue.to_seq w.inbox) in
+          Queue.clear w.inbox;
+          xs)
+    in
+    List.iter
+      (fun fd ->
+        Atomic.decr t.queued;
+        Atomic.incr t.conn_count;
+        Obs.Gauge.record g_connections (Atomic.get t.conn_count);
+        Hashtbl.replace conns fd (Conn.create ~config:t.config.conn t.vnl))
+      incoming;
+    Obs.Gauge.record g_queue_depth (Atomic.get t.queued)
+  in
+  let try_write fd conn =
+    let continue = ref true in
+    while !continue do
+      match Conn.peek_output conn with
+      | None -> continue := false
+      | Some (buf, off, len) -> (
+        match Unix.write fd buf off len with
+        | 0 -> continue := false
+        | n ->
+          Conn.consume_output conn n;
+          if n < len then continue := false
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+          continue := false
+        | exception Unix.Unix_error ((EPIPE | ECONNRESET | ENOTCONN | EBADF), _, _) ->
+          Obs.Counter.record m_disconnects 1;
+          close_conn fd conn;
+          continue := false)
+    done
+  in
+  let read_one fd conn =
+    match Unix.read fd scratch 0 scratch_len with
+    | 0 ->
+      Obs.Counter.record m_disconnects 1;
+      close_conn fd conn
+    | n -> Conn.on_input conn scratch 0 n
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error ((ECONNRESET | EPIPE | ENOTCONN | EBADF), _, _) ->
+      Obs.Counter.record m_disconnects 1;
+      close_conn fd conn
+  in
+  while not (Atomic.get t.stopping) do
+    let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+    let wfds =
+      Hashtbl.fold (fun fd c acc -> if Conn.pending_output c > 0 then fd :: acc else acc) conns []
+    in
+    (match Unix.select (w.wake_r :: fds) wfds [] t.config.tick_s with
+    | readable, writable, _ ->
+      if List.memq w.wake_r readable then begin
+        (match Unix.read w.wake_r scratch 0 scratch_len with
+        | _ -> ()
+        | exception Unix.Unix_error _ -> ())
+      end;
+      drain_inbox ();
+      List.iter
+        (fun fd ->
+          if fd <> w.wake_r then
+            match Hashtbl.find_opt conns fd with
+            | Some conn -> read_one fd conn
+            | None -> ())
+        readable;
+      List.iter
+        (fun fd ->
+          match Hashtbl.find_opt conns fd with
+          | Some conn -> try_write fd conn
+          | None -> ())
+        writable
+    | exception Unix.Unix_error (EINTR, _, _) -> ());
+    (* Maintenance published since the last pass: walk the connections and
+       push expiry to the ones whose session just died. *)
+    let vn = Twovnl.current_vn t.vnl in
+    if vn <> !last_vn then begin
+      last_vn := vn;
+      Hashtbl.iter (fun _ conn -> Conn.on_version_change conn) conns
+    end;
+    (* Close and shed: orderly closes wait for their output to drain;
+       overflowed (slow-client) connections are shed immediately. *)
+    let doomed =
+      Hashtbl.fold
+        (fun fd conn acc ->
+          if Conn.overflowed conn then begin
+            Obs.Counter.record m_shed_slow 1;
+            (fd, conn) :: acc
+          end
+          else begin
+            if Conn.pending_output conn > 0 then try_write fd conn;
+            if Conn.want_close conn && Conn.pending_output conn = 0 then (fd, conn) :: acc
+            else acc
+          end)
+        conns []
+    in
+    List.iter (fun (fd, conn) -> if Hashtbl.mem conns fd then close_conn fd conn) doomed
+  done;
+  (* Shutdown: close every remaining connection, releasing session pins. *)
+  Hashtbl.iter
+    (fun fd conn ->
+      Conn.close conn;
+      close_quiet fd;
+      Atomic.decr t.conn_count)
+    conns;
+  Hashtbl.reset conns;
+  Obs.Gauge.record g_connections (Atomic.get t.conn_count)
+
+(* ---------- lifecycle ---------- *)
+
+let make_listener listen =
+  match listen with
+  | Tcp { host; port } ->
+    let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+    let fd = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd SO_REUSEADDR true;
+       Unix.bind fd addr;
+       Unix.listen fd 256;
+       Unix.set_nonblock fd
+     with e ->
+       close_quiet fd;
+       raise e);
+    let bound_port =
+      match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
+    in
+    (fd, bound_port, None)
+  | Unix_path path ->
+    if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+    (try
+       Unix.bind fd (Unix.ADDR_UNIX path);
+       Unix.listen fd 256;
+       Unix.set_nonblock fd
+     with e ->
+       close_quiet fd;
+       raise e);
+    (fd, 0, Some path)
+
+let start ?(config = default_config) listen vnl =
+  if config.workers < 1 then invalid_arg "Server.start: need at least one worker";
+  (* A peer closing mid-write must surface as EPIPE, not kill the process. *)
+  if Sys.unix then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listener, bound_port, unix_path = make_listener listen in
+  let mk_worker _ =
+    let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+    Unix.set_nonblock wake_r;
+    Unix.set_nonblock wake_w;
+    { mu = Mutex.create (); inbox = Queue.create (); wake_r; wake_w }
+  in
+  let t =
+    {
+      vnl;
+      config;
+      listener;
+      bound_port;
+      unix_path;
+      stopping = Atomic.make false;
+      conn_count = Atomic.make 0;
+      queued = Atomic.make 0;
+      next_worker = Atomic.make 0;
+      workers = Array.init config.workers mk_worker;
+      domains = None;
+      stopped = false;
+    }
+  in
+  let group =
+    Domain_pool.Group.spawn ~count:(config.workers + 1) (fun rank ->
+        if rank = 0 then accept_loop t else worker_loop t (rank - 1))
+  in
+  t.domains <- Some group;
+  t
+
+let port t = t.bound_port
+
+let connections t = Atomic.get t.conn_count
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Atomic.set t.stopping true;
+    Array.iter wake t.workers;
+    (match t.domains with Some g -> Domain_pool.Group.join g | None -> ());
+    t.domains <- None;
+    (* Queued-but-never-adopted connections still need closing. *)
+    Array.iter
+      (fun w ->
+        Mutex.protect w.mu (fun () ->
+            Queue.iter close_quiet w.inbox;
+            Queue.clear w.inbox);
+        close_quiet w.wake_r;
+        close_quiet w.wake_w)
+      t.workers;
+    close_quiet t.listener;
+    match t.unix_path with
+    | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | None -> ()
+  end

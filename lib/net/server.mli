@@ -1,0 +1,57 @@
+(** The session-multiplexing network server.
+
+    One accept domain plus a small pool of worker domains
+    ({!Vnl_util.Domain_pool.Group}) serve many short-lived reader sessions
+    over TCP or Unix-domain sockets — sessions are multiplexed over the
+    workers, never thread-per-connection.  Each accepted connection is a
+    {!Conn.t}; workers run a [select] loop feeding bytes in, draining
+    frames out, and propagating maintenance publishes as expiry pushes.
+
+    Admission control and backpressure:
+    - at most [max_connections] connections overall; excess accepts are
+      answered with one [Server_busy] error frame and closed;
+    - each worker's hand-off inbox is bounded by [accept_queue]; overflow
+      is also busy-rejected, so a stalled worker cannot grow an unbounded
+      accept backlog;
+    - a connection whose pending output exceeds the configured bound (a
+      slow or stalled client) is {e shed} — closed and counted — rather
+      than buffered, so readers can never wedge the server or the
+      maintainer.
+
+    The maintainer is whoever calls {!Vnl_warehouse.Warehouse.refresh} (or
+    the pipelined variant) on the same warehouse from another domain; the
+    PR 5/6 domain-safe read path is what makes serving and maintenance
+    concurrent. *)
+
+type listen =
+  | Tcp of { host : string; port : int }
+      (** [port = 0] binds an ephemeral port; read it back with {!port}. *)
+  | Unix_path of string
+
+type config = {
+  workers : int;  (** Worker domains multiplexing connections. *)
+  max_connections : int;
+  accept_queue : int;  (** Per-worker pending hand-off bound. *)
+  tick_s : float;
+      (** Worker select timeout: the upper bound on expiry-push latency
+          when a connection is idle. *)
+  conn : Conn.config;
+}
+
+val default_config : config
+
+type t
+
+val start : ?config:config -> listen -> Vnl_core.Twovnl.t -> t
+(** Bind, listen, and spawn the accept/worker domains.  Raises
+    [Unix.Unix_error] if the address cannot be bound. *)
+
+val port : t -> int
+(** The bound TCP port (0 for Unix-domain listeners). *)
+
+val connections : t -> int
+(** Currently open connections (gauge [net.connections]). *)
+
+val stop : t -> unit
+(** Stop accepting, close every connection (releasing its session pin),
+    join the domains, and close the listener.  Idempotent. *)

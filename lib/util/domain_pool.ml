@@ -128,6 +128,32 @@ module Persistent = struct
     t.domains <- []
 end
 
+(* Long-running service domains (a network server's accept and worker
+   loops): unlike [parallel], the jobs are not expected to finish on their
+   own — the owner flips its own stop flag, then [join]s.  The group only
+   remembers the domains and surfaces the first exception at join time, so
+   a crashed worker loop cannot vanish silently. *)
+module Group = struct
+  type t = { mutable domains : (exn option ref * unit Domain.t) list }
+
+  let spawn ~count f =
+    if count < 1 then invalid_arg "Domain_pool.Group.spawn: need at least one domain";
+    let spawn_one i =
+      let err = ref None in
+      let d = Domain.spawn (fun () -> try f i with e -> err := Some e) in
+      (err, d)
+    in
+    { domains = List.init count spawn_one }
+
+  let count t = List.length t.domains
+
+  let join t =
+    let ds = t.domains in
+    t.domains <- [];
+    List.iter (fun (_, d) -> Domain.join d) ds;
+    List.iter (fun (err, _) -> match !err with Some e -> raise e | None -> ()) ds
+end
+
 let run ~domains f =
   if domains < 1 then invalid_arg "Domain_pool.run: need at least one domain";
   let arrived = Atomic.make 0 in

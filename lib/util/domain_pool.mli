@@ -15,6 +15,25 @@ val run : domains:int -> (start:(unit -> unit) -> int -> 'a) -> 'a array
     blocks until every domain has called it, so timed sections can begin
     simultaneously after spawn overhead. *)
 
+(** Long-running service domains: spawn [count] loops that run until the
+    owner tells them (through its own state) to stop, then [join].  The
+    fork-join helpers above assume jobs terminate by themselves; a network
+    server's accept and worker loops do not. *)
+module Group : sig
+  type t
+
+  val spawn : count:int -> (int -> unit) -> t
+  (** Spawn [count] domains running [f rank].  Raises [Invalid_argument]
+      when [count < 1]. *)
+
+  val count : t -> int
+
+  val join : t -> unit
+  (** Join every domain (idempotent), then re-raise the first exception
+      any of them died with.  The caller must already have signalled the
+      loops to stop, or this blocks forever. *)
+end
+
 (** A persistent fork-join pool: helper domains spawned once, parked on a
     condition variable between jobs.  Spawning and joining a domain costs
     milliseconds — more than a pipelined maintenance round's useful work —

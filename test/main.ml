@@ -30,4 +30,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("parallel-stress", Test_parallel_stress.suite);
       ("shard", Test_shard.suite);
+      ("net", Test_net.suite);
     ]

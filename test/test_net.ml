@@ -1,0 +1,634 @@
+(* Tests for the wire protocol and the network serving stack.
+
+   Three layers, increasingly integrated:
+   - Wire: encode/decode round-trips (QCheck), incremental decoding,
+     and frame fuzzing — truncated, oversized, zero-length, bit-flipped,
+     and random byte streams must surface as [`Corrupt] or [`Await],
+     never as an escaping exception;
+   - Conn: the socket-free protocol state machine — happy path, errors,
+     admission of garbage input, backpressure overflow, and the
+     deterministic expiry-mid-cursor scenario (a session expired by the
+     maintainer receives the pushed [Expired] frame and every later
+     Fetch answers [Session_expired]); every path must release the
+     session's epoch pin (no stuck GC horizon);
+   - Server/Client/Load: real sockets on an ephemeral port, including an
+     abrupt mid-cursor disconnect and a small load-generator run. *)
+
+module Value = Vnl_relation.Value
+module Database = Vnl_query.Database
+module Twovnl = Vnl_core.Twovnl
+module Wire = Vnl_net.Wire
+module Conn = Vnl_net.Conn
+module Server = Vnl_net.Server
+module Client = Vnl_net.Client
+module Load = Vnl_net.Load
+
+let check = Alcotest.check
+
+(* ---------- fixtures ---------- *)
+
+let initial_rows =
+  [
+    Fixtures.base_row "San Jose" "CA" "golf equip" 10 14 96 10000;
+    Fixtures.base_row "San Jose" "CA" "golf equip" 10 15 96 1500;
+    Fixtures.base_row "Berkeley" "CA" "racquetball" 10 14 96 12000;
+    Fixtures.base_row "Novato" "CA" "rollerblades" 10 13 96 8000;
+  ]
+
+let fresh ?n () =
+  let db = Database.create () in
+  let wh = Twovnl.init db in
+  ignore (Twovnl.register_table wh ?n ~name:"DailySales" Fixtures.daily_sales);
+  Twovnl.load_initial wh "DailySales" initial_rows;
+  wh
+
+let commit_once wh =
+  let m = Twovnl.Txn.begin_ wh in
+  ignore
+    (Twovnl.Txn.sql m
+       "UPDATE DailySales SET total_sales = total_sales + 1 WHERE city = 'Novato'");
+  Twovnl.Txn.commit m
+
+let sql_all = "SELECT city, state, total_sales FROM DailySales"
+
+(* Feed one encoded request into a connection. *)
+let push conn req =
+  let b = Wire.encode_request req in
+  Conn.on_input conn b 0 (Bytes.length b)
+
+(* Drain the connection's queued output and decode it as responses. *)
+let drain conn =
+  let dec = Wire.Decoder.response () in
+  let rec pump () =
+    match Conn.peek_output conn with
+    | Some (buf, off, len) when len > 0 ->
+      Wire.Decoder.feed dec buf off len;
+      Conn.consume_output conn len;
+      pump ()
+    | _ -> ()
+  in
+  pump ();
+  let rec msgs acc =
+    match Wire.Decoder.next dec with
+    | `Msg m -> msgs (m :: acc)
+    | `Await -> List.rev acc
+    | `Corrupt m -> Alcotest.failf "server output corrupt: %s" m
+  in
+  msgs []
+
+let horizon_caught_up wh =
+  Twovnl.min_session_vn wh = Twovnl.current_vn wh
+
+(* ---------- wire round-trips ---------- *)
+
+open QCheck.Gen
+
+let small_str = string_size ~gen:(char_range 'a' 'z') (int_range 0 12)
+
+let any_str =
+  (* Arbitrary bytes, including NULs and high bits — the wire must not care. *)
+  string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 40)
+
+let value_gen =
+  oneof
+    [
+      return Value.Null;
+      map (fun n -> Value.Int n) (int_range (-1000000) 1000000);
+      map (fun f -> Value.Float f) (float_bound_inclusive 1e9);
+      map (fun s -> Value.Str s) any_str;
+      map (fun d -> Value.Date d) (int_range 19900101 20991231);
+      map (fun b -> Value.Bool b) bool;
+    ]
+
+let request_gen =
+  oneof
+    [
+      map (fun s -> Wire.Hello s) small_str;
+      map (fun s -> Wire.Query s) any_str;
+      map2
+        (fun cursor max_rows -> Wire.Fetch { cursor; max_rows })
+        (int_range 0 100000) (int_range 0 0xffff);
+      map (fun c -> Wire.Close_cursor c) (int_range 0 100000);
+      return Wire.Bye;
+    ]
+
+let error_code_gen =
+  oneofl
+    [
+      Wire.Bad_frame; Wire.No_session; Wire.Session_expired; Wire.Query_failed;
+      Wire.Unknown_cursor; Wire.Server_busy; Wire.Too_many_cursors;
+    ]
+
+let response_gen =
+  oneof
+    [
+      map2
+        (fun session_id session_vn -> Wire.Hello_ok { session_id; session_vn })
+        (int_range 0 1000000) (int_range 0 1000000);
+      map3
+        (fun cursor columns total_rows -> Wire.Result { cursor; columns; total_rows })
+        (int_range 0 100000)
+        (list_size (int_range 0 6) small_str)
+        (int_range 0 100000);
+      map3
+        (fun cursor rows last -> Wire.Rows { cursor; rows; last })
+        (int_range 0 100000)
+        (list_size (int_range 0 8) (list_size (int_range 0 5) value_gen))
+        bool;
+      return Wire.Ok_;
+      map2 (fun code message -> Wire.Error_ { code; message }) error_code_gen any_str;
+      map2
+        (fun session_vn current_vn -> Wire.Expired { session_vn; current_vn })
+        (int_range 0 1000000) (int_range 0 1000000);
+    ]
+
+let decode_one (type a) (dec : a Wire.Decoder.t) frame =
+  Wire.Decoder.feed dec frame 0 (Bytes.length frame);
+  match Wire.Decoder.next dec with
+  | `Msg m -> (
+    (* The frame must also be complete: no leftover message. *)
+    match Wire.Decoder.next dec with
+    | `Await -> m
+    | _ -> Alcotest.fail "trailing message after one frame")
+  | `Await -> Alcotest.fail "decoder wants more after a full frame"
+  | `Corrupt msg -> Alcotest.failf "round-trip corrupt: %s" msg
+
+let qcheck_request_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"wire: request encode/decode round-trip"
+    (QCheck.make request_gen)
+    (fun req ->
+      decode_one (Wire.Decoder.request ()) (Wire.encode_request req) = req)
+
+let qcheck_response_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"wire: response encode/decode round-trip"
+    (QCheck.make response_gen)
+    (fun resp ->
+      decode_one (Wire.Decoder.response ()) (Wire.encode_response resp) = resp)
+
+let test_incremental_decode () =
+  (* Byte-at-a-time feeding yields the same message sequence. *)
+  let reqs =
+    [ Wire.Hello "x"; Wire.Query sql_all; Wire.Fetch { cursor = 3; max_rows = 7 }; Wire.Bye ]
+  in
+  let stream =
+    Bytes.concat Bytes.empty (List.map Wire.encode_request reqs)
+  in
+  let dec = Wire.Decoder.request () in
+  let got = ref [] in
+  Bytes.iter
+    (fun c ->
+      Wire.Decoder.feed dec (Bytes.make 1 c) 0 1;
+      let rec go () =
+        match Wire.Decoder.next dec with
+        | `Msg m ->
+          got := m :: !got;
+          go ()
+        | `Await -> ()
+        | `Corrupt msg -> Alcotest.failf "incremental corrupt: %s" msg
+      in
+      go ())
+    stream;
+  check Alcotest.int "all messages" (List.length reqs) (List.length !got);
+  if List.rev !got <> reqs then Alcotest.fail "incremental decode disagrees"
+
+let test_bad_lengths_corrupt () =
+  let dec = Wire.Decoder.request () in
+  let zero = Bytes.create 4 in
+  Bytes.set_int32_be zero 0 0l;
+  Wire.Decoder.feed dec zero 0 4;
+  (match Wire.Decoder.next dec with
+  | `Corrupt _ -> ()
+  | _ -> Alcotest.fail "zero-length frame must be corrupt");
+  (* Sticky: even valid bytes afterwards stay corrupt. *)
+  let ok = Wire.encode_request Wire.Bye in
+  Wire.Decoder.feed dec ok 0 (Bytes.length ok);
+  (match Wire.Decoder.next dec with
+  | `Corrupt _ -> ()
+  | _ -> Alcotest.fail "corruption must be sticky");
+  let dec2 = Wire.Decoder.request () in
+  let big = Bytes.create 4 in
+  Bytes.set_int32_be big 0 (Int32.of_int (Wire.max_frame + 1));
+  Wire.Decoder.feed dec2 big 0 4;
+  match Wire.Decoder.next dec2 with
+  | `Corrupt _ -> ()
+  | _ -> Alcotest.fail "oversized frame must be corrupt"
+
+(* Fuzz the decoder: arbitrary byte streams, fed in arbitrary chunkings,
+   never raise; they produce messages until they corrupt or await. *)
+let qcheck_decoder_fuzz =
+  QCheck.Test.make ~count:300 ~name:"wire: random bytes never escape the decoder"
+    (QCheck.make (string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 200)))
+    (fun s ->
+      let dec = Wire.Decoder.request () in
+      let b = Bytes.of_string s in
+      let n = Bytes.length b in
+      let i = ref 0 in
+      while !i < n do
+        let chunk = min (1 + (!i mod 7)) (n - !i) in
+        Wire.Decoder.feed dec b !i chunk;
+        i := !i + chunk;
+        let rec go () =
+          match Wire.Decoder.next dec with `Msg _ -> go () | `Await | `Corrupt _ -> ()
+        in
+        go ()
+      done;
+      true)
+
+(* Bit-flipped real frames: still no exception, and decoding either
+   succeeds (flip hit a don't-care byte) or corrupts cleanly. *)
+let qcheck_bitflip_fuzz =
+  QCheck.Test.make ~count:300 ~name:"wire: bit-flipped frames decode or corrupt cleanly"
+    (QCheck.make (triple request_gen (int_range 0 10000) (int_range 0 7)))
+    (fun (req, pos, bit) ->
+      let b = Wire.encode_request req in
+      let pos = pos mod Bytes.length b in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+      let dec = Wire.Decoder.request () in
+      Wire.Decoder.feed dec b 0 (Bytes.length b);
+      let rec go () =
+        match Wire.Decoder.next dec with `Msg _ -> go () | `Await | `Corrupt _ -> ()
+      in
+      go ();
+      true)
+
+let test_truncated_frame_awaits () =
+  let b = Wire.encode_request (Wire.Query sql_all) in
+  let dec = Wire.Decoder.request () in
+  Wire.Decoder.feed dec b 0 (Bytes.length b - 1);
+  (match Wire.Decoder.next dec with
+  | `Await -> ()
+  | `Msg _ -> Alcotest.fail "truncated frame decoded"
+  | `Corrupt _ -> Alcotest.fail "truncated frame corrupted");
+  Wire.Decoder.feed dec b (Bytes.length b - 1) 1;
+  match Wire.Decoder.next dec with
+  | `Msg (Wire.Query _) -> ()
+  | _ -> Alcotest.fail "completed frame lost"
+
+(* ---------- Conn: the protocol state machine ---------- *)
+
+let hello_ok conn =
+  push conn (Wire.Hello "test");
+  match drain conn with
+  | [ Wire.Hello_ok { session_vn; _ } ] -> session_vn
+  | _ -> Alcotest.fail "expected Hello_ok"
+
+let query_ok conn sql =
+  push conn (Wire.Query sql);
+  match drain conn with
+  | [ Wire.Result { cursor; columns; total_rows } ] -> (cursor, columns, total_rows)
+  | [ Wire.Error_ { message; _ } ] -> Alcotest.failf "query failed: %s" message
+  | _ -> Alcotest.fail "expected Result"
+
+let test_conn_happy_path () =
+  let wh = fresh () in
+  let conn = Conn.create wh in
+  let vn = hello_ok conn in
+  check Alcotest.int "session at current vn" (Twovnl.current_vn wh) vn;
+  let cursor, columns, total = query_ok conn sql_all in
+  check Alcotest.int "all rows counted" 4 total;
+  (* The updatable attribute is rewritten into a CASE, so only the width
+     of the label list is stable. *)
+  check Alcotest.int "label count" 3 (List.length columns);
+  push conn (Wire.Fetch { cursor; max_rows = 3 });
+  (match drain conn with
+  | [ Wire.Rows { rows; last = false; _ } ] -> check Alcotest.int "chunk" 3 (List.length rows)
+  | _ -> Alcotest.fail "expected first chunk");
+  push conn (Wire.Fetch { cursor; max_rows = 3 });
+  (match drain conn with
+  | [ Wire.Rows { rows; last = true; _ } ] -> check Alcotest.int "tail" 1 (List.length rows)
+  | _ -> Alcotest.fail "expected last chunk");
+  (* The cursor is gone once [last] was delivered. *)
+  push conn (Wire.Fetch { cursor; max_rows = 3 });
+  (match drain conn with
+  | [ Wire.Error_ { code = Wire.Unknown_cursor; _ } ] -> ()
+  | _ -> Alcotest.fail "expected Unknown_cursor");
+  push conn Wire.Bye;
+  (match drain conn with
+  | [ Wire.Ok_ ] -> ()
+  | _ -> Alcotest.fail "expected Ok");
+  check Alcotest.bool "orderly close requested" true (Conn.want_close conn);
+  Conn.close conn;
+  check Alcotest.bool "pin released" true (horizon_caught_up wh)
+
+let test_conn_requires_hello () =
+  let wh = fresh () in
+  let conn = Conn.create wh in
+  push conn (Wire.Query sql_all);
+  (match drain conn with
+  | [ Wire.Error_ { code = Wire.No_session; _ } ] -> ()
+  | _ -> Alcotest.fail "expected No_session");
+  push conn (Wire.Fetch { cursor = 0; max_rows = 1 });
+  (match drain conn with
+  | [ Wire.Error_ { code = Wire.No_session; _ } ] -> ()
+  | _ -> Alcotest.fail "expected No_session for fetch");
+  Conn.close conn
+
+let test_conn_query_error () =
+  let wh = fresh () in
+  let conn = Conn.create wh in
+  ignore (hello_ok conn);
+  push conn (Wire.Query "SELECT nonsense FROM nowhere");
+  (match drain conn with
+  | [ Wire.Error_ { code = Wire.Query_failed; _ } ] -> ()
+  | _ -> Alcotest.fail "expected Query_failed");
+  (* The session survives a failed query. *)
+  let _cursor, _cols, total = query_ok conn sql_all in
+  check Alcotest.int "session still works" 4 total;
+  Conn.close conn;
+  check Alcotest.bool "pin released" true (horizon_caught_up wh)
+
+let test_conn_cursor_limit () =
+  let wh = fresh () in
+  let conn =
+    Conn.create ~config:{ Conn.default_config with Conn.max_cursors = 1 } wh
+  in
+  ignore (hello_ok conn);
+  let _ = query_ok conn sql_all in
+  push conn (Wire.Query sql_all);
+  (match drain conn with
+  | [ Wire.Error_ { code = Wire.Too_many_cursors; _ } ] -> ()
+  | _ -> Alcotest.fail "expected Too_many_cursors");
+  Conn.close conn
+
+let test_conn_garbage_input () =
+  let wh = fresh () in
+  let conn = Conn.create wh in
+  ignore (hello_ok conn);
+  let garbage = Bytes.of_string "\x00\x00\x00\x05\xff_junk_after_a_bogus_opcode" in
+  Conn.on_input conn garbage 0 (Bytes.length garbage);
+  (match drain conn with
+  | [ Wire.Error_ { code = Wire.Bad_frame; _ } ] -> ()
+  | other -> Alcotest.failf "expected Bad_frame, got %d frames" (List.length other));
+  check Alcotest.bool "desynchronized stream closes" true (Conn.want_close conn);
+  Conn.close conn;
+  check Alcotest.bool "pin released" true (horizon_caught_up wh)
+
+(* Fuzz the whole state machine: random byte blobs (seeded with valid
+   opcodes often enough to get past framing) must never raise, and the
+   epoch pin must always be released by close. *)
+let qcheck_conn_fuzz =
+  QCheck.Test.make ~count:120 ~name:"conn: fuzzed input never escapes, never leaks pins"
+    (QCheck.make
+       (list_size (int_range 1 8)
+          (string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 60))))
+    (fun chunks ->
+      let wh = fresh () in
+      let conn = Conn.create wh in
+      (* A valid prefix so some fuzz runs get a live session first. *)
+      push conn (Wire.Hello "fuzz");
+      ignore (drain conn);
+      List.iter
+        (fun s ->
+          let b = Bytes.of_string s in
+          Conn.on_input conn b 0 (Bytes.length b);
+          ignore (drain conn))
+        chunks;
+      Conn.close conn;
+      horizon_caught_up wh)
+
+let test_conn_backpressure_overflow () =
+  let wh = fresh () in
+  (* An output bound small enough that one Rows frame overflows it. *)
+  let conn =
+    Conn.create ~config:{ Conn.default_config with Conn.max_output = 32 } wh
+  in
+  ignore (hello_ok conn);
+  push conn (Wire.Query sql_all);
+  check Alcotest.bool "overflowed" true (Conn.overflowed conn);
+  Conn.close conn;
+  check Alcotest.bool "pin released" true (horizon_caught_up wh)
+
+(* The deterministic expiry-mid-cursor scenario (the satellite's second
+   half): with n = 2 a session survives one maintenance commit and
+   expires at the second.  The server must push [Expired] and answer
+   every later Fetch with [Session_expired]. *)
+let test_conn_expiry_mid_cursor () =
+  let wh = fresh ~n:2 () in
+  let conn = Conn.create wh in
+  let svn = hello_ok conn in
+  let cursor, _cols, _total = query_ok conn sql_all in
+  push conn (Wire.Fetch { cursor; max_rows = 2 });
+  (match drain conn with
+  | [ Wire.Rows { last = false; _ } ] -> ()
+  | _ -> Alcotest.fail "expected a partial chunk");
+  (* One commit: still valid (2VNL keeps the pre-update version). *)
+  commit_once wh;
+  Conn.on_version_change conn;
+  (match drain conn with
+  | [] -> ()
+  | _ -> Alcotest.fail "no push while the session is still valid");
+  (* Second commit: the session has now overlapped n maintenance
+     transactions and is expired. *)
+  commit_once wh;
+  Conn.on_version_change conn;
+  (match drain conn with
+  | [ Wire.Expired { session_vn; current_vn } ] ->
+    check Alcotest.int "push carries the session vn" svn session_vn;
+    check Alcotest.int "push carries current vn" (Twovnl.current_vn wh) current_vn
+  | other -> Alcotest.failf "expected the Expired push, got %d frames" (List.length other));
+  (* The push is sent once, not on every later version check. *)
+  Conn.on_version_change conn;
+  (match drain conn with
+  | [] -> ()
+  | _ -> Alcotest.fail "Expired must be pushed exactly once");
+  (* The documented post-expiry error on the half-read cursor. *)
+  push conn (Wire.Fetch { cursor; max_rows = 2 });
+  (match drain conn with
+  | [ Wire.Error_ { code = Wire.Session_expired; _ } ] -> ()
+  | _ -> Alcotest.fail "expected Session_expired on post-expiry fetch");
+  push conn (Wire.Query sql_all);
+  (match drain conn with
+  | [ Wire.Error_ { code = Wire.Session_expired; _ } ] -> ()
+  | _ -> Alcotest.fail "expected Session_expired on post-expiry query");
+  (* Expiry released the pin already — before the connection closes. *)
+  check Alcotest.bool "pin released at expiry" true (horizon_caught_up wh);
+  check
+    (Alcotest.option Alcotest.int)
+    "no live session" None (Conn.session_vn conn);
+  (* A fresh Hello restores service on the same connection. *)
+  let vn2 = hello_ok conn in
+  check Alcotest.int "new session at current vn" (Twovnl.current_vn wh) vn2;
+  let _cursor, _cols, total = query_ok conn sql_all in
+  check Alcotest.int "fresh session reads" 4 total;
+  Conn.close conn
+
+(* ---------- Server/Client/Load: real sockets ---------- *)
+
+let with_server ?config f =
+  let wh = fresh ~n:2 () in
+  let srv = Server.start ?config (Server.Tcp { host = "127.0.0.1"; port = 0 }) wh in
+  Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f wh srv)
+
+let test_e2e_roundtrip () =
+  with_server (fun wh srv ->
+      let c = Client.connect (Client.Tcp ("127.0.0.1", Server.port srv)) in
+      (match Client.hello c with
+      | Ok (_sid, vn) -> check Alcotest.int "hello vn" (Twovnl.current_vn wh) vn
+      | Error { message; _ } -> Alcotest.failf "hello: %s" message);
+      (match Client.query c sql_all with
+      | Ok (cursor, columns, total) ->
+        check Alcotest.int "total rows" 4 total;
+        check Alcotest.int "label count" 3 (List.length columns);
+        let rec fetch_all acc =
+          match Client.fetch c ~cursor ~max_rows:2 with
+          | Ok (rows, true) -> acc @ rows
+          | Ok (rows, false) -> fetch_all (acc @ rows)
+          | Error { message; _ } -> Alcotest.failf "fetch: %s" message
+        in
+        check Alcotest.int "all rows over the wire" 4 (List.length (fetch_all []))
+      | Error { message; _ } -> Alcotest.failf "query: %s" message);
+      (match Client.bye c with
+      | Ok () -> ()
+      | Error { message; _ } -> Alcotest.failf "bye: %s" message));
+  (* After stop every connection is gone; the warehouse outlives the
+     server with its horizon caught up. *)
+  ()
+
+let test_e2e_abrupt_disconnect_releases_pin () =
+  with_server (fun wh srv ->
+      let c = Client.connect (Client.Tcp ("127.0.0.1", Server.port srv)) in
+      (match Client.hello c with
+      | Ok _ -> ()
+      | Error { message; _ } -> Alcotest.failf "hello: %s" message);
+      (match Client.query c sql_all with
+      | Ok (cursor, _, _) -> ignore (Client.fetch c ~cursor ~max_rows:1)
+      | Error { message; _ } -> Alcotest.failf "query: %s" message);
+      (* Vanish mid-cursor. *)
+      Client.disconnect c;
+      (* The worker notices EOF and must release the session pin. *)
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      let rec wait () =
+        if horizon_caught_up wh then ()
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.fail "session pin still held after abrupt disconnect"
+        else begin
+          Unix.sleepf 0.01;
+          wait ()
+        end
+      in
+      wait ())
+
+let test_e2e_expiry_push_over_socket () =
+  with_server (fun wh srv ->
+      let c = Client.connect (Client.Tcp ("127.0.0.1", Server.port srv)) in
+      (match Client.hello c with
+      | Ok _ -> ()
+      | Error { message; _ } -> Alcotest.failf "hello: %s" message);
+      let cursor =
+        match Client.query c sql_all with
+        | Ok (cursor, _, _) -> cursor
+        | Error { message; _ } -> Alcotest.failf "query: %s" message
+      in
+      ignore (Client.fetch c ~cursor ~max_rows:1);
+      (* Expire the session under the open cursor (n = 2). *)
+      commit_once wh;
+      commit_once wh;
+      (* The next fetch must fail with the documented error — whether the
+         worker's push or the request itself noticed expiry first. *)
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      let rec poll () =
+        match Client.fetch c ~cursor ~max_rows:1 with
+        | Error { code = Wire.Session_expired; _ } -> ()
+        | Ok _ when Unix.gettimeofday () < deadline ->
+          Unix.sleepf 0.01;
+          poll ()
+        | Ok _ -> Alcotest.fail "fetch kept succeeding after expiry"
+        | Error { message; _ } -> Alcotest.failf "unexpected error: %s" message
+      in
+      poll ();
+      check Alcotest.bool "pin released at expiry" true (horizon_caught_up wh))
+
+let test_load_generator_smoke () =
+  with_server (fun wh srv ->
+      let r =
+        Load.run
+          {
+            Load.default_config with
+            Load.addr = Client.Tcp ("127.0.0.1", Server.port srv);
+            sessions = 40;
+            concurrency = 2;
+            fetch_size = 2;
+            disconnect_prob = 0.25;
+            seed = 5;
+            sql = sql_all;
+          }
+      in
+      check Alcotest.int "all sessions attempted" 40 r.Load.l_sessions;
+      check Alcotest.int "no unexpected errors" 0 r.Load.l_errors;
+      check Alcotest.int "no inconsistent pairs" 0 r.Load.l_inconsistent;
+      if r.Load.l_completed = 0 then Alcotest.fail "no session completed";
+      if r.Load.l_disconnected = 0 then Alcotest.fail "no abrupt disconnects exercised";
+      (* Give the workers a beat to reap the last abrupt disconnects. *)
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while (not (horizon_caught_up wh)) && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.01
+      done;
+      check Alcotest.bool "horizon caught up after churn" true (horizon_caught_up wh))
+
+(* ---------- hardened env knobs ---------- *)
+
+let test_env_knobs () =
+  let name = "VNL_NET_TEST_KNOB" in
+  Unix.putenv name "";
+  check Alcotest.int "unset -> default" 7 (Load.env_int name 7);
+  Unix.putenv name "12";
+  check Alcotest.int "numeric" 12 (Load.env_int name 7);
+  Unix.putenv name " 9 ";
+  check Alcotest.int "trimmed" 9 (Load.env_int name 7);
+  Unix.putenv name "abc";
+  (match Load.env_int name 7 with
+  | exception Failure _ -> ()
+  | v -> Alcotest.failf "non-numeric accepted as %d" v);
+  Unix.putenv name "-3";
+  (match Load.env_int name 7 with
+  | exception Failure _ -> ()
+  | v -> Alcotest.failf "negative accepted as %d" v);
+  Unix.putenv name "0";
+  (match Load.env_int name 7 with
+  | exception Failure _ -> ()
+  | v -> Alcotest.failf "zero accepted as %d" v);
+  check Alcotest.int "least 0 admits 0" 0 (Load.env_int ~least:0 name 7);
+  Unix.putenv name "2.5";
+  (match Load.env_int name 7 with
+  | exception Failure _ -> ()
+  | v -> Alcotest.failf "fractional accepted as %d" v);
+  check (Alcotest.float 1e-9) "float knob" 2.5 (Load.env_float name 7.0);
+  Unix.putenv name "nope";
+  (match Load.env_float name 7.0 with
+  | exception Failure _ -> ()
+  | v -> Alcotest.failf "non-numeric float accepted as %g" v);
+  Unix.putenv name ""
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_request_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_response_roundtrip;
+    Alcotest.test_case "wire: incremental byte-at-a-time decode" `Quick
+      test_incremental_decode;
+    Alcotest.test_case "wire: zero/oversized lengths corrupt (sticky)" `Quick
+      test_bad_lengths_corrupt;
+    Alcotest.test_case "wire: truncated frame awaits, then completes" `Quick
+      test_truncated_frame_awaits;
+    QCheck_alcotest.to_alcotest qcheck_decoder_fuzz;
+    QCheck_alcotest.to_alcotest qcheck_bitflip_fuzz;
+    Alcotest.test_case "conn: hello/query/fetch/bye happy path" `Quick
+      test_conn_happy_path;
+    Alcotest.test_case "conn: query/fetch before hello" `Quick test_conn_requires_hello;
+    Alcotest.test_case "conn: SQL failure answers Query_failed" `Quick
+      test_conn_query_error;
+    Alcotest.test_case "conn: cursor limit" `Quick test_conn_cursor_limit;
+    Alcotest.test_case "conn: garbage input answers Bad_frame and closes" `Quick
+      test_conn_garbage_input;
+    QCheck_alcotest.to_alcotest qcheck_conn_fuzz;
+    Alcotest.test_case "conn: slow-client output overflow" `Quick
+      test_conn_backpressure_overflow;
+    Alcotest.test_case "conn: expiry mid-cursor is pushed, then fetches fail" `Quick
+      test_conn_expiry_mid_cursor;
+    Alcotest.test_case "e2e: socket round-trip" `Quick test_e2e_roundtrip;
+    Alcotest.test_case "e2e: abrupt disconnect releases the pin" `Quick
+      test_e2e_abrupt_disconnect_releases_pin;
+    Alcotest.test_case "e2e: expiry reaches a remote reader" `Quick
+      test_e2e_expiry_push_over_socket;
+    Alcotest.test_case "e2e: load generator smoke" `Quick test_load_generator_smoke;
+    Alcotest.test_case "env knobs: hardened parsing" `Quick test_env_knobs;
+  ]
