@@ -87,21 +87,42 @@ let unexpected t resp =
   in
   fail t (Printf.sprintf "unexpected %s response" what)
 
+(* The encoders raise [Invalid_argument] on fields their length prefixes
+   cannot carry; this API is result-typed, so reject over-long input here
+   without touching the socket instead of leaking that exception. *)
+let max_sql_len = Wire.max_frame - 5 (* payload = opcode + u32 length + text *)
+
 let hello ?(name = "vnl-client") t =
-  send t (Wire.encode_request (Wire.Hello name));
-  match recv t with
-  | Wire.Hello_ok { session_id; session_vn } ->
-    t.notice <- None;
-    Ok (session_id, session_vn)
-  | Wire.Error_ { code; message } -> Error { code; message }
-  | resp -> unexpected t resp
+  if String.length name > Wire.max_str16 then
+    Error
+      {
+        code = Wire.Bad_frame;
+        message = Printf.sprintf "client name exceeds %d bytes" Wire.max_str16;
+      }
+  else begin
+    send t (Wire.encode_request (Wire.Hello name));
+    match recv t with
+    | Wire.Hello_ok { session_id; session_vn } ->
+      t.notice <- None;
+      Ok (session_id, session_vn)
+    | Wire.Error_ { code; message } -> Error { code; message }
+    | resp -> unexpected t resp
+  end
 
 let query t sql =
-  send t (Wire.encode_request (Wire.Query sql));
-  match recv t with
-  | Wire.Result { cursor; columns; total_rows } -> Ok (cursor, columns, total_rows)
-  | Wire.Error_ { code; message } -> Error { code; message }
-  | resp -> unexpected t resp
+  if String.length sql > max_sql_len then
+    Error
+      {
+        code = Wire.Query_failed;
+        message = Printf.sprintf "SQL text exceeds the %d-byte frame bound" max_sql_len;
+      }
+  else begin
+    send t (Wire.encode_request (Wire.Query sql));
+    match recv t with
+    | Wire.Result { cursor; columns; total_rows } -> Ok (cursor, columns, total_rows)
+    | Wire.Error_ { code; message } -> Error { code; message }
+    | resp -> unexpected t resp
+  end
 
 let fetch t ~cursor ~max_rows =
   (* 0 asks for the server's default chunk; the wire field is a u16. *)

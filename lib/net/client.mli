@@ -24,10 +24,13 @@ val connect : ?timeout_s:float -> addr -> t
 
 val hello : ?name:string -> t -> (int * int, error) result
 (** Open a reader session: [(session_id, session_vn)].  Clears any
-    recorded expiry notice. *)
+    recorded expiry notice.  A [name] longer than {!Wire.max_str16}
+    bytes is rejected locally as [Error] ([Bad_frame]) without sending. *)
 
 val query : t -> string -> (int * string list * int, error) result
-(** Execute a SELECT: [(cursor, columns, total_rows)]. *)
+(** Execute a SELECT: [(cursor, columns, total_rows)].  SQL text too
+    long for one frame (≈ {!Wire.max_frame} bytes) is rejected locally
+    as [Error] ([Query_failed]) without sending. *)
 
 val fetch :
   t -> cursor:int -> max_rows:int -> (Vnl_relation.Value.t list list * bool, error) result

@@ -162,6 +162,11 @@ let on_version_change t =
 (* ---------- request handlers ---------- *)
 
 let err t code message =
+  (* Error frames must always encode: cap the message well under the
+     u16 string bound (SQL errors can quote arbitrarily long input). *)
+  let message =
+    if String.length message > 300 then String.sub message 0 297 ^ "..." else message
+  in
   (match code with
   | Wire.Session_expired -> Obs.Counter.record m_expired_rejects 1
   | Wire.Query_failed -> Obs.Counter.record m_query_errors 1
@@ -221,12 +226,21 @@ let handle_query t sql =
       err t Wire.Query_failed msg
   end
 
-let take n xs =
-  let rec go n acc = function
-    | x :: rest when n > 0 -> go (n - 1) (x :: acc) rest
-    | rest -> (List.rev acc, rest)
+(* Pack up to [want] rows into one frame without exceeding the payload
+   bound: a chunk stops early at a row that would overflow the remaining
+   byte budget, and that row leads the next fetch.  A row no frame can
+   carry at all ([Wire.row_encodable] false) therefore always surfaces as
+   an empty chunk with the offender at the head. *)
+let take_chunk want budget xs =
+  let rec go n budget acc rest =
+    match rest with
+    | row :: tl when n > 0 ->
+      let sz = Wire.row_size row in
+      if sz > budget || not (Wire.row_encodable row) then (List.rev acc, rest)
+      else go (n - 1) (budget - sz) (row :: acc) tl
+    | _ -> (List.rev acc, rest)
   in
-  go n [] xs
+  go (max 1 want) budget [] xs
 
 let handle_fetch t cursor max_rows =
   with_session t @@ fun _s ->
@@ -237,11 +251,20 @@ let handle_fetch t cursor max_rows =
     let want =
       if max_rows <= 0 then t.config.fetch_chunk else min max_rows t.config.fetch_chunk
     in
-    let chunk, rest = take want c.remaining in
-    c.remaining <- rest;
-    let last = rest = [] in
-    if last then Hashtbl.remove t.cursors cursor;
-    respond t (Wire.Rows { cursor; rows = chunk; last })
+    let budget = Wire.max_frame - Wire.rows_overhead in
+    match take_chunk want budget c.remaining with
+    | [], _ :: _ ->
+      (* The head row cannot be encoded in any frame (an over-long string
+         or a row wider than a whole frame): the cursor can never make
+         progress past it, so drop it with the documented error. *)
+      Hashtbl.remove t.cursors cursor;
+      err t Wire.Query_failed
+        (Printf.sprintf "cursor %d: row too large for a wire frame" cursor)
+    | chunk, rest ->
+      c.remaining <- rest;
+      let last = rest = [] in
+      if last then Hashtbl.remove t.cursors cursor;
+      respond t (Wire.Rows { cursor; rows = chunk; last })
 
 let handle_close_cursor t cursor =
   if Hashtbl.mem t.cursors cursor then begin
@@ -252,13 +275,26 @@ let handle_close_cursor t cursor =
 
 let handle_request t req =
   Obs.Counter.record m_requests 1;
-  match req with
-  | Wire.Hello name -> handle_hello t name
-  | Wire.Query sql -> handle_query t sql
-  | Wire.Fetch { cursor; max_rows } -> handle_fetch t cursor max_rows
-  | Wire.Close_cursor cursor -> handle_close_cursor t cursor
-  | Wire.Bye ->
-    respond t Wire.Ok_;
+  try
+    match req with
+    | Wire.Hello name -> handle_hello t name
+    | Wire.Query sql -> handle_query t sql
+    | Wire.Fetch { cursor; max_rows } -> handle_fetch t cursor max_rows
+    | Wire.Close_cursor cursor -> handle_close_cursor t cursor
+    | Wire.Bye ->
+      respond t Wire.Ok_;
+      t.want_close <- true
+  with
+  | (Out_of_memory | Stack_overflow) as e -> raise e
+  | e ->
+    (* Residual failure — e.g. a response that refused to encode.  The
+       reply stream may be mid-frame-build but never mid-frame-send
+       ([respond] queues whole frames), so one error frame is still
+       well-formed; after it the connection closes because cursor state
+       may no longer match what the client saw.  This backstop is what
+       keeps the no-exception-escapes contract of [on_input] true even
+       for encode paths the handlers above did not anticipate. *)
+    err t Wire.Query_failed ("internal error: " ^ Printexc.to_string e);
     t.want_close <- true
 
 (* ---------- input ---------- *)

@@ -21,7 +21,11 @@
       [Query]/[Fetch] answers [Session_expired] until a fresh [Hello]. *)
 
 type config = {
-  fetch_chunk : int;  (** Row cap per [Rows] frame (and [Fetch] default). *)
+  fetch_chunk : int;
+      (** Row cap per [Rows] frame (and [Fetch] default).  Chunks are
+          additionally byte-budgeted under {!Wire.max_frame}: wide rows
+          ship in smaller chunks, and a single row no frame can carry
+          answers [Query_failed]. *)
   max_cursors : int;  (** Open cursors per connection. *)
   max_output : int;
       (** Pending-output bytes above which the connection counts as

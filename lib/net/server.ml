@@ -69,6 +69,19 @@ type t = {
   mutable stopped : bool;
 }
 
+(* [Unix.select] cannot represent an fd whose raw value is >= FD_SETSIZE
+   (1024 on Linux) — passing one fails with EINVAL.  Three defenses keep
+   every pollable fd legal: the connection cap is clamped below the limit
+   at [start], the accept loop rejects any descriptor numbered too high
+   (the raw value is what select cares about, not the connection count —
+   other open files in the process shift it up), and the worker loop
+   self-heals by shedding offenders if one still slips through. *)
+let fd_setsize = 1024
+
+(* On Unix a [Unix.file_descr] is the raw integer fd; elsewhere the
+   select limit does not apply in this form, so the guard is disabled. *)
+let fd_int (fd : Unix.file_descr) : int = if Sys.unix then Obj.magic fd else 0
+
 (* Best-effort write used where blocking is unacceptable (busy rejects,
    wake bytes): whatever does not fit is dropped. *)
 let write_nonblock fd buf off len =
@@ -103,8 +116,9 @@ let accept_loop t =
         ()
       | fd, _ ->
         Unix.set_nonblock fd;
-        if Atomic.get t.conn_count + Atomic.get t.queued >= t.config.max_connections then
-          reject_busy fd
+        if fd_int fd >= fd_setsize then reject_busy fd
+        else if Atomic.get t.conn_count + Atomic.get t.queued >= t.config.max_connections
+        then reject_busy fd
         else begin
           (* Round-robin hand-off; a full inbox (stalled worker) rejects
              rather than queueing unboundedly. *)
@@ -216,7 +230,24 @@ let worker_loop t rank =
           | Some conn -> try_write fd conn
           | None -> ())
         writable
-    | exception Unix.Unix_error (EINTR, _, _) -> ());
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | exception (Unix.Unix_error (EINVAL, _, _) | Invalid_argument _) ->
+      (* An over-limit fd made the select set illegal after all: shed the
+         offenders so the next pass is legal (their pins release with
+         them); if none are found the error was something else transient,
+         so just breathe for a tick instead of spinning. *)
+      let bad =
+        Hashtbl.fold
+          (fun fd c acc -> if fd_int fd >= fd_setsize then (fd, c) :: acc else acc)
+          conns []
+      in
+      if bad = [] then Unix.sleepf t.config.tick_s
+      else
+        List.iter
+          (fun (fd, conn) ->
+            Obs.Counter.record m_disconnects 1;
+            close_conn fd conn)
+          bad);
     (* Maintenance published since the last pass: walk the connections and
        push expiry to the ones whose session just died. *)
     let vn = Twovnl.current_vn t.vnl in
@@ -225,22 +256,26 @@ let worker_loop t rank =
       Hashtbl.iter (fun _ conn -> Conn.on_version_change conn) conns
     end;
     (* Close and shed: orderly closes wait for their output to drain;
-       overflowed (slow-client) connections are shed immediately. *)
-    let doomed =
-      Hashtbl.fold
-        (fun fd conn acc ->
+       overflowed (slow-client) connections are shed immediately.  Work
+       over a snapshot — [try_write] can [close_conn], and Hashtbl
+       iteration is unspecified if the table mutates mid-fold. *)
+    let snapshot = Hashtbl.fold (fun fd conn acc -> (fd, conn) :: acc) conns [] in
+    List.iter
+      (fun (fd, conn) ->
+        if Hashtbl.mem conns fd then
           if Conn.overflowed conn then begin
             Obs.Counter.record m_shed_slow 1;
-            (fd, conn) :: acc
+            close_conn fd conn
           end
           else begin
             if Conn.pending_output conn > 0 then try_write fd conn;
-            if Conn.want_close conn && Conn.pending_output conn = 0 then (fd, conn) :: acc
-            else acc
+            if
+              Hashtbl.mem conns fd
+              && Conn.want_close conn
+              && Conn.pending_output conn = 0
+            then close_conn fd conn
           end)
-        conns []
-    in
-    List.iter (fun (fd, conn) -> if Hashtbl.mem conns fd then close_conn fd conn) doomed
+      snapshot
   done;
   (* Shutdown: close every remaining connection, releasing session pins. *)
   Hashtbl.iter
@@ -285,6 +320,13 @@ let make_listener listen =
 
 let start ?(config = default_config) listen vnl =
   if config.workers < 1 then invalid_arg "Server.start: need at least one worker";
+  (* Keep accepted fds representable in select sets, with headroom for
+     the listener, wake pipes, and whatever else the process has open. *)
+  let config =
+    let cap = fd_setsize - 64 in
+    if config.max_connections > cap then { config with max_connections = cap }
+    else config
+  in
   (* A peer closing mid-write must surface as EPIPE, not kill the process. *)
   if Sys.unix then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let listener, bound_port, unix_path = make_listener listen in

@@ -31,6 +31,10 @@ type listen =
 type config = {
   workers : int;  (** Worker domains multiplexing connections. *)
   max_connections : int;
+      (** Connection cap; {!start} clamps it below the [select]
+          representable-fd limit ([FD_SETSIZE], 1024 on Linux) — an fd
+          numbered past that limit is busy-rejected at accept no matter
+          the cap, since [Unix.select] cannot poll it. *)
   accept_queue : int;  (** Per-worker pending hand-off bound. *)
   tick_s : float;
       (** Worker select timeout: the upper bound on expiry-push latency

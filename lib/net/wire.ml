@@ -102,6 +102,31 @@ let add_value b = function
     add_u8 b 5;
     add_u8 b (if v then 1 else 0)
 
+let max_str16 = 0xffff
+
+(* Encoded sizes, used by the connection layer to pack [Rows] frames
+   under [max_frame] *before* encoding — [encode_response] refuses an
+   oversized payload, so whoever builds a chunk must budget bytes, not
+   just rows. *)
+let value_size = function
+  | Value.Null -> 1
+  | Value.Int _ | Value.Float _ | Value.Date _ -> 9
+  | Value.Str s -> 3 + String.length s
+  | Value.Bool _ -> 2
+
+let row_size row = 2 + List.fold_left (fun acc v -> acc + value_size v) 0 row
+
+let rows_overhead = 8
+
+let value_encodable = function
+  | Value.Str s -> String.length s <= max_str16
+  | Value.Null | Value.Int _ | Value.Float _ | Value.Date _ | Value.Bool _ -> true
+
+let row_encodable row =
+  List.length row <= max_str16
+  && List.for_all value_encodable row
+  && row_size row <= max_frame - rows_overhead
+
 let frame payload =
   let n = Buffer.length payload in
   if n = 0 || n > max_frame then invalid_arg "Wire: payload size out of range";

@@ -59,10 +59,37 @@ type response =
   | Error_ of { code : error_code; message : string }
   | Expired of { session_vn : int; current_vn : int }
 
+val max_str16 : int
+(** Maximum bytes in a u16-prefixed string (65535): identifiers, error
+    messages, and [Str] values.  Longer payloads cannot be encoded. *)
+
+val value_size : Vnl_relation.Value.t -> int
+(** Encoded bytes of one value (tag included). *)
+
+val row_size : Vnl_relation.Value.t list -> int
+(** Encoded bytes of one row in a [Rows] payload (column count included). *)
+
+val rows_overhead : int
+(** Fixed payload bytes of a [Rows] frame besides the rows themselves
+    (opcode, cursor, row count, last marker).  A chunk fits iff
+    [rows_overhead + sum row_size <= max_frame]. *)
+
+val row_encodable : Vnl_relation.Value.t list -> bool
+(** Whether a row can appear in some [Rows] frame at all: every [Str]
+    within {!max_str16} and the row alone under the frame bound.  The
+    connection layer answers [Query_failed] for rows that fail this
+    instead of letting {!encode_response} raise. *)
+
 val encode_request : request -> bytes
-(** A complete frame (length prefix included). *)
+(** A complete frame (length prefix included).  Raises [Invalid_argument]
+    if a string field exceeds its length prefix ({!max_str16} for [Hello]
+    names) or the payload exceeds {!max_frame} — callers validate first
+    (see {!Client.query}) rather than catching. *)
 
 val encode_response : response -> bytes
+(** Same contract as {!encode_request}: the caller must keep [Rows]
+    payloads under {!max_frame} (budget with {!row_size}) and strings
+    under their prefix limits. *)
 
 (** Incremental frame decoder: an input buffer plus a payload parser for
     one side of the protocol. *)

@@ -398,6 +398,68 @@ let test_conn_backpressure_overflow () =
   Conn.close conn;
   check Alcotest.bool "pin released" true (horizon_caught_up wh)
 
+(* Wide result sets must not blow the 1 MiB frame bound: a default fetch
+   (256-row cap) over rows carrying an ~8 KB string would naively encode
+   a ~2 MB [Rows] payload and raise from [Wire.encode_response].  Chunks
+   are instead cut by byte budget before row count, every frame decodes,
+   and no row is lost across the splits. *)
+let test_conn_wide_rows_byte_budget () =
+  let db = Database.create () in
+  let wh = Twovnl.init db in
+  ignore (Twovnl.register_table wh ~name:"DailySales" Fixtures.daily_sales);
+  let n_rows = 300 in
+  Twovnl.load_initial wh "DailySales"
+    (List.init n_rows (fun i ->
+         Fixtures.base_row (Printf.sprintf "c%03d" i) "CA" "golf equip" 10 14 96 i));
+  let conn = Conn.create wh in
+  ignore (hello_ok conn);
+  let payload = String.make 8192 'w' in
+  let cursor, _cols, total =
+    query_ok conn (Printf.sprintf "SELECT city, '%s' AS payload FROM DailySales" payload)
+  in
+  check Alcotest.int "all rows materialized" n_rows total;
+  let rec fetch_all acc frames =
+    push conn (Wire.Fetch { cursor; max_rows = 0 });
+    match drain conn with
+    | [ Wire.Rows { rows; last; _ } ] ->
+      check Alcotest.bool "byte budget cuts below the row cap" true
+        (List.length rows < 256);
+      if last then (acc + List.length rows, frames + 1)
+      else fetch_all (acc + List.length rows) (frames + 1)
+    | _ -> Alcotest.fail "expected a Rows frame"
+  in
+  let delivered, frames = fetch_all 0 0 in
+  check Alcotest.int "no row lost across splits" n_rows delivered;
+  check Alcotest.bool "multiple budget-limited frames" true (frames > 1);
+  Conn.close conn;
+  check Alcotest.bool "pin released" true (horizon_caught_up wh)
+
+(* A single string value beyond the u16 prefix (65535 bytes) can never be
+   encoded: the fetch must answer [Query_failed] and drop the cursor —
+   not raise — and the connection must stay serviceable. *)
+let test_conn_overlong_string_fails_cleanly () =
+  let wh = fresh () in
+  let conn = Conn.create wh in
+  ignore (hello_ok conn);
+  let payload = String.make 70_000 'x' in
+  let cursor, _cols, _total =
+    query_ok conn (Printf.sprintf "SELECT city, '%s' AS payload FROM DailySales" payload)
+  in
+  push conn (Wire.Fetch { cursor; max_rows = 1 });
+  (match drain conn with
+  | [ Wire.Error_ { code = Wire.Query_failed; _ } ] -> ()
+  | _ -> Alcotest.fail "expected Query_failed for an unencodable row");
+  check Alcotest.bool "clean protocol error, not a close" false (Conn.want_close conn);
+  (* The cursor is gone; the session and connection still work. *)
+  push conn (Wire.Fetch { cursor; max_rows = 1 });
+  (match drain conn with
+  | [ Wire.Error_ { code = Wire.Unknown_cursor; _ } ] -> ()
+  | _ -> Alcotest.fail "expected Unknown_cursor after the drop");
+  let _cursor, _cols, total = query_ok conn sql_all in
+  check Alcotest.int "session survives" 4 total;
+  Conn.close conn;
+  check Alcotest.bool "pin released" true (horizon_caught_up wh)
+
 (* The deterministic expiry-mid-cursor scenario (the satellite's second
    half): with n = 2 a session survives one maintenance commit and
    expires at the second.  The server must push [Expired] and answer
@@ -538,6 +600,30 @@ let test_e2e_expiry_push_over_socket () =
       poll ();
       check Alcotest.bool "pin released at expiry" true (horizon_caught_up wh))
 
+(* Over-long client input is rejected locally as [Error] — never as an
+   [Invalid_argument] leaking from the encoder, and never on the wire
+   (the same socket keeps working afterwards). *)
+let test_client_rejects_oversized_locally () =
+  with_server (fun _wh srv ->
+      let c = Client.connect (Client.Tcp ("127.0.0.1", Server.port srv)) in
+      (match Client.hello ~name:(String.make 70_000 'n') c with
+      | Error { code = Wire.Bad_frame; _ } -> ()
+      | Ok _ -> Alcotest.fail "oversized hello name accepted"
+      | Error { message; _ } -> Alcotest.failf "wrong error: %s" message);
+      (match Client.hello c with
+      | Ok _ -> ()
+      | Error { message; _ } -> Alcotest.failf "hello after local reject: %s" message);
+      (match Client.query c (String.make (2 * 1024 * 1024) 'q') with
+      | Error { code = Wire.Query_failed; _ } -> ()
+      | Ok _ -> Alcotest.fail "oversized SQL accepted"
+      | Error { message; _ } -> Alcotest.failf "wrong error: %s" message);
+      (match Client.query c sql_all with
+      | Ok (_, _, total) -> check Alcotest.int "socket still clean" 4 total
+      | Error { message; _ } -> Alcotest.failf "query after local reject: %s" message);
+      match Client.bye c with
+      | Ok () -> ()
+      | Error { message; _ } -> Alcotest.failf "bye: %s" message)
+
 let test_load_generator_smoke () =
   with_server (fun wh srv ->
       let r =
@@ -622,6 +708,10 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_conn_fuzz;
     Alcotest.test_case "conn: slow-client output overflow" `Quick
       test_conn_backpressure_overflow;
+    Alcotest.test_case "conn: wide rows chunk under the frame byte budget" `Quick
+      test_conn_wide_rows_byte_budget;
+    Alcotest.test_case "conn: unencodable string answers Query_failed" `Quick
+      test_conn_overlong_string_fails_cleanly;
     Alcotest.test_case "conn: expiry mid-cursor is pushed, then fetches fail" `Quick
       test_conn_expiry_mid_cursor;
     Alcotest.test_case "e2e: socket round-trip" `Quick test_e2e_roundtrip;
@@ -629,6 +719,8 @@ let suite =
       test_e2e_abrupt_disconnect_releases_pin;
     Alcotest.test_case "e2e: expiry reaches a remote reader" `Quick
       test_e2e_expiry_push_over_socket;
+    Alcotest.test_case "e2e: client rejects oversized input locally" `Quick
+      test_client_rejects_oversized_locally;
     Alcotest.test_case "e2e: load generator smoke" `Quick test_load_generator_smoke;
     Alcotest.test_case "env knobs: hardened parsing" `Quick test_env_knobs;
   ]
