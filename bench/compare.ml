@@ -24,7 +24,7 @@ let bench_files =
   [
     "BENCH_maintenance.json"; "BENCH_plans.json"; "BENCH_recovery.json";
     "BENCH_parallel.json"; "BENCH_pipeline.json"; "BENCH_shard.json";
-    "BENCH_net.json";
+    "BENCH_net.json"; "BENCH_catalog.json";
   ]
 
 let errors = ref 0
@@ -241,6 +241,34 @@ let check_net_floor ~floor ~(baseline : Json.t option) (fresh : Json.t) =
     | None -> error "BENCH_net.json: \"totals\" lacks \"horizon_lag\"")
   | None -> error "BENCH_net.json: no \"totals\" section for the floor gate"
 
+(* The evolution gate, over BENCH_catalog.json: reader throughput while
+   ADD COLUMN generations stage, copy, and publish must stay above
+   [floor] (--catalog-floor, default 0.25) of the pre-evolution baseline.
+   Readers never block under the generational catalog, so a healthy run
+   sits near 1.0 even on a noisy runner; a collapse to ~0 means an
+   evolution started blocking readers (a global catalog latch, a
+   stop-the-world copy).  totals.inconsistent — a read whose arity
+   disagreed with its session's pinned generation, or a query pair that
+   disagreed within one session — is a hard zero. *)
+let check_catalog_floor ~floor (fresh : Json.t) =
+  let num j k = match Json.member k j with Some (Json.Num n) -> Some n | _ -> None in
+  match Json.member "totals" fresh with
+  | Some totals ->
+    (match num totals "dip_ratio" with
+    | Some r when r < floor ->
+      error "BENCH_catalog.json: during-evolution reader throughput %.2fx of baseline, \
+             below floor %.2fx" r floor
+    | Some r ->
+      Printf.printf
+        "ok    BENCH_catalog.json: during-evolution reader throughput %.2fx of baseline \
+         (floor %.2fx)\n" r floor
+    | None -> error "BENCH_catalog.json: \"totals\" lacks a numeric \"dip_ratio\"");
+    (match num totals "inconsistent" with
+    | Some 0.0 -> ()
+    | Some n -> error "BENCH_catalog.json: %g inconsistent reads during evolution" n
+    | None -> error "BENCH_catalog.json: \"totals\" lacks \"inconsistent\"")
+  | None -> error "BENCH_catalog.json: no \"totals\" section for the floor gate"
+
 let load side path =
   if not (Sys.file_exists path) then begin
     error "%s file %s is missing" side path;
@@ -265,13 +293,14 @@ let compare_file ~baseline ~fresh file =
 let usage () =
   prerr_endline
     "usage: compare.exe --baseline DIR --fresh DIR [--parallel-floor X] [--pipeline-floor X] \
-     [--shard-floor X] [--net-floor X]";
+     [--shard-floor X] [--net-floor X] [--catalog-floor X]";
   exit 2
 
 let () =
   let baseline = ref "." and fresh = ref "" in
   let floor = ref 1.5 and pipeline_floor = ref 1.2 and shard_floor = ref 1.3 in
   let net_floor = ref 0.05 in
+  let catalog_floor = ref 0.25 in
   let positive name x k =
     match float_of_string_opt x with
     | Some f when f > 0.0 -> k f
@@ -290,6 +319,8 @@ let () =
       positive "--shard-floor" x (fun f -> shard_floor := f; parse rest)
     | "--net-floor" :: x :: rest ->
       positive "--net-floor" x (fun f -> net_floor := f; parse rest)
+    | "--catalog-floor" :: x :: rest ->
+      positive "--catalog-floor" x (fun f -> catalog_floor := f; parse rest)
     | [] -> ()
     | arg :: _ -> Printf.eprintf "unknown argument %S\n" arg; usage ()
   in
@@ -307,6 +338,8 @@ let () =
     (check_net_floor ~floor:!net_floor
        ~baseline:(load "baseline" (Filename.concat !baseline "BENCH_net.json")))
     (load "fresh" (Filename.concat !fresh "BENCH_net.json"));
+  Option.iter (check_catalog_floor ~floor:!catalog_floor)
+    (load "fresh" (Filename.concat !fresh "BENCH_catalog.json"));
   Printf.printf "bench-compare: %d error(s), %d warning(s) over %d file(s)\n" !errors
     !warnings (List.length bench_files);
   exit (if !errors > 0 then 1 else 0)

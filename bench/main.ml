@@ -31,6 +31,7 @@ let groups : (string * (unit -> unit)) list =
     ("pipeline", Exp_pipeline.run);
     ("shard", Exp_shard.run);
     ("net", Exp_net.run);
+    ("catalog", Exp_catalog.run);
   ]
 
 let () =

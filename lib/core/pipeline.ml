@@ -100,7 +100,15 @@ let abort_subordinate ?(save = false) t round context =
 let plan ?on_phase ?(resolvers = []) ?(prenetted = false) t ~workers per_table =
   if workers < 1 then invalid_arg "Pipeline.plan: workers must be >= 1";
   Obs.with_span "pipeline.plan" @@ fun () ->
-  let handles = List.map (fun (name, ops) -> (Twovnl.handle_exn t name, ops)) per_table in
+  let handles =
+    (* Pad short inserts (view templates frozen before an add_column) up
+       front, so partitioning and staging see full-arity tuples. *)
+    List.map
+      (fun (name, ops) ->
+        let h = Twovnl.handle_exn t name in
+        (h, Twovnl.pad_ops h ops))
+      per_table
+  in
   (* nVNL sizing (§5): a round of c stripes keeps c VNs outstanding, and
      only n >= c + 1 lets a session opened at round begin stay valid to
      round end — so the stripe count is capped at min(workers, n - 1)

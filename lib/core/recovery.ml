@@ -59,7 +59,13 @@ let reopen ?pool_capacity ?n disk ~tables =
   Obs.with_span "recovery.reopen" @@ fun () ->
   let db = Database.reopen ?pool_capacity disk in
   let vnl = Twovnl.attach db in
-  List.iter (fun (name, base) -> ignore (Twovnl.attach_table vnl ?n ~name base)) tables;
+  (* A catalog carrying generation metadata rebuilds itself — including
+     discarding a generation staged by an evolution that crashed before its
+     publish; the caller's [tables] list describes only the original (gen-0)
+     schemas and would mis-attach an evolved table. *)
+  if Database.generations_meta db <> [] then Twovnl.attach_generations vnl
+  else
+    List.iter (fun (name, base) -> ignore (Twovnl.attach_table vnl ?n ~name base)) tables;
   let interrupted = Version_state.maintenance_active (Twovnl.version_state vnl) in
   let outcome =
     Obs.with_span "recovery.repair" @@ fun () ->

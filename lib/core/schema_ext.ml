@@ -198,6 +198,67 @@ let collectable_raw t ~min_session_vn buf off =
   end
   | _ -> Raw_unknown
 
+(* ---------- schema evolution ---------- *)
+
+let of_extended ~n ~base_arity extended_schema =
+  (* Invert [extend]: the base attributes sit at extended positions
+     [2, 2 + base_arity).  Re-extending and comparing catches any mismatch
+     between the stored layout metadata and the actual table schema. *)
+  if base_arity < 1 || Schema.arity extended_schema < 2 + base_arity then
+    invalid_arg "Schema_ext.of_extended: base arity out of range";
+  let base =
+    Schema.make (List.init base_arity (fun j -> Schema.attribute extended_schema (2 + j)))
+  in
+  let t = extend ~n base in
+  if not (Schema.equal t.extended extended_schema) then
+    invalid_arg "Schema_ext.of_extended: layout metadata does not match the stored schema";
+  t
+
+type winstr = W_copy of int | W_const of Value.t
+
+type widening = { w_from : t; w_to : t; instrs : winstr array }
+
+let widening ~from_ ~to_ ~defaults =
+  (* Per-target-position copy plan, matched BY NAME: base attributes and
+     bookkeeping/pre columns share names across generations, an added
+     column takes its declared default, and anything else (the added
+     column's own pre-update copies) starts Null. *)
+  let src = from_.extended in
+  let instrs =
+    Array.init (Schema.arity to_.extended) (fun j ->
+        let a = Schema.attribute to_.extended j in
+        match Schema.index_of_opt src a.Schema.name with
+        | Some i -> W_copy i
+        | None -> (
+          match List.assoc_opt a.Schema.name defaults with
+          | Some v -> W_const v
+          | None -> W_const Value.Null))
+  in
+  { w_from = from_; w_to = to_; instrs }
+
+let widen w tuple =
+  Tuple.unsafe_init
+    (Array.length w.instrs)
+    (fun j ->
+      match Array.unsafe_get w.instrs j with
+      | W_copy i -> Tuple.get tuple i
+      | W_const v -> v)
+
+let decode_widened w buf off =
+  (* Decode a pre-evolution raw record straight into the new generation's
+     shape: copied cells read at the OLD offsets with the OLD dtypes,
+     added cells materialize from the defaults.  This is the per-generation
+     offsets/defaults decode the evolution tests byte-compare against
+     old-generation decode. *)
+  let offs = Schema.cell_offsets w.w_from.extended in
+  let dts = Schema.dtypes w.w_from.extended in
+  Tuple.unsafe_init
+    (Array.length w.instrs)
+    (fun j ->
+      match Array.unsafe_get w.instrs j with
+      | W_copy i -> Value.decode (Array.unsafe_get dts i) buf (off + Array.unsafe_get offs i)
+      | W_const v -> v)
+
 let base_key_of t tuple =
   List.map (fun j -> Tuple.get tuple (base_index t j)) (Schema.key_indices t.base)
 

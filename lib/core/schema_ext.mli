@@ -116,6 +116,39 @@ val collectable_raw : t -> min_session_vn:int -> bytes -> int -> raw_collectabil
     full extended decode.  Never raises; [Raw_unknown] defers to the
     caller's decoded path (which owns the error messages). *)
 
+(** {2 Schema evolution}
+
+    An [ALTER TABLE ... ADD COLUMN] produces a new catalog generation whose
+    extension appends the column (and, if updatable, its pre-update copies)
+    after the old layout's cells.  A {!widening} is the precompiled
+    per-position plan that carries a tuple — or a raw stored record — from
+    the old generation's shape into the new one, filling added columns from
+    their declared defaults. *)
+
+val of_extended : n:int -> base_arity:int -> Vnl_relation.Schema.t -> t
+(** Reconstruct the extension descriptor from a stored extended schema plus
+    the persisted layout metadata ([n], base arity).  Raises
+    [Invalid_argument] when the metadata does not reproduce the stored
+    schema exactly (a corrupt or mismatched catalog generation). *)
+
+type widening
+
+val widening :
+  from_:t -> to_:t -> defaults:(string * Vnl_relation.Value.t) list -> widening
+(** Copy plan from generation [from_] to generation [to_].  Cells are
+    matched by attribute name; an absent name takes its default from
+    [defaults] (keyed by base attribute name) and anything else — e.g. the
+    pre-update copies of an added updatable column — starts [Null]. *)
+
+val widen : widening -> Vnl_relation.Tuple.t -> Vnl_relation.Tuple.t
+(** Carry an old-generation {e extended} tuple into the new generation's
+    extended shape, preserving version stamps and pre-update copies. *)
+
+val decode_widened : widening -> bytes -> int -> Vnl_relation.Tuple.t
+(** Decode a pre-evolution raw record through the new generation's schema:
+    copied cells read at the old generation's byte offsets, added cells
+    come from the defaults.  Equals [widen] of the old-generation decode. *)
+
 val base_key_of : t -> Vnl_relation.Tuple.t -> Vnl_relation.Value.t list
 (** Unique-key values of an extended tuple (positions translated from the
     base schema). *)

@@ -3,6 +3,7 @@ module Tuple = Vnl_relation.Tuple
 module Value = Vnl_relation.Value
 module Database = Vnl_query.Database
 module Table = Vnl_query.Table
+module Catalog = Vnl_query.Catalog
 module Executor = Vnl_query.Executor
 module Heap_file = Vnl_storage.Heap_file
 module Buffer_pool = Vnl_storage.Buffer_pool
@@ -42,9 +43,34 @@ let m_epoch_lag = Obs.Registry.gauge "twovnl.epoch_lag"
 let m_session_lag =
   Obs.Registry.histogram ~buckets:[| 0.0; 1.0; 2.0; 3.0; 4.0; 6.0; 8.0 |] "twovnl.session_vn_lag"
 
+(* Versioned-catalog telemetry: the live generation index, committed
+   evolutions, plan-cache entries invalidated per generation flip (the old
+   generation's cache is left behind rather than cleared globally), the
+   per-generation reader plan cache's hit/miss split, and generations
+   retired by GC once no session can pin them. *)
+let m_catalog_generation = Obs.Registry.gauge "twovnl.catalog_generation"
+
+let m_evolutions = Obs.Registry.counter "twovnl.evolutions"
+
+let m_plan_gen_invalidations = Obs.Registry.counter "twovnl.plan_gen_invalidations"
+
+let m_reader_plan_hits = Obs.Registry.counter "twovnl.reader_plan_hits"
+
+let m_reader_plan_misses = Obs.Registry.counter "twovnl.reader_plan_misses"
+
+let m_generations_retired = Obs.Registry.counter "twovnl.generations_retired"
+
 module Plan = Vnl_query.Plan
 
-type handle = { name : string; ext : Schema_ext.t; table : Table.t }
+type handle = {
+  name : string;
+  ext : Schema_ext.t;
+  table : Table.t;
+  added : (Schema.attribute * Value.t) list;
+      (** Columns appended by evolution (oldest first) with their defaults;
+          short insert tuples from pre-evolution view templates are padded
+          from the suffix of this list. *)
+}
 
 (* Cached reader plans, keyed by the pre-rewrite SQL text.  [generic] is
    the compiled §4.1 rewrite; [fast] — when the query matches the pattern
@@ -58,36 +84,44 @@ type reader_plan = {
           index DDL without a cache-wide lock. *)
 }
 
+(* One immutable catalog generation: the name registry frozen at a schema
+   boundary, with its own reader plan cache.  [gen_vn] is the VN whose
+   publication activated the generation — a session resolves against the
+   newest generation with [gen_vn <= session_vn], so the session VN doubles
+   as the catalog snapshot selector and the activation needs no lock:
+   consing the generation before the Version publish is harmless, because
+   no live session VN can select it until the publish lands. *)
+type generation = {
+  gen : int;
+  gen_vn : int;
+  registry : handle StrMap.t;
+  order : string list;  (** Registration order, newest first. *)
+  plans : reader_plan StrMap.t Atomic.t;
+  plans_gen : int Atomic.t;
+      (** Bumped by every invalidation; publishers that began compiling under
+          an older registry state do not cache their (possibly stale)
+          entry. *)
+}
+
 (* Both reader-facing shared structures are lock-free.
 
    Sessions: a session is an epoch pin (see {!Vnl_util.Epoch}) — beginning
    one CASes the session's VN into a slot of the epoch domain, ending one
-   releases the slot, and the GC horizon is a fold over the slots.  The
-   PR 5 mutex-guarded session table put a global lock on every session
-   open/expire (and the old lock-free sketch had a latent race: the VN was
-   read {e before} the table insert, so a refresh committing in between
-   could let GC advance past a session that was about to exist — the
-   epoch pin's store-then-revalidate protocol closes exactly that window).
+   releases the slot, and the GC horizon is a fold over the slots.
 
-   Plan cache: an immutable [StrMap] behind an [Atomic], updated by CAS.
-   Lookups — the per-query operation — are one atomic load.  A losing
-   compiler either finds the winner's entry on retry or re-publishes; the
-   generation counter keeps an entry compiled against a stale registry
-   from surviving a concurrent [register_table] invalidation. *)
+   Catalog: an immutable generation list behind an [Atomic], newest first
+   and never empty.  Readers take one atomic load and walk to their
+   generation; evolution commits cons a new head; GC retires an
+   unreachable suffix by CAS. *)
 type t = {
   db : Database.t;
   version : Version_state.t;
-  registry : (string, handle) Hashtbl.t;
-  mutable registry_order : string list;
+  generations : generation list Atomic.t;
   epochs : unit Epoch.t;
       (** Session pins; the epoch is the warehouse VN.  Advanced at every
           refresh commit. *)
   next_session : int Atomic.t;
   mutable txn_active : bool;
-  reader_plans : reader_plan StrMap.t Atomic.t;
-  plans_gen : int Atomic.t;
-      (** Bumped by every invalidation; publishers that began compiling under
-          an older generation do not cache their (possibly stale) entry. *)
   last_gc_horizon : int Atomic.t;
       (** Horizon of the last completed collection.  Garbage is only ever
           created at the then-current VN, so until the horizon moves past
@@ -95,6 +129,9 @@ type t = {
 }
 
 exception Expired of { session_vn : int; current_vn : int }
+
+let fresh_generation ~gen ~gen_vn ~registry ~order =
+  { gen; gen_vn; registry; order; plans = Atomic.make StrMap.empty; plans_gen = Atomic.make 0 }
 
 let make db version =
   let pool = Database.pool db in
@@ -106,13 +143,11 @@ let make db version =
   {
     db;
     version;
-    registry = Hashtbl.create 8;
-    registry_order = [];
+    generations =
+      Atomic.make [ fresh_generation ~gen:0 ~gen_vn:0 ~registry:StrMap.empty ~order:[] ];
     epochs = Epoch.create ~initial:(Version_state.current_vn version) ();
     next_session = Atomic.make 1;
     txn_active = false;
-    reader_plans = Atomic.make StrMap.empty;
-    plans_gen = Atomic.make 0;
     last_gc_horizon = Atomic.make min_int;
   }
 
@@ -126,21 +161,48 @@ let version_state t = t.version
 
 let current_vn t = Version_state.current_vn t.version
 
+let head t = List.hd (Atomic.get t.generations)
+
+(* Newest generation the session VN may read under.  Retirement guarantees
+   every generation a live session could select is still in the list; the
+   oldest retained one backstops stray probes below the horizon. *)
+let generation_for t vn =
+  let rec walk = function
+    | [] -> assert false
+    | [ g ] -> g
+    | g :: rest -> if g.gen_vn <= vn then g else walk rest
+  in
+  walk (Atomic.get t.generations)
+
+let catalog_generation t = (head t).gen
+
+let generation_of_vn t vn = (generation_for t vn).gen
+
+let rec update_head t f =
+  let gens = Atomic.get t.generations in
+  match gens with
+  | g :: rest ->
+    if not (Atomic.compare_and_set t.generations gens (f g :: rest)) then update_head t f
+  | [] -> assert false
+
 (* Registration changes what the reader rewrite produces for queries
    naming this table, so cached reader plans must not survive it.  The
    generation bump happens first: a compile that started before this
    invalidation sees the changed generation and declines to publish. *)
-let invalidate_plans t =
-  Atomic.incr t.plans_gen;
-  Atomic.set t.reader_plans StrMap.empty
+let invalidate_plans g =
+  Atomic.incr g.plans_gen;
+  Atomic.set g.plans StrMap.empty
+
+let register_handle t h =
+  update_head t (fun g ->
+      { g with registry = StrMap.add h.name h g.registry; order = h.name :: g.order });
+  invalidate_plans (head t)
 
 let register_table t ?n ~name schema =
   let ext = Schema_ext.extend ?n schema in
   let table = Database.create_table t.db name (Schema_ext.extended ext) in
-  let h = { name; ext; table } in
-  Hashtbl.add t.registry name h;
-  t.registry_order <- name :: t.registry_order;
-  invalidate_plans t;
+  let h = { name; ext; table; added = [] } in
+  register_handle t h;
   h
 
 let attach_table t ?n ~name base =
@@ -150,21 +212,30 @@ let attach_table t ?n ~name base =
     invalid_arg
       (Printf.sprintf "Twovnl.attach_table: stored schema of %S does not match the extension"
          name);
-  let h = { name; ext; table } in
-  Hashtbl.add t.registry name h;
-  t.registry_order <- name :: t.registry_order;
-  invalidate_plans t;
+  let h = { name; ext; table; added = [] } in
+  register_handle t h;
   h
 
+let gen_handle g name = StrMap.find_opt name g.registry
 
-let handle t name = Hashtbl.find_opt t.registry name
+let gen_lookup g name = Option.map (fun h -> h.ext) (gen_handle g name)
+
+let gen_resolve g name = Option.map (fun h -> h.table) (gen_handle g name)
+
+let gen_handles g = List.rev_map (fun name -> StrMap.find name g.registry) g.order
+
+let gen_min_n g =
+  StrMap.fold (fun _ h acc -> min acc (Schema_ext.n h.ext)) g.registry max_int
+  |> fun n -> if n = max_int then 2 else n
+
+let handle t name = gen_handle (head t) name
 
 let handle_exn t name =
   match handle t name with
   | Some h -> h
   | None -> failwith (Printf.sprintf "Twovnl: table %S is not registered" name)
 
-let handles t = List.rev_map (fun name -> Hashtbl.find t.registry name) t.registry_order
+let handles t = gen_handles (head t)
 
 let handle_name h = h.name
 
@@ -172,13 +243,48 @@ let ext h = h.ext
 
 let table h = h.table
 
-let lookup t name = Option.map (fun h -> h.ext) (handle t name)
+let added_columns h = List.map (fun (a, v) -> (a.Schema.name, v)) h.added
+
+let lookup t name = gen_lookup (head t) name
+
+(* Insert tuples built against a pre-evolution base schema (a view template
+   frozen before an [add_column]) are short by a suffix of the added
+   columns; pad them with the declared defaults.  Anything else passes
+   through untouched — added columns append strictly at the end, so
+   existing positions (update assignments, delete keys) stay valid. *)
+let pad_values h values =
+  match h.added with
+  | [] -> values
+  | added ->
+    let missing = Schema_ext.base_arity h.ext - List.length values in
+    if missing > 0 && missing <= List.length added then begin
+      let rec drop k xs = if k <= 0 then xs else match xs with [] -> [] | _ :: tl -> drop (k - 1) tl in
+      values @ List.map snd (drop (List.length added - missing) added)
+    end
+    else values
+
+let pad_ops h ops =
+  match h.added with
+  | [] -> ops
+  | _ ->
+    List.map
+      (function
+        | Batch.Insert tup when Tuple.arity tup < Schema_ext.base_arity h.ext ->
+          Batch.Insert (Tuple.make (Schema_ext.base h.ext) (pad_values h (Tuple.values tup)))
+        | op -> op)
+      ops
 
 let load_initial t name tuples =
   let h = handle_exn t name in
   let vn = current_vn t in
   List.iter
-    (fun base -> ignore (Table.insert h.table (Schema_ext.fresh_insert h.ext ~vn base)))
+    (fun base ->
+      let base =
+        if Tuple.arity base < Schema_ext.base_arity h.ext then
+          Tuple.make (Schema_ext.base h.ext) (pad_values h (Tuple.values base))
+        else base
+      in
+      ignore (Table.insert h.table (Schema_ext.fresh_insert h.ext ~vn base)))
     tuples
 
 let min_session_vn t =
@@ -188,12 +294,71 @@ let min_session_vn t =
      commit). *)
   min (current_vn t) (Epoch.min_pinned t.epochs)
 
+let generation_meta g =
+  {
+    Catalog.g_index = g.gen;
+    g_vn = g.gen_vn;
+    g_members =
+      List.rev_map
+        (fun name ->
+          let h = StrMap.find name g.registry in
+          {
+            Catalog.m_logical = name;
+            m_storage = Table.name h.table;
+            m_n = Schema_ext.n h.ext;
+            m_base_arity = Schema_ext.base_arity h.ext;
+            m_added = List.map (fun (a, v) -> (a.Schema.name, v)) h.added;
+          })
+        g.order;
+  }
+
+(* Retire generations no live session can select: [generation_for horizon]
+   and everything newer stays, the rest goes — along with any storage table
+   referenced only by the dropped suffix (the frozen pre-evolution
+   copies).  Their disk pages are not recycled; the leak is bounded by the
+   number of evolutions and documented in DESIGN.md §16. *)
+let retire_generations t ~horizon =
+  let gens = Atomic.get t.generations in
+  match gens with
+  | [] | [ _ ] -> 0
+  | _ ->
+    let rec split kept = function
+      | [] -> (List.rev kept, [])
+      | g :: rest ->
+        if g.gen_vn <= horizon then (List.rev (g :: kept), rest) else split (g :: kept) rest
+    in
+    let kept, dropped = split [] gens in
+    if dropped = [] then 0
+    else if Atomic.compare_and_set t.generations gens kept then begin
+      let live_storage =
+        List.concat_map
+          (fun g -> List.map (fun name -> Table.name (StrMap.find name g.registry).table) g.order)
+          kept
+      in
+      List.iter
+        (fun g ->
+          List.iter
+            (fun name ->
+              let storage = Table.name (StrMap.find name g.registry).table in
+              if (not (List.mem storage live_storage)) && Database.table t.db storage <> None
+              then Database.drop_table t.db storage)
+            g.order)
+        dropped;
+      Database.set_generations_meta t.db (List.map generation_meta kept);
+      Obs.Counter.record m_generations_retired (List.length dropped);
+      Log.info (fun m ->
+          m "retired %d catalog generation(s) below horizon %d" (List.length dropped) horizon);
+      List.length dropped
+    end
+    else 0 (* raced an evolution commit; the next collection retries *)
+
 let collect_garbage t =
   let c = current_vn t in
   Epoch.advance t.epochs c;
   Buffer_pool.advance_epoch (Database.pool t.db) c;
   let horizon = min_session_vn t in
   Obs.Gauge.record m_epoch_lag (c - horizon);
+  ignore (retire_generations t ~horizon);
   (* Garbage is stamped with the VN current at its creation, which is at
      or above the horizon of the previous collection — so if the horizon
      has not advanced since then, the full-table scan cannot find
@@ -213,6 +378,90 @@ let collect_garbage t =
     Log.debug (fun m ->
         m "gc at horizon %d reclaimed %d tuples, %d retired frames" horizon reclaimed frames);
     reclaimed
+  end
+
+(* Rebuild the generation list of a reopened multi-generation catalog.  The
+   durable Version page decides activation: a staged generation whose
+   [g_vn] exceeds the stored currentVN died before its publish — its
+   private tables (the half-copied replacements, new views) are dropped and
+   any freeze-rename it performed is undone, so the surviving head's
+   members sit back under their logical names.  Runs before {!recover}:
+   the subsequent tuple-level rollback walks the restored head
+   generation. *)
+let attach_generations t =
+  let metas = Database.generations_meta t.db in
+  if metas <> [] then begin
+    let current = current_vn t in
+    let metas =
+      List.sort (fun a b -> compare b.Catalog.g_index a.Catalog.g_index) metas
+    in
+    let live, dead = List.partition (fun g -> g.Catalog.g_vn <= current) metas in
+    match live with
+    | [] -> raise (Catalog.Corrupt "no catalog generation at or below the published VN")
+    | head_meta :: older ->
+      let live_storage =
+        List.concat_map (fun g -> List.map (fun m -> m.Catalog.m_storage) g.Catalog.g_members) live
+      in
+      List.iter
+        (fun g ->
+          List.iter
+            (fun mb ->
+              let s = mb.Catalog.m_storage in
+              if (not (List.mem s live_storage)) && Database.table t.db s <> None then
+                Database.drop_table t.db s)
+            g.Catalog.g_members)
+        dead;
+      let head_meta =
+        {
+          head_meta with
+          Catalog.g_members =
+            List.map
+              (fun mb ->
+                if not (String.equal mb.Catalog.m_storage mb.Catalog.m_logical) then begin
+                  Database.rename_table t.db mb.Catalog.m_storage mb.Catalog.m_logical;
+                  { mb with Catalog.m_storage = mb.Catalog.m_logical }
+                end
+                else mb)
+              head_meta.Catalog.g_members;
+        }
+      in
+      let live = head_meta :: older in
+      Database.set_generations_meta t.db live;
+      let build gm =
+        let registry = ref StrMap.empty and order = ref [] in
+        List.iter
+          (fun mb ->
+            let table = Database.table_exn t.db mb.Catalog.m_storage in
+            let ext =
+              Schema_ext.of_extended ~n:mb.Catalog.m_n ~base_arity:mb.Catalog.m_base_arity
+                (Table.schema table)
+            in
+            let base = Schema_ext.base ext in
+            let added =
+              List.map
+                (fun (aname, v) ->
+                  match Schema.index_of_opt base aname with
+                  | Some j -> (Schema.attribute base j, v)
+                  | None ->
+                    raise
+                      (Catalog.Corrupt
+                         (Printf.sprintf "generation %d: added column %S not in schema of %S"
+                            gm.Catalog.g_index aname mb.Catalog.m_logical)))
+                mb.Catalog.m_added
+            in
+            let h = { name = mb.Catalog.m_logical; ext; table; added } in
+            registry := StrMap.add h.name h !registry;
+            order := h.name :: !order)
+          gm.Catalog.g_members;
+        fresh_generation ~gen:gm.Catalog.g_index ~gen_vn:gm.Catalog.g_vn ~registry:!registry
+          ~order:!order
+      in
+      let gens = List.map build live in
+      Atomic.set t.generations gens;
+      Obs.Gauge.record m_catalog_generation (List.hd gens).gen;
+      Log.info (fun m ->
+          m "attached %d catalog generation(s), head gen %d at VN %d (%d staged dropped)"
+            (List.length gens) (List.hd gens).gen (List.hd gens).gen_vn (List.length dead))
   end
 
 (* §7 no-log crash recovery: every touched tuple carries its pre-update
@@ -270,16 +519,21 @@ module Session = struct
 
   let id s = s.id
 
+  (* The catalog generation pinned by the session VN: name resolution,
+     schema lookup, and the reader plan cache all go through it, so a
+     session spanning an evolution commit keeps its old schema view while
+     later sessions resolve the new one. *)
+  let session_gen t s = generation_for t s.vn
+
+  let generation t s = (session_gen t s).gen
+
   (* Generalized §4.1 check: a session is valid while it has overlapped at
      most n - 1 maintenance transactions, where n is the smallest version
-     count among registered tables (2 when none are registered).  For pure
-     2VNL this is exactly the paper's condition, and agrees with
-     [Rewrite.session_valid]. *)
-  let min_n t =
-    List.fold_left (fun acc h -> min acc (Schema_ext.n h.ext)) max_int (handles t)
-    |> fun n -> if n = max_int then 2 else n
+     count among the tables of {e its} catalog generation (2 when none are
+     registered).  For pure 2VNL this is exactly the paper's condition, and
+     agrees with [Rewrite.session_valid].
 
-  (* One atomic read of (currentVN, outstanding): under a pipelined round
+     One atomic read of (currentVN, outstanding): under a pipelined round
      [outstanding] counts the begun-but-unpublished VNs, so the §4.1 bound
      charges the session for every version slot the round may consume.
      [c - s.vn + outstanding] is constant across a round's publishes (each
@@ -290,14 +544,14 @@ module Session = struct
     let c, outstanding = Version_state.read_outstanding t.version in
     c - s.vn + outstanding <= n - 1
 
-  let is_valid t s = valid_for t s ~n:(min_n t)
+  let is_valid t s = valid_for t s ~n:(gen_min_n (session_gen t s))
 
   (* The push-notification probe: same arithmetic as [valid_for], but the
      caller learns how close the session is to expiry instead of a bare
      bool, and an expired session yields the exception payload without
      raising (the network server turns it into a wire frame). *)
   let validity t s =
-    let n = min_n t in
+    let n = gen_min_n (session_gen t s) in
     let c, outstanding = Version_state.read_outstanding t.version in
     let slack = n - 1 - (c - s.vn + outstanding) in
     if slack >= 0 then `Valid slack else `Expired (s.vn, c)
@@ -339,39 +593,45 @@ module Session = struct
      access, so an extra one would both slow the hot path and perturb the
      I/O counters the differential tests hold identical). *)
   let check_valid t s =
-    let n = min_n t in
+    let n = gen_min_n (session_gen t s) in
     let c, outstanding = Version_state.read_outstanding t.version in
     if c - s.vn + outstanding > n - 1 then raise (expired t s);
     c
 
   (* Compile-once reader sessions: the first execution of a statement
      parses, rewrites, and compiles it; re-executions run cached closures.
-     The generic plan is revalidated against the catalog each time (index
-     DDL re-prepares it).  When the statement matches the §4.1 pattern and
-     the rewrite would full-scan anyway, the fast path answers it through
-     {!Reader.visible_relation} — same pages, same row order, no per-tuple
-     CASE/visibility evaluation in SQL. *)
-  let reader_plan_for t src =
-    match StrMap.find_opt src (Atomic.get t.reader_plans) with
+     The cache lives on the session's catalog generation: an evolution
+     leaves the old generation's entries serving its pinned sessions and
+     starts the new generation empty, so plans compiled under generation g
+     miss (never stale-hit) under g+1.  The generic plan is revalidated
+     each time against the generation's own registry ([Plan.valid
+     ~resolve]) — resolution must not fall through to the database catalog,
+     where a staging rename may have rebound the logical name to a
+     half-copied replacement table. *)
+  let reader_plan_for t g src =
+    let resolve = gen_resolve g in
+    match StrMap.find_opt src (Atomic.get g.plans) with
     | Some entry ->
+      Obs.Counter.record m_reader_plan_hits 1;
       let generic = Atomic.get entry.generic in
-      if not (Plan.valid t.db generic) then
+      if not (Plan.valid ~resolve t.db generic) then
         (* Concurrent re-preparations are idempotent: each produces a
            valid plan for the current catalog and the last store wins. *)
-        Atomic.set entry.generic (Plan.prepare t.db entry.rewritten);
+        Atomic.set entry.generic (Plan.prepare ~resolve t.db entry.rewritten);
       entry
     | None ->
-      let gen0 = Atomic.get t.plans_gen in
+      Obs.Counter.record m_reader_plan_misses 1;
+      let gen0 = Atomic.get g.plans_gen in
       let entry =
         Obs.with_span "reader.prepare" @@ fun () ->
         let select = Vnl_sql.Parser.parse_select src in
-        let rewritten = Rewrite.reader_select ~lookup:(lookup t) select in
-        let generic = Plan.prepare t.db rewritten in
+        let rewritten = Rewrite.reader_select ~lookup:(gen_lookup g) select in
+        let generic = Plan.prepare ~resolve t.db rewritten in
         let fast =
           if Plan.full_scan_only generic then
-            match Rewrite.reader_fast_path ~lookup:(lookup t) select with
+            match Rewrite.reader_fast_path ~lookup:(gen_lookup g) select with
             | Some (name, label) ->
-              let h = handle_exn t name in
+              let h = StrMap.find name g.registry in
               (* The rewrite leaves bare items unaliased, so the generic
                  plan's labels (e.g. "col0" for a CASE-translated column)
                  are authoritative; the view plan reproduces them. *)
@@ -389,17 +649,15 @@ module Session = struct
          invalidation (generation changed) means this entry may reflect a
          stale registry, so it is used once but not cached. *)
       let rec publish () =
-        let cur = Atomic.get t.reader_plans in
+        let cur = Atomic.get g.plans in
         match StrMap.find_opt src cur with
         | Some winner -> winner
         | None ->
-          if Atomic.get t.plans_gen <> gen0 then entry
-          else if Atomic.compare_and_set t.reader_plans cur (StrMap.add src entry cur)
-          then begin
+          if Atomic.get g.plans_gen <> gen0 then entry
+          else if Atomic.compare_and_set g.plans cur (StrMap.add src entry cur) then begin
             (* An invalidation that slipped between the generation check
                and the CAS must still win: clear again on its behalf. *)
-            if Atomic.get t.plans_gen <> gen0 then
-              Atomic.set t.reader_plans StrMap.empty;
+            if Atomic.get g.plans_gen <> gen0 then Atomic.set g.plans StrMap.empty;
             entry
           end
           else publish ()
@@ -424,7 +682,7 @@ module Session = struct
       rows
 
   let query_body t s src params =
-    let entry = reader_plan_for t src in
+    let entry = reader_plan_for t (session_gen t s) src in
     let generic = Atomic.get entry.generic in
     let params = ("sessionVN", Value.Int s.vn) :: params in
     match entry.fast with
@@ -444,25 +702,55 @@ module Session = struct
     end
 
   let read_table t s name =
-    let h = handle_exn t name in
-    if not (valid_for t s ~n:(Schema_ext.n h.ext)) then raise (expired t s);
-    visible t s h
+    let g = session_gen t s in
+    match gen_handle g name with
+    | None -> failwith (Printf.sprintf "Twovnl: table %S is not registered" name)
+    | Some h ->
+      if not (valid_for t s ~n:(Schema_ext.n h.ext)) then raise (expired t s);
+      visible t s h
 end
 
 module Txn = struct
+  (* Evolution staging: the pending generation under construction.  The
+     registry/order start as the head generation's and are rewritten as
+     DDL lands; [created] tracks logical names now bound to tables this
+     transaction created (replacement copies and new views), [renamed] the
+     freeze-renames to undo on abort.  Every DDL mutates the database
+     catalog eagerly — the durability-point-2 save inside
+     {!Recovery.run_maintenance} must serialize both generations — and the
+     in-memory generation only activates at commit. *)
+  type staged = {
+    mutable s_registry : handle StrMap.t;
+    mutable s_order : string list;
+    mutable s_created : string list;
+    mutable s_renamed : (string * string) list;
+    s_prev_meta : Catalog.generation list;
+  }
+
   type m = {
     owner : t;
     txn_vn : int;
     txn_stats : Maintenance.stats;
-    mutable over_deleted : (string * Heap_file.rid) list;
+    mutable over_deleted : (Table.t * Heap_file.rid) list;
+        (** Keyed by physical table: a logical name can move to a staged
+            replacement mid-transaction, and rollback must not confuse the
+            two heaps' record ids. *)
     mutable finished : bool;
+    mutable staged : staged option;
   }
 
   let begin_ t =
     let txn_vn = Version_state.begin_maintenance t.version in
     t.txn_active <- true;
     Log.info (fun m -> m "maintenance transaction %d begins" txn_vn);
-    { owner = t; txn_vn; txn_stats = Maintenance.fresh_stats (); over_deleted = []; finished = false }
+    {
+      owner = t;
+      txn_vn;
+      txn_stats = Maintenance.fresh_stats ();
+      over_deleted = [];
+      finished = false;
+      staged = None;
+    }
 
   let vn m = m.txn_vn
 
@@ -470,33 +758,53 @@ module Txn = struct
 
   let check_live m = if m.finished then invalid_arg "Twovnl.Txn: transaction already finished"
 
+  (* Name resolution inside the transaction: the staged registry once any
+     DDL has landed (maintenance always reads the latest catalog, §3.3),
+     the head generation otherwise. *)
+  let txn_handle m name =
+    match m.staged with
+    | Some st -> StrMap.find_opt name st.s_registry
+    | None -> handle m.owner name
+
+  let txn_handle_exn m name =
+    match txn_handle m name with
+    | Some h -> h
+    | None -> failwith (Printf.sprintf "Twovnl: table %S is not registered" name)
+
+  let record_over_delete m h rid = m.over_deleted <- (h.table, rid) :: m.over_deleted
+
+  let was_over_delete m h rid =
+    List.exists
+      (fun (tbl, r) -> tbl == h.table && Heap_file.rid_equal r rid)
+      m.over_deleted
+
   let sql m src =
     check_live m;
     let t = m.owner in
     (* Record over-delete inserts per table for no-log rollback.  The
        statement names a single table, so tag rids with it. *)
-    let table_of_stmt =
+    let handle_of_stmt =
       match Vnl_sql.Parser.parse src with
-      | Vnl_sql.Ast.Insert { table; _ } -> Some table
+      | Vnl_sql.Ast.Insert { table; _ } -> txn_handle m table
       | Vnl_sql.Ast.Update _ | Vnl_sql.Ast.Delete _ | Vnl_sql.Ast.Select _ -> None
     in
     let on_over_delete rid =
-      match table_of_stmt with
-      | Some name -> m.over_deleted <- (name, rid) :: m.over_deleted
+      match handle_of_stmt with
+      | Some h -> record_over_delete m h rid
       | None -> ()
     in
     let was_insert_over_delete rid =
       List.exists (fun (_, r) -> Heap_file.rid_equal r rid) m.over_deleted
     in
     Rewrite.maintenance_sql ~stats:m.txn_stats ~on_over_delete ~was_insert_over_delete t.db
-      ~lookup:(lookup t) ~vn:m.txn_vn src
+      ~lookup:(fun name -> Option.map (fun h -> h.ext) (txn_handle m name))
+      ~vn:m.txn_vn src
 
   let insert m ~table:name values =
     check_live m;
-    let t = m.owner in
-    let h = handle_exn t name in
-    let base = Tuple.make (Schema_ext.base h.ext) values in
-    let on_over_delete rid = m.over_deleted <- (name, rid) :: m.over_deleted in
+    let h = txn_handle_exn m name in
+    let base = Tuple.make (Schema_ext.base h.ext) (pad_values h values) in
+    let on_over_delete rid = record_over_delete m h rid in
     ignore
       (Maintenance.apply_insert ~stats:m.txn_stats ~on_over_delete h.ext h.table ~vn:m.txn_vn
          base)
@@ -508,7 +816,7 @@ module Txn = struct
 
   let read_current m ~table:name ~key =
     check_live m;
-    let h = handle_exn m.owner name in
+    let h = txn_handle_exn m name in
     match Table.find_by_key h.table key with
     | Some (_, tuple) when Maintenance.is_logically_live h.ext tuple ->
       Some (Tuple.make (Schema_ext.base h.ext) (Schema_ext.current_values h.ext tuple))
@@ -516,7 +824,7 @@ module Txn = struct
 
   let update_by_key m ~table:name ~key ~set =
     check_live m;
-    let h = handle_exn m.owner name in
+    let h = txn_handle_exn m name in
     match live_by_key h key with
     | None -> false
     | Some rid ->
@@ -527,17 +835,13 @@ module Txn = struct
 
   let delete_by_key m ~table:name ~key =
     check_live m;
-    let h = handle_exn m.owner name in
+    let h = txn_handle_exn m name in
     match live_by_key h key with
     | None -> false
     | Some rid ->
-      let was_insert_over_delete r =
-        List.exists
-          (fun (tn, r') -> String.equal tn name && Heap_file.rid_equal r' r)
-          m.over_deleted
-      in
-      Maintenance.apply_delete ~stats:m.txn_stats ~was_insert_over_delete h.ext h.table
-        ~vn:m.txn_vn rid;
+      Maintenance.apply_delete ~stats:m.txn_stats
+        ~was_insert_over_delete:(fun r -> was_over_delete m h r)
+        h.ext h.table ~vn:m.txn_vn rid;
       true
 
   (* The batched maintenance path: same Tables 2-4 transitions as the
@@ -548,19 +852,180 @@ module Txn = struct
      are recorded for no-log rollback. *)
   let apply_batch m ~table:name ops =
     check_live m;
-    let h = handle_exn m.owner name in
-    let on_over_delete rid = m.over_deleted <- (name, rid) :: m.over_deleted in
-    let was_insert_over_delete rid =
-      List.exists
-        (fun (tn, r) -> String.equal tn name && Heap_file.rid_equal r rid)
-        m.over_deleted
+    let h = txn_handle_exn m name in
+    let ops = pad_ops h ops in
+    Batch.apply ~stats:m.txn_stats
+      ~on_over_delete:(fun rid -> record_over_delete m h rid)
+      ~was_insert_over_delete:(fun rid -> was_over_delete m h rid)
+      h.ext h.table ~vn:m.txn_vn ops
+
+  (* ---------- online schema evolution ---------- *)
+
+  let ensure_staged m =
+    match m.staged with
+    | Some st -> st
+    | None ->
+      let g = head m.owner in
+      let st =
+        {
+          s_registry = g.registry;
+          s_order = g.order;
+          s_created = [];
+          s_renamed = [];
+          s_prev_meta = Database.generations_meta m.owner.db;
+        }
+      in
+      m.staged <- Some st;
+      st
+
+  (* Mirror the staged catalog into the database's generation metadata
+     after every DDL, so the durability-point-2 save inside the
+     run_maintenance ladder serializes the pending generation alongside
+     the retained ones.  Activation stays with the Version page: a reopen
+     whose stored currentVN is below the pending [g_vn] discards it. *)
+  let sync_meta m st =
+    let t = m.owner in
+    let pending =
+      generation_meta
+        (fresh_generation ~gen:((head t).gen + 1) ~gen_vn:m.txn_vn ~registry:st.s_registry
+           ~order:st.s_order)
     in
-    Batch.apply ~stats:m.txn_stats ~on_over_delete ~was_insert_over_delete h.ext h.table
-      ~vn:m.txn_vn ops
+    let retained = List.map generation_meta (Atomic.get t.generations) in
+    Database.set_generations_meta t.db (pending :: retained)
+
+  (* Replace [name]'s table with a staged copy under [new_ext]: park the
+     old table under a frozen alias (it keeps serving every generation up
+     to the head), create the replacement under the logical name, recreate
+     its indexes, and copy the logically-live records — version stamps,
+     operations, and pre-update cells carried over by name, added columns
+     filled from their defaults.  Logically-deleted records are not
+     copied: any session entitled to resurrect one pins a VN below the
+     pending generation's and therefore reads the frozen table.  A table
+     already replaced earlier in this same transaction is copied again
+     from its private staged copy, which is then dropped. *)
+  let stage_replace m st ~name ~(old_h : handle) ~new_ext ~added ~extra_index =
+    let t = m.owner in
+    let was_created = List.mem name st.s_created in
+    let tmp_drop =
+      if was_created then begin
+        let tmp = Printf.sprintf "%s#stage" name in
+        Database.rename_table t.db name tmp;
+        Some tmp
+      end
+      else begin
+        let frozen = Printf.sprintf "%s@g%d" name (head t).gen in
+        Database.rename_table t.db name frozen;
+        st.s_renamed <- (name, frozen) :: st.s_renamed;
+        None
+      end
+    in
+    let table = Database.create_table t.db name (Schema_ext.extended new_ext) in
+    List.iter
+      (fun (iname, attrs) -> Table.create_index table ~name:iname attrs)
+      (Table.indexes old_h.table);
+    (match extra_index with
+    | Some (iname, attrs) -> Table.create_index table ~name:iname attrs
+    | None -> ());
+    let defaults = List.map (fun (a, v) -> (a.Schema.name, v)) added in
+    let w = Schema_ext.widening ~from_:old_h.ext ~to_:new_ext ~defaults in
+    let rows = ref [] in
+    Heap_file.iter_tuples (Table.heap old_h.table) (fun tuple ->
+        if Maintenance.is_logically_live old_h.ext tuple then
+          rows := Schema_ext.widen w tuple :: !rows);
+    ignore (Table.insert_many ~check:false table (List.rev !rows));
+    (match tmp_drop with Some tmp -> Database.drop_table t.db tmp | None -> ());
+    let h = { name; ext = new_ext; table; added } in
+    st.s_registry <- StrMap.add name h st.s_registry;
+    if not was_created then st.s_created <- name :: st.s_created;
+    sync_meta m st;
+    h
+
+  let add_column m ~table:name attr ~default =
+    check_live m;
+    Catalog.check_name ~what:"attribute" attr.Schema.name;
+    if attr.Schema.key then
+      invalid_arg "Twovnl.Txn.add_column: cannot add a key column";
+    if not (Value.matches attr.Schema.dtype default) then
+      invalid_arg "Twovnl.Txn.add_column: default does not match the column dtype";
+    let st = ensure_staged m in
+    let old_h =
+      match StrMap.find_opt name st.s_registry with
+      | Some h -> h
+      | None -> failwith (Printf.sprintf "Twovnl: table %S is not registered" name)
+    in
+    let new_base = Schema.extend_with (Schema_ext.base old_h.ext) attr in
+    let new_ext = Schema_ext.extend ~n:(Schema_ext.n old_h.ext) new_base in
+    ignore
+      (stage_replace m st ~name ~old_h ~new_ext
+         ~added:(old_h.added @ [ (attr, default) ])
+         ~extra_index:None)
+
+  let add_table m ?n ~name schema =
+    check_live m;
+    let st = ensure_staged m in
+    if StrMap.mem name st.s_registry then
+      invalid_arg (Printf.sprintf "Twovnl.Txn.add_table: %S already registered" name);
+    let ext = Schema_ext.extend ?n schema in
+    let table = Database.create_table m.owner.db name (Schema_ext.extended ext) in
+    let h = { name; ext; table; added = [] } in
+    st.s_registry <- StrMap.add name h st.s_registry;
+    st.s_order <- name :: st.s_order;
+    st.s_created <- name :: st.s_created;
+    sync_meta m st
+
+  let add_index m ~table:name ~index attrs =
+    check_live m;
+    let st = ensure_staged m in
+    let old_h =
+      match StrMap.find_opt name st.s_registry with
+      | Some h -> h
+      | None -> failwith (Printf.sprintf "Twovnl: table %S is not registered" name)
+    in
+    if List.mem name st.s_created then begin
+      (* The staged table is already this transaction's private copy: the
+         index can build in place, invisibly to every reader. *)
+      Table.create_index old_h.table ~name:index attrs;
+      sync_meta m st
+    end
+    else
+      (* Index the copy, not the live table: a crash between the data
+         flush and the publish must reopen to exactly the pre-evolution
+         catalog, which an in-place index on a shared table would
+         violate. *)
+      ignore
+        (stage_replace m st ~name ~old_h ~new_ext:old_h.ext ~added:old_h.added
+           ~extra_index:(Some (index, attrs)))
 
   let commit m =
     check_live m;
     m.finished <- true;
+    let t = m.owner in
+    (match m.staged with
+    | None -> ()
+    | Some st ->
+      (* Activate the pending generation before the Version publish: its
+         [gen_vn] exceeds every live session VN until the publish lands,
+         so early visibility is harmless, while the reverse order would
+         let a session pin the new VN and still resolve the old head. *)
+      let rec activate () =
+        let gens = Atomic.get t.generations in
+        let hd = List.hd gens in
+        let g =
+          fresh_generation ~gen:(hd.gen + 1) ~gen_vn:m.txn_vn ~registry:st.s_registry
+            ~order:st.s_order
+        in
+        if not (Atomic.compare_and_set t.generations gens (g :: gens)) then activate ()
+        else begin
+          Obs.Counter.record m_evolutions 1;
+          Obs.Counter.record m_plan_gen_invalidations
+            (StrMap.cardinal (Atomic.get hd.plans));
+          Obs.Gauge.record m_catalog_generation g.gen;
+          Log.info (fun mm ->
+              mm "catalog generation %d activates at VN %d (%d table(s))" g.gen m.txn_vn
+                (List.length g.order))
+        end
+      in
+      activate ());
     m.owner.txn_active <- false;
     Version_state.commit_maintenance m.owner.version ~vn:m.txn_vn;
     (* Publish the committed VN as the new epoch: sessions opened from
@@ -579,14 +1044,22 @@ module Txn = struct
     check_live m;
     m.finished <- true;
     let t = m.owner in
+    (* Unstage first: drop this transaction's private tables and move the
+       frozen originals back under their logical names, so the tuple-level
+       rollback below walks exactly the pre-transaction catalog. *)
+    (match m.staged with
+    | None -> ()
+    | Some st ->
+      List.iter (fun name -> Database.drop_table t.db name) st.s_created;
+      List.iter
+        (fun (logical, frozen) -> Database.rename_table t.db frozen logical)
+        st.s_renamed;
+      Database.set_generations_meta t.db st.s_prev_meta;
+      m.staged <- None);
     let reverted =
       List.fold_left
         (fun acc h ->
-          let over_deleted rid =
-            List.exists
-              (fun (name, r) -> String.equal name h.name && Heap_file.rid_equal r rid)
-              m.over_deleted
-          in
+          let over_deleted rid = was_over_delete m h rid in
           acc + Rollback.revert_all h.ext h.table ~vn:m.txn_vn ~over_deleted)
         0 (handles t)
     in

@@ -31,8 +31,18 @@ val init : Vnl_query.Database.t -> t
 val attach : Vnl_query.Database.t -> t
 (** Re-attach to a reopened database (see {!Vnl_query.Database.reopen}):
     finds the existing Version relation instead of installing one.  Follow
-    with {!attach_table} for each 2VNL relation and {!recover} to complete
-    §7-style no-log crash recovery. *)
+    with {!attach_table} for each 2VNL relation — or {!attach_generations}
+    when the catalog carries generation metadata — and {!recover} to
+    complete §7-style no-log crash recovery. *)
+
+val attach_generations : t -> unit
+(** Rebuild the versioned catalog of a reopened multi-generation database
+    from its persisted generation metadata.  The durable Version page
+    arbitrates: a staged generation whose activation VN exceeds the stored
+    currentVN died before its publish — its private tables are dropped and
+    its freeze-renames undone, so the database reopens to exactly the
+    pre-evolution catalog.  No-op when the catalog has no generation
+    metadata (use {!attach_table} then).  Must run before {!recover}. *)
 
 val database : t -> Vnl_query.Database.t
 
@@ -74,7 +84,27 @@ val ext : handle -> Schema_ext.t
 val table : handle -> Vnl_query.Table.t
 
 val lookup : t -> string -> Schema_ext.t option
-(** The registry function the {!Rewrite} layer consumes. *)
+(** The registry function the {!Rewrite} layer consumes.  Resolves against
+    the head (newest) catalog generation, as do {!handle}, {!handle_exn},
+    and {!handles}; sessions resolve against their own pinned generation
+    instead. *)
+
+val catalog_generation : t -> int
+(** Index of the head (newest) catalog generation; 0 until the first
+    schema evolution commits. *)
+
+val generation_of_vn : t -> int -> int
+(** The generation a session pinned at this VN resolves against: the
+    newest one whose activation VN is at or below it. *)
+
+val added_columns : handle -> (string * Vnl_relation.Value.t) list
+(** Columns appended to this handle's table by evolution (oldest first)
+    with their declared defaults; [[]] for a never-evolved table. *)
+
+val pad_ops : handle -> Batch.op list -> Batch.op list
+(** Pad short {!Batch.Insert} tuples — built against a pre-evolution base
+    schema — with the trailing added-column defaults.  Identity when the
+    handle has no added columns. *)
 
 val load_initial : t -> string -> Vnl_relation.Tuple.t list -> unit
 (** Bulk-load base tuples as of the current version (outside any
@@ -96,6 +126,12 @@ module Session : sig
   val vn : s -> int
 
   val id : s -> int
+
+  val generation : t -> s -> int
+  (** The catalog generation pinned by the session's VN: the session
+      resolves every name, schema, and cached plan against it, so a
+      session spanning a schema-evolution commit keeps its old schema
+      view for its whole lifetime. *)
 
   val is_valid : t -> s -> bool
   (** The global expiry check, generalized per §5: valid while the session
@@ -189,8 +225,42 @@ module Txn : sig
       documented exceptions).  Over-delete bookkeeping is shared with the
       per-op entry points, so mixing both in one transaction is sound. *)
 
+  (** {2 Online schema evolution}
+
+      DDL rides the maintenance transaction: each call stages a pending
+      catalog generation (replacement tables are private copies; the
+      superseded tables are parked under frozen aliases and keep serving
+      every older generation), mirrors it into the database's generation
+      metadata so the refresh ladder's data-flush serializes it, and
+      {!commit} activates it atomically with the version publish.
+      In-flight sessions keep resolving their pinned generation; sessions
+      begun after the publish see the new catalog.  {!abort} — or crash
+      recovery from any point before the publish — restores exactly the
+      pre-evolution catalog. *)
+
+  val add_column :
+    m ->
+    table:string ->
+    Vnl_relation.Schema.attribute ->
+    default:Vnl_relation.Value.t ->
+    unit
+  (** [ALTER TABLE table ADD COLUMN attr DEFAULT default]: the pending
+      generation's table appends the column, existing rows take the
+      default.  Raises [Invalid_argument] for a key column or a default
+      not matching the column's dtype. *)
+
+  val add_table : m -> ?n:int -> name:string -> Vnl_relation.Schema.t -> unit
+  (** [CREATE VIEW]: register a fresh nVNL-extended table in the pending
+      generation (empty; populate through this transaction's DML). *)
+
+  val add_index : m -> table:string -> index:string -> string list -> unit
+  (** [CREATE INDEX index ON table (attrs)]: built on the pending
+      generation's private copy, so a crash before the publish reopens
+      without it. *)
+
   val commit : m -> unit
-  (** Publish the new version (Version relation update, §4). *)
+  (** Publish the new version (Version relation update, §4); any staged
+      catalog generation activates with it. *)
 
   val abort : m -> int
   (** No-log rollback (§7): revert every touched tuple; returns the number

@@ -11,6 +11,7 @@ type t = {
   dec : Wire.response Wire.Decoder.t;
   scratch : bytes;
   mutable notice : (int * int) option;
+  mutable catalog_gen : int;
   mutable alive : bool;
 }
 
@@ -30,7 +31,14 @@ let connect ?(timeout_s = 10.0) addr =
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
-  { fd; dec = Wire.Decoder.response (); scratch = Bytes.create 65536; notice = None; alive = true }
+  {
+    fd;
+    dec = Wire.Decoder.response ();
+    scratch = Bytes.create 65536;
+    notice = None;
+    catalog_gen = 0;
+    alive = true;
+  }
 
 let disconnect t =
   if t.alive then begin
@@ -102,8 +110,9 @@ let hello ?(name = "vnl-client") t =
   else begin
     send t (Wire.encode_request (Wire.Hello name));
     match recv t with
-    | Wire.Hello_ok { session_id; session_vn } ->
+    | Wire.Hello_ok { session_id; session_vn; catalog_gen } ->
       t.notice <- None;
+      t.catalog_gen <- catalog_gen;
       Ok (session_id, session_vn)
     | Wire.Error_ { code; message } -> Error { code; message }
     | resp -> unexpected t resp
@@ -152,3 +161,5 @@ let bye t =
   | resp -> unexpected t resp
 
 let expired_notice t = t.notice
+
+let catalog_gen t = t.catalog_gen

@@ -49,3 +49,8 @@ val disconnect : t -> unit
 val expired_notice : t -> (int * int) option
 (** Most recent server-pushed expiry as [(session_vn, current_vn)],
     whether it arrived unsolicited or alongside an error reply. *)
+
+val catalog_gen : t -> int
+(** The catalog generation reported by the last successful {!hello} (0
+    before any) — advances when a re-Hello lands after a schema
+    evolution. *)

@@ -180,7 +180,12 @@ let handle_hello t name =
   t.session <- Some s;
   ignore name;
   respond t
-    (Wire.Hello_ok { session_id = Twovnl.Session.id s; session_vn = Twovnl.Session.vn s })
+    (Wire.Hello_ok
+       {
+         session_id = Twovnl.Session.id s;
+         session_vn = Twovnl.Session.vn s;
+         catalog_gen = Twovnl.Session.generation t.vnl s;
+       })
 
 let with_session t k =
   match t.session with

@@ -55,7 +55,7 @@ type request =
   | Bye
 
 type response =
-  | Hello_ok of { session_id : int; session_vn : int }
+  | Hello_ok of { session_id : int; session_vn : int; catalog_gen : int }
   | Result of { cursor : int; columns : string list; total_rows : int }
   | Rows of { cursor : int; rows : Value.t list list; last : bool }
   | Ok_
@@ -157,10 +157,11 @@ let encode_request req =
 let encode_response resp =
   let b = Buffer.create 256 in
   (match resp with
-  | Hello_ok { session_id; session_vn } ->
+  | Hello_ok { session_id; session_vn; catalog_gen } ->
     add_u8 b 0x81;
     add_u32 b session_id;
-    add_u32 b session_vn
+    add_u32 b session_vn;
+    add_u32 b catalog_gen
   | Result { cursor; columns; total_rows } ->
     add_u8 b 0x82;
     add_u32 b cursor;
@@ -268,7 +269,8 @@ let parse_response r =
   | 0x81 ->
     let session_id = u32 r "hello-ok" in
     let session_vn = u32 r "hello-ok" in
-    finish r (Hello_ok { session_id; session_vn })
+    let catalog_gen = u32 r "hello-ok" in
+    finish r (Hello_ok { session_id; session_vn; catalog_gen })
   | 0x82 ->
     let cursor = u32 r "result" in
     let ncols = u16 r "result" in

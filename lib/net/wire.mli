@@ -52,7 +52,10 @@ type request =
   | Bye
 
 type response =
-  | Hello_ok of { session_id : int; session_vn : int }
+  | Hello_ok of { session_id : int; session_vn : int; catalog_gen : int }
+      (** [catalog_gen] is the catalog generation the session resolves
+          against — a client that re-Hellos after a schema evolution sees
+          it advance (and new columns with it). *)
   | Result of { cursor : int; columns : string list; total_rows : int }
   | Rows of { cursor : int; rows : Vnl_relation.Value.t list list; last : bool }
   | Ok_

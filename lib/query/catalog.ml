@@ -1,5 +1,6 @@
 module Schema = Vnl_relation.Schema
 module Dtype = Vnl_relation.Dtype
+module Value = Vnl_relation.Value
 
 type entry = {
   table : string;
@@ -7,6 +8,16 @@ type entry = {
   pages : int list;
   secondary : (string * string list) list;
 }
+
+type member = {
+  m_logical : string;
+  m_storage : string;
+  m_n : int;
+  m_base_arity : int;
+  m_added : (string * Value.t) list;
+}
+
+type generation = { g_index : int; g_vn : int; g_members : member list }
 
 exception Corrupt of string
 
@@ -49,9 +60,77 @@ let dtype_of_string s =
       | _ -> fail "bad string width in %S" s
     else fail "unknown dtype %S" s
 
-let serialize entries =
+(* Default values for added columns travel inside the catalog text as
+   self-contained tokens: the parser needs no schema context, floats
+   round-trip exactly via the %h hex form, and strings survive any byte
+   content via hex coding. *)
+let value_to_token = function
+  | Value.Null -> "null"
+  | Value.Int n -> Printf.sprintf "int:%d" n
+  | Value.Float f -> Printf.sprintf "float:%h" f
+  | Value.Bool b -> Printf.sprintf "bool:%b" b
+  | Value.Date d -> Printf.sprintf "date:%d" d
+  | Value.Str s ->
+    let b = Buffer.create (4 + (2 * String.length s)) in
+    Buffer.add_string b "str:";
+    String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+    Buffer.contents b
+
+let value_of_token tok =
+  let body tag = String.sub tok (String.length tag) (String.length tok - String.length tag) in
+  let starts tag = String.length tok >= String.length tag && String.sub tok 0 (String.length tag) = tag in
+  if tok = "null" then Value.Null
+  else if starts "int:" then
+    match int_of_string_opt (body "int:") with
+    | Some n -> Value.Int n
+    | None -> fail "bad int token %S" tok
+  else if starts "float:" then
+    match float_of_string_opt (body "float:") with
+    | Some f -> Value.Float f
+    | None -> fail "bad float token %S" tok
+  else if starts "bool:" then
+    match bool_of_string_opt (body "bool:") with
+    | Some b -> Value.Bool b
+    | None -> fail "bad bool token %S" tok
+  else if starts "date:" then
+    match int_of_string_opt (body "date:") with
+    | Some d -> Value.Date d
+    | None -> fail "bad date token %S" tok
+  else if starts "str:" then begin
+    let hex = body "str:" in
+    if String.length hex mod 2 <> 0 then fail "bad str token %S" tok;
+    Value.Str
+      (String.init (String.length hex / 2) (fun i ->
+           match int_of_string_opt ("0x" ^ String.sub hex (2 * i) 2) with
+           | Some c -> Char.chr c
+           | None -> fail "bad str token %S" tok))
+  end
+  else fail "unknown value token %S" tok
+
+let serialize_generations buf gens =
+  List.iter
+    (fun g ->
+      if g.g_index < 0 || g.g_vn < 0 then fail "negative generation stamp";
+      Buffer.add_string buf (Printf.sprintf "gen %d %d\n" g.g_index g.g_vn);
+      List.iter
+        (fun m ->
+          check_name ~what:"table" m.m_logical;
+          check_name ~what:"table" m.m_storage;
+          Buffer.add_string buf
+            (Printf.sprintf "member %s|%s|%d|%d\n" m.m_logical m.m_storage m.m_n m.m_base_arity);
+          List.iter
+            (fun (attr, default) ->
+              check_name ~what:"attribute" attr;
+              Buffer.add_string buf
+                (Printf.sprintf "madd %s|%s\n" attr (value_to_token default)))
+            m.m_added)
+        g.g_members)
+    gens
+
+let serialize ?(generations = []) entries =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "vnl-catalog 1\n";
+  Buffer.add_string buf
+    (if generations = [] then "vnl-catalog 1\n" else "vnl-catalog 2\n");
   List.iter
     (fun e ->
       check_name ~what:"table" e.table;
@@ -74,18 +153,38 @@ let serialize entries =
         e.secondary;
       Buffer.add_string buf "end\n")
     entries;
+  serialize_generations buf generations;
   Buffer.contents buf
 
-let parse text =
+let parse_full text =
   let lines =
     List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' text)
   in
   match lines with
   | [] -> fail "empty catalog"
   | header :: rest ->
-    if String.trim header <> "vnl-catalog 1" then fail "bad catalog header %S" header;
+    let v2 =
+      match String.trim header with
+      | "vnl-catalog 1" -> false
+      | "vnl-catalog 2" -> true
+      | h -> fail "bad catalog header %S" h
+    in
     let entries = ref [] in
     let current = ref None in
+    let gens = ref [] in
+    let cur_gen = ref None in
+    let finish_gen () =
+      match !cur_gen with
+      | None -> ()
+      | Some (g_index, g_vn, members) ->
+        gens := { g_index; g_vn; g_members = List.rev members } :: !gens;
+        cur_gen := None
+    in
+    let with_gen_member line f =
+      match !cur_gen with
+      | Some (gi, gv, m :: ms) -> cur_gen := Some (gi, gv, f m :: ms)
+      | Some (_, _, []) | None -> fail "madd outside member %S" line
+    in
     let finish () =
       match !current with
       | None -> ()
@@ -153,7 +252,45 @@ let parse text =
             | Some (t, attrs, pages, sec), iname :: iattrs when iattrs <> [] ->
               current := Some (t, attrs, pages, (iname, iattrs) :: sec)
             | _ -> fail "bad index line %S" line)
+          | "gen" when v2 -> (
+            finish ();
+            finish_gen ();
+            match String.split_on_char ' ' body with
+            | [ gi; gv ] -> (
+              match (int_of_string_opt gi, int_of_string_opt gv) with
+              | Some gi, Some gv when gi >= 0 && gv >= 0 -> cur_gen := Some (gi, gv, [])
+              | _ -> fail "bad gen line %S" line)
+            | _ -> fail "bad gen line %S" line)
+          | "member" when v2 -> (
+            match (!cur_gen, String.split_on_char '|' body) with
+            | Some (gi, gv, ms), [ logical; storage; n; base_arity ] -> (
+              match (int_of_string_opt n, int_of_string_opt base_arity) with
+              | Some n, Some b when n >= 2 && b >= 1 ->
+                cur_gen :=
+                  Some
+                    ( gi,
+                      gv,
+                      {
+                        m_logical = logical;
+                        m_storage = storage;
+                        m_n = n;
+                        m_base_arity = b;
+                        m_added = [];
+                      }
+                      :: ms )
+              | _ -> fail "bad member line %S" line)
+            | None, _ -> fail "member outside gen"
+            | Some _, _ -> fail "bad member line %S" line)
+          | "madd" when v2 -> (
+            match String.split_on_char '|' body with
+            | [ attr; token ] ->
+              let v = value_of_token token in
+              with_gen_member line (fun m -> { m with m_added = m.m_added @ [ (attr, v) ] })
+            | _ -> fail "bad madd line %S" line)
           | _ -> fail "unknown keyword %S" keyword))
       rest;
     finish ();
-    List.rev !entries
+    finish_gen ();
+    (List.rev !entries, List.rev !gens)
+
+let parse text = fst (parse_full text)

@@ -17,6 +17,10 @@ type t = {
           crash mid-save leaves the header pointing at the untouched old
           generation, never at half-written content. *)
   mutable plan_cache : plan_cache option;
+  mutable gens : Catalog.generation list;
+      (** Catalog-generation metadata (newest first); empty until the first
+          schema evolution.  Mirrored into the serialized catalog so reopen
+          can rebuild every retained generation. *)
 }
 
 let create ?(page_size = 4096) ?(pool_capacity = 64) () =
@@ -31,6 +35,7 @@ let create ?(page_size = 4096) ?(pool_capacity = 64) () =
     catalog_pages = [];
     spare_pages = [];
     plan_cache = None;
+    gens = [];
   }
 
 let pool t = t.pool
@@ -54,6 +59,26 @@ let create_table t name schema =
   table
 
 let table t name = Hashtbl.find_opt t.catalog name
+
+(* Schema evolution stages a widened copy under the logical name after
+   parking the superseded table under a frozen alias; the rename must keep
+   [order] (and so catalog serialization order) stable, or page layout
+   on disk would churn on every evolution. *)
+let rename_table t old_name new_name =
+  Catalog.check_name ~what:"table" new_name;
+  if Hashtbl.mem t.catalog new_name then
+    invalid_arg (Printf.sprintf "Database.rename_table: %S already exists" new_name);
+  match Hashtbl.find_opt t.catalog old_name with
+  | None -> invalid_arg (Printf.sprintf "Database.rename_table: no such table %S" old_name)
+  | Some tbl ->
+    Hashtbl.remove t.catalog old_name;
+    Table.set_name tbl new_name;
+    Hashtbl.add t.catalog new_name tbl;
+    t.order <- List.map (fun n -> if String.equal n old_name then new_name else n) t.order
+
+let generations_meta t = t.gens
+
+let set_generations_meta t gens = t.gens <- gens
 
 let table_exn t name =
   match table t name with
@@ -100,7 +125,7 @@ let entries t =
    which is exactly the apply -> flush -> catalog-write -> publish ordering
    {!Vnl_core.Recovery} relies on. *)
 let save ?(mode = `Full) t =
-  let text = Catalog.serialize (entries t) in
+  let text = Catalog.serialize ~generations:t.gens (entries t) in
   let page_size = Disk.page_size (disk t) in
   let needed = max 1 ((String.length text + page_size - 1) / page_size) in
   while List.length t.spare_pages < needed do
@@ -174,7 +199,7 @@ let reopen ?(pool_capacity = 64) disk0 =
           let remaining = length - Buffer.length buf in
           Buffer.add_subbytes buf img 0 (min page_size remaining)))
     pages;
-  let entries = Catalog.parse (Buffer.contents buf) in
+  let entries, gens = Catalog.parse_full (Buffer.contents buf) in
   let t =
     {
       pool;
@@ -183,6 +208,7 @@ let reopen ?(pool_capacity = 64) disk0 =
       catalog_pages = pages;
       spare_pages = spare;
       plan_cache = None;
+      gens;
     }
   in
   List.iter

@@ -27,6 +27,20 @@ val table_exn : t -> string -> Table.t
 
 val drop_table : t -> string -> unit
 
+val rename_table : t -> string -> string -> unit
+(** [rename_table t old new_] re-binds a table under [new_], keeping its
+    creation-order position (catalog page layout is stable across schema
+    evolutions).  Raises [Invalid_argument] when [old] is absent, [new_] is
+    taken, or [new_] fails {!Catalog.valid_name}. *)
+
+val generations_meta : t -> Catalog.generation list
+(** Catalog-generation metadata, newest first; [[]] until the first schema
+    evolution is staged. *)
+
+val set_generations_meta : t -> Catalog.generation list -> unit
+(** Replace the generation metadata.  Serialized by the next {!save}; owned
+    by the evolution machinery in [Vnl_core.Twovnl]. *)
+
 val tables : t -> Table.t list
 (** In creation order. *)
 

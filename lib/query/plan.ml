@@ -469,13 +469,23 @@ let compile_select ctx ~columns_override (s : Ast.select) =
   in
   (columns, where_fn, proj, dirs)
 
-let prepare db (s : Ast.select) =
+let prepare ?resolve db (s : Ast.select) =
+  (* [resolve] overrides name resolution for names it knows — a catalog
+     generation's registry, so a pinned session compiles against its own
+     generation's physical tables even while a newer one is being staged
+     under the same logical names.  Unknown names still fall through to the
+     database catalog. *)
+  let lookup name =
+    match resolve with
+    | Some f -> ( match f name with Some t -> Some t | None -> Database.table db name)
+    | None -> Database.table db name
+  in
   let offset = ref 0 in
   let pairs =
     List.map
       (fun (table_name, alias) ->
         let table =
-          match Database.table db table_name with
+          match lookup table_name with
           | Some t -> t
           | None -> fail "no such table %S" table_name
         in
@@ -551,10 +561,15 @@ let full_scan_only t =
 (* A plan stays valid while every table it touches is still the same
    physical table (dropping and recreating a name invalidates) and has seen
    no index DDL since prepare time. *)
-let valid db t =
+let valid ?resolve db t =
+  let lookup name =
+    match resolve with
+    | Some f -> ( match f name with Some tbl -> Some tbl | None -> Database.table db name)
+    | None -> Database.table db name
+  in
   List.for_all
     (fun d ->
-      match Database.table db d.dep_name with
+      match lookup d.dep_name with
       | Some tbl -> tbl == d.dep_table && Table.version tbl = d.dep_version
       | None -> false)
     t.deps

@@ -29,10 +29,12 @@ type result = {
 
 type t
 
-val prepare : Database.t -> Vnl_sql.Ast.select -> t
-(** Compile against the database's current catalog.  Raises {!Query_error}
-    on unknown tables or an empty FROM clause (the same errors the
-    interpreter reports at query time). *)
+val prepare : ?resolve:(string -> Table.t option) -> Database.t -> Vnl_sql.Ast.select -> t
+(** Compile against the database's current catalog.  [resolve] overrides
+    name resolution for names it returns [Some] for (a catalog generation's
+    registry); unknown names fall through to the database.  Raises
+    {!Query_error} on unknown tables or an empty FROM clause (the same
+    errors the interpreter reports at query time). *)
 
 val prepare_view :
   label:string ->
@@ -55,7 +57,7 @@ val execute_view :
   ?params:(string * Vnl_relation.Value.t) list -> t -> Vnl_relation.Tuple.t list -> result
 (** Run a view plan over the given source rows. *)
 
-val valid : Database.t -> t -> bool
+val valid : ?resolve:(string -> Table.t option) -> Database.t -> t -> bool
 (** Whether the plan's access-path choices are still sound: every table it
     was compiled against is still the same physical table and has seen no
     index DDL since.  View plans are always valid. *)

@@ -11,7 +11,7 @@ exception Unique_violation of string
 type secondary = { attrs : string list; positions : int list; tree : unit Bptree.t }
 
 type t = {
-  name : string;
+  mutable name : string;
   heap : Heap_file.t;
   index : Heap_file.rid Bptree.t option;  (** Present iff the schema has a unique key. *)
   secondaries : (string, secondary) Hashtbl.t;  (** O(1) resolution by name. *)
@@ -39,6 +39,10 @@ let attach_heap pool ~name heap secondary =
   t, secondary
 
 let name t = t.name
+
+(* For Database.rename_table only: the catalog hashtable key and this field
+   must change together. *)
+let set_name t name = t.name <- name
 
 let schema t = Heap_file.schema t.heap
 

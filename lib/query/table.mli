@@ -25,6 +25,10 @@ val attach :
 
 val name : t -> string
 
+val set_name : t -> string -> unit
+(** Owned by [Database.rename_table]; call it directly and the catalog map
+    and the table disagree about the name. *)
+
 val schema : t -> Vnl_relation.Schema.t
 
 val heap : t -> Vnl_storage.Heap_file.t

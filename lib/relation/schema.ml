@@ -31,6 +31,15 @@ let make attrs =
     dtypes;
   { attrs = arr; positions; dtypes; cell_offsets }
 
+let attributes t = Array.to_list t.attrs
+
+(* Online schema evolution appends; key columns would change tuple identity
+   retroactively, so only non-key attributes may ride an extension. *)
+let extend_with t a =
+  if a.key then
+    invalid_arg (Printf.sprintf "Schema.extend_with: %S: cannot append a key attribute" a.name);
+  make (attributes t @ [ a ])
+
 let arity t = Array.length t.attrs
 
 let attribute t i = t.attrs.(i)
@@ -38,8 +47,6 @@ let attribute t i = t.attrs.(i)
 let dtypes t = t.dtypes
 
 let cell_offsets t = t.cell_offsets
-
-let attributes t = Array.to_list t.attrs
 
 let index_of_opt t name = Hashtbl.find_opt t.positions name
 

@@ -25,6 +25,14 @@ val make : attribute list -> t
     (keys are never updated in place; the paper models key changes as
     delete + insert). *)
 
+val extend_with : t -> attribute -> t
+(** [extend_with t a] is [t] with [a] appended — the shape of an
+    [ALTER TABLE ... ADD COLUMN].  Existing positions are unchanged, so
+    plans and key extraction compiled against [t] stay positionally valid
+    against the extension.  Raises [Invalid_argument] if [a] is a key
+    attribute (that would retroactively change tuple identity) or
+    duplicates an existing name. *)
+
 val arity : t -> int
 
 val attribute : t -> int -> attribute

@@ -59,7 +59,8 @@ module Sharded = struct
   type t = {
     map : Shard_map.t;
     warehouses : Warehouse.t array;
-    templates : (string * View_def.t) list;  (** By template name, in order. *)
+    mutable templates : (string * View_def.t) list;
+        (** By template name, in order; grows when {!evolve} adds a view. *)
   }
 
   let create ?n ?page_size ?pool_capacity ~shard_map defs =
@@ -130,6 +131,34 @@ module Sharded = struct
 
   let refresh_pipelined_all ?workers t =
     Array.mapi (fun s _ -> refresh_pipelined_shard ?workers t ~shard:s) t.warehouses
+
+  (* Evolve every shard: the same logical DDL maps to each shard's view
+     instances (per-shard evolution transactions — shards share no state,
+     so there is no cross-shard atomicity to coordinate; a failure leaves
+     a prefix of shards evolved, each internally pre-or-post).  Union
+     reads ({!read_union}) keep merging on the template's original target
+     schema: added columns are per-shard payload the union projects away. *)
+  let evolve t evolutions =
+    Array.iteri
+      (fun s wh ->
+        let map_ev = function
+          | Warehouse.Add_column { view; attr; default } ->
+            ignore (template t view);
+            Warehouse.Add_column { view = instance view ~shard:s; attr; default }
+          | Warehouse.Add_view { def; n } ->
+            Warehouse.Add_view { def = View_def.instantiate def ~shard:s; n }
+          | Warehouse.Add_index { view; index; attrs } ->
+            ignore (template t view);
+            Warehouse.Add_index { view = instance view ~shard:s; index; attrs }
+        in
+        Warehouse.evolve wh (List.map map_ev evolutions))
+      t.warehouses;
+    List.iter
+      (function
+        | Warehouse.Add_view { def; _ } ->
+          t.templates <- t.templates @ [ (View_def.name def, def) ]
+        | Warehouse.Add_column _ | Warehouse.Add_index _ -> ())
+      evolutions
 
   let collect_garbage t =
     Array.fold_left (fun acc wh -> acc + Warehouse.collect_garbage wh) 0 t.warehouses

@@ -113,6 +113,15 @@ module Sharded : sig
       parallelism composes with {e serial} per-shard refreshes
       ({!refresh_all} [~domains]), not with per-shard worker stripes. *)
 
+  val evolve : t -> Warehouse.evolution list -> unit
+  (** Apply the same logical schema evolution to every shard: template
+      view names map to each shard's instances, and each shard commits its
+      own evolution transaction ({!Warehouse.evolve}).  Shards share no
+      state, so there is no cross-shard atomicity — a failure mid-way
+      leaves a prefix of shards evolved, each internally consistent.
+      Union reads keep merging on the template's original target schema;
+      added columns are per-shard payload the union projects away. *)
+
   val collect_garbage : t -> int
   (** Sum of collected versions across shards. *)
 

@@ -94,7 +94,11 @@ let plan_batch vnl view changes =
         let current =
           match found.(i) with
           | Some (_, tuple) when Maintenance.is_logically_live ext tuple ->
-            Some (Tuple.make target (Schema_ext.current_values ext tuple))
+            (* Base schema, not the view template's target: an evolved
+               view's base is wider (added columns at the end), and the
+               positional aggregate reads below address the shared
+               prefix either way. *)
+            Some (Tuple.make (Schema_ext.base ext) (Schema_ext.current_values ext tuple))
           | Some _ | None -> None
         in
         match current with

@@ -2,6 +2,7 @@ module Twovnl = Vnl_core.Twovnl
 module Database = Vnl_query.Database
 module Pipeline = Vnl_core.Pipeline
 module Batch = Vnl_core.Batch
+module Schema = Vnl_relation.Schema
 module Tuple = Vnl_relation.Tuple
 module Value = Vnl_relation.Value
 
@@ -12,14 +13,22 @@ type entry = {
   mutable queue_len : int;
       (** Maintained alongside [queue] so {!pending} is O(1) — the sharded
           facade polls every shard's every view per drain decision. *)
+  mutable added : (Schema.attribute * Value.t) list;
+      (** Columns appended by {!evolve} (oldest first) with their defaults;
+          the view template in [def] stays at its original arity and the
+          maintenance paths pad, so ground-truth recomputation appends the
+          defaults the same way. *)
 }
 
 type t = {
   vnl : Twovnl.t;
   db : Database.t;
   entries : (string, entry) Hashtbl.t;
-  order : string list;  (** View names in registration order. *)
+  mutable order : string list;  (** View names in registration order. *)
 }
+
+let fresh_entry def =
+  { def; source = Source.create (View_def.source def); queue = []; queue_len = 0; added = [] }
 
 let create ?n ?page_size ?pool_capacity defs =
   let db = Database.create ?page_size ?pool_capacity () in
@@ -30,8 +39,7 @@ let create ?n ?page_size ?pool_capacity defs =
       ignore
         (Twovnl.register_table vnl ?n ~name:(View_def.name def)
            (View_def.target_schema def));
-      Hashtbl.replace entries (View_def.name def)
-        { def; source = Source.create (View_def.source def); queue = []; queue_len = 0 })
+      Hashtbl.replace entries (View_def.name def) (fresh_entry def))
     defs;
   { vnl; db; entries; order = List.map View_def.name defs }
 
@@ -209,6 +217,54 @@ let refresh_pipelined ?(workers = 2) ?on_phase ?(run = Pipeline.run) t =
       | None -> { Summary.groups_inserted = 0; groups_updated = 0; groups_deleted = 0 })
     t.order
 
+(* ---------- online schema evolution ---------- *)
+
+type evolution =
+  | Add_column of {
+      view : string;
+      attr : Schema.attribute;
+      default : Vnl_relation.Value.t;
+    }
+  | Add_view of { def : View_def.t; n : int option }
+  | Add_index of { view : string; index : string; attrs : string list }
+
+(* One maintenance transaction carrying only DDL, under the same
+   flag → data → catalog → publish ladder as a refresh: a crash at any
+   write reopens to exactly the pre- or post-evolution catalog.  The
+   warehouse-level registry (entries, order, added-column lists) is
+   updated only after the transaction returns, i.e. after the publish —
+   on any failure the in-memory warehouse still matches the restored
+   on-disk catalog. *)
+let evolve t evolutions =
+  Vnl_obs.Obs.with_span "warehouse.evolve" @@ fun () ->
+  ignore
+    (Vnl_core.Recovery.run_maintenance t.db t.vnl (fun txn ->
+         List.iter
+           (function
+             | Add_column { view; attr; default } ->
+               ignore (entry t view);
+               Twovnl.Txn.add_column txn ~table:view attr ~default
+             | Add_view { def; n } ->
+               Twovnl.Txn.add_table txn ?n ~name:(View_def.name def)
+                 (View_def.target_schema def)
+             | Add_index { view; index; attrs } ->
+               ignore (entry t view);
+               Twovnl.Txn.add_index txn ~table:view ~index attrs)
+           evolutions));
+  List.iter
+    (function
+      | Add_column { view; attr; default } ->
+        let e = entry t view in
+        e.added <- e.added @ [ (attr, default) ]
+      | Add_view { def; n = _ } ->
+        let name = View_def.name def in
+        Hashtbl.replace t.entries name (fresh_entry def);
+        t.order <- t.order @ [ name ]
+      | Add_index _ -> ())
+    evolutions
+
+let catalog_generation t = Twovnl.catalog_generation t.vnl
+
 let begin_session t = Twovnl.Session.begin_ t.vnl
 
 let end_session t s = Twovnl.Session.end_ t.vnl s
@@ -219,6 +275,17 @@ let read_view t s name = Twovnl.Session.read_table t.vnl s name
 
 let expected_view t name =
   let e = entry t name in
-  Source.compute_view e.source e.def
+  let rows = Source.compute_view e.source e.def in
+  match e.added with
+  | [] -> rows
+  | added ->
+    (* Ground truth for an evolved view: the recomputed groups carry the
+       added columns' defaults — exactly what the copy did for existing
+       rows and what padding does for refreshed ones. *)
+    let schema =
+      List.fold_left (fun s (a, _) -> Schema.extend_with s a) (View_def.target_schema e.def) added
+    in
+    let defaults = List.map snd added in
+    List.map (fun tup -> Tuple.make schema (Tuple.values tup @ defaults)) rows
 
 let collect_garbage t = Twovnl.collect_garbage t.vnl

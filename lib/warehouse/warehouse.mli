@@ -88,6 +88,33 @@ val refresh_pipelined :
     drive the round through {!Vnl_util.Sched} via
     {!Vnl_core.Pipeline.tasks}/{!Vnl_core.Pipeline.finish}. *)
 
+type evolution =
+  | Add_column of {
+      view : string;
+      attr : Vnl_relation.Schema.attribute;
+      default : Vnl_relation.Value.t;
+    }
+      (** [ALTER TABLE view ADD COLUMN attr DEFAULT default].  Key columns
+          are rejected (they would change group identity retroactively). *)
+  | Add_view of { def : View_def.t; n : int option }
+      (** [CREATE VIEW]: a fresh empty summary table ([n] defaults to the
+          engine's 2); feed it through {!queue_changes} + {!refresh}. *)
+  | Add_index of { view : string; index : string; attrs : string list }
+      (** [CREATE INDEX index ON view (attrs)]. *)
+
+val evolve : t -> evolution list -> unit
+(** Commit a schema evolution on the live warehouse: one maintenance
+    transaction stages a new catalog generation (see
+    {!Vnl_core.Twovnl.Txn.add_column} et al.) under the crash-safe
+    flag → data → catalog → publish ordering and publishes it.  Sessions
+    open across the commit keep their old generation's schema view;
+    sessions begun after it resolve the new one.  A crash at any write
+    reopens to exactly the pre- or post-evolution catalog. *)
+
+val catalog_generation : t -> int
+(** Index of the newest committed catalog generation (0 until the first
+    {!evolve}). *)
+
 val begin_session : t -> Vnl_core.Twovnl.Session.s
 
 val end_session : t -> Vnl_core.Twovnl.Session.s -> unit
@@ -106,6 +133,7 @@ val read_view :
 val expected_view : t -> string -> Vnl_relation.Tuple.t list
 (** Ground truth: recompute the view from the simulated source's current
     base data (reflects {e queued} changes too, so compare right after a
-    refresh). *)
+    refresh).  For an evolved view, the recomputed groups carry the added
+    columns' defaults in evolution order. *)
 
 val collect_garbage : t -> int

@@ -31,4 +31,5 @@ let () =
       ("parallel-stress", Test_parallel_stress.suite);
       ("shard", Test_shard.suite);
       ("net", Test_net.suite);
+      ("catalog-evolve", Test_catalog_evolve.suite);
     ]

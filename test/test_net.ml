@@ -122,9 +122,10 @@ let error_code_gen =
 let response_gen =
   oneof
     [
-      map2
-        (fun session_id session_vn -> Wire.Hello_ok { session_id; session_vn })
-        (int_range 0 1000000) (int_range 0 1000000);
+      map3
+        (fun session_id session_vn catalog_gen ->
+          Wire.Hello_ok { session_id; session_vn; catalog_gen })
+        (int_range 0 1000000) (int_range 0 1000000) (int_range 0 1000);
       map3
         (fun cursor columns total_rows -> Wire.Result { cursor; columns; total_rows })
         (int_range 0 100000)
@@ -651,6 +652,114 @@ let test_load_generator_smoke () =
       done;
       check Alcotest.bool "horizon caught up after churn" true (horizon_caught_up wh))
 
+(* ---------- schema evolution mid-load ---------- *)
+
+let evolve_discount wh =
+  Vnl_core.Recovery.run_maintenance (Twovnl.database wh) wh (fun txn ->
+      Twovnl.Txn.add_column txn ~table:"DailySales"
+        (Vnl_relation.Schema.attr ~updatable:true "discount" Vnl_relation.Dtype.Int)
+        ~default:(Value.Int 7))
+
+(* The catalog evolves while a connection is mid-cursor: the in-flight
+   cursor finishes on the old schema, a fresh query on the still-pinned
+   session keeps resolving the old catalog (the new column stays
+   invisible), and only a re-Hello lands on the new generation — which the
+   wire reports in [Hello_ok].  Every path releases its pin. *)
+let test_conn_evolution_mid_load () =
+  let wh = fresh ~n:3 () in
+  let conn = Conn.create wh in
+  push conn (Wire.Hello "loader");
+  (match drain conn with
+  | [ Wire.Hello_ok { catalog_gen; _ } ] ->
+    check Alcotest.int "initial catalog generation on the wire" 0 catalog_gen
+  | _ -> Alcotest.fail "expected Hello_ok");
+  let cursor, columns, total = query_ok conn sql_all in
+  check Alcotest.int "cursor materialized pre-evolution" 4 total;
+  push conn (Wire.Fetch { cursor; max_rows = 2 });
+  (match drain conn with
+  | [ Wire.Rows { rows; last = false; _ } ] ->
+    List.iter
+      (fun r -> check Alcotest.int "pre-evolution width" (List.length columns) (List.length r))
+      rows
+  | _ -> Alcotest.fail "expected first chunk");
+  evolve_discount wh;
+  (* The maintainer's publish notification must not expire this session
+     (n = 3 tolerates the overlap) — no frame may be pushed. *)
+  Conn.on_version_change conn;
+  (match drain conn with
+  | [] -> ()
+  | _ -> Alcotest.fail "no push expected for a still-valid session");
+  push conn (Wire.Fetch { cursor; max_rows = 10 });
+  (match drain conn with
+  | [ Wire.Rows { rows; last = true; _ } ] ->
+    check Alcotest.int "cursor finishes on the old schema" 2 (List.length rows);
+    List.iter
+      (fun r -> check Alcotest.int "old width to the end" (List.length columns) (List.length r))
+      rows
+  | _ -> Alcotest.fail "expected final chunk");
+  (* Same session, new statement: still the old catalog. *)
+  push conn (Wire.Query "SELECT discount FROM DailySales");
+  (match drain conn with
+  | [ Wire.Error_ { code = Wire.Query_failed; _ } ] -> ()
+  | _ -> Alcotest.fail "pinned session must not resolve the new column");
+  (* Re-Hello: the new generation, on the wire and in the data. *)
+  push conn (Wire.Hello "loader");
+  (match drain conn with
+  | [ Wire.Hello_ok { catalog_gen; _ } ] ->
+    check Alcotest.int "re-Hello reports the new generation" 1 catalog_gen
+  | _ -> Alcotest.fail "expected Hello_ok");
+  let _, _, total = query_ok conn "SELECT city, discount FROM DailySales" in
+  check Alcotest.int "new column served after re-Hello" 4 total;
+  push conn Wire.Bye;
+  (match drain conn with
+  | [ Wire.Ok_ ] -> ()
+  | _ -> Alcotest.fail "expected Ok");
+  Conn.close conn;
+  check Alcotest.bool "zero leaked session pins" true (horizon_caught_up wh)
+
+let test_e2e_evolution () =
+  with_server (fun wh srv ->
+      let c = Client.connect (Client.Tcp ("127.0.0.1", Server.port srv)) in
+      (match Client.hello c with
+      | Ok _ -> ()
+      | Error { message; _ } -> Alcotest.failf "hello: %s" message);
+      check Alcotest.int "client starts on generation 0" 0 (Client.catalog_gen c);
+      let cursor =
+        match Client.query c sql_all with
+        | Ok (cursor, _, total) ->
+          check Alcotest.int "pre-evolution rows" 4 total;
+          cursor
+        | Error { message; _ } -> Alcotest.failf "query: %s" message
+      in
+      evolve_discount wh;
+      (* The open cursor drains on the old result set. *)
+      let rec fetch_all acc =
+        match Client.fetch c ~cursor ~max_rows:2 with
+        | Ok (rows, true) -> acc @ rows
+        | Ok (rows, false) -> fetch_all (acc @ rows)
+        | Error { message; _ } -> Alcotest.failf "fetch: %s" message
+      in
+      check Alcotest.int "cursor completes across the evolution" 4
+        (List.length (fetch_all []));
+      (* Re-Hello observes the evolved catalog. *)
+      (match Client.hello c with
+      | Ok _ -> ()
+      | Error { message; _ } -> Alcotest.failf "re-hello: %s" message);
+      check Alcotest.int "re-Hello advances the client's generation" 1 (Client.catalog_gen c);
+      (match Client.query c "SELECT city, discount FROM DailySales" with
+      | Ok (_, _, total) -> check Alcotest.int "new column over the wire" 4 total
+      | Error { message; _ } -> Alcotest.failf "evolved query: %s" message);
+      (match Client.bye c with
+      | Ok () -> ()
+      | Error { message; _ } -> Alcotest.failf "bye: %s" message);
+      Client.disconnect c;
+      (* The server sheds the closed connection promptly; no pin leaks. *)
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while (not (horizon_caught_up wh)) && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.01
+      done;
+      check Alcotest.bool "zero leaked session pins (e2e)" true (horizon_caught_up wh))
+
 (* ---------- hardened env knobs ---------- *)
 
 let test_env_knobs () =
@@ -722,5 +831,9 @@ let suite =
     Alcotest.test_case "e2e: client rejects oversized input locally" `Quick
       test_client_rejects_oversized_locally;
     Alcotest.test_case "e2e: load generator smoke" `Quick test_load_generator_smoke;
+    Alcotest.test_case "conn: schema evolution mid-cursor" `Quick
+      test_conn_evolution_mid_load;
+    Alcotest.test_case "e2e: re-Hello lands on the evolved catalog" `Quick
+      test_e2e_evolution;
     Alcotest.test_case "env knobs: hardened parsing" `Quick test_env_knobs;
   ]
